@@ -1,0 +1,81 @@
+//! Figure 5: combining-funnel fetch-and-add vs. the paper's bounded
+//! fetch-and-decrement with elimination.
+//!
+//! Left graph: equal inc/dec mix, 4..256 processors — elimination should
+//! make the bounded counter substantially cheaper (up to ~2.5x).
+//! Right graph: 256 processors, decrement share swept 0..100% —
+//! eliminations become rare at the extremes, where plain fetch-and-add
+//! wins because it skips the bounds check / homogeneity constraint.
+
+use funnelpq_bench::{lat, print_table, scaled_ops};
+use funnelpq_sim::MachineConfig;
+use funnelpq_simqueues::funnel::{CounterMode, SimFunnelConfig};
+use funnelpq_simqueues::workload::{run_counter_workload, Workload};
+
+fn workload(procs: usize) -> Workload {
+    Workload {
+        procs,
+        num_priorities: 1,
+        ops_per_proc: scaled_ops(),
+        local_work: 50,
+        seed: 0xF165,
+        machine: MachineConfig::alewife_like(),
+    }
+}
+
+/// Funnel parameters for a *dedicated* counter taking every processor's
+/// traffic — the maximally hot case. The queue benchmarks use the
+/// compromise `SimFunnelConfig::for_procs` (their many funnels each see a
+/// fraction of the load); a single shared counter combines best with
+/// deeper layers and longer capture waits, which is also the regime the
+/// paper's Figure 5 microbenchmark exercises.
+fn hot_counter_cfg(procs: usize) -> SimFunnelConfig {
+    let levels = if procs <= 4 { 1 } else { 3 };
+    SimFunnelConfig {
+        widths: (0..levels).map(|d| (procs >> (d + 1)).max(1)).collect(),
+        attempts: 3,
+        spin_checks: (0..levels).map(|d| 8 + 4 * d as u32).collect(),
+        adaption: true,
+    }
+}
+
+fn main() {
+    // Left: latency vs. processors at a 50/50 mix.
+    let mut rows = Vec::new();
+    for &p in &[4usize, 8, 16, 32, 64, 128, 256] {
+        let wl = workload(p);
+        let cfg = hot_counter_cfg(p);
+        let faa = run_counter_workload(CounterMode::FetchAdd, 50, cfg.clone(), &wl);
+        let bfad = run_counter_workload(CounterMode::BOUNDED_AT_ZERO, 50, cfg, &wl);
+        rows.push(vec![
+            p.to_string(),
+            lat(faa.all.mean()),
+            lat(bfad.all.mean()),
+            format!("{:.2}", faa.all.mean() / bfad.all.mean()),
+        ]);
+    }
+    print_table(
+        "Figure 5 (left) — counter latency (cycles), 50% decrements",
+        &["P", "Fetch-and-add", "BFaD+elimination", "FaA/BFaD"],
+        &rows,
+    );
+
+    // Right: latency vs. decrement share at 256 processors.
+    let mut rows = Vec::new();
+    for &pct in &[0u32, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
+        let wl = workload(256);
+        let cfg = hot_counter_cfg(256);
+        let faa = run_counter_workload(CounterMode::FetchAdd, pct, cfg.clone(), &wl);
+        let bfad = run_counter_workload(CounterMode::BOUNDED_AT_ZERO, pct, cfg, &wl);
+        rows.push(vec![
+            format!("{pct}%"),
+            lat(faa.all.mean()),
+            lat(bfad.all.mean()),
+        ]);
+    }
+    print_table(
+        "Figure 5 (right) — counter latency (cycles) vs. decrement share, 256 processors",
+        &["dec%", "Fetch-and-add", "BFaD+elimination"],
+        &rows,
+    );
+}

@@ -1,0 +1,32 @@
+//! Figure 6: latency of all seven priority-queue implementations with 16
+//! priorities at low concurrency (2–16 processors).
+//!
+//! Expected shape (paper §4.1): SingleLock and HuntEtAl rise steeply
+//! (roughly linearly); SkipList does slightly better; SimpleLinear leads;
+//! LinearFunnels is ~2–3x SimpleLinear; FunnelTree ≈ SimpleTree, both
+//! ~40–50% above SimpleLinear.
+
+use funnelpq_bench::{all_algorithms, lat, print_table, standard_workload};
+use funnelpq_simqueues::workload::run_queue_workload;
+
+fn main() {
+    let procs = [2usize, 4, 6, 8, 10, 12, 14, 16];
+    let mut rows = Vec::new();
+    for &p in &procs {
+        let wl = standard_workload(p, 16);
+        let mut row = vec![p.to_string()];
+        for algo in all_algorithms() {
+            let r = run_queue_workload(algo, &wl);
+            row.push(lat(r.all.mean()));
+        }
+        rows.push(row);
+    }
+    let mut header = vec!["P"];
+    let names: Vec<&str> = all_algorithms().iter().map(|a| a.name()).collect();
+    header.extend(names);
+    print_table(
+        "Figure 6 — mean access latency (cycles), 16 priorities, low concurrency",
+        &header,
+        &rows,
+    );
+}

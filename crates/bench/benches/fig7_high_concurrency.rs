@@ -1,0 +1,31 @@
+//! Figure 7: latency of the four scalable implementations with 16
+//! priorities from 2 to 256 processors.
+//!
+//! Expected shape (paper §4.1): SimpleLinear fastest until ~32 processors;
+//! SimpleTree slowest at high concurrency (root counter hot spot);
+//! FunnelTree takes the lead around 64 processors and at 256 is ~8x faster
+//! than SimpleTree and ~3x faster than SimpleLinear.
+
+use funnelpq_bench::{lat, print_table, scalable_algorithms, standard_workload};
+use funnelpq_simqueues::workload::run_queue_workload;
+
+fn main() {
+    let procs = [2usize, 4, 8, 16, 32, 64, 128, 256];
+    let mut rows = Vec::new();
+    for &p in &procs {
+        let wl = standard_workload(p, 16);
+        let mut row = vec![p.to_string()];
+        for algo in scalable_algorithms() {
+            let r = run_queue_workload(algo, &wl);
+            row.push(lat(r.all.mean()));
+        }
+        rows.push(row);
+    }
+    let mut header = vec!["P"];
+    header.extend(scalable_algorithms().iter().map(|a| a.name()));
+    print_table(
+        "Figure 7 — mean access latency (cycles), 16 priorities, 2..256 processors",
+        &header,
+        &rows,
+    );
+}

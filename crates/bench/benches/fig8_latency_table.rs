@@ -1,0 +1,48 @@
+//! Figure 8 (the paper's table): insert / delete-min latency split for the
+//! four scalable implementations, N ∈ {16, 128} priorities and
+//! P ∈ {16, 64, 256} processors. Latencies reported in thousands of
+//! cycles, as in the paper.
+//!
+//! Expected shape: for the tree methods insert is cheaper than delete-min
+//! (half the counter updates on average); SimpleLinear's delete cost grows
+//! with N at low P and its contention falls with N at high P; funnel
+//! methods pay overhead for more funnels as N grows but stay flat in P.
+
+use funnelpq_bench::{print_table, scalable_algorithms, standard_workload};
+use funnelpq_simqueues::workload::run_queue_workload;
+
+fn main() {
+    let combos = [
+        (16usize, 16usize),
+        (16, 128),
+        (64, 16),
+        (64, 128),
+        (256, 16),
+        (256, 128),
+    ];
+    let mut rows = Vec::new();
+    for &(p, n) in &combos {
+        let wl = standard_workload(p, n);
+        let mut row = vec![p.to_string(), n.to_string()];
+        for algo in scalable_algorithms() {
+            let r = run_queue_workload(algo, &wl);
+            row.push(format!("{:.1}", r.insert.mean() / 1000.0));
+            row.push(format!("{:.1}", r.delete.mean() / 1000.0));
+            row.push(format!("{:.1}", r.all.mean() / 1000.0));
+        }
+        rows.push(row);
+    }
+    let mut header: Vec<String> = vec!["P".into(), "N".into()];
+    for algo in scalable_algorithms() {
+        let n = algo.name();
+        header.push(format!("{n} Ins."));
+        header.push(format!("{n} Del."));
+        header.push(format!("{n} All"));
+    }
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    print_table(
+        "Figure 8 — insert / delete-min latency (thousands of cycles)",
+        &header_refs,
+        &rows,
+    );
+}

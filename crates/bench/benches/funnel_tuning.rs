@@ -1,0 +1,170 @@
+//! The paper's preliminary tuning run: "a set of preliminary benchmarks
+//! using 256 processors and a queue of two priorities to find the set of
+//! funnel parameters (layer width, depth of funnel, delay times, etc.)
+//! which minimized latency", used for all funnels afterwards.
+
+use funnelpq_bench::{lat, print_table, standard_workload};
+use funnelpq_simqueues::funnel::SimFunnelConfig;
+use funnelpq_simqueues::queues::{Algorithm, BuildParams};
+use funnelpq_simqueues::workload::run_queue_workload_with;
+
+fn main() {
+    let candidates: Vec<(&str, SimFunnelConfig)> = vec![
+        (
+            "1 layer, w=P/2",
+            SimFunnelConfig {
+                widths: vec![128],
+                attempts: 2,
+                spin_checks: vec![3],
+                adaption: true,
+            },
+        ),
+        (
+            "for_procs(256) (current default)",
+            SimFunnelConfig::for_procs(256),
+        ),
+        (
+            "3 layers, medium spins",
+            SimFunnelConfig {
+                widths: vec![128, 32, 8],
+                attempts: 2,
+                spin_checks: vec![4, 6, 8],
+                adaption: true,
+            },
+        ),
+        (
+            "3 layers, medium spins, attempts 3",
+            SimFunnelConfig {
+                widths: vec![128, 32, 8],
+                attempts: 3,
+                spin_checks: vec![4, 6, 8],
+                adaption: true,
+            },
+        ),
+        (
+            "3 layers, short spins, attempts 3",
+            SimFunnelConfig {
+                widths: vec![128, 32, 8],
+                attempts: 3,
+                spin_checks: vec![2, 3, 4],
+                adaption: true,
+            },
+        ),
+        (
+            "2 layers, w=P/4,P/16",
+            SimFunnelConfig {
+                widths: vec![64, 16],
+                attempts: 2,
+                spin_checks: vec![3, 5],
+                adaption: true,
+            },
+        ),
+        (
+            "3 layers, w=P/2,P/8,P/32",
+            SimFunnelConfig {
+                widths: vec![128, 32, 8],
+                attempts: 2,
+                spin_checks: vec![3, 5, 7],
+                adaption: true,
+            },
+        ),
+        (
+            "2 layers, long spins",
+            SimFunnelConfig {
+                widths: vec![128, 32],
+                attempts: 3,
+                spin_checks: vec![8, 12],
+                adaption: true,
+            },
+        ),
+        (
+            "2 layers, no adaption",
+            SimFunnelConfig {
+                widths: vec![128, 32],
+                attempts: 2,
+                spin_checks: vec![3, 5],
+                adaption: false,
+            },
+        ),
+        (
+            "3 layers, long spins",
+            SimFunnelConfig {
+                widths: vec![128, 32, 8],
+                attempts: 3,
+                spin_checks: vec![8, 12, 16],
+                adaption: true,
+            },
+        ),
+        (
+            "4 layers, long spins",
+            SimFunnelConfig {
+                widths: vec![128, 64, 16, 4],
+                attempts: 3,
+                spin_checks: vec![8, 10, 12, 16],
+                adaption: true,
+            },
+        ),
+        (
+            "2 layers, very long spins",
+            SimFunnelConfig {
+                widths: vec![128, 32],
+                attempts: 3,
+                spin_checks: vec![16, 24],
+                adaption: true,
+            },
+        ),
+        (
+            "5 layers, long spins",
+            SimFunnelConfig {
+                widths: vec![128, 64, 32, 8, 4],
+                attempts: 3,
+                spin_checks: vec![8, 10, 12, 14, 16],
+                adaption: true,
+            },
+        ),
+    ];
+    // Score each candidate on three representative scenarios so the chosen
+    // global parameter set (used for every funnel, as in the paper) is not
+    // over-fitted to one workload.
+    let scenarios: [(&str, Algorithm, usize, usize); 4] = [
+        ("LF 256p/2n", Algorithm::LinearFunnels, 256, 2),
+        ("FT 256p/2n", Algorithm::FunnelTree, 256, 2),
+        ("FT 256p/16n", Algorithm::FunnelTree, 256, 16),
+        ("FT 16p/16n", Algorithm::FunnelTree, 16, 16),
+    ];
+    let mut rows = Vec::new();
+    for (label, cfg) in candidates {
+        let mut row = vec![label.to_string()];
+        for &(_, algo, procs, pris) in &scenarios {
+            let swl = standard_workload(procs, pris);
+            let mut params = BuildParams::new(swl.procs, swl.num_priorities);
+            params.capacity = (swl.procs * swl.ops_per_proc).max(64) + 8;
+            params.funnel = cfg.clone();
+            let r = run_queue_workload_with(algo, &swl, &params);
+            row.push(lat(r.all.mean()));
+        }
+        rows.push(row);
+    }
+    // Non-funnel references for context (unaffected by the funnel config).
+    for (label, algo) in [
+        ("(ref) SimpleLinear", Algorithm::SimpleLinear),
+        ("(ref) SimpleTree", Algorithm::SimpleTree),
+    ] {
+        let mut row = vec![label.to_string()];
+        for &(_, _, procs, pris) in &scenarios {
+            let swl = standard_workload(procs, pris);
+            let mut params = BuildParams::new(swl.procs, swl.num_priorities);
+            params.capacity = (swl.procs * swl.ops_per_proc).max(64) + 8;
+            let r = run_queue_workload_with(algo, &swl, &params);
+            row.push(lat(r.all.mean()));
+        }
+        rows.push(row);
+    }
+    let mut header = vec!["configuration"];
+    header.extend(scenarios.iter().map(|s| s.0));
+    print_table(
+        "Funnel parameter tuning — mean latency (cycles) per scenario",
+        &header,
+        &rows,
+    );
+}

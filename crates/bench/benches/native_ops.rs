@@ -1,0 +1,74 @@
+//! Criterion microbenches of the native (real-thread) implementations.
+//!
+//! The host for the paper-shape experiments is the simulator (`fig*`
+//! benches); these criterion benches measure the native library's
+//! single-thread operation cost and small-thread-count throughput, which is
+//! what a downstream adopter of the `funnelpq` crate would feel.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use funnelpq::{
+    BoundedPq, FunnelTreePq, HuntPq, LinearFunnelsPq, SimpleLinearPq, SimpleTreePq, SingleLockPq,
+    SkipListPq,
+};
+
+fn queues(n: usize, t: usize) -> Vec<(&'static str, Arc<dyn BoundedPq<u64>>)> {
+    vec![
+        (
+            "SingleLock",
+            Arc::new(SingleLockPq::new(n, t)) as Arc<dyn BoundedPq<u64>>,
+        ),
+        ("HuntEtAl", Arc::new(HuntPq::with_capacity(n, t, 1 << 14))),
+        ("SkipList", Arc::new(SkipListPq::new(n, t))),
+        ("SimpleLinear", Arc::new(SimpleLinearPq::new(n, t))),
+        ("SimpleTree", Arc::new(SimpleTreePq::new(n, t))),
+        ("LinearFunnels", Arc::new(LinearFunnelsPq::new(n, t))),
+        ("FunnelTree", Arc::new(FunnelTreePq::new(n, t))),
+    ]
+}
+
+fn bench_single_thread_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_thread_insert_delete");
+    for (name, q) in queues(16, 1) {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &q, |b, q| {
+            let mut k = 0u64;
+            b.iter(|| {
+                k = k.wrapping_add(7);
+                q.insert(0, (k % 16) as usize, k);
+                std::hint::black_box(q.delete_min(0));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_two_thread_mixed(c: &mut Criterion) {
+    // With one core this measures interleaved (not parallel) behaviour —
+    // still useful as a lock-convoy smoke test.
+    let mut group = c.benchmark_group("two_thread_mixed");
+    group.sample_size(10);
+    for (name, q) in queues(16, 2) {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &q, |b, q| {
+            b.iter(|| {
+                let q2 = Arc::clone(q);
+                let h = std::thread::spawn(move || {
+                    for i in 0..200u64 {
+                        q2.insert(1, (i % 16) as usize, i);
+                        std::hint::black_box(q2.delete_min(1));
+                    }
+                });
+                for i in 0..200u64 {
+                    q.insert(0, (i % 16) as usize, i);
+                    std::hint::black_box(q.delete_min(0));
+                }
+                h.join().unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_thread_ops, bench_two_thread_mixed);
+criterion_main!(benches);

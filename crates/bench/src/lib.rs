@@ -1,0 +1,132 @@
+//! Shared plumbing for the figure-reproduction benches: experiment scaling,
+//! table formatting, and the standard workload construction.
+
+#![warn(missing_docs)]
+
+use funnelpq_simqueues::queues::Algorithm;
+use funnelpq_simqueues::workload::Workload;
+
+/// Scale factor for experiment sizes, set with `FUNNELPQ_SCALE` (percent).
+/// `FUNNELPQ_FAST=1` is shorthand for 25%. Defaults to 100%.
+pub fn scale_percent() -> usize {
+    if std::env::var("FUNNELPQ_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+    {
+        return 25;
+    }
+    std::env::var("FUNNELPQ_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v: &usize| v > 0)
+        .unwrap_or(100)
+}
+
+/// Operations per processor after scaling (base 64, minimum 8).
+pub fn scaled_ops() -> usize {
+    (64 * scale_percent() / 100).max(8)
+}
+
+/// The standard workload of §4, scaled.
+pub fn standard_workload(procs: usize, num_priorities: usize) -> Workload {
+    let mut wl = Workload::standard(procs, num_priorities);
+    wl.ops_per_proc = scaled_ops();
+    wl
+}
+
+/// Prints a Markdown-ish table: header row, then one row per entry.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!();
+    println!("## {title}");
+    println!();
+    let widths: Vec<usize> = header
+        .iter()
+        .enumerate()
+        .map(|(i, h)| {
+            rows.iter()
+                .map(|r| r.get(i).map(|c| c.len()).unwrap_or(0))
+                .max()
+                .unwrap_or(0)
+                .max(h.len())
+        })
+        .collect();
+    let fmt_row = |cells: Vec<String>| {
+        let padded: Vec<String> = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect();
+        println!("| {} |", padded.join(" | "));
+    };
+    fmt_row(header.iter().map(|s| s.to_string()).collect());
+    println!(
+        "|{}|",
+        widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("|")
+    );
+    for r in rows {
+        fmt_row(r.clone());
+    }
+    println!();
+}
+
+/// Short fixed-order list of the seven algorithms for figure 6.
+pub fn all_algorithms() -> [Algorithm; 7] {
+    Algorithm::ALL
+}
+
+/// The four high-concurrency algorithms for figures 7–9.
+pub fn scalable_algorithms() -> [Algorithm; 4] {
+    Algorithm::SCALABLE
+}
+
+/// Formats a mean-latency cell.
+pub fn lat(v: f64) -> String {
+    format!("{v:.0}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_ops_has_floor() {
+        assert!(scaled_ops() >= 8);
+    }
+
+    #[test]
+    fn lat_formats_whole_cycles() {
+        assert_eq!(lat(1234.56), "1235");
+        assert_eq!(lat(0.4), "0");
+    }
+
+    #[test]
+    fn workload_uses_scaled_ops() {
+        let wl = standard_workload(4, 8);
+        assert_eq!(wl.procs, 4);
+        assert_eq!(wl.num_priorities, 8);
+        assert_eq!(wl.ops_per_proc, scaled_ops());
+    }
+
+    #[test]
+    fn algorithm_lists_are_consistent() {
+        assert_eq!(all_algorithms().len(), 7);
+        assert_eq!(scalable_algorithms().len(), 4);
+        for a in scalable_algorithms() {
+            assert!(all_algorithms().contains(&a));
+        }
+    }
+
+    #[test]
+    fn print_table_handles_ragged_rows() {
+        // Smoke test: must not panic on short rows.
+        print_table(
+            "t",
+            &["a", "bb"],
+            &[vec!["1".into()], vec!["22".into(), "333".into()]],
+        );
+    }
+}

@@ -1,0 +1,151 @@
+//! The binary tree-of-counters layout (paper Figure 3) shared by
+//! `SimpleTree` and `FunnelTree`.
+//!
+//! The tree has one leaf per priority (padded to a power of two) and a
+//! shared counter at every internal node counting the items stored in the
+//! leaves of its *left* (smaller-priority) subtree. `delete-min` descends
+//! from the root using bounded fetch-and-decrement: a successful decrement
+//! *claims* one item in the left subtree; a zero counter routes the search
+//! right. Inserts add to the leaf bin first and then ascend, incrementing
+//! the counter at every node they reach from the left — the bottom-up order
+//! is what makes a claimed item always reachable.
+
+use std::marker::PhantomData;
+
+use funnelpq_sync::SharedCounter;
+
+/// The bin interface the tree needs at its leaves (crate-internal).
+pub(crate) trait TreeBin<T>: Send + Sync {
+    fn bin_insert(&self, tid: usize, item: T);
+    fn bin_delete(&self, tid: usize) -> Option<T>;
+    fn bin_is_empty(&self) -> bool;
+}
+
+impl<T: Send> TreeBin<T> for funnelpq_sync::LockBin<T> {
+    fn bin_insert(&self, _tid: usize, item: T) {
+        self.insert(item);
+    }
+    fn bin_delete(&self, _tid: usize) -> Option<T> {
+        self.delete()
+    }
+    fn bin_is_empty(&self) -> bool {
+        self.is_empty()
+    }
+}
+
+impl<T: Send> TreeBin<T> for funnelpq_sync::FunnelStack<T> {
+    fn bin_insert(&self, tid: usize, item: T) {
+        self.push(tid, item);
+    }
+    fn bin_delete(&self, tid: usize) -> Option<T> {
+        self.pop(tid)
+    }
+    fn bin_is_empty(&self) -> bool {
+        self.is_empty()
+    }
+}
+
+/// Tree of counters with bins at the leaves, generic over the counter and
+/// bin implementations (that choice is the entire difference between
+/// `SimpleTree` and `FunnelTree`).
+pub(crate) struct CounterTree<T, B> {
+    /// Number of leaves (power of two ≥ num_priorities).
+    n_leaves: usize,
+    num_priorities: usize,
+    max_threads: usize,
+    /// Heap-numbered internal nodes 1..n_leaves; index 0 unused.
+    counters: Vec<Box<dyn SharedCounter>>,
+    bins: Vec<B>,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T: Send, B: TreeBin<T>> CounterTree<T, B> {
+    /// Builds the tree. `make_counter(depth)` constructs the counter for an
+    /// internal node at the given depth (root = 0); `make_bin()` constructs
+    /// a leaf bin.
+    pub(crate) fn new(
+        num_priorities: usize,
+        max_threads: usize,
+        mut make_counter: impl FnMut(usize) -> Box<dyn SharedCounter>,
+        mut make_bin: impl FnMut() -> B,
+    ) -> Self {
+        assert!(num_priorities > 0, "need at least one priority");
+        assert!(max_threads > 0, "need at least one thread");
+        let n_leaves = num_priorities.next_power_of_two();
+        // counters[k] for k in 1..n_leaves; depth(k) = floor(log2 k).
+        let mut counters: Vec<Box<dyn SharedCounter>> = Vec::with_capacity(n_leaves);
+        counters.push(make_counter(0)); // index 0: unused placeholder
+        for k in 1..n_leaves {
+            let depth = usize::BITS as usize - 1 - k.leading_zeros() as usize;
+            counters.push(make_counter(depth));
+        }
+        let bins = (0..num_priorities).map(|_| make_bin()).collect();
+        CounterTree {
+            n_leaves,
+            num_priorities,
+            max_threads,
+            counters,
+            bins,
+            _marker: PhantomData,
+        }
+    }
+
+    pub(crate) fn num_priorities(&self) -> usize {
+        self.num_priorities
+    }
+
+    pub(crate) fn max_threads(&self) -> usize {
+        self.max_threads
+    }
+
+    pub(crate) fn insert(&self, tid: usize, pri: usize, item: T) {
+        assert!(tid < self.max_threads, "tid {tid} out of range");
+        assert!(pri < self.num_priorities, "priority {pri} out of range");
+        // Bin first, counters after — a counted item is always present.
+        self.bins[pri].bin_insert(tid, item);
+        let mut k = self.n_leaves + pri;
+        while k > 1 {
+            let parent = k / 2;
+            if k.is_multiple_of(2) {
+                // Ascending from a left child: one more item in the left
+                // subtree of `parent`.
+                self.counters[parent].fetch_inc(tid);
+            }
+            k = parent;
+        }
+    }
+
+    pub(crate) fn delete_min(&self, tid: usize) -> Option<(usize, T)> {
+        assert!(tid < self.max_threads, "tid {tid} out of range");
+        let mut k = 1;
+        while k < self.n_leaves {
+            // Bounded fetch-and-decrement with bound 0: a positive return
+            // claims an item in the left subtree.
+            if self.counters[k].fetch_dec(tid) > 0 {
+                k *= 2;
+            } else {
+                k = 2 * k + 1;
+            }
+        }
+        let pri = k - self.n_leaves;
+        if pri >= self.num_priorities {
+            // Padding leaf: the search fell off the occupied range, so the
+            // queue held nothing reachable.
+            return None;
+        }
+        self.bins[pri].bin_delete(tid).map(|item| (pri, item))
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.bins.iter().all(|b| b.bin_is_empty())
+    }
+}
+
+impl<T, B> std::fmt::Debug for CounterTree<T, B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CounterTree")
+            .field("num_priorities", &self.num_priorities)
+            .field("n_leaves", &self.n_leaves)
+            .finish()
+    }
+}

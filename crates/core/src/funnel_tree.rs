@@ -1,0 +1,142 @@
+//! `FunnelTree` (paper §3.2): the tree-of-counters queue with combining
+//! funnels at the hot spots — the paper's headline algorithm.
+
+use funnelpq_sync::{
+    Bounds, FunnelConfig, FunnelCounter, FunnelStack, LockedCounter, SharedCounter,
+};
+
+use crate::counter_tree::CounterTree;
+use crate::traits::{BoundedPq, Consistency, PqInfo};
+
+/// How many levels from the root use combining-funnel counters; deeper,
+/// lower-traffic counters fall back to MCS locks (paper: "only for counters
+/// at the top four levels of the tree").
+pub const DEFAULT_FUNNEL_LEVELS: usize = 4;
+
+/// Tree of counters whose top levels are combining funnels (with bounded
+/// fetch-and-decrement and elimination) and whose leaf bins are
+/// combining-funnel stacks.
+///
+/// Identical layout to [`crate::SimpleTreePq`]; only the implementation of
+/// the potential hot spots changes, which is exactly the paper's design
+/// thesis: "massage" the trouble spots with a localized adaptive mechanism
+/// instead of replacing the whole structure. Quiescently consistent.
+///
+/// # Examples
+///
+/// ```
+/// use funnelpq::{BoundedPq, FunnelTreePq};
+/// let q = FunnelTreePq::new(16, 8);
+/// q.insert(0, 12, "l");
+/// q.insert(1, 3, "c");
+/// assert_eq!(q.delete_min(2), Some((3, "c")));
+/// assert_eq!(q.delete_min(3), Some((12, "l")));
+/// ```
+#[derive(Debug)]
+pub struct FunnelTreePq<T> {
+    tree: CounterTree<T, FunnelStack<T>>,
+}
+
+impl<T: Send> FunnelTreePq<T> {
+    /// Creates a queue with default funnel parameters and the paper's
+    /// four-level funnel cutoff.
+    pub fn new(num_priorities: usize, max_threads: usize) -> Self {
+        Self::with_config(
+            num_priorities,
+            FunnelConfig::for_threads(max_threads),
+            DEFAULT_FUNNEL_LEVELS,
+        )
+    }
+
+    /// Creates a queue with explicit funnel parameters and funnel-level
+    /// cutoff (`funnel_levels = 0` degrades to per-node locked counters
+    /// with funnel-stack bins; `usize::MAX` uses funnels throughout — the
+    /// ablation of §3.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_priorities` is zero or the config is invalid.
+    pub fn with_config(num_priorities: usize, cfg: FunnelConfig, funnel_levels: usize) -> Self {
+        let max_threads = cfg.max_threads;
+        let counter_cfg = cfg.clone();
+        FunnelTreePq {
+            tree: CounterTree::new(
+                num_priorities,
+                max_threads,
+                move |depth| -> Box<dyn SharedCounter> {
+                    if depth < funnel_levels {
+                        Box::new(FunnelCounter::new(
+                            0,
+                            Bounds::non_negative(),
+                            counter_cfg.clone(),
+                        ))
+                    } else {
+                        Box::new(LockedCounter::new(0, Bounds::non_negative()))
+                    }
+                },
+                move || FunnelStack::new(cfg.clone()),
+            ),
+        }
+    }
+}
+
+impl<T: Send> BoundedPq<T> for FunnelTreePq<T> {
+    fn num_priorities(&self) -> usize {
+        self.tree.num_priorities()
+    }
+    fn max_threads(&self) -> usize {
+        self.tree.max_threads()
+    }
+    fn insert(&self, tid: usize, pri: usize, item: T) {
+        self.tree.insert(tid, pri, item);
+    }
+    fn delete_min(&self, tid: usize) -> Option<(usize, T)> {
+        self.tree.delete_min(tid)
+    }
+    fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+}
+
+impl<T> PqInfo for FunnelTreePq<T> {
+    fn algorithm_name(&self) -> &'static str {
+        "FunnelTree"
+    }
+    fn consistency(&self) -> Consistency {
+        Consistency::QuiescentlyConsistent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_priority_order() {
+        let q = FunnelTreePq::new(8, 2);
+        for p in [6usize, 1, 4, 1, 7] {
+            q.insert(0, p, p);
+        }
+        let got: Vec<usize> = (0..5).map(|_| q.delete_min(0).unwrap().0).collect();
+        assert_eq!(got, vec![1, 1, 4, 6, 7]);
+        assert_eq!(q.delete_min(0), None);
+    }
+
+    #[test]
+    fn funnels_throughout_variant_works() {
+        let q = FunnelTreePq::with_config(8, FunnelConfig::for_threads(2), usize::MAX);
+        q.insert(0, 5, 'x');
+        q.insert(1, 2, 'y');
+        assert_eq!(q.delete_min(0), Some((2, 'y')));
+        assert_eq!(q.delete_min(1), Some((5, 'x')));
+    }
+
+    #[test]
+    fn zero_funnel_levels_variant_works() {
+        let q = FunnelTreePq::with_config(4, FunnelConfig::for_threads(2), 0);
+        q.insert(0, 3, 3);
+        q.insert(0, 0, 0);
+        assert_eq!(q.delete_min(0), Some((0, 0)));
+        assert_eq!(q.delete_min(0), Some((3, 3)));
+    }
+}

@@ -1,0 +1,324 @@
+//! `HuntEtAl`: the concurrent heap of Hunt, Michael, Parthasarathy & Scott
+//! (*An Efficient Algorithm for Concurrent Priority Queue Heaps*, IPL 1996).
+//!
+//! A single short-lived lock protects the heap size; every heap node has its
+//! own lock and a *tag* (`Empty`, `Available`, or the inserting thread's
+//! id). Insertions place their item at a bit-reversed bottom position and
+//! bubble it up with hand-over-hand locking, chasing the item by tag if a
+//! concurrent deletion swapped it elsewhere; deletions take the bit-reversed
+//! last item, place it at the root, and sift down. Bit-reversing the
+//! insertion positions scatters consecutive insertions across disjoint
+//! root-to-leaf paths so their lock sets rarely overlap.
+
+use funnelpq_sync::{McsMutex, TtasMutex};
+
+use crate::traits::{BoundedPq, Consistency, PqInfo};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Tag {
+    /// No item stored.
+    Empty,
+    /// Item present and at rest.
+    Available,
+    /// Item present but still being inserted by thread `tid`.
+    Owned(usize),
+}
+
+#[derive(Debug)]
+struct Node<T> {
+    tag: Tag,
+    entry: Option<(usize, T)>,
+}
+
+impl<T> Node<T> {
+    fn priority(&self) -> usize {
+        self.entry.as_ref().expect("occupied node").0
+    }
+}
+
+/// Position of the `s`-th item (1-based) in the bit-reversed filling order:
+/// within each heap level, offsets are visited in bit-reversed order.
+fn bit_reversed_position(s: usize) -> usize {
+    debug_assert!(s >= 1);
+    let level = (usize::BITS - 1 - s.leading_zeros()) as usize; // floor(log2 s)
+    if level == 0 {
+        return 1;
+    }
+    let offset = s - (1usize << level);
+    let rev = offset.reverse_bits() >> (usize::BITS as usize - level);
+    (1usize << level) + rev
+}
+
+/// The concurrent heap priority queue of Hunt et al.
+///
+/// Linearizable; supports any priority in the declared range; fixed
+/// capacity chosen at construction.
+///
+/// # Examples
+///
+/// ```
+/// use funnelpq::{BoundedPq, HuntPq};
+/// let q = HuntPq::with_capacity(16, 2, 64);
+/// q.insert(0, 9, "z");
+/// q.insert(1, 1, "a");
+/// assert_eq!(q.delete_min(0), Some((1, "a")));
+/// ```
+pub struct HuntPq<T> {
+    /// Guards `size`; held only while reserving/releasing a position.
+    size: McsMutex<usize>,
+    /// Heap nodes, 1-based; `nodes[0]` unused.
+    nodes: Vec<TtasMutex<Node<T>>>,
+    capacity: usize,
+    num_priorities: usize,
+    max_threads: usize,
+}
+
+impl<T: Send> HuntPq<T> {
+    /// Creates a queue with a default capacity of 2¹⁶ items.
+    pub fn new(num_priorities: usize, max_threads: usize) -> Self {
+        Self::with_capacity(num_priorities, max_threads, 1 << 16)
+    }
+
+    /// Creates a queue holding at most `capacity` simultaneous items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is zero.
+    pub fn with_capacity(num_priorities: usize, max_threads: usize, capacity: usize) -> Self {
+        assert!(num_priorities > 0, "need at least one priority");
+        assert!(max_threads > 0, "need at least one thread");
+        assert!(capacity > 0, "capacity must be positive");
+        let nodes = (0..=capacity)
+            .map(|_| {
+                TtasMutex::new(Node {
+                    tag: Tag::Empty,
+                    entry: None,
+                })
+            })
+            .collect();
+        HuntPq {
+            size: McsMutex::new(0),
+            nodes,
+            capacity,
+            num_priorities,
+            max_threads,
+        }
+    }
+}
+
+impl<T: Send> BoundedPq<T> for HuntPq<T> {
+    fn num_priorities(&self) -> usize {
+        self.num_priorities
+    }
+
+    fn max_threads(&self) -> usize {
+        self.max_threads
+    }
+
+    fn insert(&self, tid: usize, pri: usize, item: T) {
+        assert!(tid < self.max_threads, "tid {tid} out of range");
+        assert!(pri < self.num_priorities, "priority {pri} out of range");
+        // Reserve a position under the size lock; lock the target node
+        // before releasing it so a racing delete of the same position
+        // blocks until our item is in place.
+        let mut i;
+        {
+            let mut size = self.size.lock();
+            assert!(*size < self.capacity, "HuntPq capacity exhausted");
+            *size += 1;
+            i = bit_reversed_position(*size);
+            let mut node = self.nodes[i].lock();
+            drop(size);
+            node.entry = Some((pri, item));
+            node.tag = Tag::Owned(tid);
+        }
+        // Bubble up with hand-over-hand (parent, child) locking.
+        while i > 1 {
+            let parent = i / 2;
+            let mut pg = self.nodes[parent].lock();
+            let mut ig = self.nodes[i].lock();
+            if pg.tag == Tag::Available && ig.tag == Tag::Owned(tid) {
+                if ig.priority() < pg.priority() {
+                    std::mem::swap(&mut pg.entry, &mut ig.entry);
+                    ig.tag = Tag::Available;
+                    pg.tag = Tag::Owned(tid);
+                    i = parent;
+                } else {
+                    ig.tag = Tag::Available;
+                    i = 0;
+                }
+            } else if pg.tag == Tag::Empty {
+                // The whole path above was consumed; our item went with it.
+                i = 0;
+            } else if ig.tag != Tag::Owned(tid) {
+                // A concurrent delete swapped our item upward; chase it.
+                i = parent;
+            }
+            // Otherwise the parent is mid-insertion by another thread:
+            // release both locks and retry at the same position.
+        }
+        if i == 1 {
+            let mut root = self.nodes[1].lock();
+            if root.tag == Tag::Owned(tid) {
+                root.tag = Tag::Available;
+            }
+        }
+    }
+
+    fn delete_min(&self, tid: usize) -> Option<(usize, T)> {
+        assert!(tid < self.max_threads, "tid {tid} out of range");
+        // Detach the bit-reversed last item.
+        let saved: (usize, T);
+        {
+            let mut size = self.size.lock();
+            if *size == 0 {
+                return None;
+            }
+            let bottom = bit_reversed_position(*size);
+            *size -= 1;
+            let mut bg = self.nodes[bottom].lock();
+            drop(size);
+            saved = bg.entry.take().expect("bottom node occupied");
+            bg.tag = Tag::Empty;
+        }
+        // Replace the root item with the detached one and sift down.
+        let mut ig = self.nodes[1].lock();
+        if ig.tag == Tag::Empty {
+            // The detached bottom *was* the root (or the root was consumed
+            // by a concurrent delete that raced us): the saved item is the
+            // answer.
+            return Some(saved);
+        }
+        let min = ig.entry.take().expect("root occupied");
+        ig.entry = Some(saved);
+        ig.tag = Tag::Available;
+
+        let mut i = 1;
+        loop {
+            let l = 2 * i;
+            let r = 2 * i + 1;
+            if l > self.capacity {
+                break;
+            }
+            let lg = self.nodes[l].lock();
+            let rg = if r <= self.capacity {
+                Some(self.nodes[r].lock())
+            } else {
+                None
+            };
+            // Pick the smallest-priority occupied child, if any. (With
+            // bit-reversed filling, a right child can be occupied while the
+            // left is empty.)
+            let use_right = match (&lg.tag, rg.as_ref().map(|g| g.tag)) {
+                (Tag::Empty, Some(Tag::Empty)) | (Tag::Empty, None) => {
+                    break;
+                }
+                (Tag::Empty, Some(_)) => true,
+                (_, Some(Tag::Empty)) | (_, None) => false,
+                (_, Some(_)) => rg.as_ref().unwrap().priority() < lg.priority(),
+            };
+            let mut cg = if use_right {
+                drop(lg);
+                rg.unwrap()
+            } else {
+                drop(rg);
+                lg
+            };
+            let child = if use_right { r } else { l };
+            if cg.priority() < ig.entry.as_ref().expect("node occupied").0 {
+                std::mem::swap(&mut ig.entry, &mut cg.entry);
+                std::mem::swap(&mut ig.tag, &mut cg.tag);
+                drop(ig);
+                ig = cg;
+                i = child;
+            } else {
+                break;
+            }
+        }
+        drop(ig);
+        let _ = i;
+        Some(min)
+    }
+
+    fn is_empty(&self) -> bool {
+        *self.size.lock() == 0
+    }
+}
+
+impl<T> PqInfo for HuntPq<T> {
+    fn algorithm_name(&self) -> &'static str {
+        "HuntEtAl"
+    }
+    fn consistency(&self) -> Consistency {
+        Consistency::Linearizable
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for HuntPq<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HuntPq")
+            .field("capacity", &self.capacity)
+            .field("num_priorities", &self.num_priorities)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_reversed_positions_first_levels() {
+        // Level 0: position 1. Level 1: 2, 3. Level 2: 4, 6, 5, 7.
+        let got: Vec<usize> = (1..=7).map(bit_reversed_position).collect();
+        assert_eq!(got[0], 1);
+        assert_eq!(&got[1..3], &[2, 3]);
+        // Level 2 must be a permutation of 4..8 in bit-reversed order.
+        assert_eq!(&got[3..7], &[4, 6, 5, 7]);
+    }
+
+    #[test]
+    fn bit_reversed_positions_are_a_permutation() {
+        let mut got: Vec<usize> = (1..=64).map(bit_reversed_position).collect();
+        got.sort_unstable();
+        assert_eq!(got, (1..=64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_order() {
+        let q = HuntPq::with_capacity(32, 1, 128);
+        for p in [17usize, 3, 3, 25, 0, 9] {
+            q.insert(0, p, p);
+        }
+        let got: Vec<usize> = (0..6).map(|_| q.delete_min(0).unwrap().0).collect();
+        assert_eq!(got, vec![0, 3, 3, 9, 17, 25]);
+        assert_eq!(q.delete_min(0), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn refill_after_drain() {
+        let q = HuntPq::with_capacity(8, 1, 32);
+        for round in 0..4 {
+            for p in 0..8 {
+                q.insert(0, (p + round) % 8, p);
+            }
+            let mut last = 0;
+            for _ in 0..8 {
+                let (p, _) = q.delete_min(0).unwrap();
+                assert!(p >= last);
+                last = p;
+            }
+            assert!(q.is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity exhausted")]
+    fn capacity_overflow_panics() {
+        let q = HuntPq::with_capacity(4, 1, 2);
+        q.insert(0, 0, ());
+        q.insert(0, 1, ());
+        q.insert(0, 2, ());
+    }
+}

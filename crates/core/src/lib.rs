@@ -1,0 +1,71 @@
+//! # funnelpq
+//!
+//! Scalable bounded-range concurrent priority queues, reproducing
+//! Shavit & Zemach, *Scalable Concurrent Priority Queue Algorithms*
+//! (PODC 1999).
+//!
+//! A *bounded-range* priority queue supports a fixed set of priorities
+//! `0..N` (smaller = more urgent), like an OS scheduler's run queues. This
+//! crate provides the paper's two new algorithms and all five baselines it
+//! was evaluated against, behind one trait ([`BoundedPq`]):
+//!
+//! | Type | Paper name | Structure | Consistency |
+//! |------|-----------|-----------|-------------|
+//! | [`SingleLockPq`] | SingleLock | heap + one MCS lock | linearizable |
+//! | [`HuntPq`] | HuntEtAl | heap, per-node locks, bit-reversal | linearizable |
+//! | [`SkipListPq`] | SkipList | skip list of bins + delete bin | quiescent |
+//! | [`SimpleLinearPq`] | SimpleLinear | array of locked bins | linearizable |
+//! | [`SimpleTreePq`] | SimpleTree | tree of locked counters | quiescent |
+//! | [`LinearFunnelsPq`] | LinearFunnels | array of funnel stacks | quiescent |
+//! | [`FunnelTreePq`] | FunnelTree | tree of funnel counters + funnel stacks | quiescent |
+//!
+//! ## Which one should I use?
+//!
+//! The paper's (and this reproduction's) answer: under low contention use
+//! [`SimpleLinearPq`] (few priorities) or [`SimpleTreePq`] (many); under
+//! high contention use [`LinearFunnelsPq`] (≤ ~4 priorities) or
+//! [`FunnelTreePq`] (everything else).
+//!
+//! ## Example
+//!
+//! ```
+//! use funnelpq::{BoundedPq, FunnelTreePq};
+//! use std::sync::Arc;
+//!
+//! let q = Arc::new(FunnelTreePq::new(32, 4));
+//! let handles: Vec<_> = (0..4).map(|tid| {
+//!     let q = Arc::clone(&q);
+//!     std::thread::spawn(move || {
+//!         q.insert(tid, tid * 7 % 32, tid);
+//!         q.delete_min(tid)
+//!     })
+//! }).collect();
+//! let got = handles.into_iter().filter_map(|h| h.join().unwrap()).count();
+//! assert_eq!(got, 4);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod counter_tree;
+mod funnel_tree;
+pub mod heap;
+mod hunt;
+mod linear_funnels;
+mod simple_linear;
+mod simple_tree;
+mod single_lock;
+mod skiplist;
+mod traits;
+
+pub use funnel_tree::{FunnelTreePq, DEFAULT_FUNNEL_LEVELS};
+pub use hunt::HuntPq;
+pub use linear_funnels::LinearFunnelsPq;
+pub use simple_linear::SimpleLinearPq;
+pub use simple_tree::SimpleTreePq;
+pub use single_lock::SingleLockPq;
+pub use skiplist::SkipListPq;
+pub use traits::{BoundedPq, Consistency, PqInfo};
+
+// Re-export the substrate types a queue constructor may need.
+pub use funnelpq_sync::{BinOrder, Bounds, FunnelConfig};

@@ -1,0 +1,124 @@
+//! `SimpleTree` (paper Figure 3): tree of MCS-locked counters with
+//! lock-based bins at the leaves.
+
+use funnelpq_sync::{BinOrder, Bounds, LockBin, LockedCounter};
+
+use crate::counter_tree::CounterTree;
+use crate::traits::{BoundedPq, Consistency, PqInfo};
+
+/// Binary tree of counters (each an MCS-locked integer) over lock-based
+/// bins: `delete_min` costs `O(log N)` counter operations, `insert` half
+/// that on average.
+///
+/// Every operation passes through the root counter, which becomes the
+/// serial bottleneck at high concurrency — the behaviour `FunnelTree`
+/// removes by swapping the hot counters for combining funnels.
+///
+/// # Examples
+///
+/// ```
+/// use funnelpq::{BoundedPq, SimpleTreePq};
+/// let q = SimpleTreePq::new(16, 4);
+/// q.insert(0, 9, "i");
+/// q.insert(1, 4, "d");
+/// assert_eq!(q.delete_min(2), Some((4, "d")));
+/// assert_eq!(q.delete_min(3), Some((9, "i")));
+/// ```
+#[derive(Debug)]
+pub struct SimpleTreePq<T> {
+    tree: CounterTree<T, LockBin<T>>,
+}
+
+impl<T: Send> SimpleTreePq<T> {
+    /// Creates a queue for priorities `0..num_priorities`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_priorities` or `max_threads` is zero.
+    pub fn new(num_priorities: usize, max_threads: usize) -> Self {
+        Self::with_order(num_priorities, max_threads, BinOrder::Lifo)
+    }
+
+    /// Creates a queue whose equal-priority items come out in the given
+    /// order ([`BinOrder::Fifo`] for fairness).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_priorities` or `max_threads` is zero.
+    pub fn with_order(num_priorities: usize, max_threads: usize, order: BinOrder) -> Self {
+        SimpleTreePq {
+            tree: CounterTree::new(
+                num_priorities,
+                max_threads,
+                |_depth| Box::new(LockedCounter::new(0, Bounds::non_negative())),
+                || LockBin::with_order(order),
+            ),
+        }
+    }
+}
+
+impl<T: Send> BoundedPq<T> for SimpleTreePq<T> {
+    fn num_priorities(&self) -> usize {
+        self.tree.num_priorities()
+    }
+    fn max_threads(&self) -> usize {
+        self.tree.max_threads()
+    }
+    fn insert(&self, tid: usize, pri: usize, item: T) {
+        self.tree.insert(tid, pri, item);
+    }
+    fn delete_min(&self, tid: usize) -> Option<(usize, T)> {
+        self.tree.delete_min(tid)
+    }
+    fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+}
+
+impl<T> PqInfo for SimpleTreePq<T> {
+    fn algorithm_name(&self) -> &'static str {
+        "SimpleTree"
+    }
+    fn consistency(&self) -> Consistency {
+        Consistency::QuiescentlyConsistent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_priority_order() {
+        let q = SimpleTreePq::new(8, 1);
+        for p in [7usize, 0, 3, 3, 5] {
+            q.insert(0, p, p * 10);
+        }
+        let got: Vec<usize> = (0..5).map(|_| q.delete_min(0).unwrap().0).collect();
+        assert_eq!(got, vec![0, 3, 3, 5, 7]);
+        assert_eq!(q.delete_min(0), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn non_power_of_two_range() {
+        let q = SimpleTreePq::new(5, 1);
+        for p in (0..5).rev() {
+            q.insert(0, p, p);
+        }
+        for p in 0..5 {
+            assert_eq!(q.delete_min(0), Some((p, p)));
+        }
+        assert_eq!(q.delete_min(0), None);
+    }
+
+    #[test]
+    fn single_priority_range() {
+        let q = SimpleTreePq::new(1, 1);
+        q.insert(0, 0, 'a');
+        q.insert(0, 0, 'b');
+        assert_eq!(q.delete_min(0).map(|e| e.0), Some(0));
+        assert_eq!(q.delete_min(0).map(|e| e.0), Some(0));
+        assert_eq!(q.delete_min(0), None);
+    }
+}

@@ -1,0 +1,106 @@
+//! `SingleLock`: a heap under one MCS lock — the paper's representative of
+//! centralized lock-based algorithms.
+
+use funnelpq_sync::McsMutex;
+
+use crate::heap::BinaryHeap;
+use crate::traits::{BoundedPq, Consistency, PqInfo};
+
+/// Binary heap protected by a single MCS queue lock.
+///
+/// Linearizable, supports arbitrary priorities within the declared range,
+/// and is perfectly serial: every operation holds the one lock for its whole
+/// duration, so latency grows linearly with the number of contending
+/// threads (Figure 6 of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use funnelpq::{BoundedPq, SingleLockPq};
+/// let q = SingleLockPq::new(16, 4);
+/// q.insert(0, 3, "c");
+/// q.insert(0, 1, "a");
+/// assert_eq!(q.delete_min(0), Some((1, "a")));
+/// ```
+#[derive(Debug)]
+pub struct SingleLockPq<T> {
+    heap: McsMutex<BinaryHeap<T>>,
+    num_priorities: usize,
+    max_threads: usize,
+}
+
+impl<T: Send> SingleLockPq<T> {
+    /// Creates a queue for priorities `0..num_priorities`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_priorities` or `max_threads` is zero.
+    pub fn new(num_priorities: usize, max_threads: usize) -> Self {
+        assert!(num_priorities > 0, "need at least one priority");
+        assert!(max_threads > 0, "need at least one thread");
+        SingleLockPq {
+            heap: McsMutex::new(BinaryHeap::new()),
+            num_priorities,
+            max_threads,
+        }
+    }
+}
+
+impl<T: Send> BoundedPq<T> for SingleLockPq<T> {
+    fn num_priorities(&self) -> usize {
+        self.num_priorities
+    }
+
+    fn max_threads(&self) -> usize {
+        self.max_threads
+    }
+
+    fn insert(&self, tid: usize, pri: usize, item: T) {
+        assert!(tid < self.max_threads, "tid {tid} out of range");
+        assert!(pri < self.num_priorities, "priority {pri} out of range");
+        self.heap.lock().push(pri, item);
+    }
+
+    fn delete_min(&self, tid: usize) -> Option<(usize, T)> {
+        assert!(tid < self.max_threads, "tid {tid} out of range");
+        self.heap.lock().pop()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.heap.lock().is_empty()
+    }
+}
+
+impl<T> PqInfo for SingleLockPq<T> {
+    fn algorithm_name(&self) -> &'static str {
+        "SingleLock"
+    }
+    fn consistency(&self) -> Consistency {
+        Consistency::Linearizable
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering() {
+        let q = SingleLockPq::new(8, 1);
+        assert!(q.is_empty());
+        q.insert(0, 5, 50);
+        q.insert(0, 2, 20);
+        q.insert(0, 7, 70);
+        assert_eq!(q.delete_min(0), Some((2, 20)));
+        assert_eq!(q.delete_min(0), Some((5, 50)));
+        assert_eq!(q.delete_min(0), Some((7, 70)));
+        assert_eq!(q.delete_min(0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "priority")]
+    fn rejects_out_of_range_priority() {
+        let q = SingleLockPq::new(4, 1);
+        q.insert(0, 4, ());
+    }
+}

@@ -1,0 +1,84 @@
+//! The bounded-range concurrent priority queue interface.
+
+/// A concurrent priority queue over the fixed priority range
+/// `0..num_priorities()`, where **smaller is more urgent**.
+///
+/// This is the interface from §2 of the paper: `insert` files an item under
+/// a priority, `delete_min` removes an item of the smallest priority
+/// currently present.
+///
+/// # Thread ids
+///
+/// Implementations based on combining funnels coordinate through dense
+/// per-thread records, so every operation takes the caller's thread id
+/// (`0..max_threads()`). Two threads using one id concurrently is a logic
+/// error — results may be wrong — but never memory-unsafe. Lock-based
+/// implementations ignore the id.
+///
+/// # Consistency
+///
+/// Each implementation documents whether it is **linearizable** or
+/// **quiescently consistent** (see the paper's Appendix B). Both guarantee
+/// that at quiescence the queue contains exactly the un-deleted inserts, and
+/// that `k` delete-mins running after a quiescent point with no concurrent
+/// inserts return the `k` smallest priorities present.
+pub trait BoundedPq<T: Send>: Send + Sync {
+    /// The number of allowed priorities; valid priorities are
+    /// `0..num_priorities()`.
+    fn num_priorities(&self) -> usize;
+
+    /// Maximum number of distinct thread ids this queue accepts.
+    fn max_threads(&self) -> usize;
+
+    /// Inserts `item` with priority `pri`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pri >= num_priorities()` or `tid >= max_threads()`.
+    fn insert(&self, tid: usize, pri: usize, item: T);
+
+    /// Removes and returns an item with the smallest present priority, or
+    /// `None` if the queue appears empty.
+    ///
+    /// Under concurrency, `None` can also be returned when every item the
+    /// operation could reach was raced away (the paper's `delete-min`
+    /// likewise may return NULL); callers that know the queue is non-empty
+    /// at quiescence can rely on `Some`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid >= max_threads()`.
+    fn delete_min(&self, tid: usize) -> Option<(usize, T)>;
+
+    /// Advisory emptiness test. Exact only at quiescence.
+    fn is_empty(&self) -> bool;
+}
+
+/// Consistency condition offered by a queue (paper Appendix B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Consistency {
+    /// Operations appear to take effect at a point inside their execution
+    /// interval, consistently with real-time order.
+    Linearizable,
+    /// Operations appear to take effect at a point between surrounding
+    /// quiescent states; real-time order between overlapping-with-a-common
+    /// operation calls may be reordered.
+    QuiescentlyConsistent,
+}
+
+impl std::fmt::Display for Consistency {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Consistency::Linearizable => write!(f, "linearizable"),
+            Consistency::QuiescentlyConsistent => write!(f, "quiescently consistent"),
+        }
+    }
+}
+
+/// Metadata about a queue implementation, used by benches and examples.
+pub trait PqInfo {
+    /// Short algorithm name as used in the paper (e.g. `"FunnelTree"`).
+    fn algorithm_name(&self) -> &'static str;
+    /// The consistency condition the implementation provides.
+    fn consistency(&self) -> Consistency;
+}

@@ -1,0 +1,67 @@
+//! Machine configuration: latency and contention parameters.
+
+/// Parameters of the simulated ccNUMA shared-memory machine.
+///
+/// The model charges every shared-memory transaction a round trip over the
+/// interconnect (`2 * net_latency`) plus `service` cycles during which the
+/// target cache line is exclusively occupied. Transactions to a busy line
+/// queue in FIFO order, which is what turns a heavily shared location into a
+/// *hot spot* — the phenomenon the paper's evaluation revolves around.
+///
+/// # Examples
+///
+/// ```
+/// use funnelpq_sim::MachineConfig;
+/// let cfg = MachineConfig::alewife_like();
+/// assert!(cfg.uncontended_access() > 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineConfig {
+    /// One-way interconnect latency, in cycles, between a processor and a
+    /// memory module.
+    pub net_latency: u64,
+    /// Cycles a cache line stays occupied by one transaction. Back-to-back
+    /// transactions to the same line are separated by at least this much.
+    pub service: u64,
+    /// Contention granularity: number of 64-bit words per cache line.
+    /// Must be a power of two.
+    pub line_words: usize,
+}
+
+impl MachineConfig {
+    /// A configuration loosely resembling the MIT Alewife machine simulated
+    /// by Proteus in the paper: remote accesses cost a few tens of cycles.
+    pub fn alewife_like() -> Self {
+        MachineConfig {
+            net_latency: 10,
+            service: 4,
+            line_words: 2,
+        }
+    }
+
+    /// A fast configuration for unit tests: tiny latencies so tests run in
+    /// few simulated cycles while still exercising queueing behaviour.
+    pub fn test_tiny() -> Self {
+        MachineConfig {
+            net_latency: 1,
+            service: 1,
+            line_words: 1,
+        }
+    }
+
+    /// Latency, in cycles, of a memory access that meets no contention.
+    pub fn uncontended_access(&self) -> u64 {
+        2 * self.net_latency + self.service
+    }
+
+    pub(crate) fn line_shift(&self) -> u32 {
+        debug_assert!(self.line_words.is_power_of_two());
+        self.line_words.trailing_zeros()
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self::alewife_like()
+    }
+}

@@ -1,0 +1,233 @@
+//! Per-processor context: the API simulated algorithms program against.
+
+use std::cell::RefCell;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::machine::{Addr, MemOpKind, ProcId, SimState, Word};
+
+/// Handle through which one simulated processor issues memory transactions,
+/// burns local compute cycles, and records measurements.
+///
+/// Every method that touches shared memory returns a future; awaiting it
+/// advances the simulated clock by the transaction's modelled latency
+/// (including any queueing behind other processors at the same cache line).
+/// Plain Rust code between awaits costs no simulated time — charge it
+/// explicitly with [`ProcCtx::work`].
+pub struct ProcCtx {
+    st: Rc<RefCell<SimState>>,
+    pid: ProcId,
+    rng: RefCell<SmallRng>,
+}
+
+impl ProcCtx {
+    pub(crate) fn new(st: Rc<RefCell<SimState>>, pid: ProcId, seed: u64) -> Self {
+        // Derive a distinct, well-mixed stream per processor.
+        let mix = seed ^ (pid as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ProcCtx {
+            st,
+            pid,
+            rng: RefCell::new(SmallRng::seed_from_u64(mix)),
+        }
+    }
+
+    /// This processor's id.
+    pub fn pid(&self) -> ProcId {
+        self.pid
+    }
+
+    /// Current simulated time in cycles.
+    pub fn now(&self) -> u64 {
+        self.st.borrow().now
+    }
+
+    /// Reads the word at `addr`.
+    pub fn read(&self, addr: Addr) -> MemOp<'_> {
+        self.op(addr, MemOpKind::Read)
+    }
+
+    /// Writes `v` to `addr`.
+    pub fn write(&self, addr: Addr, v: Word) -> MemOp<'_> {
+        self.op(addr, MemOpKind::Write(v))
+    }
+
+    /// Atomically swaps `v` into `addr`, returning the previous value
+    /// (register-to-memory-swap, one of the paper's two primitives).
+    pub fn swap(&self, addr: Addr, v: Word) -> MemOp<'_> {
+        self.op(addr, MemOpKind::Swap(v))
+    }
+
+    /// Atomic compare-and-swap: if `*addr == expected`, stores `new`.
+    /// Resolves to the *previous* value; the CAS succeeded iff that equals
+    /// `expected`.
+    pub fn cas(&self, addr: Addr, expected: Word, new: Word) -> MemOp<'_> {
+        self.op(addr, MemOpKind::Cas { expected, new })
+    }
+
+    /// Atomic fetch-and-add. Not one of the paper's base primitives (it is
+    /// what combining funnels *implement*); provided for ablations and for
+    /// modelling machines with hardware fetch-and-add.
+    pub fn faa(&self, addr: Addr, delta: i64) -> MemOp<'_> {
+        self.op(addr, MemOpKind::Faa(delta))
+    }
+
+    fn op(&self, addr: Addr, kind: MemOpKind) -> MemOp<'_> {
+        MemOp {
+            ctx: self,
+            addr,
+            kind: Some(kind),
+            result: 0,
+        }
+    }
+
+    /// Burns `cycles` of local computation.
+    pub fn work(&self, cycles: u64) -> WorkFuture<'_> {
+        WorkFuture {
+            ctx: self,
+            cycles: Some(cycles),
+        }
+    }
+
+    /// Suspends until the word at `addr` no longer holds `observed` (or
+    /// resumes immediately if it already changed since the caller's last
+    /// read — a write may land during that read's latency window). Models
+    /// spinning on a locally cached copy: free while the line is quiet,
+    /// one re-fetch per invalidation.
+    ///
+    /// Prefer [`ProcCtx::wait_until`], which handles the re-check loop.
+    pub fn wait_change(&self, addr: Addr, observed: Word) -> WaitChange<'_> {
+        WaitChange {
+            ctx: self,
+            addr,
+            observed,
+            registered: false,
+        }
+    }
+
+    /// Spins (coherently) until `pred` holds for the value at `addr`;
+    /// returns the value that satisfied it.
+    pub async fn wait_until<F>(&self, addr: Addr, pred: F) -> Word
+    where
+        F: Fn(Word) -> bool,
+    {
+        loop {
+            let v = self.read(addr).await;
+            if pred(v) {
+                return v;
+            }
+            self.wait_change(addr, v).await;
+        }
+    }
+
+    /// Records a latency sample under `key` in the machine's statistics.
+    pub fn record(&self, key: &'static str, v: u64) {
+        self.st.borrow_mut().stats.record(key, v);
+    }
+
+    /// Uniform random integer in `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn random_below(&self, n: u64) -> u64 {
+        self.rng.borrow_mut().random_range(0..n)
+    }
+
+    /// Fair coin flip.
+    pub fn random_bool(&self, p: f64) -> bool {
+        self.rng.borrow_mut().random_bool(p)
+    }
+}
+
+impl std::fmt::Debug for ProcCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProcCtx").field("pid", &self.pid).finish()
+    }
+}
+
+/// Future of one shared-memory transaction. Created by the access methods on
+/// [`ProcCtx`]; resolves to the word the location held *before* the
+/// operation (for reads, the value read).
+pub struct MemOp<'a> {
+    ctx: &'a ProcCtx,
+    addr: Addr,
+    kind: Option<MemOpKind>,
+    result: Word,
+}
+
+impl Future for MemOp<'_> {
+    type Output = Word;
+
+    fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+        match self.kind.take() {
+            Some(kind) => {
+                let mut st = self.ctx.st.borrow_mut();
+                let (old, _completion) = st.transact(self.ctx.pid, self.addr, kind);
+                drop(st);
+                self.result = old;
+                // The executor re-polls us at the transaction's completion
+                // time; the next poll returns the captured result.
+                Poll::Pending
+            }
+            None => Poll::Ready(self.result),
+        }
+    }
+}
+
+/// Future returned by [`ProcCtx::work`].
+pub struct WorkFuture<'a> {
+    ctx: &'a ProcCtx,
+    cycles: Option<u64>,
+}
+
+impl Future for WorkFuture<'_> {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+        match self.cycles.take() {
+            Some(c) => {
+                let mut st = self.ctx.st.borrow_mut();
+                let wake = st.now + c;
+                st.schedule_wake(wake, self.ctx.pid);
+                Poll::Pending
+            }
+            None => Poll::Ready(()),
+        }
+    }
+}
+
+/// Future returned by [`ProcCtx::wait_change`].
+pub struct WaitChange<'a> {
+    ctx: &'a ProcCtx,
+    addr: Addr,
+    observed: Word,
+    registered: bool,
+}
+
+impl Future for WaitChange<'_> {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+        if self.registered {
+            Poll::Ready(())
+        } else {
+            self.registered = true;
+            let mut st = self.ctx.st.borrow_mut();
+            if st.mem[self.addr] != self.observed {
+                // The word already changed between the caller's read and
+                // this registration; wake immediately so the caller
+                // re-checks rather than sleeping through the update.
+                let now = st.now;
+                st.schedule_wake(now, self.ctx.pid);
+            } else {
+                st.register_waiter(self.addr, self.ctx.pid);
+            }
+            Poll::Pending
+        }
+    }
+}

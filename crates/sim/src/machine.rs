@@ -1,0 +1,415 @@
+//! The simulated machine: memory, event queue, and task executor.
+
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Waker};
+
+use crate::config::MachineConfig;
+use crate::ctx::ProcCtx;
+use crate::stats::Stats;
+
+/// A word of simulated shared memory.
+pub type Word = u64;
+/// An address (word index) in simulated shared memory.
+pub type Addr = usize;
+/// Identifier of a simulated processor (also its task id).
+pub type ProcId = usize;
+
+pub(crate) struct SimState {
+    pub(crate) cfg: MachineConfig,
+    pub(crate) now: u64,
+    seq: u64,
+    /// Min-heap of (wake time, tie-break seq, task).
+    ready: BinaryHeap<Reverse<(u64, u64, ProcId)>>,
+    /// Flat shared memory.
+    pub(crate) mem: Vec<Word>,
+    /// Per-line time at which the line becomes free.
+    line_free: Vec<u64>,
+    /// Tasks suspended until the given address is mutated.
+    waiters: BTreeMap<Addr, Vec<ProcId>>,
+    pub(crate) stats: Stats,
+    /// Spawned tasks that have not yet run to completion.
+    pub(crate) live_tasks: usize,
+}
+
+impl SimState {
+    fn schedule(&mut self, time: u64, task: ProcId) {
+        self.seq += 1;
+        self.ready.push(Reverse((time, self.seq, task)));
+    }
+
+    /// Performs one shared-memory transaction, applying its mutation in
+    /// line-service order (which equals arrival order under a constant
+    /// network latency). Returns `(previous value, completion time)`.
+    pub(crate) fn transact(&mut self, task: ProcId, addr: Addr, op: MemOpKind) -> (Word, u64) {
+        let shift = self.cfg.line_shift();
+        let line = addr >> shift;
+        let arrival = self.now + self.cfg.net_latency;
+        let free = self.line_free[line].max(arrival);
+        let effect = free + self.cfg.service;
+        self.line_free[line] = effect;
+        let completion = effect + self.cfg.net_latency;
+
+        self.stats.mem_accesses += 1;
+        self.stats.queue_delay_cycles += free - arrival;
+        let line_entry = self.stats.per_line.entry(line).or_insert((0, 0));
+        line_entry.0 += 1;
+        line_entry.1 += free - arrival;
+
+        let old = self.mem[addr];
+        let mutated = match op {
+            MemOpKind::Read => false,
+            MemOpKind::Write(v) => {
+                self.mem[addr] = v;
+                v != old
+            }
+            MemOpKind::Swap(v) => {
+                self.mem[addr] = v;
+                v != old
+            }
+            MemOpKind::Cas { expected, new } => {
+                if old == expected {
+                    self.mem[addr] = new;
+                    new != old
+                } else {
+                    false
+                }
+            }
+            MemOpKind::Faa(delta) => {
+                self.mem[addr] = old.wrapping_add_signed(delta);
+                delta != 0
+            }
+        };
+        if mutated {
+            if let Some(ws) = self.waiters.remove(&addr) {
+                // Invalidation: every spinner re-fetches after the write
+                // lands, paying its own transaction when it resumes.
+                let wake = effect + self.cfg.net_latency;
+                for w in ws {
+                    self.schedule(wake, w);
+                }
+            }
+        }
+        self.schedule(completion, task);
+        (old, completion)
+    }
+
+    pub(crate) fn register_waiter(&mut self, addr: Addr, task: ProcId) {
+        self.waiters.entry(addr).or_default().push(task);
+    }
+
+    pub(crate) fn schedule_wake(&mut self, time: u64, task: ProcId) {
+        self.schedule(time, task);
+    }
+}
+
+/// The memory operations a simulated processor can issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum MemOpKind {
+    Read,
+    Write(Word),
+    Swap(Word),
+    Cas { expected: Word, new: Word },
+    Faa(i64),
+}
+
+type TaskFuture = Pin<Box<dyn Future<Output = ()>>>;
+
+/// Why [`Machine::run`] stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Every spawned task ran to completion.
+    Quiescent,
+    /// The event queue drained while tasks were still alive: they are all
+    /// blocked waiting for memory writes that will never come.
+    Deadlock {
+        /// Ids of the blocked tasks.
+        blocked: Vec<ProcId>,
+    },
+    /// The cycle limit passed to [`Machine::run_for`] was reached.
+    CycleLimit,
+}
+
+impl RunOutcome {
+    /// True when the run completed all tasks.
+    pub fn is_quiescent(&self) -> bool {
+        matches!(self, RunOutcome::Quiescent)
+    }
+}
+
+impl fmt::Display for RunOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunOutcome::Quiescent => write!(f, "quiescent"),
+            RunOutcome::Deadlock { blocked } => {
+                write!(f, "deadlock ({} tasks blocked)", blocked.len())
+            }
+            RunOutcome::CycleLimit => write!(f, "cycle limit reached"),
+        }
+    }
+}
+
+/// A simulated ccNUMA multiprocessor.
+///
+/// Allocate shared memory with [`Machine::alloc`], spawn one task per
+/// simulated processor with [`Machine::spawn`], then [`Machine::run`] the
+/// event loop to quiescence. The run is fully deterministic for a given
+/// configuration, seed and spawn order.
+///
+/// # Examples
+///
+/// ```
+/// use funnelpq_sim::{Machine, MachineConfig};
+///
+/// let mut m = Machine::new(MachineConfig::test_tiny(), 42);
+/// let counter = m.alloc(1);
+/// for _ in 0..4 {
+///     let ctx = m.ctx();
+///     m.spawn(async move {
+///         for _ in 0..10 {
+///             ctx.faa(counter, 1).await;
+///         }
+///     });
+/// }
+/// let outcome = m.run();
+/// assert!(outcome.is_quiescent());
+/// assert_eq!(m.peek(counter), 40);
+/// ```
+pub struct Machine {
+    st: Rc<RefCell<SimState>>,
+    tasks: Vec<Option<TaskFuture>>,
+    next_pid: ProcId,
+    pending_ctxs: usize,
+    seed: u64,
+    /// Labelled address ranges `(start, end, name)` for hot-spot reports.
+    labels: Vec<(Addr, Addr, String)>,
+}
+
+impl Machine {
+    /// Creates a machine with the given configuration and RNG seed.
+    pub fn new(cfg: MachineConfig, seed: u64) -> Self {
+        assert!(
+            cfg.line_words.is_power_of_two(),
+            "line_words must be a power of two"
+        );
+        assert!(cfg.net_latency > 0, "net_latency must be positive");
+        assert!(cfg.service > 0, "service must be positive");
+        let st = SimState {
+            cfg,
+            now: 0,
+            seq: 0,
+            ready: BinaryHeap::new(),
+            mem: Vec::new(),
+            line_free: Vec::new(),
+            waiters: BTreeMap::new(),
+            stats: Stats::new(),
+            live_tasks: 0,
+        };
+        Machine {
+            st: Rc::new(RefCell::new(st)),
+            tasks: Vec::new(),
+            next_pid: 0,
+            pending_ctxs: 0,
+            seed,
+            labels: Vec::new(),
+        }
+    }
+
+    /// Allocates `words` words of zeroed shared memory, rounded up so the
+    /// allocation starts on a fresh cache line (avoids accidental false
+    /// sharing between independently allocated objects).
+    pub fn alloc(&mut self, words: usize) -> Addr {
+        let mut st = self.st.borrow_mut();
+        let line_words = st.cfg.line_words;
+        let start = st.mem.len().next_multiple_of(line_words);
+        let end = start + words.max(1);
+        st.mem.resize(end, 0);
+        let lines = end.div_ceil(line_words);
+        st.line_free.resize(lines, 0);
+        start
+    }
+
+    /// Allocates `words` words, each on its own cache line; returns the
+    /// address of word `i` as `base + i * line_words`.
+    pub fn alloc_padded(&mut self, words: usize) -> Addr {
+        let line_words = self.st.borrow().cfg.line_words;
+        self.alloc(words.max(1) * line_words)
+    }
+
+    /// Number of words per cache line in this machine's configuration.
+    pub fn line_words(&self) -> usize {
+        self.st.borrow().cfg.line_words
+    }
+
+    /// Creates the context for the *next* processor to be spawned.
+    ///
+    /// Call `ctx()` then `spawn()` in pairs; the context's processor id is
+    /// fixed at creation.
+    pub fn ctx(&mut self) -> ProcCtx {
+        let pid = self.next_pid + self.pending_ctxs;
+        self.pending_ctxs += 1;
+        ProcCtx::new(Rc::clone(&self.st), pid, self.seed)
+    }
+
+    /// Spawns a task for the processor whose context was most recently
+    /// created with [`Machine::ctx`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if called without a prior matching `ctx()` call.
+    pub fn spawn<F>(&mut self, fut: F) -> ProcId
+    where
+        F: Future<Output = ()> + 'static,
+    {
+        assert!(
+            self.pending_ctxs > 0,
+            "spawn() must be preceded by a ctx() call for the new processor"
+        );
+        self.pending_ctxs -= 1;
+        let pid = self.next_pid;
+        self.next_pid += 1;
+        debug_assert_eq!(pid, self.tasks.len());
+        self.tasks.push(Some(Box::pin(fut)));
+        let mut st = self.st.borrow_mut();
+        st.live_tasks += 1;
+        st.schedule_wake(0, pid);
+        pid
+    }
+
+    /// Runs the event loop until every task completes or no progress is
+    /// possible.
+    pub fn run(&mut self) -> RunOutcome {
+        self.run_for(u64::MAX)
+    }
+
+    /// Runs the event loop, stopping once the clock passes `max_cycles`.
+    pub fn run_for(&mut self, max_cycles: u64) -> RunOutcome {
+        let waker = Waker::noop();
+        loop {
+            let next = {
+                let mut st = self.st.borrow_mut();
+                match st.ready.pop() {
+                    Some(Reverse((t, _, tid))) => {
+                        if t > max_cycles {
+                            // Put it back so a later run_for can resume.
+                            st.schedule_wake(t, tid);
+                            return RunOutcome::CycleLimit;
+                        }
+                        st.now = st.now.max(t);
+                        Some(tid)
+                    }
+                    None => None,
+                }
+            };
+            let Some(tid) = next else {
+                let st = self.st.borrow();
+                if st.live_tasks == 0 {
+                    return RunOutcome::Quiescent;
+                }
+                let blocked: Vec<ProcId> = st
+                    .waiters
+                    .values()
+                    .flat_map(|v| v.iter().copied())
+                    .collect();
+                return RunOutcome::Deadlock { blocked };
+            };
+            let Some(task) = self.tasks[tid].as_mut() else {
+                continue;
+            };
+            let mut cx = Context::from_waker(waker);
+            if task.as_mut().poll(&mut cx).is_ready() {
+                self.tasks[tid] = None;
+                self.st.borrow_mut().live_tasks -= 1;
+            }
+        }
+    }
+
+    /// Current simulated time in cycles.
+    pub fn now(&self) -> u64 {
+        self.st.borrow().now
+    }
+
+    /// Reads a word of simulated memory directly, without charging any
+    /// simulated time. For assertions and result extraction only.
+    pub fn peek(&self, addr: Addr) -> Word {
+        self.st.borrow().mem[addr]
+    }
+
+    /// Writes a word of simulated memory directly, without charging any
+    /// simulated time. For test setup only; does not wake waiters.
+    pub fn poke(&mut self, addr: Addr, v: Word) {
+        self.st.borrow_mut().mem[addr] = v;
+    }
+
+    /// Snapshot of the statistics gathered so far.
+    pub fn stats(&self) -> Stats {
+        self.st.borrow().stats.clone()
+    }
+
+    /// Number of spawned tasks that have not yet completed.
+    pub fn live_tasks(&self) -> usize {
+        self.st.borrow().live_tasks
+    }
+
+    /// Attaches a human-readable label to the address range
+    /// `addr..addr + words` for hot-spot reporting. Later labels win where
+    /// ranges overlap.
+    pub fn label(&mut self, addr: Addr, words: usize, name: impl Into<String>) {
+        self.labels.push((addr, addr + words.max(1), name.into()));
+    }
+
+    /// Aggregates per-cache-line contention by label and returns the
+    /// regions with the most queueing delay, descending. Lines outside any
+    /// labelled range are pooled under `"<unlabelled>"`.
+    ///
+    /// This is the paper's hot-spot story made observable: run a workload
+    /// and see which structure's cache lines serialized the machine.
+    pub fn hotspots(&self, top_k: usize) -> Vec<crate::stats::HotSpot> {
+        let st = self.st.borrow();
+        let shift = st.cfg.line_shift();
+        let mut by_label: std::collections::HashMap<&str, (u64, u64)> =
+            std::collections::HashMap::new();
+        for (&line, &(accesses, delay)) in &st.stats.per_line {
+            let addr = line << shift;
+            let label = self
+                .labels
+                .iter()
+                .rev()
+                .find(|(start, end, _)| addr >= *start && addr < *end)
+                .map(|(_, _, name)| name.as_str())
+                .unwrap_or("<unlabelled>");
+            let e = by_label.entry(label).or_insert((0, 0));
+            e.0 += accesses;
+            e.1 += delay;
+        }
+        let mut out: Vec<crate::stats::HotSpot> = by_label
+            .into_iter()
+            .map(
+                |(label, (accesses, queue_delay_cycles))| crate::stats::HotSpot {
+                    label: label.to_string(),
+                    accesses,
+                    queue_delay_cycles,
+                },
+            )
+            .collect();
+        out.sort_by_key(|h| std::cmp::Reverse(h.queue_delay_cycles));
+        out.truncate(top_k);
+        out
+    }
+}
+
+impl fmt::Debug for Machine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.st.borrow();
+        f.debug_struct("Machine")
+            .field("now", &st.now)
+            .field("mem_words", &st.mem.len())
+            .field("live_tasks", &st.live_tasks)
+            .finish()
+    }
+}

@@ -1,0 +1,245 @@
+//! Latency accumulators for experiment measurements.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Running statistics for one named series of latency samples.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Acc {
+    count: u64,
+    sum: u64,
+    sum_sq: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Acc {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Acc::default()
+    }
+
+    /// Adds one sample.
+    pub fn record(&mut self, v: u64) {
+        if self.count == 0 || v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+        self.count += 1;
+        self.sum += v;
+        self.sum_sq += (v as u128) * (v as u128);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Largest sample, or 0 if empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation, or 0.0 if empty.
+    pub fn std_dev(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var = self.sum_sq as f64 / self.count as f64 - mean * mean;
+        var.max(0.0).sqrt()
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &Acc) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
+    }
+}
+
+impl fmt::Display for Acc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1} min={} max={} sd={:.1}",
+            self.count,
+            self.mean(),
+            self.min,
+            self.max,
+            self.std_dev()
+        )
+    }
+}
+
+/// All statistics gathered during a simulation run.
+///
+/// Algorithms and workload drivers record latency samples under string keys
+/// (e.g. `"insert"`, `"delete-min"`, `"all"`); the machine itself tracks
+/// aggregate memory-system behaviour and per-cache-line contention.
+#[derive(Debug, Clone, Default)]
+pub struct Stats {
+    series: BTreeMap<&'static str, Acc>,
+    /// Total shared-memory transactions performed.
+    pub mem_accesses: u64,
+    /// Total cycles transactions spent queued behind busy lines.
+    pub queue_delay_cycles: u64,
+    /// Per-line `(accesses, queue-delay cycles)`, keyed by line index.
+    pub(crate) per_line: BTreeMap<usize, (u64, u64)>,
+}
+
+/// Aggregate contention attributed to one labelled memory region (see
+/// [`crate::Machine::label`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HotSpot {
+    /// The label given at build time (or `"<unlabelled>"`).
+    pub label: String,
+    /// Transactions that touched the region.
+    pub accesses: u64,
+    /// Cycles those transactions spent queued behind busy lines.
+    pub queue_delay_cycles: u64,
+}
+
+impl Stats {
+    /// Creates an empty statistics table.
+    pub fn new() -> Self {
+        Stats::default()
+    }
+
+    /// Records a sample under `key`.
+    pub fn record(&mut self, key: &'static str, v: u64) {
+        self.series.entry(key).or_default().record(v);
+    }
+
+    /// Returns the accumulator for `key`, if any sample was recorded.
+    pub fn get(&self, key: &str) -> Option<&Acc> {
+        self.series.get(key)
+    }
+
+    /// Returns the accumulator for `key`, or an empty one.
+    pub fn acc(&self, key: &str) -> Acc {
+        self.series.get(key).cloned().unwrap_or_default()
+    }
+
+    /// Iterates over all recorded series in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, &Acc)> {
+        self.series.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Mean queueing delay per memory access, a contention indicator.
+    pub fn mean_queue_delay(&self) -> f64 {
+        if self.mem_accesses == 0 {
+            0.0
+        } else {
+            self.queue_delay_cycles as f64 / self.mem_accesses as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acc_basic() {
+        let mut a = Acc::new();
+        a.record(10);
+        a.record(20);
+        a.record(30);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 60);
+        assert_eq!(a.min(), 10);
+        assert_eq!(a.max(), 30);
+        assert!((a.mean() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn acc_std_dev() {
+        let mut a = Acc::new();
+        for v in [2u64, 4, 4, 4, 5, 5, 7, 9] {
+            a.record(v);
+        }
+        assert!((a.std_dev() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn acc_empty() {
+        let a = Acc::new();
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.mean(), 0.0);
+        assert_eq!(a.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn acc_merge() {
+        let mut a = Acc::new();
+        a.record(1);
+        a.record(3);
+        let mut b = Acc::new();
+        b.record(5);
+        b.record(100);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.min(), 1);
+        assert_eq!(a.max(), 100);
+        assert_eq!(a.sum(), 109);
+
+        let mut empty = Acc::new();
+        empty.merge(&a);
+        assert_eq!(empty, a);
+        let before = a.clone();
+        a.merge(&Acc::new());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn stats_series() {
+        let mut s = Stats::new();
+        s.record("ins", 5);
+        s.record("ins", 7);
+        s.record("del", 1);
+        assert_eq!(s.acc("ins").count(), 2);
+        assert_eq!(s.acc("del").count(), 1);
+        assert_eq!(s.acc("missing").count(), 0);
+        assert_eq!(s.iter().count(), 2);
+    }
+
+    #[test]
+    fn acc_display_nonempty() {
+        let mut a = Acc::new();
+        a.record(42);
+        let text = a.to_string();
+        assert!(text.contains("n=1"));
+        assert!(text.contains("42"));
+    }
+}

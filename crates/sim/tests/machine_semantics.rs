@@ -1,0 +1,370 @@
+//! Semantic tests for the simulated machine: timing model, atomicity,
+//! coherent spinning, determinism, and failure detection.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use funnelpq_sim::{Machine, MachineConfig, RunOutcome};
+
+fn tiny() -> MachineConfig {
+    MachineConfig::test_tiny()
+}
+
+#[test]
+fn single_access_latency_is_round_trip_plus_service() {
+    let cfg = MachineConfig {
+        net_latency: 10,
+        service: 4,
+        line_words: 2,
+    };
+    let mut m = Machine::new(cfg, 0);
+    let a = m.alloc(1);
+    let t = Rc::new(RefCell::new(0u64));
+    let t2 = Rc::clone(&t);
+    let ctx = m.ctx();
+    m.spawn(async move {
+        ctx.read(a).await;
+        *t2.borrow_mut() = ctx.now();
+    });
+    assert!(m.run().is_quiescent());
+    assert_eq!(*t.borrow(), cfg.uncontended_access());
+}
+
+#[test]
+fn contended_accesses_queue_in_fifo_order() {
+    // P processors all read the same line at t=0: the k-th response arrives
+    // at net + k*service + net.
+    let cfg = MachineConfig {
+        net_latency: 5,
+        service: 3,
+        line_words: 1,
+    };
+    const P: usize = 8;
+    let mut m = Machine::new(cfg, 0);
+    let a = m.alloc(1);
+    let times = Rc::new(RefCell::new(Vec::new()));
+    for _ in 0..P {
+        let ctx = m.ctx();
+        let times = Rc::clone(&times);
+        m.spawn(async move {
+            ctx.read(a).await;
+            times.borrow_mut().push(ctx.now());
+        });
+    }
+    assert!(m.run().is_quiescent());
+    let times = times.borrow();
+    for (k, &t) in times.iter().enumerate() {
+        assert_eq!(t, 5 + (k as u64 + 1) * 3 + 5, "k={k}");
+    }
+    // All but the first access queued.
+    assert!(m.stats().queue_delay_cycles > 0);
+    assert_eq!(m.stats().mem_accesses, P as u64);
+}
+
+#[test]
+fn different_lines_do_not_contend() {
+    let cfg = MachineConfig {
+        net_latency: 5,
+        service: 3,
+        line_words: 1,
+    };
+    let mut m = Machine::new(cfg, 0);
+    let a = m.alloc(1);
+    let b = m.alloc(1);
+    let done = Rc::new(RefCell::new(Vec::new()));
+    for addr in [a, b] {
+        let ctx = m.ctx();
+        let done = Rc::clone(&done);
+        m.spawn(async move {
+            ctx.read(addr).await;
+            done.borrow_mut().push(ctx.now());
+        });
+    }
+    assert!(m.run().is_quiescent());
+    assert_eq!(*done.borrow(), vec![13, 13]);
+    assert_eq!(m.stats().queue_delay_cycles, 0);
+}
+
+#[test]
+fn same_line_words_share_a_service_queue() {
+    let cfg = MachineConfig {
+        net_latency: 5,
+        service: 3,
+        line_words: 4,
+    };
+    let mut m = Machine::new(cfg, 0);
+    let base = m.alloc(4);
+    let done = Rc::new(RefCell::new(Vec::new()));
+    for i in 0..2usize {
+        let ctx = m.ctx();
+        let done = Rc::clone(&done);
+        m.spawn(async move {
+            ctx.read(base + i).await; // distinct words, same line
+            done.borrow_mut().push(ctx.now());
+        });
+    }
+    assert!(m.run().is_quiescent());
+    let d = done.borrow();
+    assert_eq!(d[0], 13);
+    assert_eq!(d[1], 16); // queued behind the first access
+}
+
+#[test]
+fn cas_swap_faa_semantics() {
+    let mut m = Machine::new(tiny(), 0);
+    let a = m.alloc(1);
+    m.poke(a, 41);
+    let ctx = m.ctx();
+    m.spawn(async move {
+        // Failed CAS leaves the value alone and returns the current value.
+        let old = ctx.cas(a, 7, 99).await;
+        assert_eq!(old, 41);
+        // Successful CAS stores and returns the expected value.
+        let old = ctx.cas(a, 41, 42).await;
+        assert_eq!(old, 41);
+        assert_eq!(ctx.read(a).await, 42);
+        // Swap returns the previous value.
+        assert_eq!(ctx.swap(a, 5).await, 42);
+        // Fetch-and-add returns the previous value, supports negatives.
+        assert_eq!(ctx.faa(a, 10).await, 5);
+        assert_eq!(ctx.faa(a, -3).await, 15);
+        assert_eq!(ctx.read(a).await, 12);
+    });
+    assert!(m.run().is_quiescent());
+}
+
+#[test]
+fn cas_is_atomic_under_contention() {
+    // A CAS-based fetch-and-increment executed by many processors must not
+    // lose updates.
+    const P: usize = 32;
+    const OPS: usize = 25;
+    let mut m = Machine::new(tiny(), 1);
+    let a = m.alloc(1);
+    for _ in 0..P {
+        let ctx = m.ctx();
+        m.spawn(async move {
+            for _ in 0..OPS {
+                loop {
+                    let old = ctx.read(a).await;
+                    if ctx.cas(a, old, old + 1).await == old {
+                        break;
+                    }
+                }
+            }
+        });
+    }
+    assert!(m.run().is_quiescent());
+    assert_eq!(m.peek(a), (P * OPS) as u64);
+}
+
+#[test]
+fn wait_until_wakes_on_write() {
+    let mut m = Machine::new(tiny(), 0);
+    let flag = m.alloc(1);
+    let order = Rc::new(RefCell::new(Vec::new()));
+
+    let ctx = m.ctx();
+    let ord = Rc::clone(&order);
+    m.spawn(async move {
+        let v = ctx.wait_until(flag, |v| v == 3).await;
+        assert_eq!(v, 3);
+        ord.borrow_mut().push(("woke", ctx.now()));
+    });
+
+    let ctx = m.ctx();
+    let ord = Rc::clone(&order);
+    m.spawn(async move {
+        ctx.work(50).await;
+        ctx.write(flag, 2).await; // wrong value: waiter re-checks, sleeps on
+        ctx.work(50).await;
+        ctx.write(flag, 3).await;
+        ord.borrow_mut().push(("wrote", ctx.now()));
+    });
+
+    assert!(m.run().is_quiescent());
+    let order = order.borrow();
+    assert_eq!(order.len(), 2);
+    let woke = order.iter().find(|(k, _)| *k == "woke").unwrap().1;
+    let wrote = order.iter().find(|(k, _)| *k == "wrote").unwrap().1;
+    assert!(woke >= 100, "waiter must not wake before the second write");
+    // Waking costs an invalidation plus a re-read, so it lands after the
+    // writer's completion.
+    assert!(woke >= wrote);
+}
+
+#[test]
+fn deadlock_is_detected() {
+    let mut m = Machine::new(tiny(), 0);
+    let flag = m.alloc(1);
+    let ctx = m.ctx();
+    m.spawn(async move {
+        ctx.wait_until(flag, |v| v == 1).await;
+    });
+    match m.run() {
+        RunOutcome::Deadlock { blocked } => assert_eq!(blocked, vec![0]),
+        other => panic!("expected deadlock, got {other}"),
+    }
+}
+
+#[test]
+fn run_for_stops_and_resumes() {
+    let mut m = Machine::new(tiny(), 0);
+    let a = m.alloc(1);
+    let ctx = m.ctx();
+    m.spawn(async move {
+        ctx.work(1000).await;
+        ctx.write(a, 9).await;
+    });
+    assert_eq!(m.run_for(10), RunOutcome::CycleLimit);
+    assert_eq!(m.peek(a), 0);
+    assert!(m.run().is_quiescent());
+    assert_eq!(m.peek(a), 9);
+}
+
+#[test]
+fn deterministic_across_runs() {
+    fn run_once(seed: u64) -> (u64, Vec<u64>) {
+        let mut m = Machine::new(MachineConfig::alewife_like(), seed);
+        let a = m.alloc(1);
+        let results = Rc::new(RefCell::new(Vec::new()));
+        for _ in 0..16 {
+            let ctx = m.ctx();
+            let results = Rc::clone(&results);
+            m.spawn(async move {
+                for _ in 0..20 {
+                    ctx.work(ctx.random_below(30)).await;
+                    loop {
+                        let old = ctx.read(a).await;
+                        if ctx.cas(a, old, old + 1).await == old {
+                            break;
+                        }
+                    }
+                }
+                results.borrow_mut().push(ctx.now());
+            });
+        }
+        assert!(m.run().is_quiescent());
+        let r = Rc::try_unwrap(results).unwrap().into_inner();
+        (m.now(), r)
+    }
+    assert_eq!(run_once(77), run_once(77));
+    assert_ne!(run_once(77), run_once(78));
+}
+
+#[test]
+fn rng_streams_differ_per_processor() {
+    let mut m = Machine::new(tiny(), 5);
+    let out = Rc::new(RefCell::new(Vec::new()));
+    for _ in 0..8 {
+        let ctx = m.ctx();
+        let out = Rc::clone(&out);
+        m.spawn(async move {
+            out.borrow_mut().push(ctx.random_below(1_000_000_007));
+        });
+    }
+    assert!(m.run().is_quiescent());
+    let mut v = out.borrow().clone();
+    v.sort_unstable();
+    v.dedup();
+    assert_eq!(v.len(), 8, "independent per-processor streams expected");
+}
+
+#[test]
+fn alloc_is_line_aligned_and_zeroed() {
+    let cfg = MachineConfig {
+        net_latency: 1,
+        service: 1,
+        line_words: 8,
+    };
+    let mut m = Machine::new(cfg, 0);
+    let a = m.alloc(3);
+    let b = m.alloc(1);
+    assert_eq!(a % 8, 0);
+    assert_eq!(b % 8, 0);
+    assert_ne!(a / 8, b / 8, "separate allocations on separate lines");
+    assert_eq!(m.peek(a), 0);
+    assert_eq!(m.peek(b), 0);
+
+    let p = m.alloc_padded(4);
+    for i in 0..4 {
+        assert_eq!((p + i * 8) % 8, 0);
+    }
+}
+
+#[test]
+fn stats_record_via_ctx() {
+    let mut m = Machine::new(tiny(), 0);
+    let ctx = m.ctx();
+    m.spawn(async move {
+        let t0 = ctx.now();
+        ctx.work(17).await;
+        ctx.record("op", ctx.now() - t0);
+    });
+    assert!(m.run().is_quiescent());
+    assert_eq!(m.stats().acc("op").count(), 1);
+    assert_eq!(m.stats().acc("op").sum(), 17);
+}
+
+#[test]
+fn work_zero_still_yields() {
+    let mut m = Machine::new(tiny(), 0);
+    let ctx = m.ctx();
+    m.spawn(async move {
+        ctx.work(0).await;
+        ctx.work(0).await;
+    });
+    assert!(m.run().is_quiescent());
+    assert_eq!(m.now(), 0);
+}
+
+#[test]
+fn labels_and_hotspots() {
+    let cfg = MachineConfig {
+        net_latency: 5,
+        service: 3,
+        line_words: 1,
+    };
+    let mut m = Machine::new(cfg, 0);
+    let hot = m.alloc(1);
+    let cold = m.alloc(1);
+    m.label(hot, 1, "hot word");
+    m.label(cold, 1, "cold word");
+    for p in 0..8 {
+        let ctx = m.ctx();
+        m.spawn(async move {
+            for _ in 0..20 {
+                ctx.faa(hot, 1).await;
+            }
+            if p == 0 {
+                ctx.read(cold).await;
+            }
+        });
+    }
+    assert!(m.run().is_quiescent());
+    let hs = m.hotspots(10);
+    assert_eq!(hs[0].label, "hot word");
+    assert!(hs[0].queue_delay_cycles > 0);
+    assert_eq!(hs[0].accesses, 8 * 20);
+    // Totals across labels match the machine-wide stats.
+    let sum: u64 = hs.iter().map(|h| h.accesses).sum();
+    assert_eq!(sum, m.stats().mem_accesses);
+}
+
+#[test]
+fn overlapping_labels_later_wins() {
+    let mut m = Machine::new(MachineConfig::test_tiny(), 0);
+    let a = m.alloc(4);
+    m.label(a, 4, "outer");
+    m.label(a + 1, 1, "inner");
+    let ctx = m.ctx();
+    m.spawn(async move {
+        ctx.write(a, 1).await;
+        ctx.write(a + 1, 1).await;
+    });
+    assert!(m.run().is_quiescent());
+    let hs = m.hotspots(10);
+    let labels: Vec<&str> = hs.iter().map(|h| h.label.as_str()).collect();
+    assert!(labels.contains(&"outer"));
+    assert!(labels.contains(&"inner"));
+}

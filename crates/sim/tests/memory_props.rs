@@ -1,0 +1,107 @@
+//! Property-based tests of the simulated memory system: arbitrary
+//! single-processor transaction sequences must behave exactly like local
+//! arithmetic, and multi-processor interleavings must respect per-word
+//! atomicity.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use proptest::prelude::*;
+
+use funnelpq_sim::{Machine, MachineConfig};
+
+#[derive(Debug, Clone, Copy)]
+enum MemAct {
+    Write(u64),
+    Swap(u64),
+    Cas { exp: u64, new: u64 },
+    Faa(i8),
+}
+
+fn acts() -> impl Strategy<Value = Vec<MemAct>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u64..8).prop_map(MemAct::Write),
+            (0u64..8).prop_map(MemAct::Swap),
+            ((0u64..8), (0u64..8)).prop_map(|(exp, new)| MemAct::Cas { exp, new }),
+            (-3i8..4).prop_map(MemAct::Faa),
+        ],
+        1..60,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn single_proc_transactions_match_model(ops in acts(), seed in 0u64..100) {
+        let mut m = Machine::new(MachineConfig::alewife_like(), seed);
+        let a = m.alloc(1);
+        let results = Rc::new(RefCell::new(Vec::new()));
+        let r2 = Rc::clone(&results);
+        let ctx = m.ctx();
+        let ops2 = ops.clone();
+        m.spawn(async move {
+            for op in ops2 {
+                let got = match op {
+                    MemAct::Write(v) => ctx.write(a, v).await,
+                    MemAct::Swap(v) => ctx.swap(a, v).await,
+                    MemAct::Cas { exp, new } => ctx.cas(a, exp, new).await,
+                    MemAct::Faa(d) => ctx.faa(a, d as i64).await,
+                };
+                r2.borrow_mut().push(got);
+            }
+        });
+        prop_assert!(m.run().is_quiescent());
+        // Replay against a plain variable.
+        let mut v = 0u64;
+        for (op, got) in ops.iter().zip(results.borrow().iter()) {
+            prop_assert_eq!(*got, v, "previous value mismatch for {:?}", op);
+            match op {
+                MemAct::Write(x) | MemAct::Swap(x) => v = *x,
+                MemAct::Cas { exp, new } => {
+                    if v == *exp {
+                        v = *new;
+                    }
+                }
+                MemAct::Faa(d) => v = v.wrapping_add_signed(*d as i64),
+            }
+        }
+        prop_assert_eq!(m.peek(a), v);
+    }
+
+    #[test]
+    fn concurrent_faa_conserves(counts in prop::collection::vec(1usize..20, 2..10)) {
+        let mut m = Machine::new(MachineConfig::test_tiny(), 7);
+        let a = m.alloc(1);
+        let total: usize = counts.iter().sum();
+        for &n in &counts {
+            let ctx = m.ctx();
+            m.spawn(async move {
+                for _ in 0..n {
+                    ctx.faa(a, 1).await;
+                }
+            });
+        }
+        prop_assert!(m.run().is_quiescent());
+        prop_assert_eq!(m.peek(a), total as u64);
+    }
+
+    #[test]
+    fn latency_is_monotone_in_contention(p in 2usize..24) {
+        // P processors reading one line take at least as long as P-1.
+        fn finish_time(p: usize) -> u64 {
+            let mut m = Machine::new(MachineConfig::alewife_like(), 1);
+            let a = m.alloc(1);
+            for _ in 0..p {
+                let ctx = m.ctx();
+                m.spawn(async move {
+                    ctx.read(a).await;
+                });
+            }
+            assert!(m.run().is_quiescent());
+            m.now()
+        }
+        prop_assert!(finish_time(p) >= finish_time(p - 1));
+    }
+}

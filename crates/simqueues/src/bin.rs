@@ -1,0 +1,127 @@
+//! The paper's Figure-1 bin over simulated memory: an MCS lock, a size
+//! word, and an element array.
+
+use funnelpq_sim::{Addr, Machine, ProcCtx};
+
+use crate::mcs::SimMcsLock;
+
+/// A simulated lock-based bin. Emptiness is one shared read of the size
+/// word; insert/delete take the bin's MCS lock.
+#[derive(Debug, Clone, Copy)]
+pub struct SimBin {
+    lock: SimMcsLock,
+    size: Addr,
+    elems: Addr,
+    capacity: usize,
+}
+
+impl SimBin {
+    /// Allocates a bin holding at most `capacity` items.
+    pub fn build(m: &mut Machine, procs: usize, capacity: usize) -> Self {
+        let lock = SimMcsLock::build(m, procs);
+        let size = m.alloc(1);
+        let elems = m.alloc(capacity);
+        m.label(size, 1, "bin size word");
+        m.label(elems, capacity, "bin elements");
+        SimBin {
+            lock,
+            size,
+            elems,
+            capacity,
+        }
+    }
+
+    /// Adds `item` to the bin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bin is full (sized generously by the workloads).
+    pub async fn insert(&self, ctx: &ProcCtx, item: u64) {
+        self.lock.acquire(ctx).await;
+        let n = ctx.read(self.size).await;
+        assert!((n as usize) < self.capacity, "SimBin overflow");
+        ctx.write(self.elems + n as usize, item).await;
+        ctx.write(self.size, n + 1).await;
+        self.lock.release(ctx).await;
+    }
+
+    /// Removes an unspecified item (LIFO), or `None` when empty.
+    pub async fn delete(&self, ctx: &ProcCtx) -> Option<u64> {
+        self.lock.acquire(ctx).await;
+        let n = ctx.read(self.size).await;
+        let out = if n == 0 {
+            None
+        } else {
+            let item = ctx.read(self.elems + (n - 1) as usize).await;
+            ctx.write(self.size, n - 1).await;
+            Some(item)
+        };
+        self.lock.release(ctx).await;
+        out
+    }
+
+    /// One-read emptiness test (may be stale, as in the paper).
+    pub async fn is_empty(&self, ctx: &ProcCtx) -> bool {
+        ctx.read(self.size).await == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use funnelpq_sim::MachineConfig;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn concurrent_conservation() {
+        const P: usize = 8;
+        const N: usize = 40;
+        let mut m = Machine::new(MachineConfig::test_tiny(), 1);
+        // P workers plus the single-threaded drainer at the end.
+        let bin = SimBin::build(&mut m, P + 1, P * N);
+        let got = Rc::new(RefCell::new(Vec::new()));
+        for p in 0..P {
+            let ctx = m.ctx();
+            let got = Rc::clone(&got);
+            m.spawn(async move {
+                for i in 0..N {
+                    bin.insert(&ctx, (p * N + i) as u64).await;
+                    if i % 2 == 0 {
+                        if let Some(x) = bin.delete(&ctx).await {
+                            got.borrow_mut().push(x);
+                        }
+                    }
+                }
+            });
+        }
+        assert!(m.run().is_quiescent());
+        // Drain the rest single-threaded.
+        let ctx = m.ctx();
+        let got2 = Rc::clone(&got);
+        m.spawn(async move {
+            while let Some(x) = bin.delete(&ctx).await {
+                got2.borrow_mut().push(x);
+            }
+        });
+        assert!(m.run().is_quiescent());
+        let mut all = got.borrow().clone();
+        all.sort_unstable();
+        assert_eq!(all, (0..(P * N) as u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_delete_returns_none() {
+        let mut m = Machine::new(MachineConfig::test_tiny(), 0);
+        let bin = SimBin::build(&mut m, 1, 4);
+        let ctx = m.ctx();
+        m.spawn(async move {
+            assert!(bin.is_empty(&ctx).await);
+            assert_eq!(bin.delete(&ctx).await, None);
+            bin.insert(&ctx, 9).await;
+            assert!(!bin.is_empty(&ctx).await);
+            assert_eq!(bin.delete(&ctx).await, Some(9));
+        });
+        assert!(m.run().is_quiescent());
+    }
+}

@@ -1,0 +1,27 @@
+//! Local-computation cycle charges.
+//!
+//! Between shared-memory transactions, simulated code runs for free; these
+//! constants are the explicit `work()` charges algorithms make so that pure
+//! local computation (loop control, arithmetic, call overhead) is coarsely
+//! accounted for, as Proteus would have done per instruction.
+
+/// Fixed overhead charged at the start of every queue operation
+/// (call/setup instructions).
+pub const OP_SETUP: u64 = 6;
+
+/// Charge per iteration of a local scan loop (index arithmetic + branch).
+pub const LOOP_ITER: u64 = 2;
+
+/// Charge for computing a random number locally.
+pub const RNG_DRAW: u64 = 4;
+
+/// Charge for a tree-level step (child index computation).
+pub const TREE_STEP: u64 = 2;
+
+/// Charge for heap sift bookkeeping per level.
+pub const SIFT_STEP: u64 = 3;
+
+/// Cycles between re-reads of our own record while waiting to be collided
+/// with inside a funnel layer (models spinning on a cached copy with
+/// periodic re-checks).
+pub const FUNNEL_SPIN_STEP: u64 = 24;

@@ -1,0 +1,177 @@
+//! Simulated shared counters: the MCS-locked baseline and the dispatch
+//! type that lets tree queues mix counter implementations per level.
+
+use funnelpq_sim::{Addr, Machine, ProcCtx};
+
+use crate::funnel::SimFunnelCounter;
+use crate::mcs::SimMcsLock;
+
+/// Counter protected by an MCS lock, with unbounded fetch-and-increment and
+/// zero-bounded fetch-and-decrement — `SimpleTree`'s per-node counter.
+#[derive(Debug, Clone, Copy)]
+pub struct SimLockedCounter {
+    lock: SimMcsLock,
+    val: Addr,
+}
+
+impl SimLockedCounter {
+    /// Allocates a counter initialized to zero.
+    pub fn build(m: &mut Machine, procs: usize) -> Self {
+        let lock = SimMcsLock::build(m, procs);
+        let val = m.alloc(1);
+        m.label(val, 1, "locked counter value");
+        SimLockedCounter { lock, val }
+    }
+
+    /// Re-labels this counter's value word and lock for hot-spot reports.
+    pub fn label(&self, m: &mut Machine, name: &str) {
+        m.label(self.val, 1, name);
+        self.lock.label(m, name);
+    }
+
+    /// Adds one; returns the previous value.
+    pub async fn fetch_inc(&self, ctx: &ProcCtx) -> i64 {
+        self.lock.acquire(ctx).await;
+        let v = ctx.read(self.val).await as i64;
+        ctx.write(self.val, (v + 1) as u64).await;
+        self.lock.release(ctx).await;
+        v
+    }
+
+    /// Subtracts one unless the value is zero; returns the previous value.
+    pub async fn fetch_dec(&self, ctx: &ProcCtx) -> i64 {
+        self.lock.acquire(ctx).await;
+        let v = ctx.read(self.val).await as i64;
+        if v > 0 {
+            ctx.write(self.val, (v - 1) as u64).await;
+        }
+        self.lock.release(ctx).await;
+        v
+    }
+}
+
+/// Counter backed directly by one hardware atomic word: unbounded
+/// increments use fetch-and-add, bounded decrements a compare-and-swap
+/// retry loop (the Gottlieb et al. construction the paper contrasts with
+/// in §3.3). The paper's target machines offer only swap/CAS, so this is
+/// an *ablation*: what a machine with hardware fetch-and-add would buy.
+#[derive(Debug, Clone, Copy)]
+pub struct SimHwCounter {
+    val: Addr,
+}
+
+impl SimHwCounter {
+    /// Allocates a counter initialized to zero.
+    pub fn build(m: &mut Machine) -> Self {
+        let val = m.alloc(1);
+        m.label(val, 1, "hardware counter value");
+        SimHwCounter { val }
+    }
+
+    /// Re-labels this counter's value word for hot-spot reports.
+    pub fn label(&self, m: &mut Machine, name: &str) {
+        m.label(self.val, 1, name);
+    }
+
+    /// Adds one with a single hardware fetch-and-add; returns the previous
+    /// value.
+    pub async fn fetch_inc(&self, ctx: &ProcCtx) -> i64 {
+        ctx.faa(self.val, 1).await as i64
+    }
+
+    /// Subtracts one unless the value is zero (CAS retry loop); returns
+    /// the previous value.
+    pub async fn fetch_dec(&self, ctx: &ProcCtx) -> i64 {
+        loop {
+            let v = ctx.read(self.val).await;
+            if v == 0 {
+                return 0;
+            }
+            if ctx.cas(self.val, v, v - 1).await == v {
+                return v as i64;
+            }
+        }
+    }
+}
+
+/// A tree-node counter: MCS-locked, combining funnel, or hardware atomic.
+/// This choice is the only difference between `SimpleTree`, `FunnelTree`
+/// and the hardware-tree ablation.
+#[derive(Debug, Clone)]
+pub enum SimCounter {
+    /// MCS-locked counter.
+    Locked(SimLockedCounter),
+    /// Combining-funnel counter (bounded below by zero).
+    Funnel(SimFunnelCounter),
+    /// Hardware fetch-and-add / CAS counter.
+    Hardware(SimHwCounter),
+}
+
+impl SimCounter {
+    /// Adds one; returns the previous value.
+    pub async fn fetch_inc(&self, ctx: &ProcCtx) -> i64 {
+        match self {
+            SimCounter::Locked(c) => c.fetch_inc(ctx).await,
+            SimCounter::Funnel(c) => c.fetch_inc(ctx).await,
+            SimCounter::Hardware(c) => c.fetch_inc(ctx).await,
+        }
+    }
+
+    /// Subtracts one unless zero; returns the previous value.
+    pub async fn fetch_dec(&self, ctx: &ProcCtx) -> i64 {
+        match self {
+            SimCounter::Locked(c) => c.fetch_dec(ctx).await,
+            SimCounter::Funnel(c) => c.fetch_dec(ctx).await,
+            SimCounter::Hardware(c) => c.fetch_dec(ctx).await,
+        }
+    }
+
+    /// Re-labels the counter's hottest word for hot-spot reports.
+    pub fn label(&self, m: &mut Machine, name: &str) {
+        match self {
+            SimCounter::Locked(c) => c.label(m, name),
+            SimCounter::Funnel(c) => c.label(m, name),
+            SimCounter::Hardware(c) => c.label(m, name),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use funnelpq_sim::MachineConfig;
+
+    #[test]
+    fn locked_counter_semantics() {
+        let mut m = Machine::new(MachineConfig::test_tiny(), 0);
+        let c = SimLockedCounter::build(&mut m, 1);
+        let ctx = m.ctx();
+        m.spawn(async move {
+            assert_eq!(c.fetch_inc(&ctx).await, 0);
+            assert_eq!(c.fetch_inc(&ctx).await, 1);
+            assert_eq!(c.fetch_dec(&ctx).await, 2);
+            assert_eq!(c.fetch_dec(&ctx).await, 1);
+            assert_eq!(c.fetch_dec(&ctx).await, 0); // bounded at zero
+            assert_eq!(c.fetch_inc(&ctx).await, 0);
+        });
+        assert!(m.run().is_quiescent());
+    }
+
+    #[test]
+    fn locked_counter_concurrent_exactness() {
+        const P: usize = 12;
+        const N: usize = 50;
+        let mut m = Machine::new(MachineConfig::test_tiny(), 9);
+        let c = SimLockedCounter::build(&mut m, P);
+        for _ in 0..P {
+            let ctx = m.ctx();
+            m.spawn(async move {
+                for _ in 0..N {
+                    c.fetch_inc(&ctx).await;
+                }
+            });
+        }
+        assert!(m.run().is_quiescent());
+        assert_eq!(m.peek(c.val), (P * N) as u64);
+    }
+}

@@ -1,0 +1,315 @@
+//! Simulated tree-of-counters layout shared by `SimpleTree` and
+//! `FunnelTree` (paper Figure 3): counters per internal node, bins at the
+//! leaves; only the counter/bin implementations differ.
+
+use std::rc::Rc;
+
+use funnelpq_sim::{Machine, ProcCtx};
+
+use crate::bin::SimBin;
+use crate::costs;
+use crate::counter::{SimCounter, SimHwCounter, SimLockedCounter};
+use crate::funnel::{CounterMode, SimFunnelConfig, SimFunnelCounter};
+use crate::funnel_stack::SimFunnelStack;
+
+/// Leaf bin dispatch: lock-based (`SimpleTree`) or funnel stack
+/// (`FunnelTree`).
+#[derive(Debug, Clone)]
+pub enum SimTreeBin {
+    /// MCS-locked bin.
+    Lock(SimBin),
+    /// Combining-funnel stack.
+    Funnel(SimFunnelStack),
+}
+
+impl SimTreeBin {
+    async fn insert(&self, ctx: &ProcCtx, item: u64) {
+        match self {
+            SimTreeBin::Lock(b) => b.insert(ctx, item).await,
+            SimTreeBin::Funnel(s) => s.push(ctx, item).await,
+        }
+    }
+
+    async fn delete(&self, ctx: &ProcCtx) -> Option<u64> {
+        match self {
+            SimTreeBin::Lock(b) => b.delete(ctx).await,
+            SimTreeBin::Funnel(s) => s.pop(ctx).await,
+        }
+    }
+}
+
+/// The shared tree engine.
+#[derive(Debug, Clone)]
+pub struct SimCounterTree {
+    n_leaves: usize,
+    num_priorities: usize,
+    /// Heap-numbered internal nodes 1..n_leaves (index 0 unused → None).
+    counters: Rc<Vec<Option<SimCounter>>>,
+    bins: Rc<Vec<SimTreeBin>>,
+}
+
+/// Which counter/bin implementations the tree should use.
+#[derive(Debug, Clone)]
+pub enum TreeFlavor {
+    /// MCS-locked counters and bins everywhere (`SimpleTree`).
+    Simple,
+    /// Funnel counters at depths `0..funnel_levels`, MCS-locked counters
+    /// below, funnel-stack bins (`FunnelTree`).
+    Funnel {
+        /// Funnel tuning shared by counters and stacks.
+        cfg: SimFunnelConfig,
+        /// Depth cutoff below which counters use MCS locks (paper: 4).
+        funnel_levels: usize,
+    },
+    /// Hardware fetch-and-add counters with MCS-locked bins — the ablation
+    /// for machines with atomic fetch-and-add (outside the paper's
+    /// swap/CAS-only machine model).
+    Hardware,
+}
+
+/// Static label for a tree counter at `depth` (static strings keep the
+/// hot-spot table tidy; deep levels pool together).
+fn tree_counter_label(depth: usize) -> &'static str {
+    match depth {
+        0 => "tree counter depth 0 (root)",
+        1 => "tree counter depth 1",
+        2 => "tree counter depth 2",
+        3 => "tree counter depth 3",
+        _ => "tree counters depth 4+",
+    }
+}
+
+impl SimCounterTree {
+    /// Builds the tree for `num_priorities` priorities.
+    pub fn build(
+        m: &mut Machine,
+        procs: usize,
+        num_priorities: usize,
+        bin_capacity: usize,
+        flavor: TreeFlavor,
+    ) -> Self {
+        assert!(num_priorities > 0);
+        let n_leaves = num_priorities.next_power_of_two();
+        let mut counters: Vec<Option<SimCounter>> = vec![None];
+        for k in 1..n_leaves {
+            let depth = (usize::BITS - 1 - k.leading_zeros()) as usize;
+            let c = match &flavor {
+                TreeFlavor::Simple => SimCounter::Locked(SimLockedCounter::build(m, procs)),
+                TreeFlavor::Funnel { cfg, funnel_levels } => {
+                    if depth < *funnel_levels {
+                        SimCounter::Funnel(SimFunnelCounter::build(
+                            m,
+                            procs,
+                            CounterMode::BOUNDED_AT_ZERO,
+                            cfg.clone(),
+                        ))
+                    } else {
+                        SimCounter::Locked(SimLockedCounter::build(m, procs))
+                    }
+                }
+                TreeFlavor::Hardware => SimCounter::Hardware(SimHwCounter::build(m)),
+            };
+            c.label(m, tree_counter_label(depth));
+            counters.push(Some(c));
+        }
+        let bins = (0..num_priorities)
+            .map(|_| match &flavor {
+                TreeFlavor::Simple | TreeFlavor::Hardware => {
+                    SimTreeBin::Lock(SimBin::build(m, procs, bin_capacity))
+                }
+                TreeFlavor::Funnel { cfg, .. } => {
+                    SimTreeBin::Funnel(SimFunnelStack::build(m, procs, bin_capacity, cfg.clone()))
+                }
+            })
+            .collect();
+        SimCounterTree {
+            n_leaves,
+            num_priorities,
+            counters: Rc::new(counters),
+            bins: Rc::new(bins),
+        }
+    }
+
+    /// Inserts `(pri, item)`: bin first, then increment the counters on the
+    /// path to the root wherever we ascend from a left child.
+    pub async fn insert(&self, ctx: &ProcCtx, pri: u64, item: u64) {
+        ctx.work(costs::OP_SETUP).await;
+        assert!(
+            (pri as usize) < self.num_priorities,
+            "priority out of range"
+        );
+        self.bins[pri as usize].insert(ctx, item).await;
+        let mut k = self.n_leaves + pri as usize;
+        while k > 1 {
+            ctx.work(costs::TREE_STEP).await;
+            let parent = k / 2;
+            if k.is_multiple_of(2) {
+                self.counters[parent]
+                    .as_ref()
+                    .expect("internal node")
+                    .fetch_inc(ctx)
+                    .await;
+            }
+            k = parent;
+        }
+    }
+
+    /// Descends from the root by bounded fetch-and-decrement, then deletes
+    /// from the reached leaf's bin.
+    pub async fn delete_min(&self, ctx: &ProcCtx) -> Option<(u64, u64)> {
+        ctx.work(costs::OP_SETUP).await;
+        let mut k = 1;
+        while k < self.n_leaves {
+            ctx.work(costs::TREE_STEP).await;
+            let c = self.counters[k].as_ref().expect("internal node");
+            if c.fetch_dec(ctx).await > 0 {
+                k *= 2;
+            } else {
+                k = 2 * k + 1;
+            }
+        }
+        let pri = k - self.n_leaves;
+        if pri >= self.num_priorities {
+            return None;
+        }
+        self.bins[pri]
+            .delete(ctx)
+            .await
+            .map(|item| (pri as u64, item))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use funnelpq_sim::MachineConfig;
+    use std::cell::RefCell;
+
+    fn drain(q: SimCounterTree, m: &mut Machine, out: Rc<RefCell<Vec<(u64, u64)>>>) {
+        let ctx = m.ctx();
+        m.spawn(async move {
+            while let Some(e) = q.delete_min(&ctx).await {
+                out.borrow_mut().push(e);
+            }
+        });
+        assert!(m.run().is_quiescent());
+    }
+
+    #[test]
+    fn simple_flavor_sequential_order() {
+        let mut m = Machine::new(MachineConfig::test_tiny(), 0);
+        // Two processors: the inserter task and the drainer task.
+        let q = SimCounterTree::build(&mut m, 2, 8, 32, TreeFlavor::Simple);
+        let ctx = m.ctx();
+        let q2 = q.clone();
+        m.spawn(async move {
+            for p in [7u64, 0, 3, 3, 5] {
+                q2.insert(&ctx, p, p * 10).await;
+            }
+        });
+        assert!(m.run().is_quiescent());
+        let out = Rc::new(RefCell::new(Vec::new()));
+        drain(q, &mut m, Rc::clone(&out));
+        let pris: Vec<u64> = out.borrow().iter().map(|e| e.0).collect();
+        assert_eq!(pris, vec![0, 3, 3, 5, 7]);
+    }
+
+    #[test]
+    fn funnel_flavor_sequential_order() {
+        let mut m = Machine::new(MachineConfig::test_tiny(), 0);
+        let flavor = TreeFlavor::Funnel {
+            cfg: SimFunnelConfig::for_procs(2),
+            funnel_levels: 4,
+        };
+        let q = SimCounterTree::build(&mut m, 2, 8, 32, flavor);
+        let ctx = m.ctx();
+        let q2 = q.clone();
+        m.spawn(async move {
+            for p in [6u64, 1, 4, 1, 7] {
+                q2.insert(&ctx, p, p).await;
+            }
+        });
+        assert!(m.run().is_quiescent());
+        let out = Rc::new(RefCell::new(Vec::new()));
+        drain(q, &mut m, Rc::clone(&out));
+        let pris: Vec<u64> = out.borrow().iter().map(|e| e.0).collect();
+        assert_eq!(pris, vec![1, 1, 4, 6, 7]);
+    }
+
+    #[test]
+    fn concurrent_conservation_simple() {
+        const P: usize = 12;
+        const N: usize = 20;
+        let mut m = Machine::new(MachineConfig::test_tiny(), 23);
+        let q = SimCounterTree::build(&mut m, P + 1, 16, P * N, TreeFlavor::Simple);
+        let got = Rc::new(RefCell::new(Vec::new()));
+        for p in 0..P {
+            let ctx = m.ctx();
+            let q = q.clone();
+            let got = Rc::clone(&got);
+            m.spawn(async move {
+                for i in 0..N {
+                    q.insert(&ctx, ((p * 5 + i) % 16) as u64, (p * N + i) as u64)
+                        .await;
+                    if i % 2 == 0 {
+                        if let Some((_, x)) = q.delete_min(&ctx).await {
+                            got.borrow_mut().push(x);
+                        }
+                    }
+                }
+            });
+        }
+        assert!(m.run().is_quiescent());
+        drainall(&mut m, q, &got);
+        let mut all = got.borrow().clone();
+        all.sort_unstable();
+        assert_eq!(all, (0..(P * N) as u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn concurrent_conservation_funnel() {
+        const P: usize = 12;
+        const N: usize = 15;
+        let mut m = Machine::new(MachineConfig::test_tiny(), 29);
+        let flavor = TreeFlavor::Funnel {
+            cfg: SimFunnelConfig::for_procs(P),
+            funnel_levels: 2,
+        };
+        let q = SimCounterTree::build(&mut m, P + 1, 8, P * N + 4, flavor);
+        let got = Rc::new(RefCell::new(Vec::new()));
+        for p in 0..P {
+            let ctx = m.ctx();
+            let q = q.clone();
+            let got = Rc::clone(&got);
+            m.spawn(async move {
+                for i in 0..N {
+                    q.insert(&ctx, ((p + 3 * i) % 8) as u64, (p * N + i) as u64)
+                        .await;
+                    if i % 3 == 0 {
+                        if let Some((_, x)) = q.delete_min(&ctx).await {
+                            got.borrow_mut().push(x);
+                        }
+                    }
+                }
+            });
+        }
+        assert!(m.run().is_quiescent(), "FunnelTree deadlocked");
+        drainall(&mut m, q, &got);
+        let mut all = got.borrow().clone();
+        all.sort_unstable();
+        assert_eq!(all, (0..(P * N) as u64).collect::<Vec<_>>());
+    }
+
+    fn drainall(m: &mut Machine, q: SimCounterTree, got: &Rc<RefCell<Vec<u64>>>) {
+        let ctx = m.ctx();
+        let got = Rc::clone(got);
+        m.spawn(async move {
+            while let Some((_, x)) = q.delete_min(&ctx).await {
+                got.borrow_mut().push(x);
+            }
+        });
+        assert!(m.run().is_quiescent());
+    }
+
+    use std::rc::Rc;
+}

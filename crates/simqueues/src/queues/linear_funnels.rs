@@ -1,0 +1,121 @@
+//! Simulated `LinearFunnels` (paper §3.2): `SimpleLinear` with
+//! combining-funnel stacks as bins.
+
+use std::rc::Rc;
+
+use funnelpq_sim::{Machine, ProcCtx};
+
+use crate::costs;
+use crate::funnel::SimFunnelConfig;
+use crate::funnel_stack::SimFunnelStack;
+
+/// One funnel stack per priority, scanned smallest-first with one-read
+/// emptiness tests ("crucial to the performance of LinearFunnels").
+#[derive(Debug, Clone)]
+pub struct SimLinearFunnels {
+    stacks: Rc<Vec<SimFunnelStack>>,
+}
+
+impl SimLinearFunnels {
+    /// Allocates stacks for `num_priorities` priorities.
+    pub fn build(
+        m: &mut Machine,
+        procs: usize,
+        num_priorities: usize,
+        bin_capacity: usize,
+        cfg: SimFunnelConfig,
+    ) -> Self {
+        let stacks = (0..num_priorities)
+            .map(|_| SimFunnelStack::build(m, procs, bin_capacity, cfg.clone()))
+            .collect();
+        SimLinearFunnels {
+            stacks: Rc::new(stacks),
+        }
+    }
+
+    /// Inserts `(pri, item)` — one funnel push.
+    pub async fn insert(&self, ctx: &ProcCtx, pri: u64, item: u64) {
+        ctx.work(costs::OP_SETUP).await;
+        self.stacks[pri as usize].push(ctx, item).await;
+    }
+
+    /// Scans the stacks smallest-first; pops from the first non-empty one
+    /// that yields an item.
+    pub async fn delete_min(&self, ctx: &ProcCtx) -> Option<(u64, u64)> {
+        ctx.work(costs::OP_SETUP).await;
+        for (pri, stack) in self.stacks.iter().enumerate() {
+            ctx.work(costs::LOOP_ITER).await;
+            if !stack.is_empty(ctx).await {
+                if let Some(item) = stack.pop(ctx).await {
+                    return Some((pri as u64, item));
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use funnelpq_sim::MachineConfig;
+    use std::cell::RefCell;
+
+    #[test]
+    fn sequential_order() {
+        let mut m = Machine::new(MachineConfig::test_tiny(), 0);
+        let q = SimLinearFunnels::build(&mut m, 1, 6, 16, SimFunnelConfig::for_procs(1));
+        let ctx = m.ctx();
+        let q2 = q.clone();
+        m.spawn(async move {
+            for p in [5u64, 0, 3] {
+                q2.insert(&ctx, p, p * 100).await;
+            }
+            assert_eq!(q2.delete_min(&ctx).await, Some((0, 0)));
+            assert_eq!(q2.delete_min(&ctx).await, Some((3, 300)));
+            assert_eq!(q2.delete_min(&ctx).await, Some((5, 500)));
+            assert_eq!(q2.delete_min(&ctx).await, None);
+        });
+        assert!(m.run().is_quiescent());
+    }
+
+    #[test]
+    fn concurrent_conservation() {
+        const P: usize = 16;
+        const N: usize = 20;
+        let mut m = Machine::new(MachineConfig::alewife_like(), 31);
+        let q = SimLinearFunnels::build(&mut m, P + 1, 4, P * N + 4, SimFunnelConfig::for_procs(P));
+        let got = Rc::new(RefCell::new(Vec::new()));
+        for p in 0..P {
+            let ctx = m.ctx();
+            let q = q.clone();
+            let got = Rc::clone(&got);
+            m.spawn(async move {
+                for i in 0..N {
+                    q.insert(&ctx, ((p + i) % 4) as u64, (p * N + i) as u64)
+                        .await;
+                    if i % 2 == 1 {
+                        if let Some((_, x)) = q.delete_min(&ctx).await {
+                            got.borrow_mut().push(x);
+                        }
+                    }
+                }
+            });
+        }
+        assert!(m.run().is_quiescent(), "LinearFunnels deadlocked");
+        let ctx = m.ctx();
+        let q2 = q.clone();
+        let got2 = Rc::clone(&got);
+        m.spawn(async move {
+            while let Some((_, x)) = q2.delete_min(&ctx).await {
+                got2.borrow_mut().push(x);
+            }
+        });
+        assert!(m.run().is_quiescent());
+        let mut all = got.borrow().clone();
+        all.sort_unstable();
+        assert_eq!(all, (0..(P * N) as u64).collect::<Vec<_>>());
+    }
+
+    use std::rc::Rc;
+}

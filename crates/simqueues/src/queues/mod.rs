@@ -1,0 +1,214 @@
+//! The seven priority-queue algorithms of the paper, expressed against the
+//! simulated machine, behind one dispatch type ([`SimPq`]).
+
+mod counter_tree;
+mod hunt;
+mod linear_funnels;
+mod simple_linear;
+mod single_lock;
+mod skiplist;
+
+pub use counter_tree::{SimCounterTree, SimTreeBin, TreeFlavor};
+pub use hunt::SimHunt;
+pub use linear_funnels::SimLinearFunnels;
+pub use simple_linear::SimSimpleLinear;
+pub use single_lock::SimSingleLock;
+pub use skiplist::SimSkipList;
+
+use funnelpq_sim::{Machine, ProcCtx};
+
+use crate::funnel::SimFunnelConfig;
+
+/// Which of the paper's algorithms to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Heap under one MCS lock.
+    SingleLock,
+    /// Hunt et al. concurrent heap.
+    HuntEtAl,
+    /// Bounded-range skip list of bins with a delete bin.
+    SkipList,
+    /// Array of MCS-locked bins, scanned.
+    SimpleLinear,
+    /// Tree of MCS-locked counters over locked bins.
+    SimpleTree,
+    /// Array of combining-funnel stacks, scanned.
+    LinearFunnels,
+    /// Tree with funnel counters at the top and funnel-stack bins.
+    FunnelTree,
+    /// Ablation: tree with hardware fetch-and-add counters (not one of the
+    /// paper's seven — its machine model has no fetch-and-add).
+    HardwareTree,
+}
+
+impl Algorithm {
+    /// All seven algorithms, in the paper's presentation order.
+    pub const ALL: [Algorithm; 7] = [
+        Algorithm::SingleLock,
+        Algorithm::HuntEtAl,
+        Algorithm::SkipList,
+        Algorithm::SimpleLinear,
+        Algorithm::SimpleTree,
+        Algorithm::LinearFunnels,
+        Algorithm::FunnelTree,
+    ];
+
+    /// The four algorithms the paper carries into its high-concurrency
+    /// comparisons (Figures 7–9).
+    pub const SCALABLE: [Algorithm; 4] = [
+        Algorithm::SimpleLinear,
+        Algorithm::SimpleTree,
+        Algorithm::LinearFunnels,
+        Algorithm::FunnelTree,
+    ];
+
+    /// The algorithm's name as printed in the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::SingleLock => "SingleLock",
+            Algorithm::HuntEtAl => "HuntEtAl",
+            Algorithm::SkipList => "SkipList",
+            Algorithm::SimpleLinear => "SimpleLinear",
+            Algorithm::SimpleTree => "SimpleTree",
+            Algorithm::LinearFunnels => "LinearFunnels",
+            Algorithm::FunnelTree => "FunnelTree",
+            Algorithm::HardwareTree => "HardwareTree",
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Build-time parameters shared by all algorithms.
+#[derive(Debug, Clone)]
+pub struct BuildParams {
+    /// Number of processors that will use the queue.
+    pub procs: usize,
+    /// Priority range `0..num_priorities`.
+    pub num_priorities: usize,
+    /// Capacity bound (items per bin / total heap items).
+    pub capacity: usize,
+    /// Funnel tuning for the funnel-based algorithms.
+    pub funnel: SimFunnelConfig,
+    /// Funnel-levels cutoff for `FunnelTree` (paper: 4).
+    pub funnel_levels: usize,
+}
+
+impl BuildParams {
+    /// Sensible defaults for a workload of `procs` processors over
+    /// `num_priorities` priorities.
+    pub fn new(procs: usize, num_priorities: usize) -> Self {
+        BuildParams {
+            procs,
+            num_priorities,
+            capacity: (procs * 64).max(1024),
+            funnel: SimFunnelConfig::for_procs(procs),
+            funnel_levels: 4,
+        }
+    }
+}
+
+/// A built simulated priority queue of any of the seven kinds.
+#[derive(Debug, Clone)]
+pub enum SimPq {
+    /// See [`SimSingleLock`].
+    SingleLock(SimSingleLock),
+    /// See [`SimHunt`].
+    HuntEtAl(SimHunt),
+    /// See [`SimSkipList`].
+    SkipList(SimSkipList),
+    /// See [`SimSimpleLinear`].
+    SimpleLinear(SimSimpleLinear),
+    /// See [`SimCounterTree`] with [`TreeFlavor::Simple`].
+    SimpleTree(SimCounterTree),
+    /// See [`SimLinearFunnels`].
+    LinearFunnels(SimLinearFunnels),
+    /// See [`SimCounterTree`] with [`TreeFlavor::Funnel`].
+    FunnelTree(SimCounterTree),
+    /// See [`SimCounterTree`] with [`TreeFlavor::Hardware`].
+    HardwareTree(SimCounterTree),
+}
+
+impl SimPq {
+    /// Allocates the chosen algorithm's structures in `m`.
+    pub fn build(m: &mut Machine, algo: Algorithm, p: &BuildParams) -> Self {
+        match algo {
+            Algorithm::SingleLock => {
+                SimPq::SingleLock(SimSingleLock::build(m, p.procs, p.capacity))
+            }
+            Algorithm::HuntEtAl => SimPq::HuntEtAl(SimHunt::build(m, p.procs, p.capacity)),
+            Algorithm::SkipList => {
+                SimPq::SkipList(SimSkipList::build(m, p.procs, p.num_priorities, p.capacity))
+            }
+            Algorithm::SimpleLinear => SimPq::SimpleLinear(SimSimpleLinear::build(
+                m,
+                p.procs,
+                p.num_priorities,
+                p.capacity,
+            )),
+            Algorithm::SimpleTree => SimPq::SimpleTree(SimCounterTree::build(
+                m,
+                p.procs,
+                p.num_priorities,
+                p.capacity,
+                TreeFlavor::Simple,
+            )),
+            Algorithm::LinearFunnels => SimPq::LinearFunnels(SimLinearFunnels::build(
+                m,
+                p.procs,
+                p.num_priorities,
+                p.capacity,
+                p.funnel.clone(),
+            )),
+            Algorithm::FunnelTree => SimPq::FunnelTree(SimCounterTree::build(
+                m,
+                p.procs,
+                p.num_priorities,
+                p.capacity,
+                TreeFlavor::Funnel {
+                    cfg: p.funnel.clone(),
+                    funnel_levels: p.funnel_levels,
+                },
+            )),
+            Algorithm::HardwareTree => SimPq::HardwareTree(SimCounterTree::build(
+                m,
+                p.procs,
+                p.num_priorities,
+                p.capacity,
+                TreeFlavor::Hardware,
+            )),
+        }
+    }
+
+    /// Inserts `(pri, item)`.
+    pub async fn insert(&self, ctx: &ProcCtx, pri: u64, item: u64) {
+        match self {
+            SimPq::SingleLock(q) => q.insert(ctx, pri, item).await,
+            SimPq::HuntEtAl(q) => q.insert(ctx, pri, item).await,
+            SimPq::SkipList(q) => q.insert(ctx, pri, item).await,
+            SimPq::SimpleLinear(q) => q.insert(ctx, pri, item).await,
+            SimPq::SimpleTree(q) => q.insert(ctx, pri, item).await,
+            SimPq::LinearFunnels(q) => q.insert(ctx, pri, item).await,
+            SimPq::FunnelTree(q) => q.insert(ctx, pri, item).await,
+            SimPq::HardwareTree(q) => q.insert(ctx, pri, item).await,
+        }
+    }
+
+    /// Removes an item of minimal priority, if one is reachable.
+    pub async fn delete_min(&self, ctx: &ProcCtx) -> Option<(u64, u64)> {
+        match self {
+            SimPq::SingleLock(q) => q.delete_min(ctx).await,
+            SimPq::HuntEtAl(q) => q.delete_min(ctx).await,
+            SimPq::SkipList(q) => q.delete_min(ctx).await,
+            SimPq::SimpleLinear(q) => q.delete_min(ctx).await,
+            SimPq::SimpleTree(q) => q.delete_min(ctx).await,
+            SimPq::LinearFunnels(q) => q.delete_min(ctx).await,
+            SimPq::FunnelTree(q) => q.delete_min(ctx).await,
+            SimPq::HardwareTree(q) => q.delete_min(ctx).await,
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Simulated `SimpleLinear` (paper Figure 2): an array of lock-based bins
+//! scanned smallest-priority-first.
+
+use std::rc::Rc;
+
+use funnelpq_sim::{Machine, ProcCtx};
+
+use crate::bin::SimBin;
+use crate::costs;
+
+/// One MCS-locked bin per priority; `delete_min` reads each bin's size word
+/// in ascending priority order and tries to delete from non-empty bins.
+#[derive(Debug, Clone)]
+pub struct SimSimpleLinear {
+    bins: Rc<Vec<SimBin>>,
+}
+
+impl SimSimpleLinear {
+    /// Allocates bins for `num_priorities` priorities.
+    pub fn build(
+        m: &mut Machine,
+        procs: usize,
+        num_priorities: usize,
+        bin_capacity: usize,
+    ) -> Self {
+        let bins = (0..num_priorities)
+            .map(|_| SimBin::build(m, procs, bin_capacity))
+            .collect();
+        SimSimpleLinear {
+            bins: Rc::new(bins),
+        }
+    }
+
+    /// Inserts `(pri, item)` — one bin insert, no scanning.
+    pub async fn insert(&self, ctx: &ProcCtx, pri: u64, item: u64) {
+        ctx.work(costs::OP_SETUP).await;
+        self.bins[pri as usize].insert(ctx, item).await;
+    }
+
+    /// Scans bins from smallest priority; deletes from the first non-empty
+    /// bin that yields an item.
+    pub async fn delete_min(&self, ctx: &ProcCtx) -> Option<(u64, u64)> {
+        ctx.work(costs::OP_SETUP).await;
+        for (pri, bin) in self.bins.iter().enumerate() {
+            ctx.work(costs::LOOP_ITER).await;
+            if !bin.is_empty(ctx).await {
+                if let Some(item) = bin.delete(ctx).await {
+                    return Some((pri as u64, item));
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use funnelpq_sim::MachineConfig;
+
+    #[test]
+    fn sequential_order() {
+        let mut m = Machine::new(MachineConfig::test_tiny(), 0);
+        let q = SimSimpleLinear::build(&mut m, 1, 8, 16);
+        let ctx = m.ctx();
+        let q2 = q.clone();
+        m.spawn(async move {
+            for p in [6u64, 1, 4, 1] {
+                q2.insert(&ctx, p, p * 100).await;
+            }
+            assert_eq!(q2.delete_min(&ctx).await.unwrap().0, 1);
+            assert_eq!(q2.delete_min(&ctx).await.unwrap().0, 1);
+            assert_eq!(q2.delete_min(&ctx).await.unwrap().0, 4);
+            assert_eq!(q2.delete_min(&ctx).await.unwrap().0, 6);
+            assert_eq!(q2.delete_min(&ctx).await, None);
+        });
+        assert!(m.run().is_quiescent());
+    }
+}

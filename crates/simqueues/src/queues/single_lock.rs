@@ -1,0 +1,185 @@
+//! Simulated `SingleLock`: a sequential heap under one MCS lock.
+
+use funnelpq_sim::{Addr, Machine, ProcCtx};
+
+use crate::costs;
+use crate::mcs::SimMcsLock;
+
+/// Heap entries live in simulated memory ([pri, item] pairs), so the time
+/// the lock is held grows with the heap operations' real memory traffic.
+#[derive(Debug, Clone, Copy)]
+pub struct SimSingleLock {
+    lock: SimMcsLock,
+    size: Addr,
+    entries: Addr,
+    capacity: usize,
+}
+
+impl SimSingleLock {
+    /// Allocates a heap of at most `capacity` items for `procs` processors.
+    pub fn build(m: &mut Machine, procs: usize, capacity: usize) -> Self {
+        let lock = SimMcsLock::build(m, procs);
+        let size = m.alloc(1);
+        let entries = m.alloc(2 * capacity.max(1));
+        m.label(size, 1, "heap size word");
+        m.label(entries, 2 * capacity.max(1), "heap entries");
+        SimSingleLock {
+            lock,
+            size,
+            entries,
+            capacity,
+        }
+    }
+
+    fn pri_addr(&self, i: u64) -> Addr {
+        self.entries + 2 * i as usize
+    }
+    fn item_addr(&self, i: u64) -> Addr {
+        self.entries + 2 * i as usize + 1
+    }
+
+    /// Inserts under the global lock, sifting up in simulated memory.
+    pub async fn insert(&self, ctx: &ProcCtx, pri: u64, item: u64) {
+        ctx.work(costs::OP_SETUP).await;
+        self.lock.acquire(ctx).await;
+        let n = ctx.read(self.size).await;
+        assert!((n as usize) < self.capacity, "SimSingleLock overflow");
+        ctx.write(self.pri_addr(n), pri).await;
+        ctx.write(self.item_addr(n), item).await;
+        ctx.write(self.size, n + 1).await;
+        let mut i = n;
+        while i > 0 {
+            ctx.work(costs::SIFT_STEP).await;
+            let parent = (i - 1) / 2;
+            let ppri = ctx.read(self.pri_addr(parent)).await;
+            if pri < ppri {
+                // Swap child and parent entries.
+                let pitem = ctx.read(self.item_addr(parent)).await;
+                ctx.write(self.pri_addr(i), ppri).await;
+                ctx.write(self.item_addr(i), pitem).await;
+                ctx.write(self.pri_addr(parent), pri).await;
+                ctx.write(self.item_addr(parent), item).await;
+                i = parent;
+            } else {
+                break;
+            }
+        }
+        self.lock.release(ctx).await;
+    }
+
+    /// Removes the minimum under the global lock.
+    pub async fn delete_min(&self, ctx: &ProcCtx) -> Option<(u64, u64)> {
+        ctx.work(costs::OP_SETUP).await;
+        self.lock.acquire(ctx).await;
+        let n = ctx.read(self.size).await;
+        if n == 0 {
+            self.lock.release(ctx).await;
+            return None;
+        }
+        let min_pri = ctx.read(self.pri_addr(0)).await;
+        let min_item = ctx.read(self.item_addr(0)).await;
+        let last = n - 1;
+        ctx.write(self.size, last).await;
+        if last > 0 {
+            let pri = ctx.read(self.pri_addr(last)).await;
+            let item = ctx.read(self.item_addr(last)).await;
+            ctx.write(self.pri_addr(0), pri).await;
+            ctx.write(self.item_addr(0), item).await;
+            let mut i = 0u64;
+            loop {
+                ctx.work(costs::SIFT_STEP).await;
+                let l = 2 * i + 1;
+                let r = 2 * i + 2;
+                if l >= last {
+                    break;
+                }
+                let lpri = ctx.read(self.pri_addr(l)).await;
+                let (c, cpri) = if r < last {
+                    let rpri = ctx.read(self.pri_addr(r)).await;
+                    if rpri < lpri {
+                        (r, rpri)
+                    } else {
+                        (l, lpri)
+                    }
+                } else {
+                    (l, lpri)
+                };
+                if cpri < pri {
+                    let citem = ctx.read(self.item_addr(c)).await;
+                    ctx.write(self.pri_addr(i), cpri).await;
+                    ctx.write(self.item_addr(i), citem).await;
+                    ctx.write(self.pri_addr(c), pri).await;
+                    ctx.write(self.item_addr(c), item).await;
+                    // Our entry's values are unchanged; its position is now c.
+                    i = c;
+                } else {
+                    break;
+                }
+            }
+        }
+        self.lock.release(ctx).await;
+        Some((min_pri, min_item))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use funnelpq_sim::MachineConfig;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn sequential_order() {
+        let mut m = Machine::new(MachineConfig::test_tiny(), 0);
+        let q = SimSingleLock::build(&mut m, 1, 32);
+        let ctx = m.ctx();
+        m.spawn(async move {
+            for p in [9u64, 1, 5, 1, 7] {
+                q.insert(&ctx, p, p * 10).await;
+            }
+            let mut got = Vec::new();
+            while let Some((p, _)) = q.delete_min(&ctx).await {
+                got.push(p);
+            }
+            assert_eq!(got, vec![1, 1, 5, 7, 9]);
+        });
+        assert!(m.run().is_quiescent());
+    }
+
+    #[test]
+    fn concurrent_conservation() {
+        const P: usize = 8;
+        const N: usize = 25;
+        let mut m = Machine::new(MachineConfig::test_tiny(), 2);
+        let q = SimSingleLock::build(&mut m, P + 1, P * N);
+        let got = Rc::new(RefCell::new(Vec::new()));
+        for p in 0..P {
+            let ctx = m.ctx();
+            let got = Rc::clone(&got);
+            m.spawn(async move {
+                for i in 0..N {
+                    q.insert(&ctx, ((p + i) % 5) as u64, (p * N + i) as u64)
+                        .await;
+                    if i % 2 == 0 {
+                        if let Some((_, x)) = q.delete_min(&ctx).await {
+                            got.borrow_mut().push(x);
+                        }
+                    }
+                }
+            });
+        }
+        assert!(m.run().is_quiescent());
+        let ctx = m.ctx();
+        let got2 = Rc::clone(&got);
+        m.spawn(async move {
+            while let Some((_, x)) = q.delete_min(&ctx).await {
+                got2.borrow_mut().push(x);
+            }
+        });
+        assert!(m.run().is_quiescent());
+        let mut all = got.borrow().clone();
+        all.sort_unstable();
+        assert_eq!(all, (0..(P * N) as u64).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,232 @@
+//! The paper's benchmark workload (§4): processors alternate a constant
+//! amount of local work with queue accesses; each access inserts a random
+//! value or deletes the minimum, by fair coin flip; the queue starts empty;
+//! the metric is mean access latency in cycles.
+
+use std::rc::Rc;
+
+use funnelpq_sim::{Acc, HotSpot, Machine, MachineConfig, RunOutcome, Stats};
+
+use crate::funnel::{CounterMode, SimFunnelConfig, SimFunnelCounter};
+use crate::queues::{Algorithm, BuildParams, SimPq};
+
+/// Parameters of one workload run.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Number of simulated processors.
+    pub procs: usize,
+    /// Priority range `0..num_priorities`.
+    pub num_priorities: usize,
+    /// Queue accesses per processor.
+    pub ops_per_proc: usize,
+    /// Local-work cycles between accesses ("kept at a small constant").
+    pub local_work: u64,
+    /// Experiment seed (machine + per-processor RNG streams).
+    pub seed: u64,
+    /// Memory-system parameters.
+    pub machine: MachineConfig,
+}
+
+impl Workload {
+    /// The paper's standard setup for `procs` processors and
+    /// `num_priorities` priorities.
+    pub fn standard(procs: usize, num_priorities: usize) -> Self {
+        Workload {
+            procs,
+            num_priorities,
+            ops_per_proc: 64,
+            local_work: 50,
+            seed: 0xF00D,
+            machine: MachineConfig::alewife_like(),
+        }
+    }
+}
+
+/// Aggregate result of one run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Latency over all queue accesses.
+    pub all: Acc,
+    /// Latency of inserts only.
+    pub insert: Acc,
+    /// Latency of delete-mins only.
+    pub delete: Acc,
+    /// Total simulated cycles until quiescence.
+    pub total_cycles: u64,
+    /// Raw machine statistics.
+    pub stats: Stats,
+    /// Labelled memory regions ranked by queueing delay (the hot spots).
+    pub hotspots: Vec<HotSpot>,
+}
+
+impl RunResult {
+    fn from_machine(m: &Machine) -> Self {
+        let stats = m.stats();
+        RunResult {
+            all: stats.acc("all"),
+            insert: stats.acc("insert"),
+            delete: stats.acc("delete"),
+            total_cycles: m.now(),
+            hotspots: m.hotspots(12),
+            stats,
+        }
+    }
+}
+
+/// Cycle budget guard: experiments that exceed this are treated as hung.
+const MAX_CYCLES: u64 = 2_000_000_000;
+
+/// Runs the paper's standard queue workload for `algo`.
+///
+/// # Panics
+///
+/// Panics if the simulation deadlocks or exceeds the cycle budget —
+/// either indicates an algorithm bug.
+pub fn run_queue_workload(algo: Algorithm, wl: &Workload) -> RunResult {
+    let mut params = BuildParams::new(wl.procs, wl.num_priorities);
+    params.capacity = (wl.procs * wl.ops_per_proc).max(64) + 8;
+    run_queue_workload_with(algo, wl, &params)
+}
+
+/// Like [`run_queue_workload`] with explicit build parameters (funnel
+/// tuning sweeps, ablations).
+pub fn run_queue_workload_with(algo: Algorithm, wl: &Workload, params: &BuildParams) -> RunResult {
+    assert!(wl.procs > 0 && wl.num_priorities > 0 && wl.ops_per_proc > 0);
+    let mut m = Machine::new(wl.machine, wl.seed);
+    let q = Rc::new(SimPq::build(&mut m, algo, params));
+    for _ in 0..wl.procs {
+        let ctx = m.ctx();
+        let q = Rc::clone(&q);
+        let num_pris = wl.num_priorities as u64;
+        let ops = wl.ops_per_proc;
+        let local = wl.local_work;
+        m.spawn(async move {
+            for i in 0..ops {
+                ctx.work(local).await;
+                let t0 = ctx.now();
+                if ctx.random_bool(0.5) {
+                    let pri = ctx.random_below(num_pris);
+                    q.insert(&ctx, pri, (ctx.pid() * ops + i) as u64).await;
+                    let dt = ctx.now() - t0;
+                    ctx.record("all", dt);
+                    ctx.record("insert", dt);
+                } else {
+                    q.delete_min(&ctx).await;
+                    let dt = ctx.now() - t0;
+                    ctx.record("all", dt);
+                    ctx.record("delete", dt);
+                }
+            }
+        });
+    }
+    match m.run_for(MAX_CYCLES) {
+        RunOutcome::Quiescent => {}
+        other => panic!("workload for {algo} did not finish: {other}"),
+    }
+    RunResult::from_machine(&m)
+}
+
+/// Fraction-of-decrements counter workload for Figure 5: `procs`
+/// processors apply `ops_per_proc` operations to one shared funnel counter;
+/// each operation is a decrement with probability `pct_dec/100`, else an
+/// increment. In [`CounterMode::BOUNDED_AT_ZERO`] the decrement is the
+/// paper's bounded fetch-and-decrement with elimination; in
+/// [`CounterMode::FetchAdd`] both directions are plain combining
+/// fetch-and-add.
+pub fn run_counter_workload(
+    mode: CounterMode,
+    pct_dec: u32,
+    cfg: SimFunnelConfig,
+    wl: &Workload,
+) -> RunResult {
+    assert!(pct_dec <= 100);
+    let mut m = Machine::new(wl.machine, wl.seed);
+    let c = SimFunnelCounter::build(&mut m, wl.procs, mode, cfg);
+    // Seed the counter high enough that unbounded modes never wrap.
+    c.poke_set(&mut m, (wl.procs * wl.ops_per_proc) as i64);
+    for _ in 0..wl.procs {
+        let ctx = m.ctx();
+        let c = c.clone();
+        let ops = wl.ops_per_proc;
+        let local = wl.local_work;
+        let p = f64::from(pct_dec) / 100.0;
+        m.spawn(async move {
+            for _ in 0..ops {
+                ctx.work(local).await;
+                let t0 = ctx.now();
+                if ctx.random_bool(p) {
+                    c.fetch_dec(&ctx).await;
+                } else {
+                    c.fetch_inc(&ctx).await;
+                }
+                ctx.record("all", ctx.now() - t0);
+            }
+        });
+    }
+    match m.run_for(MAX_CYCLES) {
+        RunOutcome::Quiescent => {}
+        other => panic!("counter workload did not finish: {other}"),
+    }
+    RunResult::from_machine(&m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_algorithm_survives_the_standard_workload() {
+        for algo in Algorithm::ALL {
+            let mut wl = Workload::standard(8, 16);
+            wl.ops_per_proc = 12;
+            let r = run_queue_workload(algo, &wl);
+            assert_eq!(
+                r.all.count(),
+                8 * 12,
+                "{algo}: every access must be recorded"
+            );
+            assert!(r.all.mean() > 0.0, "{algo}: latency must be positive");
+            assert_eq!(r.insert.count() + r.delete.count(), r.all.count());
+        }
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        let wl = {
+            let mut w = Workload::standard(6, 8);
+            w.ops_per_proc = 10;
+            w
+        };
+        let a = run_queue_workload(Algorithm::FunnelTree, &wl);
+        let b = run_queue_workload(Algorithm::FunnelTree, &wl);
+        assert_eq!(a.total_cycles, b.total_cycles);
+        assert_eq!(a.all.sum(), b.all.sum());
+    }
+
+    #[test]
+    fn counter_workload_both_modes() {
+        let mut wl = Workload::standard(8, 2);
+        wl.ops_per_proc = 16;
+        let cfg = SimFunnelConfig::for_procs(8);
+        let a = run_counter_workload(CounterMode::FetchAdd, 50, cfg.clone(), &wl);
+        let b = run_counter_workload(CounterMode::BOUNDED_AT_ZERO, 50, cfg, &wl);
+        assert_eq!(a.all.count(), 8 * 16);
+        assert_eq!(b.all.count(), 8 * 16);
+    }
+
+    #[test]
+    fn more_processors_do_not_reduce_singlelock_throughput_shape() {
+        // Sanity for the contention model: SingleLock latency grows with P.
+        let lat = |p: usize| {
+            let mut wl = Workload::standard(p, 16);
+            wl.ops_per_proc = 16;
+            run_queue_workload(Algorithm::SingleLock, &wl).all.mean()
+        };
+        let l2 = lat(2);
+        let l16 = lat(16);
+        assert!(
+            l16 > 2.0 * l2,
+            "SingleLock should serialize: lat(16)={l16:.0} vs lat(2)={l2:.0}"
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! Behavioural tests of the funnels' local adaption (§3.1): processors
+//! that meet no contention stop traversing combining layers; processors
+//! under heavy contention keep combining.
+
+use funnelpq_sim::{Machine, MachineConfig};
+use funnelpq_simqueues::funnel::{CounterMode, SimFunnelConfig, SimFunnelCounter};
+use funnelpq_simqueues::SimFunnelStack;
+
+#[test]
+fn solo_counter_user_adapts_depth_to_zero() {
+    let mut m = Machine::new(MachineConfig::alewife_like(), 1);
+    let cfg = SimFunnelConfig::for_procs(32); // 2 layers
+    let c = SimFunnelCounter::build(&mut m, 32, CounterMode::BOUNDED_AT_ZERO, cfg);
+    let ctx = m.ctx();
+    let c2 = c.clone();
+    m.spawn(async move {
+        for _ in 0..20 {
+            c2.fetch_inc(&ctx).await;
+        }
+    });
+    assert!(m.run().is_quiescent());
+    assert_eq!(
+        c.depth_preference(0),
+        0,
+        "an uncontended processor should go straight to the central CAS"
+    );
+}
+
+#[test]
+fn contended_counter_users_stay_deep() {
+    const P: usize = 64;
+    let mut m = Machine::new(MachineConfig::alewife_like(), 2);
+    let cfg = SimFunnelConfig::for_procs(P);
+    let c = SimFunnelCounter::build(&mut m, P, CounterMode::BOUNDED_AT_ZERO, cfg);
+    for p in 0..P {
+        let ctx = m.ctx();
+        let c = c.clone();
+        m.spawn(async move {
+            for i in 0..40 {
+                if (p + i) % 2 == 0 {
+                    c.fetch_inc(&ctx).await;
+                } else {
+                    c.fetch_dec(&ctx).await;
+                }
+            }
+        });
+    }
+    assert!(m.run().is_quiescent());
+    let deep = (0..P).filter(|&p| c.depth_preference(p) > 0).count();
+    assert!(
+        deep > P / 2,
+        "under 64-way contention most processors should keep combining (deep: {deep}/{P})"
+    );
+}
+
+#[test]
+fn solo_stack_user_adapts_depth_to_zero() {
+    let mut m = Machine::new(MachineConfig::alewife_like(), 3);
+    let cfg = SimFunnelConfig::for_procs(32);
+    let s = SimFunnelStack::build(&mut m, 32, 64, cfg);
+    let ctx = m.ctx();
+    let s2 = s.clone();
+    m.spawn(async move {
+        for i in 0..20 {
+            s2.push(&ctx, i).await;
+            s2.pop(&ctx).await;
+        }
+    });
+    assert!(m.run().is_quiescent());
+    assert_eq!(s.depth_preference(0), 0);
+}
+
+#[test]
+fn adaption_reduces_solo_latency() {
+    // The same op sequence must get cheaper once depth adapts down.
+    fn run(adaption: bool) -> u64 {
+        let mut m = Machine::new(MachineConfig::alewife_like(), 4);
+        let mut cfg = SimFunnelConfig::for_procs(256); // deep, wide funnel
+        cfg.adaption = adaption;
+        let c = SimFunnelCounter::build(&mut m, 256, CounterMode::BOUNDED_AT_ZERO, cfg);
+        let ctx = m.ctx();
+        m.spawn(async move {
+            for _ in 0..50 {
+                c.fetch_inc(&ctx).await;
+            }
+        });
+        assert!(m.run().is_quiescent());
+        m.now()
+    }
+    let with = run(true);
+    let without = run(false);
+    assert!(
+        with < without,
+        "adaption should cut uncontended latency (with={with}, without={without})"
+    );
+}

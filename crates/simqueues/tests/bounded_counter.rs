@@ -1,0 +1,105 @@
+//! Semantics of the generalized bounded funnel counter (§3.3 of the paper:
+//! bounded fetch-and-decrement plus "an analogous
+//! bounded-fetch-and-increment").
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use funnelpq_sim::{Machine, MachineConfig};
+use funnelpq_simqueues::funnel::{CounterMode, SimFunnelConfig, SimFunnelCounter};
+
+fn cfg(p: usize) -> SimFunnelConfig {
+    SimFunnelConfig::for_procs(p)
+}
+
+#[test]
+fn upper_bound_saturates_sequentially() {
+    let mut m = Machine::new(MachineConfig::test_tiny(), 0);
+    let mode = CounterMode::Bounded {
+        lo: Some(0),
+        hi: Some(3),
+    };
+    let c = SimFunnelCounter::build(&mut m, 1, mode, cfg(1));
+    let ctx = m.ctx();
+    let c2 = c.clone();
+    m.spawn(async move {
+        assert_eq!(c2.fetch_inc(&ctx).await, 0);
+        assert_eq!(c2.fetch_inc(&ctx).await, 1);
+        assert_eq!(c2.fetch_inc(&ctx).await, 2);
+        // At the upper bound: increments saturate and report the bound.
+        assert_eq!(c2.fetch_inc(&ctx).await, 3);
+        assert_eq!(c2.fetch_inc(&ctx).await, 3);
+        assert_eq!(c2.fetch_dec(&ctx).await, 3);
+        assert_eq!(c2.fetch_dec(&ctx).await, 2);
+    });
+    assert!(m.run().is_quiescent());
+    assert_eq!(c.peek_value(&m), 1);
+}
+
+#[test]
+fn window_bounded_counter_stays_in_window_under_contention() {
+    const P: usize = 32;
+    const LO: i64 = 0;
+    const HI: i64 = 5;
+    let mut m = Machine::new(MachineConfig::alewife_like(), 77);
+    let mode = CounterMode::Bounded {
+        lo: Some(LO),
+        hi: Some(HI),
+    };
+    let c = SimFunnelCounter::build(&mut m, P, mode, cfg(P));
+    let returns = Rc::new(RefCell::new(Vec::new()));
+    for p in 0..P {
+        let ctx = m.ctx();
+        let c = c.clone();
+        let returns = Rc::clone(&returns);
+        m.spawn(async move {
+            for i in 0..30 {
+                let v = if (p + i) % 2 == 0 {
+                    c.fetch_inc(&ctx).await
+                } else {
+                    c.fetch_dec(&ctx).await
+                };
+                returns.borrow_mut().push(v);
+            }
+        });
+    }
+    assert!(m.run().is_quiescent());
+    let final_v = c.peek_value(&m);
+    assert!((LO..=HI).contains(&final_v), "final value {final_v}");
+    assert!(
+        returns.borrow().iter().all(|&v| (LO..=HI).contains(&v)),
+        "every returned value must lie inside the bounds"
+    );
+}
+
+#[test]
+fn lower_bound_other_than_zero() {
+    let mut m = Machine::new(MachineConfig::test_tiny(), 0);
+    let mode = CounterMode::Bounded {
+        lo: Some(10),
+        hi: None,
+    };
+    let c = SimFunnelCounter::build(&mut m, 1, mode, cfg(1));
+    c.poke_set(&mut m, 11);
+    let ctx = m.ctx();
+    let c2 = c.clone();
+    m.spawn(async move {
+        assert_eq!(c2.fetch_dec(&ctx).await, 11);
+        assert_eq!(c2.fetch_dec(&ctx).await, 10); // saturated at 10
+        assert_eq!(c2.fetch_dec(&ctx).await, 10);
+        assert_eq!(c2.fetch_inc(&ctx).await, 10);
+    });
+    assert!(m.run().is_quiescent());
+    assert_eq!(c.peek_value(&m), 11);
+}
+
+#[test]
+fn bounded_at_zero_constant_matches_explicit_form() {
+    assert_eq!(
+        CounterMode::BOUNDED_AT_ZERO,
+        CounterMode::Bounded {
+            lo: Some(0),
+            hi: None
+        }
+    );
+}

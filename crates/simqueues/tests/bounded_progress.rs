@@ -1,0 +1,115 @@
+//! Bounded-progress regression tests: every substrate must finish its
+//! standard contention scenario within a generous but *finite* cycle
+//! budget. A livelock (tasks spinning forever) does not trip the
+//! deadlock detector, so these tests exist to catch it.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use funnelpq_sim::{Machine, MachineConfig, RunOutcome};
+use funnelpq_simqueues::funnel::{CounterMode, SimFunnelConfig};
+use funnelpq_simqueues::{SimBin, SimFunnelCounter, SimFunnelStack, SimMcsLock};
+
+const BUDGET: u64 = 50_000_000;
+
+fn assert_finishes(m: &mut Machine, what: &str) {
+    match m.run_for(BUDGET) {
+        RunOutcome::Quiescent => {}
+        RunOutcome::Deadlock { blocked } => {
+            panic!(
+                "{what}: deadlock with {} tasks blocked at cycle {}",
+                blocked.len(),
+                m.now()
+            )
+        }
+        RunOutcome::CycleLimit => {
+            panic!("{what}: no quiescence within {BUDGET} cycles (livelock?)")
+        }
+    }
+}
+
+#[test]
+fn mcs_lock_bounded() {
+    const P: usize = 32;
+    let mut m = Machine::new(MachineConfig::alewife_like(), 3);
+    let lock = SimMcsLock::build(&mut m, P);
+    let word = m.alloc(1);
+    for _ in 0..P {
+        let ctx = m.ctx();
+        m.spawn(async move {
+            for _ in 0..20 {
+                lock.acquire(&ctx).await;
+                let v = ctx.read(word).await;
+                ctx.write(word, v + 1).await;
+                lock.release(&ctx).await;
+            }
+        });
+    }
+    assert_finishes(&mut m, "SimMcsLock");
+    assert_eq!(m.peek(word), (P * 20) as u64);
+}
+
+#[test]
+fn bin_bounded() {
+    const P: usize = 16;
+    let mut m = Machine::new(MachineConfig::alewife_like(), 4);
+    let bin = SimBin::build(&mut m, P, 4096);
+    for p in 0..P {
+        let ctx = m.ctx();
+        m.spawn(async move {
+            for i in 0..25 {
+                bin.insert(&ctx, (p * 100 + i) as u64).await;
+                if i % 2 == 0 {
+                    bin.delete(&ctx).await;
+                }
+            }
+        });
+    }
+    assert_finishes(&mut m, "SimBin");
+}
+
+#[test]
+fn funnel_counter_bounded_all_modes() {
+    for mode in [CounterMode::FetchAdd, CounterMode::BOUNDED_AT_ZERO] {
+        const P: usize = 64;
+        let mut m = Machine::new(MachineConfig::alewife_like(), 9);
+        let c = SimFunnelCounter::build(&mut m, P, mode, SimFunnelConfig::for_procs(P));
+        for p in 0..P {
+            let ctx = m.ctx();
+            let c = c.clone();
+            m.spawn(async move {
+                for i in 0..20 {
+                    if (p + i) % 2 == 0 {
+                        c.fetch_inc(&ctx).await;
+                    } else {
+                        c.fetch_dec(&ctx).await;
+                    }
+                }
+            });
+        }
+        assert_finishes(&mut m, "SimFunnelCounter");
+    }
+}
+
+#[test]
+fn funnel_stack_bounded() {
+    const P: usize = 64;
+    let mut m = Machine::new(MachineConfig::alewife_like(), 13);
+    let s = SimFunnelStack::build(&mut m, P, P * 20 + 4, SimFunnelConfig::for_procs(P));
+    let popped = Rc::new(RefCell::new(0usize));
+    for _ in 0..P {
+        let ctx = m.ctx();
+        let s = s.clone();
+        let popped = Rc::clone(&popped);
+        m.spawn(async move {
+            for i in 0..20 {
+                s.push(&ctx, i as u64).await;
+                if i % 2 == 1 && s.pop(&ctx).await.is_some() {
+                    *popped.borrow_mut() += 1;
+                }
+            }
+        });
+    }
+    assert_finishes(&mut m, "SimFunnelStack");
+    assert!(*popped.borrow() > 0);
+}

@@ -1,0 +1,91 @@
+//! Hot-spot profiling tests: the contention accounting must attribute
+//! queueing delay to the structures the paper predicts.
+
+use funnelpq_sim::{Machine, MachineConfig};
+use funnelpq_simqueues::queues::{Algorithm, BuildParams, SimPq};
+use std::rc::Rc;
+
+fn run_workload_machine(algo: Algorithm, procs: usize, pris: usize, ops: usize) -> Machine {
+    let mut m = Machine::new(MachineConfig::alewife_like(), 99);
+    let mut params = BuildParams::new(procs, pris);
+    params.capacity = procs * ops + 8;
+    let q = Rc::new(SimPq::build(&mut m, algo, &params));
+    for _ in 0..procs {
+        let ctx = m.ctx();
+        let q = Rc::clone(&q);
+        m.spawn(async move {
+            for i in 0..ops {
+                ctx.work(50).await;
+                if ctx.random_bool(0.5) {
+                    let pri = ctx.random_below(16);
+                    q.insert(&ctx, pri, i as u64).await;
+                } else {
+                    q.delete_min(&ctx).await;
+                }
+            }
+        });
+    }
+    assert!(m.run().is_quiescent());
+    m
+}
+
+#[test]
+fn simple_tree_hotspot_is_the_root_counter() {
+    let m = run_workload_machine(Algorithm::SimpleTree, 64, 16, 32);
+    let hs = m.hotspots(3);
+    assert!(!hs.is_empty());
+    assert!(
+        hs[0].label.starts_with("tree counter depth 0"),
+        "expected the root counter to dominate, got {:?}",
+        hs.iter().map(|h| h.label.clone()).collect::<Vec<_>>()
+    );
+    // The root should account for a large share of all queueing delay.
+    let total = m.stats().queue_delay_cycles.max(1);
+    assert!(
+        hs[0].queue_delay_cycles * 2 > total / 2,
+        "root share too small: {}/{}",
+        hs[0].queue_delay_cycles,
+        total
+    );
+}
+
+#[test]
+fn funnel_tree_spreads_contention() {
+    let m = run_workload_machine(Algorithm::FunnelTree, 64, 16, 32);
+    let hs = m.hotspots(1);
+    let total = m.stats().queue_delay_cycles.max(1);
+    // No single labelled region should dominate the way SimpleTree's root
+    // does: the whole point of funnels is spreading the hot spot.
+    assert!(
+        hs[0].queue_delay_cycles < total * 3 / 4,
+        "one region holds {}/{} of the delay",
+        hs[0].queue_delay_cycles,
+        total
+    );
+}
+
+#[test]
+fn labels_cover_most_traffic() {
+    let m = run_workload_machine(Algorithm::SimpleLinear, 16, 16, 24);
+    let hs = m.hotspots(32);
+    let unlabelled: u64 = hs
+        .iter()
+        .filter(|h| h.label == "<unlabelled>")
+        .map(|h| h.accesses)
+        .sum();
+    let total: u64 = m.stats().mem_accesses.max(1);
+    assert!(
+        unlabelled * 10 < total,
+        "too much unlabelled traffic: {unlabelled}/{total}"
+    );
+}
+
+#[test]
+fn hotspot_accounting_is_consistent() {
+    let m = run_workload_machine(Algorithm::HuntEtAl, 24, 16, 20);
+    let hs = m.hotspots(usize::MAX);
+    let sum_acc: u64 = hs.iter().map(|h| h.accesses).sum();
+    let sum_delay: u64 = hs.iter().map(|h| h.queue_delay_cycles).sum();
+    assert_eq!(sum_acc, m.stats().mem_accesses, "accesses must add up");
+    assert_eq!(sum_delay, m.stats().queue_delay_cycles, "delay must add up");
+}

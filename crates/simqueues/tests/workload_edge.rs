@@ -1,0 +1,82 @@
+//! Edge cases of the benchmark workload driver.
+
+use funnelpq_sim::MachineConfig;
+use funnelpq_simqueues::queues::{Algorithm, BuildParams};
+use funnelpq_simqueues::workload::{run_queue_workload, run_queue_workload_with, Workload};
+
+#[test]
+fn single_processor_single_priority() {
+    let wl = Workload {
+        procs: 1,
+        num_priorities: 1,
+        ops_per_proc: 30,
+        local_work: 10,
+        seed: 9,
+        machine: MachineConfig::test_tiny(),
+    };
+    for algo in Algorithm::ALL {
+        let r = run_queue_workload(algo, &wl);
+        assert_eq!(r.all.count(), 30, "{algo}");
+        assert!(r.total_cycles > 0);
+    }
+}
+
+#[test]
+fn zero_local_work_is_fine() {
+    let wl = Workload {
+        procs: 4,
+        num_priorities: 4,
+        ops_per_proc: 10,
+        local_work: 0,
+        seed: 2,
+        machine: MachineConfig::test_tiny(),
+    };
+    let r = run_queue_workload(Algorithm::FunnelTree, &wl);
+    assert_eq!(r.all.count(), 40);
+}
+
+#[test]
+#[should_panic]
+fn zero_processors_rejected() {
+    let wl = Workload {
+        procs: 0,
+        num_priorities: 4,
+        ops_per_proc: 10,
+        local_work: 0,
+        seed: 2,
+        machine: MachineConfig::test_tiny(),
+    };
+    run_queue_workload(Algorithm::SimpleLinear, &wl);
+}
+
+#[test]
+fn insert_plus_delete_counts_equal_total() {
+    let wl = Workload::standard(6, 8);
+    for algo in [Algorithm::SimpleLinear, Algorithm::FunnelTree] {
+        let r = run_queue_workload(algo, &wl);
+        assert_eq!(r.insert.count() + r.delete.count(), r.all.count());
+        assert_eq!(r.all.count() as usize, 6 * wl.ops_per_proc);
+        // Means are consistent with the split.
+        let weighted = (r.insert.sum() + r.delete.sum()) as f64;
+        assert!((weighted - r.all.sum() as f64).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn funnel_levels_zero_matches_locked_counters_variant() {
+    // FunnelTree with funnel_levels = 0 still works and conserves counts.
+    let wl = Workload::standard(8, 16);
+    let mut params = BuildParams::new(wl.procs, wl.num_priorities);
+    params.capacity = (wl.procs * wl.ops_per_proc).max(64) + 8;
+    params.funnel_levels = 0;
+    let r = run_queue_workload_with(Algorithm::FunnelTree, &wl, &params);
+    assert_eq!(r.all.count() as usize, 8 * wl.ops_per_proc);
+}
+
+#[test]
+fn machine_stats_accumulate() {
+    let wl = Workload::standard(4, 4);
+    let r = run_queue_workload(Algorithm::SimpleTree, &wl);
+    assert!(r.stats.mem_accesses > 0, "memory traffic must be recorded");
+    assert!(r.stats.mean_queue_delay() >= 0.0);
+}

@@ -1,0 +1,183 @@
+//! The paper's "bin" (Figure 1): an unordered pool of elements guarded by an
+//! MCS lock, whose emptiness can be tested with a single read.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::mcs::McsMutex;
+
+/// Removal order within a bin holding equal-priority items.
+///
+/// The paper's funnel bins are stacks (LIFO), which enables elimination but
+/// "can cause unfairness (and even starvation) among items of equal
+/// priority"; it notes FIFO bins as the fair alternative. Lock-based bins
+/// support both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BinOrder {
+    /// Last in, first out (the paper's default).
+    #[default]
+    Lifo,
+    /// First in, first out — fair among equal priorities.
+    Fifo,
+}
+
+/// An unordered pool of `T` supporting insert, delete-of-unspecified-element
+/// and a lock-free emptiness test.
+///
+/// `is_empty` reads one shared word without taking the lock — the property
+/// the paper's `delete-min` scan depends on ("testing for emptiness is much
+/// faster than actually trying to remove an element").
+///
+/// # Examples
+///
+/// ```
+/// use funnelpq_sync::LockBin;
+/// let bin = LockBin::new();
+/// assert!(bin.is_empty());
+/// bin.insert('x');
+/// assert_eq!(bin.len(), 1);
+/// assert_eq!(bin.delete(), Some('x'));
+/// assert_eq!(bin.delete(), None);
+/// ```
+#[derive(Debug)]
+pub struct LockBin<T> {
+    items: McsMutex<VecDeque<T>>,
+    size: AtomicUsize,
+    order: BinOrder,
+}
+
+impl<T> LockBin<T> {
+    /// Creates an empty LIFO bin.
+    pub fn new() -> Self {
+        Self::with_order(BinOrder::Lifo)
+    }
+
+    /// Creates an empty bin with the given removal order.
+    pub fn with_order(order: BinOrder) -> Self {
+        LockBin {
+            items: McsMutex::new(VecDeque::new()),
+            size: AtomicUsize::new(0),
+            order,
+        }
+    }
+
+    /// Adds an element to the bin.
+    pub fn insert(&self, item: T) {
+        let mut g = self.items.lock();
+        g.push_back(item);
+        self.size.store(g.len(), Ordering::Release);
+    }
+
+    /// Removes and returns an element (per the bin's [`BinOrder`]), or
+    /// `None` if the bin is empty.
+    pub fn delete(&self) -> Option<T> {
+        let mut g = self.items.lock();
+        let out = match self.order {
+            BinOrder::Lifo => g.pop_back(),
+            BinOrder::Fifo => g.pop_front(),
+        };
+        self.size.store(g.len(), Ordering::Release);
+        out
+    }
+
+    /// Lock-free emptiness test (a single shared read). May be stale by the
+    /// time the caller acts on it, exactly like the paper's `bin-empty`.
+    pub fn is_empty(&self) -> bool {
+        self.size.load(Ordering::Acquire) == 0
+    }
+
+    /// Lock-free size snapshot.
+    pub fn len(&self) -> usize {
+        self.size.load(Ordering::Acquire)
+    }
+
+    /// Drains all elements (used when tearing a queue down).
+    pub fn drain(&self) -> Vec<T> {
+        let mut g = self.items.lock();
+        let out = std::mem::take(&mut *g).into_iter().collect();
+        self.size.store(0, Ordering::Release);
+        out
+    }
+}
+
+impl<T> Default for LockBin<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn insert_delete_lifo() {
+        let b = LockBin::new();
+        b.insert(1);
+        b.insert(2);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.delete(), Some(2));
+        assert_eq!(b.delete(), Some(1));
+        assert_eq!(b.delete(), None);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn insert_delete_fifo() {
+        let b = LockBin::with_order(BinOrder::Fifo);
+        b.insert(1);
+        b.insert(2);
+        b.insert(3);
+        assert_eq!(b.delete(), Some(1));
+        assert_eq!(b.delete(), Some(2));
+        assert_eq!(b.delete(), Some(3));
+        assert_eq!(b.delete(), None);
+    }
+
+    #[test]
+    fn drain_empties() {
+        let b = LockBin::new();
+        for i in 0..5 {
+            b.insert(i);
+        }
+        let mut v = b.drain();
+        v.sort_unstable();
+        assert_eq!(v, vec![0, 1, 2, 3, 4]);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn concurrent_no_loss_no_dup() {
+        const T: usize = 8;
+        const N: usize = 500;
+        let b = Arc::new(LockBin::new());
+        let got = Arc::new(McsMutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for t in 0..T {
+            let b = Arc::clone(&b);
+            let got = Arc::clone(&got);
+            handles.push(thread::spawn(move || {
+                for i in 0..N {
+                    b.insert(t * N + i);
+                    if i % 2 == 0 {
+                        if let Some(x) = b.delete() {
+                            got.lock().push(x);
+                        }
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut all = got.lock().clone();
+        all.extend(b.drain());
+        all.sort_unstable();
+        let expect: Vec<usize> = (0..T * N).collect();
+        assert_eq!(all, expect, "every insert observed exactly once");
+    }
+
+    use crate::mcs::McsMutex;
+}

@@ -1,0 +1,301 @@
+//! Shared counters: the abstract operations (Figure 1 of the paper) and two
+//! non-combining implementations used as baselines.
+//!
+//! A *counter* holds an integer and supports fetch-and-increment and
+//! fetch-and-decrement; either direction may be *bounded*, meaning the
+//! counter never moves past the bound and saturated operations return the
+//! bound. The paper's tree-based queues need an unbounded increment and a
+//! decrement bounded below by zero.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+
+use crossbeam_utils::CachePadded;
+
+use crate::mcs::McsMutex;
+
+/// Inclusive bounds a counter's value must stay within.
+///
+/// `None` means unbounded in that direction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Bounds {
+    /// Lower bound: decrements at `lo` return `lo` and do not move the value.
+    pub lo: Option<i64>,
+    /// Upper bound: increments at `hi` return `hi` and do not move the value.
+    pub hi: Option<i64>,
+}
+
+impl Bounds {
+    /// No bounds in either direction.
+    pub fn unbounded() -> Self {
+        Bounds::default()
+    }
+
+    /// Bounded below by zero — what the priority-queue trees use.
+    pub fn non_negative() -> Self {
+        Bounds {
+            lo: Some(0),
+            hi: None,
+        }
+    }
+
+    pub(crate) fn clamp(&self, v: i64) -> i64 {
+        let mut v = v;
+        if let Some(lo) = self.lo {
+            v = v.max(lo);
+        }
+        if let Some(hi) = self.hi {
+            v = v.min(hi);
+        }
+        v
+    }
+}
+
+/// A shared counter supporting (possibly bounded) fetch-and-increment and
+/// fetch-and-decrement, accessed by registered thread ids.
+///
+/// `tid` is a small dense thread index below the structure's configured
+/// maximum; concurrent callers must use distinct `tid`s (a shared `tid`
+/// cannot corrupt memory but can produce nonsense results).
+pub trait SharedCounter: Send + Sync {
+    /// Adds one (unless at the upper bound); returns the previous value.
+    fn fetch_inc(&self, tid: usize) -> i64;
+    /// Subtracts one (unless at the lower bound); returns the previous
+    /// value. A return equal to the lower bound means nothing was
+    /// decremented.
+    fn fetch_dec(&self, tid: usize) -> i64;
+    /// Current value. Only meaningful at quiescence.
+    fn value(&self) -> i64;
+}
+
+/// Counter implemented with a compare-and-swap retry loop on one shared
+/// word. The contention behaviour of "the hardware primitive applied
+/// directly": fine at low concurrency, a hot spot at high concurrency.
+///
+/// # Examples
+///
+/// ```
+/// use funnelpq_sync::{Bounds, CasCounter, SharedCounter};
+/// let c = CasCounter::new(0, Bounds::non_negative());
+/// assert_eq!(c.fetch_dec(0), 0); // saturated at the lower bound
+/// assert_eq!(c.fetch_inc(0), 0);
+/// assert_eq!(c.value(), 1);
+/// ```
+#[derive(Debug)]
+pub struct CasCounter {
+    val: CachePadded<AtomicI64>,
+    bounds: Bounds,
+}
+
+impl CasCounter {
+    /// Creates a counter with the given initial value and bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` lies outside `bounds`.
+    pub fn new(initial: i64, bounds: Bounds) -> Self {
+        assert_eq!(
+            bounds.clamp(initial),
+            initial,
+            "initial value out of bounds"
+        );
+        CasCounter {
+            val: CachePadded::new(AtomicI64::new(initial)),
+            bounds,
+        }
+    }
+}
+
+impl SharedCounter for CasCounter {
+    fn fetch_inc(&self, _tid: usize) -> i64 {
+        let mut cur = self.val.load(Ordering::Relaxed);
+        loop {
+            if self.bounds.hi == Some(cur) {
+                // Re-validate the saturated read before trusting it.
+                let again = self.val.load(Ordering::Acquire);
+                if again == cur {
+                    return cur;
+                }
+                cur = again;
+                continue;
+            }
+            match self
+                .val
+                .compare_exchange_weak(cur, cur + 1, Ordering::AcqRel, Ordering::Relaxed)
+            {
+                Ok(v) => return v,
+                Err(v) => cur = v,
+            }
+        }
+    }
+
+    fn fetch_dec(&self, _tid: usize) -> i64 {
+        let mut cur = self.val.load(Ordering::Relaxed);
+        loop {
+            if self.bounds.lo == Some(cur) {
+                let again = self.val.load(Ordering::Acquire);
+                if again == cur {
+                    return cur;
+                }
+                cur = again;
+                continue;
+            }
+            match self
+                .val
+                .compare_exchange_weak(cur, cur - 1, Ordering::AcqRel, Ordering::Relaxed)
+            {
+                Ok(v) => return v,
+                Err(v) => cur = v,
+            }
+        }
+    }
+
+    fn value(&self) -> i64 {
+        self.val.load(Ordering::Acquire)
+    }
+}
+
+/// Counter protected by an MCS queue lock — the implementation the paper's
+/// `SimpleTree` uses at every node and `FunnelTree` uses at its deeper,
+/// low-traffic nodes.
+///
+/// # Examples
+///
+/// ```
+/// use funnelpq_sync::{Bounds, LockedCounter, SharedCounter};
+/// let c = LockedCounter::new(5, Bounds::unbounded());
+/// assert_eq!(c.fetch_dec(0), 5);
+/// assert_eq!(c.value(), 4);
+/// ```
+#[derive(Debug)]
+pub struct LockedCounter {
+    val: McsMutex<i64>,
+    bounds: Bounds,
+}
+
+impl LockedCounter {
+    /// Creates a counter with the given initial value and bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` lies outside `bounds`.
+    pub fn new(initial: i64, bounds: Bounds) -> Self {
+        assert_eq!(
+            bounds.clamp(initial),
+            initial,
+            "initial value out of bounds"
+        );
+        LockedCounter {
+            val: McsMutex::new(initial),
+            bounds,
+        }
+    }
+}
+
+impl SharedCounter for LockedCounter {
+    fn fetch_inc(&self, _tid: usize) -> i64 {
+        let mut v = self.val.lock();
+        let old = *v;
+        if self.bounds.hi != Some(old) {
+            *v = old + 1;
+        }
+        old
+    }
+
+    fn fetch_dec(&self, _tid: usize) -> i64 {
+        let mut v = self.val.lock();
+        let old = *v;
+        if self.bounds.lo != Some(old) {
+            *v = old - 1;
+        }
+        old
+    }
+
+    fn value(&self) -> i64 {
+        *self.val.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    fn sequential_contract(c: &dyn SharedCounter) {
+        assert_eq!(c.value(), 0);
+        assert_eq!(c.fetch_inc(0), 0);
+        assert_eq!(c.fetch_inc(0), 1);
+        assert_eq!(c.fetch_dec(0), 2);
+        assert_eq!(c.fetch_dec(0), 1);
+        // At lower bound 0: decrement saturates.
+        assert_eq!(c.fetch_dec(0), 0);
+        assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    fn cas_counter_sequential() {
+        sequential_contract(&CasCounter::new(0, Bounds::non_negative()));
+    }
+
+    #[test]
+    fn locked_counter_sequential() {
+        sequential_contract(&LockedCounter::new(0, Bounds::non_negative()));
+    }
+
+    #[test]
+    fn upper_bound_saturates() {
+        let c = CasCounter::new(
+            0,
+            Bounds {
+                lo: Some(0),
+                hi: Some(2),
+            },
+        );
+        assert_eq!(c.fetch_inc(0), 0);
+        assert_eq!(c.fetch_inc(0), 1);
+        assert_eq!(c.fetch_inc(0), 2);
+        assert_eq!(c.fetch_inc(0), 2);
+        assert_eq!(c.value(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn initial_out_of_bounds_panics() {
+        let _ = CasCounter::new(-1, Bounds::non_negative());
+    }
+
+    fn concurrent_net(c: Arc<dyn SharedCounter>, threads: usize, ops: usize) {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let c = Arc::clone(&c);
+            handles.push(thread::spawn(move || {
+                for i in 0..ops {
+                    if (t + i) % 2 == 0 {
+                        c.fetch_inc(t);
+                    } else {
+                        c.fetch_dec(t);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn cas_counter_unbounded_concurrent_balance() {
+        let c: Arc<dyn SharedCounter> = Arc::new(CasCounter::new(0, Bounds::unbounded()));
+        concurrent_net(Arc::clone(&c), 8, 1000);
+        // 8 threads × 1000 ops, exactly half inc half dec per thread pattern:
+        // each thread alternates so nets 0.
+        assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    fn locked_counter_bounded_never_negative() {
+        let c: Arc<dyn SharedCounter> = Arc::new(LockedCounter::new(0, Bounds::non_negative()));
+        concurrent_net(Arc::clone(&c), 8, 999);
+        assert!(c.value() >= 0);
+    }
+}

@@ -1,0 +1,578 @@
+//! Combining-funnel stack: the paper's funnel-based "bin".
+//!
+//! Same collision machinery as [`crate::FunnelCounter`], but operations are
+//! `push` / `pop` and what flows through the combining trees are *chains of
+//! stack nodes* rather than integer deltas:
+//!
+//! * two colliding pushes splice their chains — a push tree of size `k`
+//!   reaches the central stack as one pre-linked chain installed with a
+//!   single update;
+//! * two colliding pops merge — a pop tree of size `k` detaches `k` nodes
+//!   from the central stack in one critical section and distributes them
+//!   back down the tree;
+//! * a push tree colliding with a pop tree of the same size *eliminates*:
+//!   the pushers' chain is handed straight to the poppers and the central
+//!   stack is never touched.
+//!
+//! Emptiness is a single read of the head pointer, which is what makes the
+//! `delete-min` scan of `LinearFunnels` cheap. Like the paper's structure,
+//! the stack is quiescently consistent.
+
+use std::marker::PhantomData;
+use std::ptr;
+use std::sync::atomic::{AtomicI64, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+
+use crossbeam_utils::{Backoff, CachePadded};
+use rand::Rng;
+
+use crate::funnel::FunnelConfig;
+use crate::ttas::TtasMutex;
+
+struct Node<T> {
+    item: Option<T>,
+    next: *mut Node<T>,
+}
+
+/// `location` states beyond layer indices.
+const LOC_FROZEN: u64 = u64::MAX - 1;
+/// Result word: 0 = none yet; low 3 bits tag, rest pointer.
+const RES_NONE: u64 = 0;
+const TAG_DONE: u64 = 1; // push completed
+const TAG_CHAIN: u64 = 2; // pop completed; high bits = chain head (may be null)
+
+struct Record<T> {
+    location: CachePadded<AtomicU64>,
+    /// +k for a push tree of k items, -k for a pop tree of k requests.
+    sum: AtomicI64,
+    /// Head/tail of the pre-linked chain carried by a push tree root.
+    chain_head: AtomicPtr<Node<T>>,
+    chain_tail: AtomicPtr<Node<T>>,
+    result: AtomicU64,
+    width_frac: AtomicUsize,
+    /// Adaption: layers to traverse before going central (owner-only).
+    depth_pref: AtomicUsize,
+}
+
+impl<T> Record<T> {
+    fn new(levels: usize) -> Self {
+        Record {
+            location: CachePadded::new(AtomicU64::new(LOC_FROZEN)),
+            sum: AtomicI64::new(0),
+            chain_head: AtomicPtr::new(ptr::null_mut()),
+            chain_tail: AtomicPtr::new(ptr::null_mut()),
+            result: AtomicU64::new(RES_NONE),
+            width_frac: AtomicUsize::new(256),
+            depth_pref: AtomicUsize::new(levels),
+        }
+    }
+}
+
+/// A concurrent stack (pool) built from combining funnels with elimination.
+///
+/// Thread ids must be dense, below the config's `max_threads`, and not used
+/// by two threads at once.
+///
+/// # Examples
+///
+/// ```
+/// use funnelpq_sync::{FunnelConfig, FunnelStack};
+/// let s: FunnelStack<u32> = FunnelStack::new(FunnelConfig::for_threads(4));
+/// s.push(0, 7);
+/// assert!(!s.is_empty());
+/// assert_eq!(s.pop(0), Some(7));
+/// assert_eq!(s.pop(0), None);
+/// ```
+pub struct FunnelStack<T> {
+    cfg: FunnelConfig,
+    /// Head of the central chain; read without the lock for emptiness.
+    head: CachePadded<AtomicPtr<Node<T>>>,
+    /// Serializes structural mutation of the central chain.
+    central_lock: TtasMutex<()>,
+    records: Box<[Record<T>]>,
+    layers: Vec<Box<[AtomicUsize]>>,
+    _marker: PhantomData<T>,
+}
+
+// SAFETY: nodes carrying `T` move between threads through the funnel
+// protocol; each node's item is consumed by exactly one thread.
+unsafe impl<T: Send> Send for FunnelStack<T> {}
+unsafe impl<T: Send> Sync for FunnelStack<T> {}
+
+enum Outcome<T> {
+    /// Push applied (or eliminated).
+    Done,
+    /// Pop outcome: chain of nodes, ours first (null = empty pool).
+    Chain(*mut Node<T>),
+}
+
+impl<T: Send> FunnelStack<T> {
+    /// Creates an empty stack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(cfg: FunnelConfig) -> Self {
+        cfg.validate();
+        let levels = cfg.widths.len();
+        let records = (0..cfg.max_threads).map(|_| Record::new(levels)).collect();
+        let layers = cfg
+            .widths
+            .iter()
+            .map(|&w| (0..w).map(|_| AtomicUsize::new(0)).collect())
+            .collect();
+        FunnelStack {
+            cfg,
+            head: CachePadded::new(AtomicPtr::new(ptr::null_mut())),
+            central_lock: TtasMutex::new(()),
+            records,
+            layers,
+            _marker: PhantomData,
+        }
+    }
+
+    /// True when the central stack holds no items. A single shared read;
+    /// may race with concurrent operations (quiescently consistent).
+    pub fn is_empty(&self) -> bool {
+        self.head.load(Ordering::Acquire).is_null()
+    }
+
+    /// Pushes `item`, possibly combining with or eliminating against
+    /// concurrent operations.
+    pub fn push(&self, tid: usize, item: T) {
+        let node = Box::into_raw(Box::new(Node {
+            item: Some(item),
+            next: ptr::null_mut(),
+        }));
+        match self.operate(tid, 1, node, node) {
+            Outcome::Done => {}
+            Outcome::Chain(_) => unreachable!("push produced a pop result"),
+        }
+    }
+
+    /// Pops an item, or returns `None` when the pool appears empty.
+    pub fn pop(&self, tid: usize) -> Option<T> {
+        match self.operate(tid, -1, ptr::null_mut(), ptr::null_mut()) {
+            Outcome::Done => unreachable!("pop produced a push result"),
+            Outcome::Chain(chain) => self.consume_chain_head(tid, chain),
+        }
+    }
+
+    /// Takes the first node of `chain` as our own result and distributes the
+    /// rest to the children recorded for `tid`'s last operation — except
+    /// distribution state lives on the stack frame, so this helper only
+    /// handles the head. (Distribution happens inside `operate`.)
+    fn consume_chain_head(&self, _tid: usize, chain: *mut Node<T>) -> Option<T> {
+        if chain.is_null() {
+            return None;
+        }
+        // SAFETY: the protocol hands each popped node to exactly one op.
+        let mut node = unsafe { Box::from_raw(chain) };
+        node.item.take()
+    }
+
+    /// Core funnel traversal. For pushes, `chead`/`ctail` delimit the
+    /// (initially 1-node) chain; for pops both are null.
+    fn operate(
+        &self,
+        tid: usize,
+        delta: i64,
+        chead: *mut Node<T>,
+        ctail: *mut Node<T>,
+    ) -> Outcome<T> {
+        assert!(tid < self.cfg.max_threads, "tid {tid} out of range");
+        let me = &self.records[tid];
+        let mut sum = delta;
+        let mut ctail = ctail;
+        let mut children: Vec<(usize, i64)> = Vec::new();
+        let mut d: u64 = 0;
+        let levels = self.layers.len() as u64;
+        let max_d = (me.depth_pref.load(Ordering::Relaxed) as u64).min(levels);
+
+        let mut attempts_made = 0u32;
+        let mut collisions_won = 0u32;
+        let mut central_contended = false;
+        let mut was_captured = false;
+
+        me.sum.store(sum, Ordering::Relaxed);
+        me.chain_head.store(chead, Ordering::Relaxed);
+        me.chain_tail.store(ctail, Ordering::Relaxed);
+        me.result.store(RES_NONE, Ordering::Relaxed);
+        me.location.store(d, Ordering::SeqCst);
+
+        // Tag + chain pointer describing our tree's outcome. Unlike the
+        // counter (whose central CAS can fail and loop back into the
+        // collision layers), the stack's central section is lock-based and
+        // always succeeds, so this is a run-once labelled block.
+        let (tag, my_chain) = 'mainloop: {
+            let mut n = 0;
+            while n < self.cfg.attempts && d < max_d {
+                n += 1;
+                attempts_made += 1;
+                let layer = &self.layers[d as usize];
+                let frac = me.width_frac.load(Ordering::Relaxed);
+                let wid = ((layer.len() * frac) / 256).clamp(1, layer.len());
+                let slot = rand::rng().random_range(0..wid);
+                let q = layer[slot].swap(tid + 1, Ordering::AcqRel);
+                if q != 0 && q - 1 != tid {
+                    let q = q - 1;
+                    if me
+                        .location
+                        .compare_exchange(d, LOC_FROZEN, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_err()
+                    {
+                        was_captured = true;
+                        break 'mainloop self.await_result(tid);
+                    }
+                    let qr = &self.records[q];
+                    if qr
+                        .location
+                        .compare_exchange(d, LOC_FROZEN, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_ok()
+                    {
+                        collisions_won += 1;
+                        let qsum = qr.sum.load(Ordering::SeqCst);
+                        debug_assert_eq!(qsum.abs(), sum.abs());
+                        if qsum == -sum {
+                            // Elimination: the push tree's chain goes to the
+                            // pop tree; the push tree is done.
+                            if sum > 0 {
+                                // We are the pushers; q gets our chain.
+                                qr.result.store(chead as u64 | TAG_CHAIN, Ordering::SeqCst);
+                                break 'mainloop (TAG_DONE, ptr::null_mut());
+                            } else {
+                                // We are the poppers; take q's chain.
+                                let qc = qr.chain_head.load(Ordering::SeqCst);
+                                qr.result.store(TAG_DONE, Ordering::SeqCst);
+                                break 'mainloop (TAG_CHAIN, qc);
+                            }
+                        }
+                        // Same kind: merge trees.
+                        if sum > 0 {
+                            // Splice q's chain after ours.
+                            let qh = qr.chain_head.load(Ordering::SeqCst);
+                            let qt = qr.chain_tail.load(Ordering::SeqCst);
+                            debug_assert!(!qh.is_null() && !qt.is_null());
+                            // SAFETY: our tail is exclusively ours until the
+                            // chain is handed off; q's chain is frozen.
+                            unsafe { (*ctail).next = qh };
+                            ctail = qt;
+                            me.chain_tail.store(ctail, Ordering::SeqCst);
+                        }
+                        sum += qsum;
+                        me.sum.store(sum, Ordering::SeqCst);
+                        children.push((q, qsum));
+                        d += 1;
+                        me.location.store(d, Ordering::SeqCst);
+                        n = 0;
+                        continue;
+                    }
+                    me.location.store(d, Ordering::SeqCst);
+                }
+                let spin = self.cfg.spin[d as usize];
+                for _ in 0..spin {
+                    if me.location.load(Ordering::SeqCst) != d {
+                        was_captured = true;
+                        break 'mainloop self.await_result(tid);
+                    }
+                    std::hint::spin_loop();
+                }
+            }
+            // Apply the tree to the central stack.
+            match me
+                .location
+                .compare_exchange(d, LOC_FROZEN, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => {
+                    if sum > 0 {
+                        let _g = match self.central_lock.try_lock() {
+                            Some(g) => g,
+                            None => {
+                                central_contended = true;
+                                self.central_lock.lock()
+                            }
+                        };
+                        let old = self.head.load(Ordering::Relaxed);
+                        // SAFETY: `ctail` is the last node of our private
+                        // chain; linking it to the current head is the push.
+                        unsafe { (*ctail).next = old };
+                        self.head.store(chead, Ordering::Release);
+                        break 'mainloop (TAG_DONE, ptr::null_mut());
+                    } else {
+                        // Detach up to |sum| nodes.
+                        let want = (-sum) as usize;
+                        let _g = match self.central_lock.try_lock() {
+                            Some(g) => g,
+                            None => {
+                                central_contended = true;
+                                self.central_lock.lock()
+                            }
+                        };
+                        let first = self.head.load(Ordering::Relaxed);
+                        let mut last = first;
+                        let mut got = 0usize;
+                        if !first.is_null() {
+                            got = 1;
+                            // SAFETY: the lock gives exclusive structural
+                            // access; pushers publish fully linked chains
+                            // before updating head.
+                            unsafe {
+                                while got < want && !(*last).next.is_null() {
+                                    last = (*last).next;
+                                    got += 1;
+                                }
+                                self.head.store((*last).next, Ordering::Release);
+                                (*last).next = ptr::null_mut();
+                            }
+                        }
+                        let _ = got;
+                        break 'mainloop (TAG_CHAIN, first);
+                    }
+                }
+                Err(_) => {
+                    was_captured = true;
+                    break 'mainloop self.await_result(tid);
+                }
+            }
+        };
+
+        if attempts_made > 0 {
+            let frac = me.width_frac.load(Ordering::Relaxed);
+            let new = if collisions_won * 2 >= attempts_made {
+                (frac * 2).min(256)
+            } else if collisions_won == 0 {
+                (frac / 2).max(16)
+            } else {
+                frac
+            };
+            me.width_frac.store(new, Ordering::Relaxed);
+        }
+        // Depth adaption (see the counter for rationale).
+        let engaged = collisions_won > 0 || was_captured || central_contended;
+        let dp = me.depth_pref.load(Ordering::Relaxed);
+        let new_dp = if engaged {
+            (dp + 1).min(levels as usize)
+        } else {
+            dp.saturating_sub(1)
+        };
+        me.depth_pref.store(new_dp, Ordering::Relaxed);
+
+        // Distribute results down the tree.
+        match tag {
+            TAG_DONE => {
+                for &(child, _) in &children {
+                    self.records[child].result.store(TAG_DONE, Ordering::SeqCst);
+                }
+                Outcome::Done
+            }
+            TAG_CHAIN => {
+                // Keep the first node for ourselves, then cut one subchain
+                // per child (child subtree size = |csum|), in capture order.
+                let mine = my_chain;
+                let mut rest = if mine.is_null() {
+                    ptr::null_mut()
+                } else {
+                    // SAFETY: we exclusively own the detached chain.
+                    unsafe {
+                        let r = (*mine).next;
+                        (*mine).next = ptr::null_mut();
+                        r
+                    }
+                };
+                for &(child, csum) in &children {
+                    let need = csum.unsigned_abs() as usize;
+                    let chead = rest;
+                    if !rest.is_null() {
+                        // Walk `need` nodes and cut.
+                        // SAFETY: exclusive ownership of `rest`.
+                        unsafe {
+                            let mut last = rest;
+                            let mut taken = 1usize;
+                            while taken < need && !(*last).next.is_null() {
+                                last = (*last).next;
+                                taken += 1;
+                            }
+                            rest = (*last).next;
+                            (*last).next = ptr::null_mut();
+                        }
+                    }
+                    self.records[child]
+                        .result
+                        .store(chead as u64 | TAG_CHAIN, Ordering::SeqCst);
+                }
+                debug_assert!(rest.is_null(), "chain longer than tree");
+                Outcome::Chain(mine)
+            }
+            _ => unreachable!("funnel stack result tag"),
+        }
+    }
+
+    fn await_result(&self, tid: usize) -> (u64, *mut Node<T>) {
+        let me = &self.records[tid];
+        let backoff = Backoff::new();
+        loop {
+            let r = me.result.swap(RES_NONE, Ordering::SeqCst);
+            if r != RES_NONE {
+                let tag = r & 0b111;
+                let ptr = (r & !0b111) as *mut Node<T>;
+                return (tag, ptr);
+            }
+            backoff.snooze();
+        }
+    }
+
+    /// Pops every remaining item (single-threaded teardown helper).
+    pub fn drain(&mut self) -> Vec<T> {
+        let mut out = Vec::new();
+        let mut p = self.head.swap(ptr::null_mut(), Ordering::AcqRel);
+        while !p.is_null() {
+            // SAFETY: `&mut self` excludes concurrent access.
+            let mut node = unsafe { Box::from_raw(p) };
+            if let Some(item) = node.item.take() {
+                out.push(item);
+            }
+            p = node.next;
+        }
+        out
+    }
+}
+
+impl<T> Drop for FunnelStack<T> {
+    fn drop(&mut self) {
+        let mut p = self.head.load(Ordering::Relaxed);
+        while !p.is_null() {
+            // SAFETY: drop has exclusive access; every node in the central
+            // chain is owned by the stack.
+            let node = unsafe { Box::from_raw(p) };
+            p = node.next;
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for FunnelStack<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FunnelStack")
+            .field("empty", &self.head.load(Ordering::Relaxed).is_null())
+            .field("max_threads", &self.cfg.max_threads)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+    use std::thread;
+
+    fn cfg(t: usize) -> FunnelConfig {
+        FunnelConfig::for_threads(t)
+    }
+
+    #[test]
+    fn sequential_lifo() {
+        let s = FunnelStack::new(cfg(1));
+        assert!(s.is_empty());
+        assert_eq!(s.pop(0), None);
+        s.push(0, 1);
+        s.push(0, 2);
+        s.push(0, 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.pop(0), Some(3));
+        assert_eq!(s.pop(0), Some(2));
+        assert_eq!(s.pop(0), Some(1));
+        assert_eq!(s.pop(0), None);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn drop_frees_remaining_items() {
+        // Items with Drop: leak checking via Arc strong counts.
+        let marker = Arc::new(());
+        {
+            let s = FunnelStack::new(cfg(1));
+            for _ in 0..10 {
+                s.push(0, Arc::clone(&marker));
+            }
+            assert_eq!(Arc::strong_count(&marker), 11);
+            drop(s);
+        }
+        assert_eq!(Arc::strong_count(&marker), 1);
+    }
+
+    #[test]
+    fn drain_returns_everything() {
+        let mut s = FunnelStack::new(cfg(1));
+        for i in 0..5 {
+            s.push(0, i);
+        }
+        let mut v = s.drain();
+        v.sort_unstable();
+        assert_eq!(v, vec![0, 1, 2, 3, 4]);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn concurrent_push_pop_no_loss_no_dup() {
+        const T: usize = 8;
+        const N: usize = 400;
+        let s = Arc::new(FunnelStack::new(cfg(T)));
+        let popped = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for t in 0..T {
+            let s = Arc::clone(&s);
+            let popped = Arc::clone(&popped);
+            handles.push(thread::spawn(move || {
+                for i in 0..N {
+                    s.push(t, t * N + i);
+                    if i % 2 == 1 {
+                        if let Some(x) = s.pop(t) {
+                            popped.lock().push(x);
+                        }
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut all: Vec<usize> = popped.lock().clone();
+        let mut s = Arc::try_unwrap(s).unwrap_or_else(|_| panic!("stack still shared"));
+        all.extend(s.drain());
+        assert_eq!(all.len(), T * N, "count preserved");
+        let set: HashSet<usize> = all.iter().copied().collect();
+        assert_eq!(set.len(), T * N, "no duplicates");
+        assert!(set.iter().all(|&x| x < T * N));
+    }
+
+    #[test]
+    fn heavy_pop_contention_empties_cleanly() {
+        const T: usize = 8;
+        let s = Arc::new(FunnelStack::new(cfg(T)));
+        for i in 0..100 {
+            s.push(0, i);
+        }
+        let counts = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for t in 0..T {
+            let s = Arc::clone(&s);
+            let counts = Arc::clone(&counts);
+            handles.push(thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(x) = s.pop(t) {
+                    got.push(x);
+                }
+                counts.lock().extend(got);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut v = counts.lock().clone();
+        v.sort_unstable();
+        // Poppers may observe transient emptiness while pushes are absent,
+        // but here all pushes happened before spawning, so all 100 items
+        // must be recovered.
+        assert_eq!(v, (0..100).collect::<Vec<_>>());
+        assert!(s.is_empty());
+    }
+}

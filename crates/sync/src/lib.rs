@@ -1,0 +1,58 @@
+//! # funnelpq-sync
+//!
+//! Native (real-thread) concurrency substrate for the `funnelpq` priority
+//! queues, reproducing the building blocks of Shavit & Zemach, *Scalable
+//! Concurrent Priority Queue Algorithms* (PODC 1999):
+//!
+//! * [`McsLock`] / [`McsMutex`] — the Mellor-Crummey & Scott queue lock the
+//!   paper uses for bins and low-traffic counters;
+//! * [`TtasMutex`] — a centralized test-and-test-and-set baseline lock;
+//! * [`LockBin`] — the paper's Figure-1 bin (lock + pool + one-read
+//!   emptiness test);
+//! * [`CasCounter`] / [`LockedCounter`] — non-combining shared counters;
+//! * [`FunnelCounter`] — the combining-funnel counter with *bounded*
+//!   fetch-and-decrement and elimination (paper §3.3, Figure 10);
+//! * [`FunnelStack`] — the combining-funnel stack used as a scalable bin,
+//!   with push/pop elimination.
+//!
+//! All funnel structures are quiescently consistent; the locks and
+//! lock-based structures are linearizable.
+//!
+//! ## Thread ids
+//!
+//! Funnel structures identify participants by dense thread ids
+//! (`0..max_threads`). Using one id from two threads simultaneously is a
+//! logic error (operations may return wrong values) but never memory-unsafe.
+//!
+//! ## Example
+//!
+//! ```
+//! use funnelpq_sync::{Bounds, FunnelConfig, FunnelCounter, SharedCounter};
+//! use std::sync::Arc;
+//!
+//! let c = Arc::new(FunnelCounter::new(0, Bounds::non_negative(),
+//!                                     FunnelConfig::for_threads(8)));
+//! let handles: Vec<_> = (0..8).map(|tid| {
+//!     let c = Arc::clone(&c);
+//!     std::thread::spawn(move || { c.fetch_inc(tid); })
+//! }).collect();
+//! for h in handles { h.join().unwrap(); }
+//! assert_eq!(c.value(), 8);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod bin;
+mod counter;
+mod funnel;
+mod funnel_stack;
+mod mcs;
+mod ttas;
+
+pub use bin::{BinOrder, LockBin};
+pub use counter::{Bounds, CasCounter, LockedCounter, SharedCounter};
+pub use funnel::{FunnelConfig, FunnelCounter};
+pub use funnel_stack::FunnelStack;
+pub use mcs::{McsGuard, McsLock, McsMutex, McsMutexGuard};
+pub use ttas::{TtasGuard, TtasMutex};

@@ -1,0 +1,314 @@
+//! The list-based queue lock of Mellor-Crummey and Scott (TOCS 1991).
+//!
+//! Each acquiring thread appends a queue node to a tail pointer with an
+//! atomic swap and then spins on a flag *in its own node*, so under
+//! contention every waiter spins on a distinct cache line and lock handoff
+//! causes a single remote write. This is the lock the paper uses for every
+//! "bin" and for the non-funnel counters.
+
+use std::cell::UnsafeCell;
+use std::ptr;
+use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+
+use crossbeam_utils::{Backoff, CachePadded};
+
+struct QNode {
+    locked: AtomicBool,
+    next: AtomicPtr<QNode>,
+}
+
+/// A raw MCS queue lock (no data). See [`McsMutex`] for the RAII wrapper
+/// most callers want.
+///
+/// # Examples
+///
+/// ```
+/// use funnelpq_sync::McsLock;
+/// let lock = McsLock::new();
+/// let g = lock.lock();
+/// drop(g); // releases
+/// ```
+pub struct McsLock {
+    tail: CachePadded<AtomicPtr<QNode>>,
+}
+
+impl Default for McsLock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl McsLock {
+    /// Creates an unlocked MCS lock.
+    pub fn new() -> Self {
+        McsLock {
+            tail: CachePadded::new(AtomicPtr::new(ptr::null_mut())),
+        }
+    }
+
+    /// Acquires the lock, spinning in FIFO order behind current holders.
+    pub fn lock(&self) -> McsGuard<'_> {
+        let node = Box::into_raw(Box::new(QNode {
+            locked: AtomicBool::new(true),
+            next: AtomicPtr::new(ptr::null_mut()),
+        }));
+        let pred = self.tail.swap(node, Ordering::AcqRel);
+        if !pred.is_null() {
+            // SAFETY: `pred` was the previous tail; its owner cannot free it
+            // until it has signalled its successor, and it cannot signal us
+            // before we link ourselves in below.
+            unsafe { (*pred).next.store(node, Ordering::Release) };
+            let backoff = Backoff::new();
+            // SAFETY: `node` is owned by this call until unlock.
+            while unsafe { (*node).locked.load(Ordering::Acquire) } {
+                backoff.snooze();
+            }
+        }
+        McsGuard { lock: self, node }
+    }
+
+    /// Attempts to acquire the lock without waiting. Succeeds only when the
+    /// queue is empty.
+    pub fn try_lock(&self) -> Option<McsGuard<'_>> {
+        if !self.tail.load(Ordering::Relaxed).is_null() {
+            return None;
+        }
+        let node = Box::into_raw(Box::new(QNode {
+            locked: AtomicBool::new(true),
+            next: AtomicPtr::new(ptr::null_mut()),
+        }));
+        match self
+            .tail
+            .compare_exchange(ptr::null_mut(), node, Ordering::AcqRel, Ordering::Relaxed)
+        {
+            Ok(_) => Some(McsGuard { lock: self, node }),
+            Err(_) => {
+                // SAFETY: `node` never became visible to other threads.
+                drop(unsafe { Box::from_raw(node) });
+                None
+            }
+        }
+    }
+
+    /// Whether some thread currently holds or waits for the lock. Racy by
+    /// nature; useful for heuristics only.
+    pub fn is_locked(&self) -> bool {
+        !self.tail.load(Ordering::Relaxed).is_null()
+    }
+}
+
+// SAFETY: the lock protocol only shares heap-allocated queue nodes through
+// atomics; the lock itself holds no interior data.
+unsafe impl Send for McsLock {}
+unsafe impl Sync for McsLock {}
+
+impl std::fmt::Debug for McsLock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("McsLock")
+            .field("locked", &self.is_locked())
+            .finish()
+    }
+}
+
+/// RAII guard for [`McsLock`]; releasing hands the lock to the next queued
+/// thread.
+pub struct McsGuard<'a> {
+    lock: &'a McsLock,
+    node: *mut QNode,
+}
+
+impl Drop for McsGuard<'_> {
+    fn drop(&mut self) {
+        let node = self.node;
+        // SAFETY: `node` is this guard's own queue node.
+        let next = unsafe { (*node).next.load(Ordering::Acquire) };
+        if next.is_null() {
+            // No known successor: try to swing the tail back to null.
+            if self
+                .lock
+                .tail
+                .compare_exchange(node, ptr::null_mut(), Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                // SAFETY: tail no longer references the node and no
+                // successor ever linked in, so we hold the only pointer.
+                drop(unsafe { Box::from_raw(node) });
+                return;
+            }
+            // A successor swapped the tail but has not linked in yet; wait.
+            let backoff = Backoff::new();
+            // SAFETY: as above, node is still ours until handoff.
+            while unsafe { (*node).next.load(Ordering::Acquire).is_null() } {
+                backoff.snooze();
+            }
+        }
+        // SAFETY: re-load is non-null now; the successor node stays alive
+        // until *it* unlocks, which cannot happen before this store.
+        let next = unsafe { (*node).next.load(Ordering::Acquire) };
+        unsafe { (*next).locked.store(false, Ordering::Release) };
+        // SAFETY: after signalling, no thread references our node.
+        drop(unsafe { Box::from_raw(node) });
+    }
+}
+
+/// A value protected by an [`McsLock`], in the style of `std::sync::Mutex`.
+///
+/// # Examples
+///
+/// ```
+/// use funnelpq_sync::McsMutex;
+/// let m = McsMutex::new(vec![1, 2]);
+/// m.lock().push(3);
+/// assert_eq!(m.lock().len(), 3);
+/// ```
+pub struct McsMutex<T> {
+    lock: McsLock,
+    data: UnsafeCell<T>,
+}
+
+impl<T> McsMutex<T> {
+    /// Wraps `data` in a new mutex.
+    pub fn new(data: T) -> Self {
+        McsMutex {
+            lock: McsLock::new(),
+            data: UnsafeCell::new(data),
+        }
+    }
+
+    /// Acquires the lock and returns a guard dereferencing to the data.
+    pub fn lock(&self) -> McsMutexGuard<'_, T> {
+        McsMutexGuard {
+            _guard: self.lock.lock(),
+            data: self.data.get(),
+        }
+    }
+
+    /// Attempts to acquire without waiting (fails if any thread is queued).
+    pub fn try_lock(&self) -> Option<McsMutexGuard<'_, T>> {
+        self.lock.try_lock().map(|g| McsMutexGuard {
+            _guard: g,
+            data: self.data.get(),
+        })
+    }
+
+    /// Returns a mutable reference without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+
+    /// Consumes the mutex and returns the inner value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+// SAFETY: standard mutex reasoning — the guard provides exclusive access.
+unsafe impl<T: Send> Send for McsMutex<T> {}
+unsafe impl<T: Send> Sync for McsMutex<T> {}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for McsMutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("McsMutex")
+            .field("locked", &self.lock.is_locked())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Guard for [`McsMutex`].
+pub struct McsMutexGuard<'a, T> {
+    _guard: McsGuard<'a>,
+    data: *mut T,
+}
+
+impl<T> std::ops::Deref for McsMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the MCS guard guarantees exclusive access.
+        unsafe { &*self.data }
+    }
+}
+
+impl<T> std::ops::DerefMut for McsMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: the MCS guard guarantees exclusive access.
+        unsafe { &mut *self.data }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn uncontended_lock_unlock() {
+        let l = McsLock::new();
+        assert!(!l.is_locked());
+        let g = l.lock();
+        assert!(l.is_locked());
+        drop(g);
+        assert!(!l.is_locked());
+    }
+
+    #[test]
+    fn try_lock_conflicts() {
+        let l = McsLock::new();
+        let g = l.lock();
+        assert!(l.try_lock().is_none());
+        drop(g);
+        assert!(l.try_lock().is_some());
+    }
+
+    #[test]
+    fn mutex_counter_stress() {
+        const T: usize = 8;
+        const N: usize = 2_000;
+        let m = Arc::new(McsMutex::new(0u64));
+        let mut handles = Vec::new();
+        for _ in 0..T {
+            let m = Arc::clone(&m);
+            handles.push(thread::spawn(move || {
+                for _ in 0..N {
+                    *m.lock() += 1;
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*m.lock(), (T * N) as u64);
+    }
+
+    #[test]
+    fn mutex_into_inner_and_get_mut() {
+        let mut m = McsMutex::new(5);
+        *m.get_mut() += 1;
+        assert_eq!(m.into_inner(), 6);
+    }
+
+    #[test]
+    fn guards_are_exclusive_across_threads() {
+        // Two threads alternate appending; both observe a consistent Vec.
+        let m = Arc::new(McsMutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for t in 0..2 {
+            let m = Arc::clone(&m);
+            handles.push(thread::spawn(move || {
+                for i in 0..500 {
+                    let mut v = m.lock();
+                    let len = v.len();
+                    v.push((t, i, len));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let v = m.lock();
+        assert_eq!(v.len(), 1000);
+        for (k, &(_, _, len)) in v.iter().enumerate() {
+            assert_eq!(k, len, "no two pushes observed the same length");
+        }
+    }
+}

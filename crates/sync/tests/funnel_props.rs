@@ -1,0 +1,150 @@
+//! Property-based tests for the native combining-funnel structures:
+//! single-threaded sequences must match simple reference models exactly
+//! (quiescent consistency degenerates to sequential semantics), and
+//! multi-threaded histories must satisfy the counter/stack invariants.
+
+use proptest::prelude::*;
+
+use funnelpq_sync::{Bounds, FunnelConfig, FunnelCounter, FunnelStack, SharedCounter};
+
+#[derive(Debug, Clone, Copy)]
+enum CounterOp {
+    Inc,
+    Dec,
+}
+
+fn counter_ops() -> impl Strategy<Value = Vec<CounterOp>> {
+    prop::collection::vec(
+        prop_oneof![Just(CounterOp::Inc), Just(CounterOp::Dec)],
+        1..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn funnel_counter_sequential_matches_model(ops in counter_ops(), start in 0i64..50) {
+        let c = FunnelCounter::new(start, Bounds::non_negative(), FunnelConfig::for_threads(1));
+        let mut model = start;
+        for op in ops {
+            match op {
+                CounterOp::Inc => {
+                    prop_assert_eq!(c.fetch_inc(0), model);
+                    model += 1;
+                }
+                CounterOp::Dec => {
+                    prop_assert_eq!(c.fetch_dec(0), model);
+                    if model > 0 {
+                        model -= 1;
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(c.value(), model);
+    }
+
+    #[test]
+    fn funnel_counter_unbounded_matches_model(ops in counter_ops()) {
+        let c = FunnelCounter::new(0, Bounds::unbounded(), FunnelConfig::for_threads(1));
+        let mut model = 0i64;
+        for op in ops {
+            match op {
+                CounterOp::Inc => {
+                    prop_assert_eq!(c.fetch_inc(0), model);
+                    model += 1;
+                }
+                CounterOp::Dec => {
+                    prop_assert_eq!(c.fetch_dec(0), model);
+                    model -= 1;
+                }
+            }
+        }
+        prop_assert_eq!(c.value(), model);
+    }
+
+    #[test]
+    fn funnel_stack_sequential_matches_vec(ops in prop::collection::vec(prop::option::of(0u64..1000), 1..200)) {
+        let s: FunnelStack<u64> = FunnelStack::new(FunnelConfig::for_threads(1));
+        let mut model: Vec<u64> = Vec::new();
+        for op in ops {
+            match op {
+                Some(v) => {
+                    s.push(0, v);
+                    model.push(v);
+                }
+                None => {
+                    prop_assert_eq!(s.pop(0), model.pop());
+                }
+            }
+        }
+        prop_assert_eq!(s.is_empty(), model.is_empty());
+        // Drain both and compare the remainder in LIFO order.
+        while let Some(want) = model.pop() {
+            prop_assert_eq!(s.pop(0), Some(want));
+        }
+        prop_assert_eq!(s.pop(0), None);
+    }
+
+    #[test]
+    fn mcs_mutex_guards_arbitrary_mutation(ops in prop::collection::vec(0u8..4, 1..100)) {
+        // Single-threaded sanity that guard drops restore invariants.
+        let m = funnelpq_sync::McsMutex::new(Vec::<u8>::new());
+        let mut model = Vec::new();
+        for op in ops {
+            match op {
+                0..=2 => {
+                    m.lock().push(op);
+                    model.push(op);
+                }
+                _ => {
+                    prop_assert_eq!(m.lock().pop(), model.pop());
+                }
+            }
+        }
+        prop_assert_eq!(m.lock().clone(), model);
+    }
+}
+
+/// Multi-threaded: final counter value must equal start + incs - decs
+/// restricted by the bound; all returned values in bounds.
+#[test]
+fn funnel_counter_concurrent_invariants() {
+    use std::sync::Arc;
+    const T: usize = 8;
+    const N: usize = 300;
+    for (lo, start) in [(Some(0), 0i64), (None, 1_000)] {
+        let bounds = Bounds { lo, hi: None };
+        let c = Arc::new(FunnelCounter::new(
+            start,
+            bounds,
+            FunnelConfig::for_threads(T),
+        ));
+        let handles: Vec<_> = (0..T)
+            .map(|t| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for i in 0..N {
+                        let v = if (t + i) % 2 == 0 {
+                            c.fetch_inc(t)
+                        } else {
+                            c.fetch_dec(t)
+                        };
+                        if let Some(lo) = lo {
+                            assert!(v >= lo, "returned {v} below bound {lo}");
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        if lo.is_none() {
+            // Balanced incs and decs with no bound: exact conservation.
+            assert_eq!(c.value(), start);
+        } else {
+            assert!(c.value() >= 0);
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Drive the simulated 256-processor ccNUMA machine directly: a miniature
+//! version of the paper's Figure 7 experiment, printed as a table.
+//!
+//! Run with: `cargo run --release --example alewife_sweep`
+
+use funnelpq_simqueues::queues::Algorithm;
+use funnelpq_simqueues::workload::{run_queue_workload, Workload};
+
+fn main() {
+    println!("mean queue-access latency (simulated cycles), 16 priorities\n");
+    print!("{:>5}", "P");
+    for algo in Algorithm::SCALABLE {
+        print!("{:>15}", algo.name());
+    }
+    println!();
+    for p in [4usize, 16, 64, 256] {
+        let mut wl = Workload::standard(p, 16);
+        wl.ops_per_proc = 32;
+        print!("{p:>5}");
+        for algo in Algorithm::SCALABLE {
+            let r = run_queue_workload(algo, &wl);
+            print!("{:>15.0}", r.all.mean());
+        }
+        println!();
+    }
+    println!("\nExpect SimpleLinear to lead at small P and FunnelTree at large P.");
+}

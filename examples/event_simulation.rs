@@ -1,0 +1,86 @@
+//! Parallel discrete-event simulation with a bounded time horizon — the
+//! second classic consumer of bounded-range priority queues (the "timing
+//! wheel" pattern: event timestamps map onto a bounded ring of buckets).
+//!
+//! Several workers repeatedly pull the earliest pending event and may post
+//! follow-up events a bounded distance into the future. Because the
+//! horizon is bounded, timestamps map onto `0..HORIZON` — exactly a
+//! bounded-range priority queue.
+//!
+//! Run with: `cargo run --example event_simulation`
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use funnelpq::{BoundedPq, SimpleTreePq};
+
+const WORKERS: usize = 4;
+const HORIZON: usize = 64; // distinct pending timestamps
+
+#[derive(Debug)]
+struct Event {
+    id: usize,
+    /// How many follow-ups this event schedules.
+    fanout: usize,
+}
+
+fn main() {
+    let queue: Arc<SimpleTreePq<Event>> = Arc::new(SimpleTreePq::new(HORIZON, WORKERS));
+    let processed = Arc::new(AtomicUsize::new(0));
+    let max_seen = Arc::new(AtomicUsize::new(0));
+
+    for id in 0..32 {
+        queue.insert(0, id % 8, Event { id, fanout: 2 });
+    }
+
+    let handles: Vec<_> = (0..WORKERS)
+        .map(|tid| {
+            let queue = Arc::clone(&queue);
+            let processed = Arc::clone(&processed);
+            let max_seen = Arc::clone(&max_seen);
+            std::thread::spawn(move || {
+                let mut idle = 0;
+                while idle < 3 {
+                    match queue.delete_min(tid) {
+                        Some((t, ev)) => {
+                            idle = 0;
+                            processed.fetch_add(1, Ordering::Relaxed);
+                            max_seen.fetch_max(t, Ordering::Relaxed);
+                            // Post follow-ups a bounded delay ahead,
+                            // clamped to the horizon.
+                            for k in 0..ev.fanout {
+                                let when = (t + 5 + k * 3).min(HORIZON - 1);
+                                if when > t {
+                                    queue.insert(
+                                        tid,
+                                        when,
+                                        Event {
+                                            id: ev.id * 100 + k,
+                                            fanout: 0,
+                                        },
+                                    );
+                                }
+                            }
+                        }
+                        None => {
+                            idle += 1;
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let n = processed.load(Ordering::Relaxed);
+    println!(
+        "processed {n} events up to virtual time {} with {WORKERS} workers",
+        max_seen.load(Ordering::Relaxed)
+    );
+    assert!(queue.is_empty(), "event queue drained");
+    assert_eq!(n, 32 + 32 * 2, "all seed and follow-up events processed");
+    println!("event horizon respected, all events processed ✓");
+}

@@ -1,0 +1,52 @@
+//! Quickstart: create a FunnelTree bounded-range priority queue, share it
+//! across threads, and drain it in priority order.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use std::sync::Arc;
+
+use funnelpq::{BoundedPq, FunnelTreePq, PqInfo};
+
+fn main() {
+    const THREADS: usize = 4;
+    const PRIORITIES: usize = 32;
+
+    // A queue supports a fixed priority range 0..N (smaller = more urgent)
+    // and a fixed maximum number of registered threads.
+    let q = Arc::new(FunnelTreePq::new(PRIORITIES, THREADS));
+    println!(
+        "created {} ({}), {} priorities",
+        q.algorithm_name(),
+        q.consistency(),
+        q.num_priorities()
+    );
+
+    // Each thread uses its own dense thread id (0..THREADS) for the
+    // funnels' collision records.
+    let handles: Vec<_> = (0..THREADS)
+        .map(|tid| {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                for i in 0..8 {
+                    let pri = (tid * 7 + i * 3) % PRIORITIES;
+                    q.insert(tid, pri, format!("job-{tid}-{i}"));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // Drain at quiescence: items come out in priority order.
+    let mut last = 0;
+    let mut count = 0;
+    while let Some((pri, item)) = q.delete_min(0) {
+        assert!(pri >= last, "priority order violated");
+        last = pri;
+        count += 1;
+        println!("  pri {pri:2}  {item}");
+    }
+    assert_eq!(count, THREADS * 8);
+    println!("drained {count} items in priority order ✓");
+}

@@ -1,0 +1,150 @@
+//! Sequential model-conformance for every native queue: any interleaving of
+//! inserts and delete-mins, executed single-threaded, must match a sorted
+//! reference model on returned priorities (item identity within equal
+//! priorities is unspecified — bins are unordered pools).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use funnelpq::{
+    BoundedPq, FunnelTreePq, HuntPq, LinearFunnelsPq, SimpleLinearPq, SimpleTreePq, SingleLockPq,
+    SkipListPq,
+};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(usize),
+    DeleteMin,
+}
+
+fn op_strategy(num_pris: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0..num_pris).prop_map(Op::Insert),
+        2 => Just(Op::DeleteMin),
+    ]
+}
+
+/// Reference model: multiset of priorities.
+#[derive(Default)]
+struct Model {
+    counts: BTreeMap<usize, usize>,
+}
+
+impl Model {
+    fn insert(&mut self, pri: usize) {
+        *self.counts.entry(pri).or_insert(0) += 1;
+    }
+    fn delete_min(&mut self) -> Option<usize> {
+        let (&pri, _) = self.counts.iter().next()?;
+        let c = self.counts.get_mut(&pri).unwrap();
+        *c -= 1;
+        if *c == 0 {
+            self.counts.remove(&pri);
+        }
+        Some(pri)
+    }
+}
+
+fn check_queue(q: &dyn BoundedPq<u64>, ops: &[Op]) {
+    let mut model = Model::default();
+    let mut next_item = 0u64;
+    for op in ops {
+        match op {
+            Op::Insert(pri) => {
+                q.insert(0, *pri, next_item);
+                next_item += 1;
+                model.insert(*pri);
+            }
+            Op::DeleteMin => {
+                let got = q.delete_min(0).map(|(p, _)| p);
+                let want = model.delete_min();
+                assert_eq!(got, want, "delete_min priority mismatch");
+            }
+        }
+    }
+    // Full drain must also agree.
+    loop {
+        let got = q.delete_min(0).map(|(p, _)| p);
+        let want = model.delete_min();
+        assert_eq!(got, want, "drain mismatch");
+        if got.is_none() {
+            break;
+        }
+    }
+    assert!(q.is_empty());
+}
+
+fn all_queues(num_pris: usize) -> Vec<(&'static str, Arc<dyn BoundedPq<u64>>)> {
+    vec![
+        ("SingleLock", Arc::new(SingleLockPq::new(num_pris, 1)) as _),
+        (
+            "HuntEtAl",
+            Arc::new(HuntPq::with_capacity(num_pris, 1, 4096)) as _,
+        ),
+        ("SkipList", Arc::new(SkipListPq::new(num_pris, 1)) as _),
+        (
+            "SimpleLinear",
+            Arc::new(SimpleLinearPq::new(num_pris, 1)) as _,
+        ),
+        ("SimpleTree", Arc::new(SimpleTreePq::new(num_pris, 1)) as _),
+        (
+            "LinearFunnels",
+            Arc::new(LinearFunnelsPq::new(num_pris, 1)) as _,
+        ),
+        ("FunnelTree", Arc::new(FunnelTreePq::new(num_pris, 1)) as _),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_queues_match_model_16_priorities(ops in prop::collection::vec(op_strategy(16), 1..200)) {
+        for (name, q) in all_queues(16) {
+            let _ = name;
+            check_queue(q.as_ref(), &ops);
+        }
+    }
+
+    #[test]
+    fn all_queues_match_model_5_priorities(ops in prop::collection::vec(op_strategy(5), 1..120)) {
+        for (_name, q) in all_queues(5) {
+            check_queue(q.as_ref(), &ops);
+        }
+    }
+
+    #[test]
+    fn all_queues_match_model_1_priority(ops in prop::collection::vec(op_strategy(1), 1..60)) {
+        for (_name, q) in all_queues(1) {
+            check_queue(q.as_ref(), &ops);
+        }
+    }
+}
+
+#[test]
+fn deep_priority_range() {
+    // 512 priorities, reversed insertion, full drain.
+    for (name, q) in all_queues(512) {
+        for p in (0..512).rev() {
+            q.insert(0, p, p as u64);
+        }
+        for p in 0..512 {
+            let got = q.delete_min(0);
+            assert_eq!(got.map(|e| e.0), Some(p), "{name} at {p}");
+        }
+        assert_eq!(q.delete_min(0), None, "{name} should be empty");
+    }
+}
+
+#[test]
+fn items_survive_round_trips() {
+    for (name, q) in all_queues(8) {
+        for round in 0..10u64 {
+            q.insert(0, (round % 8) as usize, round * 1000);
+            let (_, item) = q.delete_min(0).unwrap();
+            assert_eq!(item, round * 1000, "{name} round {round}");
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Concurrency stress tests for the native queues: conservation (no item
+//! lost or duplicated) under mixed workloads, and the quiescent-consistency
+//! guarantee from the paper's Appendix B — `k` delete-mins after a
+//! quiescent point, with no concurrent inserts, return exactly the `k`
+//! smallest priorities present.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+use std::thread;
+
+use funnelpq::{
+    BoundedPq, FunnelTreePq, HuntPq, LinearFunnelsPq, SimpleLinearPq, SimpleTreePq, SingleLockPq,
+    SkipListPq,
+};
+
+const THREADS: usize = 8;
+
+fn all_queues(num_pris: usize) -> Vec<(&'static str, Arc<dyn BoundedPq<u64>>)> {
+    vec![
+        (
+            "SingleLock",
+            Arc::new(SingleLockPq::new(num_pris, THREADS)) as _,
+        ),
+        (
+            "HuntEtAl",
+            Arc::new(HuntPq::with_capacity(num_pris, THREADS, 1 << 15)) as _,
+        ),
+        (
+            "SkipList",
+            Arc::new(SkipListPq::new(num_pris, THREADS)) as _,
+        ),
+        (
+            "SimpleLinear",
+            Arc::new(SimpleLinearPq::new(num_pris, THREADS)) as _,
+        ),
+        (
+            "SimpleTree",
+            Arc::new(SimpleTreePq::new(num_pris, THREADS)) as _,
+        ),
+        (
+            "LinearFunnels",
+            Arc::new(LinearFunnelsPq::new(num_pris, THREADS)) as _,
+        ),
+        (
+            "FunnelTree",
+            Arc::new(FunnelTreePq::new(num_pris, THREADS)) as _,
+        ),
+    ]
+}
+
+/// Mixed inserts/deletes from every thread; at the end, deleted ∪ drained
+/// must equal exactly the set of inserted items.
+#[test]
+fn conservation_under_mixed_load() {
+    const OPS: usize = 400;
+    for (name, q) in all_queues(16) {
+        let deleted = Arc::new(Mutex::new(Vec::new()));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|tid| {
+                let q = Arc::clone(&q);
+                let deleted = Arc::clone(&deleted);
+                thread::spawn(move || {
+                    let mut local = Vec::new();
+                    for i in 0..OPS {
+                        let item = (tid * OPS + i) as u64;
+                        q.insert(tid, (item % 16) as usize, item);
+                        if i % 2 == 0 {
+                            if let Some((_, x)) = q.delete_min(tid) {
+                                local.push(x);
+                            }
+                        }
+                    }
+                    deleted.lock().unwrap().extend(local);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut all = deleted.lock().unwrap().clone();
+        while let Some((_, x)) = q.delete_min(0) {
+            all.push(x);
+        }
+        all.sort_unstable();
+        let expect: Vec<u64> = (0..(THREADS * OPS) as u64).collect();
+        assert_eq!(all, expect, "{name}: items lost or duplicated");
+        assert!(q.is_empty(), "{name}: queue should be empty after drain");
+    }
+}
+
+/// Parallel insert phase, quiescent point, then parallel delete phase of
+/// exactly k ≤ total items: the union of the deleted priorities must be
+/// the k smallest inserted.
+#[test]
+fn quiescent_k_smallest() {
+    const PER_THREAD: usize = 50;
+    const K: usize = 200; // k = half the items
+    for (name, q) in all_queues(32) {
+        let inserted = Arc::new(Mutex::new(Vec::new()));
+        let barrier = Arc::new(Barrier::new(THREADS));
+        let deleted = Arc::new(Mutex::new(Vec::new()));
+        let budget = Arc::new(AtomicUsize::new(K));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|tid| {
+                let q = Arc::clone(&q);
+                let inserted = Arc::clone(&inserted);
+                let deleted = Arc::clone(&deleted);
+                let barrier = Arc::clone(&barrier);
+                let budget = Arc::clone(&budget);
+                thread::spawn(move || {
+                    let mut mine = Vec::new();
+                    for i in 0..PER_THREAD {
+                        let pri = (tid * 13 + i * 7) % 32;
+                        q.insert(tid, pri, (tid * PER_THREAD + i) as u64);
+                        mine.push(pri);
+                    }
+                    inserted.lock().unwrap().extend(mine);
+                    // Quiescent point: all inserts complete before any
+                    // delete begins.
+                    barrier.wait();
+                    let mut got = Vec::new();
+                    loop {
+                        // Claim one unit of the delete budget.
+                        let prev = budget.fetch_sub(1, Ordering::AcqRel);
+                        if prev == 0 || prev > K {
+                            budget.fetch_add(1, Ordering::AcqRel);
+                            break;
+                        }
+                        let e = q.delete_min(tid);
+                        match e {
+                            Some((p, _)) => got.push(p),
+                            None => panic!("delete_min returned None with items present"),
+                        }
+                    }
+                    deleted.lock().unwrap().extend(got);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut want: Vec<usize> = inserted.lock().unwrap().clone();
+        want.sort_unstable();
+        want.truncate(K);
+        let mut got = deleted.lock().unwrap().clone();
+        got.sort_unstable();
+        assert_eq!(got.len(), K, "{name}: exactly k deletions should succeed");
+        assert_eq!(got, want, "{name}: deleted set must be the k smallest");
+    }
+}
+
+/// Many threads hammer a single priority: items behave like a pool and the
+/// queue never fabricates items.
+#[test]
+fn single_priority_pool_semantics() {
+    const OPS: usize = 300;
+    for (name, q) in all_queues(1) {
+        let taken = Arc::new(Mutex::new(Vec::new()));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|tid| {
+                let q = Arc::clone(&q);
+                let taken = Arc::clone(&taken);
+                thread::spawn(move || {
+                    let mut local = Vec::new();
+                    for i in 0..OPS {
+                        q.insert(tid, 0, (tid * OPS + i) as u64);
+                        if let Some((p, x)) = q.delete_min(tid) {
+                            assert_eq!(p, 0);
+                            local.push(x);
+                        }
+                    }
+                    taken.lock().unwrap().extend(local);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut all = taken.lock().unwrap().clone();
+        while let Some((_, x)) = q.delete_min(0) {
+            all.push(x);
+        }
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(
+            all.len(),
+            THREADS * OPS,
+            "{name}: duplicates or losses detected"
+        );
+    }
+}
+
+/// The consistency documented per queue matches the claim table in lib.rs.
+#[test]
+fn consistency_labels() {
+    use funnelpq::{Consistency, PqInfo};
+    assert_eq!(
+        SingleLockPq::<u64>::new(4, 1).consistency(),
+        Consistency::Linearizable
+    );
+    assert_eq!(
+        HuntPq::<u64>::new(4, 1).consistency(),
+        Consistency::Linearizable
+    );
+    assert_eq!(
+        SimpleLinearPq::<u64>::new(4, 1).consistency(),
+        Consistency::Linearizable
+    );
+    assert_eq!(
+        SkipListPq::<u64>::new(4, 1).consistency(),
+        Consistency::QuiescentlyConsistent
+    );
+    assert_eq!(
+        SimpleTreePq::<u64>::new(4, 1).consistency(),
+        Consistency::QuiescentlyConsistent
+    );
+    assert_eq!(
+        LinearFunnelsPq::<u64>::new(4, 1).consistency(),
+        Consistency::QuiescentlyConsistent
+    );
+    assert_eq!(
+        FunnelTreePq::<u64>::new(4, 1).consistency(),
+        Consistency::QuiescentlyConsistent
+    );
+}

@@ -1,0 +1,209 @@
+//! History-based checker for the paper's Appendix-B quiescent-consistency
+//! specification.
+//!
+//! Every operation is stamped with global begin/end sequence numbers. After
+//! the run, we locate *quiescent points* — stamps at which no operation is
+//! in flight — and check each window between consecutive quiescent points
+//! against the appendix: if the queue held the multiset `E` at the window's
+//! start and the window performed `k` successful delete-mins while
+//! inserting `I`, then every returned priority must be bounded by the
+//! `k`-th smallest priority of `E` (every member of both `Min_k(E)` and
+//! `Min_k(E ∪ I)` is ≤ that bound). Conservation across windows is also
+//! checked exactly.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+use funnelpq::{BoundedPq, FunnelTreePq, LinearFunnelsPq, SimpleTreePq, SkipListPq};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpKind {
+    Insert(usize),
+    DeleteHit(usize),
+    DeleteMiss,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    begin: u64,
+    end: u64,
+    kind: OpKind,
+}
+
+fn record_history(q: &dyn BoundedPq<u64>, threads: usize, ops: usize) -> Vec<Event> {
+    let clock = Arc::new(AtomicU64::new(0));
+    let history = Arc::new(Mutex::new(Vec::new()));
+    thread::scope(|s| {
+        for tid in 0..threads {
+            let clock = Arc::clone(&clock);
+            let history = Arc::clone(&history);
+            s.spawn(move || {
+                let mut local = Vec::with_capacity(ops);
+                for i in 0..ops {
+                    // Burstiness: occasional yields open quiescent gaps.
+                    if i % 7 == tid % 7 {
+                        thread::yield_now();
+                    }
+                    let begin = clock.fetch_add(1, Ordering::SeqCst);
+                    let kind = if (tid + i) % 2 == 0 {
+                        let pri = (tid * 31 + i * 17) % 24;
+                        q.insert(tid, pri, (tid * ops + i) as u64);
+                        OpKind::Insert(pri)
+                    } else {
+                        match q.delete_min(tid) {
+                            Some((pri, _)) => OpKind::DeleteHit(pri),
+                            None => OpKind::DeleteMiss,
+                        }
+                    };
+                    let end = clock.fetch_add(1, Ordering::SeqCst);
+                    local.push(Event { begin, end, kind });
+                }
+                history.lock().unwrap().extend(local);
+            });
+        }
+    });
+    let mut h = Arc::try_unwrap(history).unwrap().into_inner().unwrap();
+    h.sort_by_key(|e| e.begin);
+    h
+}
+
+/// Splits the history at quiescent stamps and checks each window.
+fn check_history(name: &str, history: &[Event]) {
+    // A stamp t is quiescent if no event has begin < t < end... we check
+    // boundaries between events: gather all (begin, +1), (end, -1) deltas.
+    let mut deltas: Vec<(u64, i64)> = Vec::with_capacity(history.len() * 2);
+    for e in history {
+        deltas.push((e.begin, 1));
+        deltas.push((e.end, -1));
+    }
+    deltas.sort_unstable();
+    let mut open = 0i64;
+    let mut quiescent_points = vec![0u64];
+    for (stamp, d) in deltas {
+        open += d;
+        if open == 0 {
+            quiescent_points.push(stamp + 1);
+        }
+    }
+
+    // Walk windows; `held` is the exact multiset of priorities in the queue
+    // at each quiescent point (windows are cleanly separated, so it is
+    // well-defined there).
+    let mut held: Vec<usize> = Vec::new();
+    let mut windows_checked = 0;
+    for w in quiescent_points.windows(2) {
+        let (lo, hi) = (w[0], w[1]);
+        let evs: Vec<&Event> = history
+            .iter()
+            .filter(|e| e.begin >= lo && e.begin < hi)
+            .collect();
+        if evs.is_empty() {
+            continue;
+        }
+        let hits: Vec<usize> = evs
+            .iter()
+            .filter_map(|e| match e.kind {
+                OpKind::DeleteHit(p) => Some(p),
+                _ => None,
+            })
+            .collect();
+        let k = hits.len();
+        // Sound only for k ≤ |E| (see the sim checker for the argument).
+        if k > 0 && k <= held.len() {
+            let mut e_sorted = held.clone();
+            e_sorted.sort_unstable();
+            let bound = e_sorted[k - 1];
+            for &p in &hits {
+                assert!(
+                    p <= bound,
+                    "{name}: window [{lo},{hi}) returned priority {p} > \
+                     Appendix-B bound {bound} (k={k}, |E|={})",
+                    e_sorted.len()
+                );
+            }
+            windows_checked += 1;
+        }
+        // Within a window, operation order is unconstrained by quiescent
+        // consistency: credit all inserts first, then remove the hits.
+        for e in &evs {
+            if let OpKind::Insert(p) = e.kind {
+                held.push(p);
+            }
+        }
+        for e in &evs {
+            if let OpKind::DeleteHit(p) = e.kind {
+                let pos = held
+                    .iter()
+                    .position(|&x| x == p)
+                    .unwrap_or_else(|| panic!("{name}: phantom delete of {p}"));
+                held.swap_remove(pos);
+            }
+        }
+    }
+    // The checker must have exercised at least the final full-history
+    // window; usually the yields create many more.
+    assert!(
+        windows_checked >= 1 || history.iter().all(|e| e.kind == OpKind::DeleteMiss),
+        "{name}: no checkable windows found"
+    );
+}
+
+fn run_check(name: &str, q: &dyn BoundedPq<u64>) {
+    // Seed the queue (sequential = quiescent at the end) so windows with
+    // k ≤ |E| are plentiful.
+    let mut seed_events = Vec::new();
+    for i in 0..800 {
+        let pri = (i * 11) % 24;
+        q.insert(0, pri, 1_000_000 + i as u64);
+        seed_events.push(Event {
+            begin: 0,
+            end: 0,
+            kind: OpKind::Insert(pri),
+        });
+    }
+    let mut history = record_history(q, 6, 250);
+    // Stamp the seed strictly before everything else.
+    for e in &mut history {
+        e.begin += 1;
+        e.end += 1;
+    }
+    let mut full = seed_events;
+    full.extend(history);
+    let history = full;
+    check_history(name, &history);
+    // Drain and verify conservation end-to-end.
+    let inserted = history
+        .iter()
+        .filter(|e| matches!(e.kind, OpKind::Insert(_)))
+        .count();
+    let deleted = history
+        .iter()
+        .filter(|e| matches!(e.kind, OpKind::DeleteHit(_)))
+        .count();
+    let mut drained = 0;
+    while q.delete_min(0).is_some() {
+        drained += 1;
+    }
+    assert_eq!(inserted, deleted + drained, "{name}: conservation violated");
+}
+
+#[test]
+fn funnel_tree_satisfies_appendix_b() {
+    run_check("FunnelTree", &FunnelTreePq::new(24, 7));
+}
+
+#[test]
+fn linear_funnels_satisfies_appendix_b() {
+    run_check("LinearFunnels", &LinearFunnelsPq::new(24, 7));
+}
+
+#[test]
+fn simple_tree_satisfies_appendix_b() {
+    run_check("SimpleTree", &SimpleTreePq::new(24, 7));
+}
+
+#[test]
+fn skip_list_satisfies_appendix_b() {
+    run_check("SkipList", &SkipListPq::new(24, 7));
+}

@@ -1,0 +1,212 @@
+//! Cross-crate conformance for the simulated queues: sequential behaviour
+//! must match a sorted reference model, concurrent runs must conserve
+//! items, and the whole machine must be deterministic.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use funnelpq_sim::{Machine, MachineConfig};
+use funnelpq_simqueues::queues::{Algorithm, BuildParams, SimPq};
+use funnelpq_simqueues::workload::{run_queue_workload, Workload};
+
+fn build(m: &mut Machine, algo: Algorithm, procs: usize, pris: usize, cap: usize) -> Rc<SimPq> {
+    let mut p = BuildParams::new(procs, pris);
+    p.capacity = cap;
+    Rc::new(SimPq::build(m, algo, &p))
+}
+
+/// Deterministic pseudo-random op sequence shared by queue and model.
+fn op_sequence(len: usize, pris: u64, seed: u64) -> Vec<Option<u64>> {
+    let mut x = seed | 1;
+    (0..len)
+        .map(|_| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            if (x >> 62) & 1 == 0 {
+                Some((x >> 33) % pris)
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+/// All seven paper algorithms plus our hardware-counter ablation.
+fn algorithms_under_test() -> impl Iterator<Item = Algorithm> {
+    Algorithm::ALL.into_iter().chain([Algorithm::HardwareTree])
+}
+
+#[test]
+fn sequential_model_conformance_all_algorithms() {
+    for algo in algorithms_under_test() {
+        for seed in [1u64, 99, 12345] {
+            let mut m = Machine::new(MachineConfig::test_tiny(), seed);
+            let q = build(&mut m, algo, 1, 12, 512);
+            let ops = op_sequence(150, 12, seed);
+            let ctx = m.ctx();
+            let q2 = Rc::clone(&q);
+            let failures = Rc::new(RefCell::new(Vec::new()));
+            let f2 = Rc::clone(&failures);
+            m.spawn(async move {
+                let mut model: BTreeMap<u64, usize> = BTreeMap::new();
+                let mut next_item = 0u64;
+                for op in ops {
+                    match op {
+                        Some(pri) => {
+                            q2.insert(&ctx, pri, next_item).await;
+                            next_item += 1;
+                            *model.entry(pri).or_insert(0) += 1;
+                        }
+                        None => {
+                            let got = q2.delete_min(&ctx).await.map(|e| e.0);
+                            let want = model.keys().next().copied();
+                            if let Some(w) = want {
+                                let c = model.get_mut(&w).unwrap();
+                                *c -= 1;
+                                if *c == 0 {
+                                    model.remove(&w);
+                                }
+                            }
+                            if got != want {
+                                f2.borrow_mut().push((got, want));
+                            }
+                        }
+                    }
+                }
+                // Drain.
+                loop {
+                    let got = q2.delete_min(&ctx).await.map(|e| e.0);
+                    let want = model.keys().next().copied();
+                    if let Some(w) = want {
+                        let c = model.get_mut(&w).unwrap();
+                        *c -= 1;
+                        if *c == 0 {
+                            model.remove(&w);
+                        }
+                    }
+                    if got != want {
+                        f2.borrow_mut().push((got, want));
+                    }
+                    if got.is_none() && want.is_none() {
+                        break;
+                    }
+                }
+            });
+            assert!(m.run().is_quiescent(), "{algo} seed {seed} deadlocked");
+            assert!(
+                failures.borrow().is_empty(),
+                "{algo} seed {seed}: mismatches {:?}",
+                failures.borrow()
+            );
+        }
+    }
+}
+
+#[test]
+fn concurrent_conservation_all_algorithms() {
+    const P: usize = 10;
+    const N: usize = 16;
+    for algo in algorithms_under_test() {
+        let mut m = Machine::new(MachineConfig::alewife_like(), 77);
+        let q = build(&mut m, algo, P + 1, 8, P * N + 8);
+        let got = Rc::new(RefCell::new(Vec::new()));
+        for p in 0..P {
+            let ctx = m.ctx();
+            let q = Rc::clone(&q);
+            let got = Rc::clone(&got);
+            m.spawn(async move {
+                for i in 0..N {
+                    q.insert(&ctx, ((p * 3 + i) % 8) as u64, (p * N + i) as u64)
+                        .await;
+                    if i % 2 == 0 {
+                        if let Some((_, x)) = q.delete_min(&ctx).await {
+                            got.borrow_mut().push(x);
+                        }
+                    }
+                }
+            });
+        }
+        assert!(m.run().is_quiescent(), "{algo} deadlocked");
+        let ctx = m.ctx();
+        let q2 = Rc::clone(&q);
+        let got2 = Rc::clone(&got);
+        m.spawn(async move {
+            while let Some((_, x)) = q2.delete_min(&ctx).await {
+                got2.borrow_mut().push(x);
+            }
+        });
+        assert!(m.run().is_quiescent());
+        let mut all = got.borrow().clone();
+        all.sort_unstable();
+        assert_eq!(
+            all,
+            (0..(P * N) as u64).collect::<Vec<_>>(),
+            "{algo}: items lost or duplicated"
+        );
+    }
+}
+
+#[test]
+fn quiescent_k_smallest_after_insert_phase() {
+    // Parallel inserts, quiescent point, then drain: the drain sequence is
+    // sorted and equals the inserted multiset.
+    const P: usize = 12;
+    const N: usize = 10;
+    for algo in algorithms_under_test() {
+        let mut m = Machine::new(MachineConfig::alewife_like(), 5);
+        let q = build(&mut m, algo, P + 1, 16, P * N + 8);
+        let inserted = Rc::new(RefCell::new(Vec::new()));
+        for p in 0..P {
+            let ctx = m.ctx();
+            let q = Rc::clone(&q);
+            let inserted = Rc::clone(&inserted);
+            m.spawn(async move {
+                for i in 0..N {
+                    let pri = ((p * 7 + i * 3) % 16) as u64;
+                    q.insert(&ctx, pri, (p * N + i) as u64).await;
+                    inserted.borrow_mut().push(pri);
+                }
+            });
+        }
+        assert!(m.run().is_quiescent(), "{algo} insert phase deadlocked");
+        let drained = Rc::new(RefCell::new(Vec::new()));
+        let ctx = m.ctx();
+        let q2 = Rc::clone(&q);
+        let d2 = Rc::clone(&drained);
+        m.spawn(async move {
+            while let Some((pri, _)) = q2.delete_min(&ctx).await {
+                d2.borrow_mut().push(pri);
+            }
+        });
+        assert!(m.run().is_quiescent());
+        let drained = drained.borrow().clone();
+        assert!(
+            drained.windows(2).all(|w| w[0] <= w[1]),
+            "{algo}: drain out of order: {drained:?}"
+        );
+        let mut want = inserted.borrow().clone();
+        want.sort_unstable();
+        assert_eq!(drained, want, "{algo}: drained multiset mismatch");
+    }
+}
+
+#[test]
+fn workload_results_are_reproducible_across_algorithms() {
+    for algo in [Algorithm::SimpleLinear, Algorithm::FunnelTree] {
+        let mut wl = Workload::standard(12, 8);
+        wl.ops_per_proc = 10;
+        let a = run_queue_workload(algo, &wl);
+        let b = run_queue_workload(algo, &wl);
+        assert_eq!(a.total_cycles, b.total_cycles, "{algo} not deterministic");
+        assert_eq!(a.all.sum(), b.all.sum());
+        wl.seed ^= 0xABCD;
+        let c = run_queue_workload(algo, &wl);
+        assert_ne!(
+            (a.total_cycles, a.all.sum()),
+            (c.total_cycles, c.all.sum()),
+            "{algo}: different seeds should differ"
+        );
+    }
+}
