@@ -42,6 +42,7 @@ fn main() {
                 local_work: 50,
                 seed: 0xAB1A,
                 machine,
+                naive_events: false,
             };
             let mut row = vec![p.to_string()];
             for algo in scalable_algorithms() {

@@ -20,6 +20,7 @@ fn workload(procs: usize) -> Workload {
         local_work: 50,
         seed: 0xF165,
         machine: MachineConfig::alewife_like(),
+        naive_events: false,
     }
 }
 

@@ -1,18 +1,21 @@
 //! Figure 7: latency of the four scalable implementations with 16
-//! priorities from 2 to 256 processors.
+//! priorities from 2 to 256 processors — and, beyond the paper, optional
+//! 512/1024-processor rows (`FUNNELPQ_MAX_P=1024`) that the event-wheel
+//! scheduler makes practical.
 //!
 //! Expected shape (paper §4.1): SimpleLinear fastest until ~32 processors;
 //! SimpleTree slowest at high concurrency (root counter hot spot);
 //! FunnelTree takes the lead around 64 processors and at 256 is ~8x faster
 //! than SimpleTree and ~3x faster than SimpleLinear.
 
-use funnelpq_bench::{lat, print_table, scalable_algorithms, standard_workload};
+use funnelpq_bench::{lat, max_procs, print_table, scalable_algorithms, standard_workload};
 use funnelpq_simqueues::workload::run_queue_workload;
 
 fn main() {
-    let procs = [2usize, 4, 8, 16, 32, 64, 128, 256];
+    let all_procs = [2usize, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
+    let cap = max_procs();
     let mut rows = Vec::new();
-    for &p in &procs {
+    for &p in all_procs.iter().filter(|&&p| p <= cap) {
         let wl = standard_workload(p, 16);
         let mut row = vec![p.to_string()];
         for algo in scalable_algorithms() {
@@ -24,7 +27,10 @@ fn main() {
     let mut header = vec!["P"];
     header.extend(scalable_algorithms().iter().map(|a| a.name()));
     print_table(
-        "Figure 7 — mean access latency (cycles), 16 priorities, 2..256 processors",
+        &format!(
+            "Figure 7 — mean access latency (cycles), 16 priorities, 2..{} processors",
+            all_procs.iter().filter(|&&p| p <= cap).max().unwrap()
+        ),
         &header,
         &rows,
     );

@@ -1,18 +1,20 @@
-//! Criterion microbenches of the native (real-thread) implementations.
+//! Microbenches of the native (real-thread) implementations, timed with a
+//! plain `Instant` harness (the container builds fully offline, so no
+//! criterion).
 //!
 //! The host for the paper-shape experiments is the simulator (`fig*`
-//! benches); these criterion benches measure the native library's
-//! single-thread operation cost and small-thread-count throughput, which is
-//! what a downstream adopter of the `funnelpq` crate would feel.
+//! benches); these benches measure the native library's single-thread
+//! operation cost and small-thread-count throughput, which is what a
+//! downstream adopter of the `funnelpq` crate would feel.
 
 use std::sync::Arc;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
 
 use funnelpq::{
     BoundedPq, FunnelTreePq, HuntPq, LinearFunnelsPq, SimpleLinearPq, SimpleTreePq, SingleLockPq,
     SkipListPq,
 };
+use funnelpq_bench::{print_table, scale_percent};
 
 fn queues(n: usize, t: usize) -> Vec<(&'static str, Arc<dyn BoundedPq<u64>>)> {
     vec![
@@ -29,46 +31,66 @@ fn queues(n: usize, t: usize) -> Vec<(&'static str, Arc<dyn BoundedPq<u64>>)> {
     ]
 }
 
-fn bench_single_thread_ops(c: &mut Criterion) {
-    let mut group = c.benchmark_group("single_thread_insert_delete");
+fn bench_single_thread_ops(iters: u64) -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
     for (name, q) in queues(16, 1) {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &q, |b, q| {
-            let mut k = 0u64;
-            b.iter(|| {
-                k = k.wrapping_add(7);
-                q.insert(0, (k % 16) as usize, k);
-                std::hint::black_box(q.delete_min(0));
-            });
-        });
+        // Warm up, then time insert+delete pairs.
+        let mut k = 0u64;
+        for _ in 0..iters / 10 {
+            k = k.wrapping_add(7);
+            q.insert(0, (k % 16) as usize, k);
+            std::hint::black_box(q.delete_min(0));
+        }
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            k = k.wrapping_add(7);
+            q.insert(0, (k % 16) as usize, k);
+            std::hint::black_box(q.delete_min(0));
+        }
+        let ns_per_pair = t0.elapsed().as_nanos() as f64 / iters as f64;
+        rows.push(vec![name.to_string(), format!("{ns_per_pair:.0}")]);
     }
-    group.finish();
+    rows
 }
 
-fn bench_two_thread_mixed(c: &mut Criterion) {
+fn bench_two_thread_mixed(reps: u64) -> Vec<Vec<String>> {
     // With one core this measures interleaved (not parallel) behaviour —
     // still useful as a lock-convoy smoke test.
-    let mut group = c.benchmark_group("two_thread_mixed");
-    group.sample_size(10);
+    const OPS: u64 = 200;
+    let mut rows = Vec::new();
     for (name, q) in queues(16, 2) {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &q, |b, q| {
-            b.iter(|| {
-                let q2 = Arc::clone(q);
-                let h = std::thread::spawn(move || {
-                    for i in 0..200u64 {
-                        q2.insert(1, (i % 16) as usize, i);
-                        std::hint::black_box(q2.delete_min(1));
-                    }
-                });
-                for i in 0..200u64 {
-                    q.insert(0, (i % 16) as usize, i);
-                    std::hint::black_box(q.delete_min(0));
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            let q2 = Arc::clone(&q);
+            let h = std::thread::spawn(move || {
+                for i in 0..OPS {
+                    q2.insert(1, (i % 16) as usize, i);
+                    std::hint::black_box(q2.delete_min(1));
                 }
-                h.join().unwrap();
             });
-        });
+            for i in 0..OPS {
+                q.insert(0, (i % 16) as usize, i);
+                std::hint::black_box(q.delete_min(0));
+            }
+            h.join().unwrap();
+        }
+        let ns_per_pair = t0.elapsed().as_nanos() as f64 / (reps * OPS * 2) as f64;
+        rows.push(vec![name.to_string(), format!("{ns_per_pair:.0}")]);
     }
-    group.finish();
+    rows
 }
 
-criterion_group!(benches, bench_single_thread_ops, bench_two_thread_mixed);
-criterion_main!(benches);
+fn main() {
+    let iters = (100_000u64 * scale_percent() as u64 / 100).max(1_000);
+    let reps = (30u64 * scale_percent() as u64 / 100).max(3);
+    print_table(
+        "Native single-thread insert+delete pair cost",
+        &["queue", "ns/pair"],
+        &bench_single_thread_ops(iters),
+    );
+    print_table(
+        "Native two-thread mixed insert+delete pair cost",
+        &["queue", "ns/pair"],
+        &bench_two_thread_mixed(reps),
+    );
+}

@@ -34,6 +34,66 @@ pub fn standard_workload(procs: usize, num_priorities: usize) -> Workload {
     wl
 }
 
+/// Largest processor count the concurrency sweeps run, set with
+/// `FUNNELPQ_MAX_P`. Defaults to 256 (the paper's figures); the event-wheel
+/// scheduler makes 512 and 1024 practical.
+pub fn max_procs() -> usize {
+    std::env::var("FUNNELPQ_MAX_P")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v: &usize| v > 0)
+        .unwrap_or(256)
+}
+
+/// One measurement row of a machine-readable benchmark report: a name plus
+/// `(key, value)` fields, serialized by [`write_bench_json`].
+pub struct BenchRecord {
+    /// Measurement identifier, e.g. `"wheel_p256"`.
+    pub name: String,
+    /// Numeric fields, emitted in order.
+    pub fields: Vec<(&'static str, f64)>,
+}
+
+/// Writes a minimal JSON benchmark report (no external serializer: the
+/// container builds fully offline). Layout:
+///
+/// ```json
+/// {"benchmark": "...", "scale_percent": 100,
+///  "results": [{"name": "...", "field": 1.0, ...}, ...]}
+/// ```
+pub fn write_bench_json(
+    path: &str,
+    benchmark: &str,
+    records: &[BenchRecord],
+) -> std::io::Result<()> {
+    fn num(v: f64) -> String {
+        // JSON has no NaN/Inf; clamp to null which readers treat as missing.
+        if v.is_finite() {
+            format!("{v}")
+        } else {
+            "null".to_string()
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\n  \"benchmark\": \"{benchmark}\",\n  \"scale_percent\": {},\n  \"results\": [\n",
+        scale_percent()
+    ));
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!("    {{\"name\": \"{}\"", r.name));
+        for (k, v) in &r.fields {
+            out.push_str(&format!(", \"{k}\": {}", num(*v)));
+        }
+        out.push_str(if i + 1 == records.len() {
+            "}\n"
+        } else {
+            "},\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out)
+}
+
 /// Prints a Markdown-ish table: header row, then one row per entry.
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     println!();
@@ -118,6 +178,38 @@ mod tests {
         for a in scalable_algorithms() {
             assert!(all_algorithms().contains(&a));
         }
+    }
+
+    #[test]
+    fn bench_json_is_well_formed() {
+        let path = std::env::temp_dir().join("funnelpq_bench_json_test.json");
+        let path = path.to_str().unwrap();
+        write_bench_json(
+            path,
+            "t",
+            &[
+                BenchRecord {
+                    name: "a".into(),
+                    fields: vec![("x", 1.5), ("bad", f64::NAN)],
+                },
+                BenchRecord {
+                    name: "b".into(),
+                    fields: vec![("x", 2.0)],
+                },
+            ],
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        assert!(text.contains("\"benchmark\": \"t\""));
+        assert!(text.contains("\"x\": 1.5"));
+        assert!(text.contains("\"bad\": null"));
+        // Braces and brackets balance.
+        let bal = |open: char, close: char| {
+            text.chars().filter(|&c| c == open).count()
+                == text.chars().filter(|&c| c == close).count()
+        };
+        assert!(bal('{', '}') && bal('[', ']'));
+        std::fs::remove_file(path).ok();
     }
 
     #[test]

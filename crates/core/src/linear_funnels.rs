@@ -113,7 +113,7 @@ mod tests {
         const T: usize = 8;
         const N: usize = 300;
         let q = Arc::new(LinearFunnelsPq::new(4, T));
-        let taken = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let taken = Arc::new(std::sync::Mutex::new(Vec::new()));
         let mut handles = Vec::new();
         for t in 0..T {
             let q = Arc::clone(&q);
@@ -123,7 +123,7 @@ mod tests {
                     q.insert(t, (t + i) % 4, t * N + i);
                     if i % 2 == 0 {
                         if let Some((_, x)) = q.delete_min(t) {
-                            taken.lock().push(x);
+                            taken.lock().unwrap().push(x);
                         }
                     }
                 }
@@ -133,7 +133,7 @@ mod tests {
             h.join().unwrap();
         }
         // Drain the remainder.
-        let mut all = taken.lock().clone();
+        let mut all = taken.lock().unwrap().clone();
         while let Some((_, x)) = q.delete_min(0) {
             all.push(x);
         }

@@ -17,8 +17,7 @@
 use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 
 use funnelpq_sync::{LockBin, TtasMutex};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use funnelpq_util::XorShift64Star;
 
 use crate::traits::{BoundedPq, Consistency, PqInfo};
 
@@ -84,11 +83,11 @@ impl<T: Send> SkipListPq<T> {
         assert!(max_threads > 0, "need at least one thread");
         let max_level = (usize::BITS - num_priorities.leading_zeros()) as usize;
         let max_level = max_level.clamp(1, 20);
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = XorShift64Star::new(seed);
         let nodes = (0..num_priorities)
             .map(|_| {
                 let mut h = 1;
-                while h < max_level && rng.random_bool(0.5) {
+                while h < max_level && rng.bool_with(0.5) {
                     h += 1;
                 }
                 Node {

@@ -6,8 +6,7 @@ use std::pin::Pin;
 use std::rc::Rc;
 use std::task::{Context, Poll};
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use funnelpq_util::XorShift64Star;
 
 use crate::machine::{Addr, MemOpKind, ProcId, SimState, Word};
 
@@ -22,7 +21,7 @@ use crate::machine::{Addr, MemOpKind, ProcId, SimState, Word};
 pub struct ProcCtx {
     st: Rc<RefCell<SimState>>,
     pid: ProcId,
-    rng: RefCell<SmallRng>,
+    rng: RefCell<XorShift64Star>,
 }
 
 impl ProcCtx {
@@ -32,7 +31,7 @@ impl ProcCtx {
         ProcCtx {
             st,
             pid,
-            rng: RefCell::new(SmallRng::seed_from_u64(mix)),
+            rng: RefCell::new(XorShift64Star::new(mix)),
         }
     }
 
@@ -135,12 +134,12 @@ impl ProcCtx {
     ///
     /// Panics if `n == 0`.
     pub fn random_below(&self, n: u64) -> u64 {
-        self.rng.borrow_mut().random_range(0..n)
+        self.rng.borrow_mut().below(n)
     }
 
-    /// Fair coin flip.
+    /// Coin flip: true with probability `p`.
     pub fn random_bool(&self, p: f64) -> bool {
-        self.rng.borrow_mut().random_bool(p)
+        self.rng.borrow_mut().bool_with(p)
     }
 }
 

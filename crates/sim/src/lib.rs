@@ -41,6 +41,7 @@ mod config;
 mod ctx;
 mod machine;
 mod stats;
+mod wheel;
 
 pub use config::MachineConfig;
 pub use ctx::{MemOp, ProcCtx, WaitChange, WorkFuture};

@@ -1,8 +1,26 @@
 //! The simulated machine: memory, event queue, and task executor.
+//!
+//! # Fast-path design
+//!
+//! Every simulated memory transaction runs through [`SimState::transact`],
+//! so that path is built exclusively from flat, index-addressed structures:
+//!
+//! * the scheduler is an indexed timer wheel ([`crate::wheel`]) — O(1)
+//!   push/pop for the short wake deltas that dominate a run;
+//! * per-cache-line state (`line_free`, per-line stats) lives in `Vec`s
+//!   indexed by line number, grown once at allocation time;
+//! * tasks blocked on a word live in per-address intrusive FIFO lists
+//!   ([`WaiterTable`]) backed by one node slab — the per-transaction check
+//!   "does this address have waiters?" is a single array load;
+//! * task futures live in a slab ([`TaskSlab`]) that boxes each future once
+//!   at spawn and never moves it again.
+//!
+//! The schedule is a pure function of event `(time, seq)` order, so the
+//! optimized machine is checked bit-for-bit against a naive reference
+//! ([`Machine::new_reference`]) by the differential tests in
+//! `tests/memory_props.rs`.
 
 use std::cell::RefCell;
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
 use std::fmt;
 use std::future::Future;
 use std::pin::Pin;
@@ -12,6 +30,7 @@ use std::task::{Context, Waker};
 use crate::config::MachineConfig;
 use crate::ctx::ProcCtx;
 use crate::stats::Stats;
+use crate::wheel::{EventQueue, EventWheel, LinearEventList};
 
 /// A word of simulated shared memory.
 pub type Word = u64;
@@ -20,18 +39,105 @@ pub type Addr = usize;
 /// Identifier of a simulated processor (also its task id).
 pub type ProcId = usize;
 
+const NO_NODE: u32 = u32::MAX;
+
+/// Per-address FIFO lists of blocked tasks, stored as intrusive linked
+/// lists in a single node slab. `head`/`tail` are indexed by address and
+/// grown alongside simulated memory, so registering, checking, and waking
+/// waiters never touches a search structure.
+struct WaiterTable {
+    /// First/last slab node per address, or [`NO_NODE`].
+    head: Vec<u32>,
+    tail: Vec<u32>,
+    /// `(task, next)` nodes; freed nodes are chained through `next`.
+    nodes: Vec<(u32, u32)>,
+    free: u32,
+    waiting: usize,
+}
+
+impl WaiterTable {
+    fn new() -> Self {
+        WaiterTable {
+            head: Vec::new(),
+            tail: Vec::new(),
+            nodes: Vec::new(),
+            free: NO_NODE,
+            waiting: 0,
+        }
+    }
+
+    fn grow(&mut self, words: usize) {
+        self.head.resize(words, NO_NODE);
+        self.tail.resize(words, NO_NODE);
+    }
+
+    fn register(&mut self, addr: Addr, task: ProcId) {
+        let task = u32::try_from(task).expect("more than u32::MAX tasks");
+        let node = if self.free != NO_NODE {
+            let n = self.free;
+            self.free = self.nodes[n as usize].1;
+            self.nodes[n as usize] = (task, NO_NODE);
+            n
+        } else {
+            self.nodes.push((task, NO_NODE));
+            (self.nodes.len() - 1) as u32
+        };
+        if self.head[addr] == NO_NODE {
+            self.head[addr] = node;
+        } else {
+            self.nodes[self.tail[addr] as usize].1 = node;
+        }
+        self.tail[addr] = node;
+        self.waiting += 1;
+    }
+
+    /// Detaches and returns the list head for `addr` (walk it with
+    /// [`WaiterTable::free_node`]).
+    fn take_list(&mut self, addr: Addr) -> u32 {
+        let n = self.head[addr];
+        if n != NO_NODE {
+            self.head[addr] = NO_NODE;
+            self.tail[addr] = NO_NODE;
+        }
+        n
+    }
+
+    /// Frees one detached node, returning its `(task, next)` payload.
+    fn free_node(&mut self, n: u32) -> (ProcId, u32) {
+        let (task, next) = self.nodes[n as usize];
+        self.nodes[n as usize].1 = self.free;
+        self.free = n;
+        self.waiting -= 1;
+        (task as ProcId, next)
+    }
+
+    /// All blocked tasks, in address order then registration order —
+    /// the deadlock report.
+    fn blocked(&self) -> Vec<ProcId> {
+        let mut out = Vec::with_capacity(self.waiting);
+        for &h in &self.head {
+            let mut n = h;
+            while n != NO_NODE {
+                let (task, next) = self.nodes[n as usize];
+                out.push(task as ProcId);
+                n = next;
+            }
+        }
+        out
+    }
+}
+
 pub(crate) struct SimState {
     pub(crate) cfg: MachineConfig,
     pub(crate) now: u64,
     seq: u64,
-    /// Min-heap of (wake time, tie-break seq, task).
-    ready: BinaryHeap<Reverse<(u64, u64, ProcId)>>,
+    events: EventQueue,
     /// Flat shared memory.
     pub(crate) mem: Vec<Word>,
     /// Per-line time at which the line becomes free.
     line_free: Vec<u64>,
     /// Tasks suspended until the given address is mutated.
-    waiters: BTreeMap<Addr, Vec<ProcId>>,
+    waiters: WaiterTable,
     pub(crate) stats: Stats,
     /// Spawned tasks that have not yet run to completion.
     pub(crate) live_tasks: usize,
@@ -40,7 +146,7 @@ pub(crate) struct SimState {
 impl SimState {
     fn schedule(&mut self, time: u64, task: ProcId) {
         self.seq += 1;
-        self.ready.push(Reverse((time, self.seq, task)));
+        self.events.push((time, self.seq, task));
     }
 
     /// Performs one shared-memory transaction, applying its mutation in
@@ -57,7 +163,7 @@ impl SimState {
 
         self.stats.mem_accesses += 1;
         self.stats.queue_delay_cycles += free - arrival;
-        let line_entry = self.stats.per_line.entry(line).or_insert((0, 0));
+        let line_entry = &mut self.stats.per_line[line];
         line_entry.0 += 1;
         line_entry.1 += free - arrival;
 
@@ -86,13 +192,14 @@ impl SimState {
             }
         };
         if mutated {
-            if let Some(ws) = self.waiters.remove(&addr) {
-                // Invalidation: every spinner re-fetches after the write
-                // lands, paying its own transaction when it resumes.
-                let wake = effect + self.cfg.net_latency;
-                for w in ws {
-                    self.schedule(wake, w);
-                }
+            // Invalidation: every spinner re-fetches after the write lands,
+            // paying its own transaction when it resumes.
+            let wake = effect + self.cfg.net_latency;
+            let mut n = self.waiters.take_list(addr);
+            while n != NO_NODE {
+                let (task, next) = self.waiters.free_node(n);
+                self.schedule(wake, task);
+                n = next;
             }
         }
         self.schedule(completion, task);
@@ -100,7 +207,7 @@ impl SimState {
     }
 
     pub(crate) fn register_waiter(&mut self, addr: Addr, task: ProcId) {
-        self.waiters.entry(addr).or_default().push(task);
+        self.waiters.register(addr, task);
     }
 
     pub(crate) fn schedule_wake(&mut self, time: u64, task: ProcId) {
@@ -119,6 +226,33 @@ pub(crate) enum MemOpKind {
 }
 
 type TaskFuture = Pin<Box<dyn Future<Output = ()>>>;
+
+/// Spawned task futures, boxed once at spawn. Completed slots are emptied
+/// in place (task ids are dense and never reused, so this is a
+/// monotonically filled slab rather than a free-list one).
+#[derive(Default)]
+struct TaskSlab {
+    entries: Vec<Option<TaskFuture>>,
+}
+
+impl TaskSlab {
+    fn insert(&mut self, fut: TaskFuture) -> ProcId {
+        self.entries.push(Some(fut));
+        self.entries.len() - 1
+    }
+
+    fn get_mut(&mut self, id: ProcId) -> Option<&mut TaskFuture> {
+        self.entries.get_mut(id).and_then(|e| e.as_mut())
+    }
+
+    fn remove(&mut self, id: ProcId) {
+        self.entries[id] = None;
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
 
 /// Why [`Machine::run`] stopped.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -182,17 +316,19 @@ impl fmt::Display for RunOutcome {
 /// ```
 pub struct Machine {
     st: Rc<RefCell<SimState>>,
-    tasks: Vec<Option<TaskFuture>>,
+    tasks: TaskSlab,
     next_pid: ProcId,
     pending_ctxs: usize,
     seed: u64,
     /// Labelled address ranges `(start, end, name)` for hot-spot reports.
     labels: Vec<(Addr, Addr, String)>,
+    /// Sorted, non-overlapping `(start, end, index into labels or NONE)`
+    /// intervals derived from `labels`; rebuilt lazily after `label()`.
+    label_index: RefCell<Option<Vec<(Addr, Addr, usize)>>>,
 }
 
 impl Machine {
-    /// Creates a machine with the given configuration and RNG seed.
-    pub fn new(cfg: MachineConfig, seed: u64) -> Self {
+    fn with_events(cfg: MachineConfig, seed: u64, events: EventQueue) -> Self {
         assert!(
             cfg.line_words.is_power_of_two(),
             "line_words must be a power of two"
@@ -203,21 +339,36 @@ impl Machine {
             cfg,
             now: 0,
             seq: 0,
-            ready: BinaryHeap::new(),
+            events,
             mem: Vec::new(),
             line_free: Vec::new(),
-            waiters: BTreeMap::new(),
+            waiters: WaiterTable::new(),
             stats: Stats::new(),
             live_tasks: 0,
         };
         Machine {
             st: Rc::new(RefCell::new(st)),
-            tasks: Vec::new(),
+            tasks: TaskSlab::default(),
             next_pid: 0,
             pending_ctxs: 0,
             seed,
             labels: Vec::new(),
+            label_index: RefCell::new(None),
         }
+    }
+
+    /// Creates a machine with the given configuration and RNG seed.
+    pub fn new(cfg: MachineConfig, seed: u64) -> Self {
+        Machine::with_events(cfg, seed, EventQueue::Wheel(EventWheel::new()))
+    }
+
+    /// Creates a machine whose scheduler uses the naive linear-scan event
+    /// list instead of the timer wheel. The schedule — and therefore every
+    /// simulated result — is identical to [`Machine::new`]; this exists as
+    /// the slow, obviously correct oracle for differential tests and
+    /// benchmark baselines.
+    pub fn new_reference(cfg: MachineConfig, seed: u64) -> Self {
+        Machine::with_events(cfg, seed, EventQueue::Linear(LinearEventList::new()))
     }
 
     /// Allocates `words` words of zeroed shared memory, rounded up so the
@@ -231,6 +382,8 @@ impl Machine {
         st.mem.resize(end, 0);
         let lines = end.div_ceil(line_words);
         st.line_free.resize(lines, 0);
+        st.stats.per_line.resize(lines, (0, 0));
+        st.waiters.grow(end);
         start
     }
 
@@ -274,7 +427,8 @@ impl Machine {
         let pid = self.next_pid;
         self.next_pid += 1;
         debug_assert_eq!(pid, self.tasks.len());
-        self.tasks.push(Some(Box::pin(fut)));
+        let slab_pid = self.tasks.insert(Box::pin(fut));
+        debug_assert_eq!(slab_pid, pid);
         let mut st = self.st.borrow_mut();
         st.live_tasks += 1;
         st.schedule_wake(0, pid);
@@ -293,8 +447,8 @@ impl Machine {
         loop {
             let next = {
                 let mut st = self.st.borrow_mut();
-                match st.ready.pop() {
-                    Some(Reverse((t, _, tid))) => {
+                match st.events.pop() {
+                    Some((t, _, tid)) => {
                         if t > max_cycles {
                             // Put it back so a later run_for can resume.
                             st.schedule_wake(t, tid);
@@ -311,19 +465,16 @@ impl Machine {
                 if st.live_tasks == 0 {
                     return RunOutcome::Quiescent;
                 }
-                let blocked: Vec<ProcId> = st
-                    .waiters
-                    .values()
-                    .flat_map(|v| v.iter().copied())
-                    .collect();
-                return RunOutcome::Deadlock { blocked };
+                return RunOutcome::Deadlock {
+                    blocked: st.waiters.blocked(),
+                };
             };
-            let Some(task) = self.tasks[tid].as_mut() else {
+            let Some(task) = self.tasks.get_mut(tid) else {
                 continue;
             };
             let mut cx = Context::from_waker(waker);
             if task.as_mut().poll(&mut cx).is_ready() {
-                self.tasks[tid] = None;
+                self.tasks.remove(tid);
                 self.st.borrow_mut().live_tasks -= 1;
             }
         }
@@ -351,6 +502,11 @@ impl Machine {
         self.st.borrow().stats.clone()
     }
 
+    /// Snapshot of simulated memory (for differential testing).
+    pub fn memory_snapshot(&self) -> Vec<Word> {
+        self.st.borrow().mem.clone()
+    }
+
     /// Number of spawned tasks that have not yet completed.
     pub fn live_tasks(&self) -> usize {
         self.st.borrow().live_tasks
@@ -361,6 +517,41 @@ impl Machine {
     /// ranges overlap.
     pub fn label(&mut self, addr: Addr, words: usize, name: impl Into<String>) {
         self.labels.push((addr, addr + words.max(1), name.into()));
+        *self.label_index.borrow_mut() = None;
+    }
+
+    /// Builds the sorted interval list: non-overlapping `[start, end)`
+    /// segments, each mapped to the *last* label covering it (or
+    /// `usize::MAX` for none).
+    fn build_label_index(&self) -> Vec<(Addr, Addr, usize)> {
+        let mut bounds: Vec<Addr> = self.labels.iter().flat_map(|&(s, e, _)| [s, e]).collect();
+        bounds.sort_unstable();
+        bounds.dedup();
+        let mut out: Vec<(Addr, Addr, usize)> = Vec::new();
+        for w in bounds.windows(2) {
+            let (s, e) = (w[0], w[1]);
+            let owner = self
+                .labels
+                .iter()
+                .rposition(|&(ls, le, _)| s >= ls && s < le)
+                .unwrap_or(usize::MAX);
+            match out.last_mut() {
+                // Merge adjacent segments with the same owner.
+                Some(last) if last.2 == owner && last.1 == s => last.1 = e,
+                _ => out.push((s, e, owner)),
+            }
+        }
+        out
+    }
+
+    /// Label covering `addr`, resolved by binary search over the
+    /// precomputed interval list.
+    fn label_of(&self, index: &[(Addr, Addr, usize)], addr: Addr) -> Option<usize> {
+        let i = index.partition_point(|&(_, end, _)| end <= addr);
+        match index.get(i) {
+            Some(&(s, _, owner)) if addr >= s && owner != usize::MAX => Some(owner),
+            _ => None,
+        }
     }
 
     /// Aggregates per-cache-line contention by label and returns the
@@ -370,33 +561,45 @@ impl Machine {
     /// This is the paper's hot-spot story made observable: run a workload
     /// and see which structure's cache lines serialized the machine.
     pub fn hotspots(&self, top_k: usize) -> Vec<crate::stats::HotSpot> {
+        let mut cache = self.label_index.borrow_mut();
+        let index = cache.get_or_insert_with(|| self.build_label_index());
         let st = self.st.borrow();
         let shift = st.cfg.line_shift();
-        let mut by_label: std::collections::HashMap<&str, (u64, u64)> =
-            std::collections::HashMap::new();
-        for (&line, &(accesses, delay)) in &st.stats.per_line {
+        // Accumulator per label, plus one slot for "<unlabelled>".
+        let mut by_label: Vec<(u64, u64)> = vec![(0, 0); self.labels.len() + 1];
+        for (line, &(accesses, delay)) in st.stats.per_line.iter().enumerate() {
+            if accesses == 0 {
+                continue;
+            }
             let addr = line << shift;
-            let label = self
+            let slot = self.label_of(index, addr).unwrap_or(self.labels.len());
+            by_label[slot].0 += accesses;
+            by_label[slot].1 += delay;
+        }
+        // Distinct labelled regions may share a display name (one label per
+        // bin, per lock, per tree level); merge those for the report.
+        let mut out: Vec<crate::stats::HotSpot> = Vec::new();
+        for (i, (accesses, queue_delay_cycles)) in by_label.into_iter().enumerate() {
+            if accesses == 0 {
+                continue;
+            }
+            let name = self
                 .labels
-                .iter()
-                .rev()
-                .find(|(start, end, _)| addr >= *start && addr < *end)
+                .get(i)
                 .map(|(_, _, name)| name.as_str())
                 .unwrap_or("<unlabelled>");
-            let e = by_label.entry(label).or_insert((0, 0));
-            e.0 += accesses;
-            e.1 += delay;
-        }
-        let mut out: Vec<crate::stats::HotSpot> = by_label
-            .into_iter()
-            .map(
-                |(label, (accesses, queue_delay_cycles))| crate::stats::HotSpot {
-                    label: label.to_string(),
+            match out.iter_mut().find(|h| h.label == name) {
+                Some(h) => {
+                    h.accesses += accesses;
+                    h.queue_delay_cycles += queue_delay_cycles;
+                }
+                None => out.push(crate::stats::HotSpot {
+                    label: name.to_string(),
                     accesses,
                     queue_delay_cycles,
-                },
-            )
-            .collect();
+                }),
+            }
+        }
         out.sort_by_key(|h| std::cmp::Reverse(h.queue_delay_cycles));
         out.truncate(top_k);
         out

@@ -114,8 +114,10 @@ pub struct Stats {
     pub mem_accesses: u64,
     /// Total cycles transactions spent queued behind busy lines.
     pub queue_delay_cycles: u64,
-    /// Per-line `(accesses, queue-delay cycles)`, keyed by line index.
-    pub(crate) per_line: BTreeMap<usize, (u64, u64)>,
+    /// Per-line `(accesses, queue-delay cycles)`, indexed by line number
+    /// and grown alongside the machine's line table — the transaction fast
+    /// path updates one flat slot instead of a map entry.
+    pub(crate) per_line: Vec<(u64, u64)>,
 }
 
 /// Aggregate contention attributed to one labelled memory region (see
@@ -154,6 +156,17 @@ impl Stats {
     /// Iterates over all recorded series in key order.
     pub fn iter(&self) -> impl Iterator<Item = (&'static str, &Acc)> {
         self.series.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Per-cache-line `(line, accesses, queue-delay cycles)` for every line
+    /// that was touched, in line order. For contention reports and the
+    /// differential tests that compare machines line by line.
+    pub fn per_line(&self) -> impl Iterator<Item = (usize, u64, u64)> + '_ {
+        self.per_line
+            .iter()
+            .enumerate()
+            .filter(|(_, &(accesses, _))| accesses > 0)
+            .map(|(line, &(accesses, delay))| (line, accesses, delay))
     }
 
     /// Mean queueing delay per memory access, a contention indicator.

@@ -1,0 +1,345 @@
+//! Event queues for the simulator's scheduler: an indexed timer wheel for
+//! production runs and a linear-scan reference list for differential tests.
+//!
+//! Both implementations expose the same contract: events are `(time, seq,
+//! task)` triples, and [`EventQueue::pop`] always returns the event with the
+//! smallest `(time, seq)` — times break ties by insertion sequence number.
+//! The simulated schedule, and therefore every simulated result, is a pure
+//! function of that ordering, so the two queues are interchangeable
+//! bit-for-bit. `crates/sim/tests/memory_props.rs` enforces this by running
+//! identical workloads against both.
+//!
+//! # Why a wheel
+//!
+//! The hot loop of a run pops one event and pushes one or two per simulated
+//! memory transaction. A binary heap pays `O(log n)` comparisons and a
+//! pointer-chasing sift per operation; at P=1024 the heap holds ~1k events
+//! and every transaction churns it. Almost all scheduling deltas, however,
+//! are tiny — a network round trip plus line service is a few tens of
+//! cycles — so a calendar/timer wheel indexes events by their wake cycle
+//! directly: push is "append to `slots[time & MASK]`", pop is "find the
+//! next occupied slot" via a hierarchical occupancy bitmap. Both are O(1)
+//! for any delta under the wheel horizon ([`WHEEL_SLOTS`] cycles); rarer
+//! far-future events overflow into a small std `BinaryHeap` and migrate
+//! into the wheel as the horizon advances.
+//!
+//! # Ordering invariants
+//!
+//! * All wheel-resident events have times in `[floor, floor + WHEEL_SLOTS)`,
+//!   where `floor` never exceeds the next event's time. Within that window
+//!   each slot maps to exactly one time, so one slot never mixes times.
+//! * A slot's `Vec` is drained front to back. Appends happen with strictly
+//!   increasing `seq`, so a slot is automatically sorted by `seq`.
+//! * Overflow events migrate into the wheel *before* any same-time event
+//!   can be pushed directly (a direct push at time `t` requires
+//!   `t < floor + WHEEL_SLOTS`, and migration runs whenever `floor`
+//!   advances), so migrated events land ahead of later same-time pushes —
+//!   exactly their `seq` order.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::machine::ProcId;
+
+/// One scheduled wake-up: `(wake time, tie-break seq, task)`.
+pub(crate) type Event = (u64, u64, ProcId);
+
+/// Number of slots in the wheel: events within this many cycles of the
+/// current floor are indexed directly. Must be a power of two.
+const WHEEL_SLOTS: usize = 1024;
+const WHEEL_MASK: u64 = (WHEEL_SLOTS as u64) - 1;
+/// Occupancy bitmap words (64 slots per word).
+const BITMAP_WORDS: usize = WHEEL_SLOTS / 64;
+
+/// One wheel slot: a FIFO of same-time events, drained via `head` so the
+/// backing `Vec`'s capacity is retained across rotations.
+#[derive(Default)]
+struct Slot {
+    head: usize,
+    events: Vec<Event>,
+}
+
+/// The indexed timer wheel.
+pub(crate) struct EventWheel {
+    slots: Vec<Slot>,
+    occupied: [u64; BITMAP_WORDS],
+    /// Lower bound on every queued event's time; all wheel-resident events
+    /// lie in `[floor, floor + WHEEL_SLOTS)`.
+    floor: u64,
+    wheel_len: usize,
+    /// Events beyond the wheel horizon, ordered by `(time, seq)`.
+    overflow: BinaryHeap<Reverse<Event>>,
+    /// Events *behind* the floor — e.g. a task spawned mid-run is scheduled
+    /// at time 0. Every past event's time is strictly below `floor` (floor
+    /// only grows), hence strictly below every wheel/overflow event, so pop
+    /// serves this heap first and `(time, seq)` order is preserved exactly.
+    past: BinaryHeap<Reverse<Event>>,
+}
+
+impl EventWheel {
+    pub(crate) fn new() -> Self {
+        EventWheel {
+            slots: (0..WHEEL_SLOTS).map(|_| Slot::default()).collect(),
+            occupied: [0; BITMAP_WORDS],
+            floor: 0,
+            wheel_len: 0,
+            overflow: BinaryHeap::new(),
+            past: BinaryHeap::new(),
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.wheel_len + self.overflow.len() + self.past.len()
+    }
+
+    fn slot_push(&mut self, ev: Event) {
+        let idx = (ev.0 & WHEEL_MASK) as usize;
+        debug_assert!(ev.0 >= self.floor && ev.0 < self.floor + WHEEL_SLOTS as u64);
+        debug_assert!(self.slots[idx]
+            .events
+            .last()
+            .is_none_or(|&(t, s, _)| t == ev.0 && s < ev.1));
+        self.slots[idx].events.push(ev);
+        self.occupied[idx / 64] |= 1 << (idx % 64);
+        self.wheel_len += 1;
+    }
+
+    pub(crate) fn push(&mut self, ev: Event) {
+        // `floor` is only advanced by `pop` (to the popped — i.e. minimum —
+        // time), never here: a push may be followed by another push at an
+        // earlier time in the same simulation turn, so any rebase based on
+        // one event's time could overshoot. An empty wheel with a far-future
+        // push just parks it in overflow until the next pop rebases.
+        if ev.0 < self.floor {
+            // A wake behind the floor (e.g. a task spawned mid-run at time
+            // 0): must pop before everything currently queued.
+            self.past.push(Reverse(ev));
+        } else if ev.0 < self.floor + WHEEL_SLOTS as u64 {
+            self.slot_push(ev);
+        } else {
+            self.overflow.push(Reverse(ev));
+        }
+    }
+
+    /// Moves every overflow event now inside the horizon into the wheel, in
+    /// `(time, seq)` order.
+    fn migrate(&mut self) {
+        while let Some(&Reverse(ev)) = self.overflow.peek() {
+            if ev.0 >= self.floor + WHEEL_SLOTS as u64 {
+                break;
+            }
+            self.overflow.pop();
+            self.slot_push(ev);
+        }
+    }
+
+    /// Finds the first occupied slot at or after `start`, wrapping. Slots
+    /// map to times `[floor, floor + WHEEL_SLOTS)` in circular order from
+    /// `floor & MASK`, so the first occupied slot holds the earliest time.
+    fn find_occupied(&self, start: usize) -> usize {
+        let (w0, b0) = (start / 64, start % 64);
+        let first = self.occupied[w0] & (!0u64 << b0);
+        if first != 0 {
+            return w0 * 64 + first.trailing_zeros() as usize;
+        }
+        for i in 1..=BITMAP_WORDS {
+            let w = (w0 + i) % BITMAP_WORDS;
+            let word = if w == w0 {
+                // Wrapped fully: only bits below the start offset remain.
+                self.occupied[w] & !(!0u64 << b0)
+            } else {
+                self.occupied[w]
+            };
+            if word != 0 {
+                return w * 64 + word.trailing_zeros() as usize;
+            }
+        }
+        unreachable!("find_occupied on an empty wheel");
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<Event> {
+        if let Some(Reverse(ev)) = self.past.pop() {
+            return Some(ev);
+        }
+        if self.wheel_len == 0 {
+            let &Reverse((t, _, _)) = self.overflow.peek()?;
+            self.floor = t;
+            self.migrate();
+        }
+        let idx = self.find_occupied((self.floor & WHEEL_MASK) as usize);
+        let slot = &mut self.slots[idx];
+        let ev = slot.events[slot.head];
+        slot.head += 1;
+        if slot.head == slot.events.len() {
+            slot.events.clear();
+            slot.head = 0;
+            self.occupied[idx / 64] &= !(1 << (idx % 64));
+        }
+        self.wheel_len -= 1;
+        // Advance the horizon to the popped time and let any overflow events
+        // it now covers in, so no later direct push at an equal time can
+        // jump ahead of an overflowed event with a smaller seq.
+        self.floor = ev.0;
+        self.migrate();
+        Some(ev)
+    }
+}
+
+/// The naive reference queue: an unordered `Vec`, popped by a full linear
+/// scan for the minimum `(time, seq)`. Obviously correct and obviously
+/// slow; exists solely as the differential-testing oracle for
+/// [`EventWheel`].
+pub(crate) struct LinearEventList {
+    events: Vec<Event>,
+}
+
+impl LinearEventList {
+    pub(crate) fn new() -> Self {
+        LinearEventList { events: Vec::new() }
+    }
+
+    pub(crate) fn push(&mut self, ev: Event) {
+        self.events.push(ev);
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<Event> {
+        let best = self
+            .events
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &(t, s, _))| (t, s))?
+            .0;
+        Some(self.events.swap_remove(best))
+    }
+}
+
+/// The scheduler's event queue; which implementation backs it is chosen at
+/// machine construction ([`crate::Machine::new`] vs
+/// [`crate::Machine::new_reference`]).
+pub(crate) enum EventQueue {
+    Wheel(EventWheel),
+    Linear(LinearEventList),
+}
+
+impl EventQueue {
+    pub(crate) fn push(&mut self, ev: Event) {
+        match self {
+            EventQueue::Wheel(w) => w.push(ev),
+            EventQueue::Linear(l) => l.push(ev),
+        }
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<Event> {
+        match self {
+            EventQueue::Wheel(w) => w.pop(),
+            EventQueue::Linear(l) => l.pop(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use funnelpq_util::XorShift64Star;
+
+    /// Drives a wheel and the linear oracle with an identical randomized
+    /// push/pop schedule and asserts identical pop sequences, covering
+    /// same-cycle ties, horizon-crossing deltas, and empty-queue re-basing.
+    #[test]
+    fn wheel_matches_linear_oracle() {
+        for seed in 0..8u64 {
+            let mut rng = XorShift64Star::new(seed);
+            let mut wheel = EventWheel::new();
+            let mut lin = LinearEventList::new();
+            let mut now = 0u64;
+            let mut seq = 0u64;
+            for step in 0..4000 {
+                if wheel.len() == 0 || rng.bool_with(0.55) {
+                    // Mostly short deltas, occasionally far beyond the
+                    // horizon, sometimes exactly zero (wake at `now`), and
+                    // sometimes *behind* now — the mid-run spawn case.
+                    let time = match rng.below(11) {
+                        0 => now,
+                        1..=6 => now + rng.below(64),
+                        7 | 8 => now + rng.below(WHEEL_SLOTS as u64 * 2),
+                        9 => now + rng.below(WHEEL_SLOTS as u64 * 7),
+                        _ => now.saturating_sub(rng.below(5000)),
+                    };
+                    seq += 1;
+                    let ev = (time, seq, step as usize);
+                    wheel.push(ev);
+                    lin.push(ev);
+                } else {
+                    let a = wheel.pop();
+                    let b = lin.pop();
+                    assert_eq!(a, b, "seed {seed} step {step}");
+                    now = a.unwrap().0;
+                }
+            }
+            while wheel.len() > 0 {
+                assert_eq!(wheel.pop(), lin.pop());
+            }
+            assert_eq!(lin.pop(), None);
+            assert_eq!(wheel.pop(), None);
+        }
+    }
+
+    #[test]
+    fn equal_times_pop_in_seq_order() {
+        let mut w = EventWheel::new();
+        for seq in 0..100u64 {
+            w.push((5, seq, seq as usize));
+        }
+        for seq in 0..100u64 {
+            assert_eq!(w.pop(), Some((5, seq, seq as usize)));
+        }
+    }
+
+    #[test]
+    fn overflow_then_direct_push_preserves_seq_order() {
+        let mut w = EventWheel::new();
+        let far = WHEEL_SLOTS as u64 + 500;
+        w.push((far, 1, 10)); // beyond horizon: overflows
+        w.push((10, 2, 11)); // near event; popping it advances the floor
+        assert_eq!(w.pop(), Some((10, 2, 11)));
+        // Horizon now covers `far`; a direct push at the same time must pop
+        // after the migrated overflow event despite arriving later.
+        w.push((far, 3, 12));
+        assert_eq!(w.pop(), Some((far, 1, 10)));
+        assert_eq!(w.pop(), Some((far, 3, 12)));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn push_behind_floor_pops_first() {
+        // A task spawned mid-run is scheduled at time 0 even though the
+        // floor has advanced; it must pop before everything queued, and
+        // below-floor events order among themselves by (time, seq).
+        let mut w = EventWheel::new();
+        w.push((500, 1, 0));
+        assert_eq!(w.pop(), Some((500, 1, 0)));
+        w.push((600, 2, 1));
+        w.push((0, 3, 2));
+        w.push((7, 4, 3));
+        w.push((0, 5, 4));
+        assert_eq!(w.pop(), Some((0, 3, 2)));
+        assert_eq!(w.pop(), Some((0, 5, 4)));
+        assert_eq!(w.pop(), Some((7, 4, 3)));
+        assert_eq!(w.pop(), Some((600, 2, 1)));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn empty_rebase_far_ahead() {
+        let mut w = EventWheel::new();
+        w.push((3, 1, 0));
+        assert_eq!(w.pop(), Some((3, 1, 0)));
+        // Queue empty: a push far past the old floor parks in overflow and
+        // the next pop re-bases the wheel onto it.
+        let t = u64::from(u32::MAX) + 17;
+        w.push((t, 2, 1));
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.pop(), Some((t, 2, 1)));
+    }
+}

@@ -1,40 +1,45 @@
-//! Property-based tests of the simulated memory system: arbitrary
-//! single-processor transaction sequences must behave exactly like local
-//! arithmetic, and multi-processor interleavings must respect per-word
-//! atomicity.
+//! Property-style tests of the simulated memory system, driven by the
+//! in-repo deterministic PRNG instead of an external property-testing
+//! framework: arbitrary single-processor transaction sequences must behave
+//! exactly like local arithmetic, multi-processor interleavings must respect
+//! per-word atomicity, and — the load-bearing property for the event-wheel
+//! scheduler — the optimized machine must be *bit-identical* to the naive
+//! linear-scan reference machine on every observable output.
 
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use proptest::prelude::*;
-
 use funnelpq_sim::{Machine, MachineConfig};
+use funnelpq_util::XorShift64Star;
 
 #[derive(Debug, Clone, Copy)]
 enum MemAct {
     Write(u64),
     Swap(u64),
     Cas { exp: u64, new: u64 },
-    Faa(i8),
+    Faa(i64),
 }
 
-fn acts() -> impl Strategy<Value = Vec<MemAct>> {
-    prop::collection::vec(
-        prop_oneof![
-            (0u64..8).prop_map(MemAct::Write),
-            (0u64..8).prop_map(MemAct::Swap),
-            ((0u64..8), (0u64..8)).prop_map(|(exp, new)| MemAct::Cas { exp, new }),
-            (-3i8..4).prop_map(MemAct::Faa),
-        ],
-        1..60,
-    )
+fn random_acts(rng: &mut XorShift64Star, max_len: u64) -> Vec<MemAct> {
+    let len = 1 + rng.below(max_len) as usize;
+    (0..len)
+        .map(|_| match rng.below(4) {
+            0 => MemAct::Write(rng.below(8)),
+            1 => MemAct::Swap(rng.below(8)),
+            2 => MemAct::Cas {
+                exp: rng.below(8),
+                new: rng.below(8),
+            },
+            _ => MemAct::Faa(rng.below(7) as i64 - 3),
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn single_proc_transactions_match_model(ops in acts(), seed in 0u64..100) {
+#[test]
+fn single_proc_transactions_match_model() {
+    for seed in 0..64u64 {
+        let mut rng = XorShift64Star::new(seed.wrapping_mul(0x9E37_79B9));
+        let ops = random_acts(&mut rng, 60);
         let mut m = Machine::new(MachineConfig::alewife_like(), seed);
         let a = m.alloc(1);
         let results = Rc::new(RefCell::new(Vec::new()));
@@ -47,16 +52,16 @@ proptest! {
                     MemAct::Write(v) => ctx.write(a, v).await,
                     MemAct::Swap(v) => ctx.swap(a, v).await,
                     MemAct::Cas { exp, new } => ctx.cas(a, exp, new).await,
-                    MemAct::Faa(d) => ctx.faa(a, d as i64).await,
+                    MemAct::Faa(d) => ctx.faa(a, d).await,
                 };
                 r2.borrow_mut().push(got);
             }
         });
-        prop_assert!(m.run().is_quiescent());
+        assert!(m.run().is_quiescent());
         // Replay against a plain variable.
         let mut v = 0u64;
         for (op, got) in ops.iter().zip(results.borrow().iter()) {
-            prop_assert_eq!(*got, v, "previous value mismatch for {:?}", op);
+            assert_eq!(*got, v, "previous value mismatch for {op:?}");
             match op {
                 MemAct::Write(x) | MemAct::Swap(x) => v = *x,
                 MemAct::Cas { exp, new } => {
@@ -64,14 +69,20 @@ proptest! {
                         v = *new;
                     }
                 }
-                MemAct::Faa(d) => v = v.wrapping_add_signed(*d as i64),
+                MemAct::Faa(d) => v = v.wrapping_add_signed(*d),
             }
         }
-        prop_assert_eq!(m.peek(a), v);
+        assert_eq!(m.peek(a), v, "seed {seed}");
     }
+}
 
-    #[test]
-    fn concurrent_faa_conserves(counts in prop::collection::vec(1usize..20, 2..10)) {
+#[test]
+fn concurrent_faa_conserves() {
+    for seed in 0..24u64 {
+        let mut rng = XorShift64Star::new(seed ^ 0xFAA);
+        let counts: Vec<usize> = (0..2 + rng.below(8))
+            .map(|_| 1 + rng.below(19) as usize)
+            .collect();
         let mut m = Machine::new(MachineConfig::test_tiny(), 7);
         let a = m.alloc(1);
         let total: usize = counts.iter().sum();
@@ -83,25 +94,147 @@ proptest! {
                 }
             });
         }
-        prop_assert!(m.run().is_quiescent());
-        prop_assert_eq!(m.peek(a), total as u64);
+        assert!(m.run().is_quiescent());
+        assert_eq!(m.peek(a), total as u64, "seed {seed}");
     }
+}
 
-    #[test]
-    fn latency_is_monotone_in_contention(p in 2usize..24) {
-        // P processors reading one line take at least as long as P-1.
-        fn finish_time(p: usize) -> u64 {
-            let mut m = Machine::new(MachineConfig::alewife_like(), 1);
-            let a = m.alloc(1);
-            for _ in 0..p {
-                let ctx = m.ctx();
-                m.spawn(async move {
-                    ctx.read(a).await;
-                });
-            }
-            assert!(m.run().is_quiescent());
-            m.now()
+#[test]
+fn latency_is_monotone_in_contention() {
+    // P processors reading one line take at least as long as P-1.
+    fn finish_time(p: usize) -> u64 {
+        let mut m = Machine::new(MachineConfig::alewife_like(), 1);
+        let a = m.alloc(1);
+        for _ in 0..p {
+            let ctx = m.ctx();
+            m.spawn(async move {
+                ctx.read(a).await;
+            });
         }
-        prop_assert!(finish_time(p) >= finish_time(p - 1));
+        assert!(m.run().is_quiescent());
+        m.now()
     }
+    let times: Vec<u64> = (1..24).map(finish_time).collect();
+    for w in times.windows(2) {
+        assert!(w[1] >= w[0], "latency not monotone: {times:?}");
+    }
+}
+
+/// Drives one randomized multi-processor workload on a machine. The workload
+/// deliberately exercises every scheduler path that distinguishes the event
+/// wheel from a naive queue: same-cycle ties (many procs woken together),
+/// `work` delays far beyond the wheel horizon (overflow + migration),
+/// `wait_change` blocking (waiter wake-ups re-entering the queue), and
+/// `random_*` calls (so the per-proc PRNG streams must also line up).
+fn run_workload(
+    mut m: Machine,
+    seed: u64,
+    procs: usize,
+) -> (u64, Vec<u64>, Vec<(usize, u64, u64)>) {
+    let shared = m.alloc(4);
+    let flags = m.alloc(procs);
+    for p in 0..procs {
+        let ctx = m.ctx();
+        let mut rng = XorShift64Star::new(seed ^ (p as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93));
+        m.spawn(async move {
+            for round in 0..12u64 {
+                match rng.below(6) {
+                    0 => {
+                        ctx.faa(shared + (rng.below(4) as usize), 1).await;
+                    }
+                    1 => {
+                        let a = shared + (rng.below(4) as usize);
+                        let old = ctx.read(a).await;
+                        ctx.cas(a, old, old.wrapping_add(round)).await;
+                    }
+                    2 => {
+                        // Far beyond the 1024-cycle wheel horizon: lands in
+                        // the overflow heap and must migrate back in order.
+                        ctx.work(1500 + rng.below(6000)).await;
+                    }
+                    3 => {
+                        ctx.work(rng.below(40)).await;
+                    }
+                    4 => {
+                        // Ping the ring successor's flag, then wait on our
+                        // own. Proc 0 never waits, so the ring cannot
+                        // deadlock: proc 0 always finishes and lands the
+                        // guaranteed final +100 on proc 1's flag, proc 1
+                        // then finishes, and so on around the ring. Waiting
+                        // only while `seen < 100` ensures the predecessor's
+                        // final increment is still ahead of us.
+                        let me = flags + (ctx.pid() % procs);
+                        let next = flags + ((ctx.pid() + 1) % procs);
+                        ctx.faa(next, 1).await;
+                        let seen = ctx.read(me).await;
+                        if !ctx.pid().is_multiple_of(procs) && seen < 100 {
+                            let _ = ctx.wait_change(me, seen).await;
+                        }
+                    }
+                    _ => {
+                        let v = ctx.swap(shared, ctx.random_below(64)).await;
+                        if ctx.random_bool(0.3) {
+                            ctx.write(shared + 1, v).await;
+                        }
+                    }
+                }
+            }
+            // Final wake so no neighbour is left blocked on its flag.
+            let next = flags + ((ctx.pid() + 1) % procs);
+            ctx.faa(next, 100).await;
+        });
+    }
+    // Split the run across run_for windows (the limit is an absolute clock
+    // value) to cover stop/resume re-entry of the scheduler.
+    let mut limit = 10_000;
+    while !m.run_for(limit).is_quiescent() {
+        limit += 10_000;
+    }
+    let stats = m.stats();
+    (m.now(), m.memory_snapshot(), stats.per_line().collect())
+}
+
+/// The tentpole equivalence property: the wheel-scheduled machine and the
+/// linear-scan reference machine must produce identical clocks, memories,
+/// and per-line contention counts for identical workloads.
+#[test]
+fn wheel_machine_matches_reference_machine() {
+    for seed in 0..12u64 {
+        for &procs in &[1usize, 3, 8, 17] {
+            let cfg = MachineConfig::alewife_like();
+            let fast = run_workload(Machine::new(cfg, seed), seed, procs);
+            let slow = run_workload(Machine::new_reference(cfg, seed), seed, procs);
+            assert_eq!(fast.0, slow.0, "clock diverged: seed {seed} procs {procs}");
+            assert_eq!(fast.1, slow.1, "memory diverged: seed {seed} procs {procs}");
+            assert_eq!(
+                fast.2, slow.2,
+                "per-line stats diverged: seed {seed} procs {procs}"
+            );
+        }
+    }
+}
+
+/// Aggregate stats must agree too (accesses, queueing delay, series).
+#[test]
+fn wheel_machine_stats_match_reference() {
+    let seed = 99;
+    let run = |mut m: Machine| {
+        let a = m.alloc(1);
+        for _ in 0..16 {
+            let ctx = m.ctx();
+            m.spawn(async move {
+                for i in 0..25u64 {
+                    ctx.faa(a, 1).await;
+                    ctx.work(if i % 5 == 0 { 2048 } else { 3 }).await;
+                }
+            });
+        }
+        assert!(m.run().is_quiescent());
+        let s = m.stats();
+        (m.now(), m.peek(a), s.mem_accesses, s.queue_delay_cycles)
+    };
+    let fast = run(Machine::new(MachineConfig::alewife_like(), seed));
+    let slow = run(Machine::new_reference(MachineConfig::alewife_like(), seed));
+    assert_eq!(fast, slow);
+    assert_eq!(fast.1, 16 * 25);
 }

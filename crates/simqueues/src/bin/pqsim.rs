@@ -31,6 +31,7 @@ struct Args {
     machine: MachineConfig,
     csv: bool,
     hotspots: bool,
+    naive_events: bool,
 }
 
 const USAGE: &str = "\
@@ -54,6 +55,8 @@ OPTIONS:
     --line-words <N>     words per cache line (power of 2)  [default: 2]
     --csv                machine-readable CSV output
     --hotspots           print the top contended memory regions per run
+    --naive-events       use the linear-scan reference event queue
+                         (bit-identical results, slower wall-clock)
     -h, --help           show this help
 ";
 
@@ -91,6 +94,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         machine: MachineConfig::alewife_like(),
         csv: false,
         hotspots: false,
+        naive_events: false,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -118,6 +122,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--line-words" => args.machine.line_words = parse_list(value()?, "line words")?[0],
             "--csv" => args.csv = true,
             "--hotspots" => args.hotspots = true,
+            "--naive-events" => args.naive_events = true,
             "-h" | "--help" => return Err(String::new()),
             other => return Err(format!("unknown option '{other}'")),
         }
@@ -166,6 +171,7 @@ fn main() -> ExitCode {
                     local_work: args.local_work,
                     seed: args.seed,
                     machine: args.machine,
+                    naive_events: args.naive_events,
                 };
                 let r = run_queue_workload(algo, &wl);
                 if args.csv {

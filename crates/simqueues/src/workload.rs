@@ -25,6 +25,10 @@ pub struct Workload {
     pub seed: u64,
     /// Memory-system parameters.
     pub machine: MachineConfig,
+    /// Run on the naive linear-scan event queue instead of the indexed
+    /// event wheel. Results are bit-identical; only wall-clock speed
+    /// differs. For differential testing and the `sim_throughput` bench.
+    pub naive_events: bool,
 }
 
 impl Workload {
@@ -38,6 +42,7 @@ impl Workload {
             local_work: 50,
             seed: 0xF00D,
             machine: MachineConfig::alewife_like(),
+            naive_events: false,
         }
     }
 }
@@ -76,6 +81,14 @@ impl RunResult {
 /// Cycle budget guard: experiments that exceed this are treated as hung.
 const MAX_CYCLES: u64 = 2_000_000_000;
 
+fn build_machine(wl: &Workload) -> Machine {
+    if wl.naive_events {
+        Machine::new_reference(wl.machine, wl.seed)
+    } else {
+        Machine::new(wl.machine, wl.seed)
+    }
+}
+
 /// Runs the paper's standard queue workload for `algo`.
 ///
 /// # Panics
@@ -92,7 +105,7 @@ pub fn run_queue_workload(algo: Algorithm, wl: &Workload) -> RunResult {
 /// tuning sweeps, ablations).
 pub fn run_queue_workload_with(algo: Algorithm, wl: &Workload, params: &BuildParams) -> RunResult {
     assert!(wl.procs > 0 && wl.num_priorities > 0 && wl.ops_per_proc > 0);
-    let mut m = Machine::new(wl.machine, wl.seed);
+    let mut m = build_machine(wl);
     let q = Rc::new(SimPq::build(&mut m, algo, params));
     for _ in 0..wl.procs {
         let ctx = m.ctx();
@@ -140,7 +153,7 @@ pub fn run_counter_workload(
     wl: &Workload,
 ) -> RunResult {
     assert!(pct_dec <= 100);
-    let mut m = Machine::new(wl.machine, wl.seed);
+    let mut m = build_machine(wl);
     let c = SimFunnelCounter::build(&mut m, wl.procs, mode, cfg);
     // Seed the counter high enough that unbounded modes never wrap.
     c.poke_set(&mut m, (wl.procs * wl.ops_per_proc) as i64);
@@ -201,6 +214,19 @@ mod tests {
         let b = run_queue_workload(Algorithm::FunnelTree, &wl);
         assert_eq!(a.total_cycles, b.total_cycles);
         assert_eq!(a.all.sum(), b.all.sum());
+    }
+
+    #[test]
+    fn naive_events_machine_is_bit_identical() {
+        let mut wl = Workload::standard(12, 16);
+        wl.ops_per_proc = 14;
+        let fast = run_queue_workload(Algorithm::FunnelTree, &wl);
+        wl.naive_events = true;
+        let slow = run_queue_workload(Algorithm::FunnelTree, &wl);
+        assert_eq!(fast.total_cycles, slow.total_cycles);
+        assert_eq!(fast.all.sum(), slow.all.sum());
+        assert_eq!(fast.stats.mem_accesses, slow.stats.mem_accesses);
+        assert_eq!(fast.stats.queue_delay_cycles, slow.stats.queue_delay_cycles);
     }
 
     #[test]

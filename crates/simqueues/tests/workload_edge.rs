@@ -13,6 +13,7 @@ fn single_processor_single_priority() {
         local_work: 10,
         seed: 9,
         machine: MachineConfig::test_tiny(),
+        naive_events: false,
     };
     for algo in Algorithm::ALL {
         let r = run_queue_workload(algo, &wl);
@@ -30,6 +31,7 @@ fn zero_local_work_is_fine() {
         local_work: 0,
         seed: 2,
         machine: MachineConfig::test_tiny(),
+        naive_events: false,
     };
     let r = run_queue_workload(Algorithm::FunnelTree, &wl);
     assert_eq!(r.all.count(), 40);
@@ -45,6 +47,7 @@ fn zero_processors_rejected() {
         local_work: 0,
         seed: 2,
         machine: MachineConfig::test_tiny(),
+        naive_events: false,
     };
     run_queue_workload(Algorithm::SimpleLinear, &wl);
 }

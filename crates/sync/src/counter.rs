@@ -9,7 +9,7 @@
 
 use std::sync::atomic::{AtomicI64, Ordering};
 
-use crossbeam_utils::CachePadded;
+use funnelpq_util::CachePadded;
 
 use crate::mcs::McsMutex;
 

@@ -21,8 +21,7 @@
 
 use std::sync::atomic::{AtomicI64, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 
-use crossbeam_utils::{Backoff, CachePadded};
-use rand::Rng;
+use funnelpq_util::{AtomicRng, Backoff, CachePadded};
 
 use crate::counter::{Bounds, SharedCounter};
 
@@ -112,16 +111,20 @@ struct Record {
     /// Adaption: how many combining layers to traverse before applying to
     /// the central value (0 = straight to the central CAS). Owner-only.
     depth_pref: AtomicU32,
+    /// Per-thread xorshift64* slot-selection stream, seeded from the dense
+    /// thread id (owner-only; no TLS lookup per collision attempt).
+    rng: AtomicRng,
 }
 
 impl Record {
-    fn new(levels: u32) -> Self {
+    fn new(tid: usize, levels: u32) -> Self {
         Record {
             location: CachePadded::new(AtomicU64::new(LOC_FROZEN)),
             sum: AtomicI64::new(0),
             result: AtomicU64::new(RES_NONE),
             width_frac: AtomicU32::new(256),
             depth_pref: AtomicU32::new(levels),
+            rng: AtomicRng::new(tid as u64),
         }
     }
 }
@@ -170,7 +173,9 @@ impl FunnelCounter {
             "initial value out of bounds"
         );
         let levels = cfg.widths.len() as u32;
-        let records = (0..cfg.max_threads).map(|_| Record::new(levels)).collect();
+        let records = (0..cfg.max_threads)
+            .map(|tid| Record::new(tid, levels))
+            .collect();
         let layers = cfg
             .widths
             .iter()
@@ -231,7 +236,7 @@ impl FunnelCounter {
                 let layer = &self.layers[d as usize];
                 let frac = me.width_frac.load(Ordering::Relaxed) as usize;
                 let wid = ((layer.len() * frac) / 256).clamp(1, layer.len());
-                let slot = rand::rng().random_range(0..wid);
+                let slot = me.rng.below(wid as u64) as usize;
                 let q = layer[slot].swap(tid + 1, Ordering::AcqRel);
                 if q != 0 && q - 1 != tid {
                     let q = q - 1;

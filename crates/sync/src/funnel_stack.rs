@@ -22,8 +22,7 @@ use std::marker::PhantomData;
 use std::ptr;
 use std::sync::atomic::{AtomicI64, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 
-use crossbeam_utils::{Backoff, CachePadded};
-use rand::Rng;
+use funnelpq_util::{AtomicRng, Backoff, CachePadded};
 
 use crate::funnel::FunnelConfig;
 use crate::ttas::TtasMutex;
@@ -51,10 +50,13 @@ struct Record<T> {
     width_frac: AtomicUsize,
     /// Adaption: layers to traverse before going central (owner-only).
     depth_pref: AtomicUsize,
+    /// Per-thread xorshift64* slot-selection stream, seeded from the dense
+    /// thread id (owner-only; no TLS lookup per collision attempt).
+    rng: AtomicRng,
 }
 
 impl<T> Record<T> {
-    fn new(levels: usize) -> Self {
+    fn new(tid: usize, levels: usize) -> Self {
         Record {
             location: CachePadded::new(AtomicU64::new(LOC_FROZEN)),
             sum: AtomicI64::new(0),
@@ -63,6 +65,7 @@ impl<T> Record<T> {
             result: AtomicU64::new(RES_NONE),
             width_frac: AtomicUsize::new(256),
             depth_pref: AtomicUsize::new(levels),
+            rng: AtomicRng::new(tid as u64),
         }
     }
 }
@@ -114,7 +117,9 @@ impl<T: Send> FunnelStack<T> {
     pub fn new(cfg: FunnelConfig) -> Self {
         cfg.validate();
         let levels = cfg.widths.len();
-        let records = (0..cfg.max_threads).map(|_| Record::new(levels)).collect();
+        let records = (0..cfg.max_threads)
+            .map(|tid| Record::new(tid, levels))
+            .collect();
         let layers = cfg
             .widths
             .iter()
@@ -211,7 +216,7 @@ impl<T: Send> FunnelStack<T> {
                 let layer = &self.layers[d as usize];
                 let frac = me.width_frac.load(Ordering::Relaxed);
                 let wid = ((layer.len() * frac) / 256).clamp(1, layer.len());
-                let slot = rand::rng().random_range(0..wid);
+                let slot = me.rng.below(wid as u64) as usize;
                 let q = layer[slot].swap(tid + 1, Ordering::AcqRel);
                 if q != 0 && q - 1 != tid {
                     let q = q - 1;
@@ -516,7 +521,7 @@ mod tests {
         const T: usize = 8;
         const N: usize = 400;
         let s = Arc::new(FunnelStack::new(cfg(T)));
-        let popped = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let popped = Arc::new(std::sync::Mutex::new(Vec::new()));
         let mut handles = Vec::new();
         for t in 0..T {
             let s = Arc::clone(&s);
@@ -526,7 +531,7 @@ mod tests {
                     s.push(t, t * N + i);
                     if i % 2 == 1 {
                         if let Some(x) = s.pop(t) {
-                            popped.lock().push(x);
+                            popped.lock().unwrap().push(x);
                         }
                     }
                 }
@@ -535,7 +540,7 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        let mut all: Vec<usize> = popped.lock().clone();
+        let mut all: Vec<usize> = popped.lock().unwrap().clone();
         let mut s = Arc::try_unwrap(s).unwrap_or_else(|_| panic!("stack still shared"));
         all.extend(s.drain());
         assert_eq!(all.len(), T * N, "count preserved");
@@ -551,7 +556,7 @@ mod tests {
         for i in 0..100 {
             s.push(0, i);
         }
-        let counts = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let counts = Arc::new(std::sync::Mutex::new(Vec::new()));
         let mut handles = Vec::new();
         for t in 0..T {
             let s = Arc::clone(&s);
@@ -561,13 +566,13 @@ mod tests {
                 while let Some(x) = s.pop(t) {
                     got.push(x);
                 }
-                counts.lock().extend(got);
+                counts.lock().unwrap().extend(got);
             }));
         }
         for h in handles {
             h.join().unwrap();
         }
-        let mut v = counts.lock().clone();
+        let mut v = counts.lock().unwrap().clone();
         v.sort_unstable();
         // Poppers may observe transient emptiness while pushes are absent,
         // but here all pushes happened before spawning, so all 100 items

@@ -10,7 +10,7 @@ use std::cell::UnsafeCell;
 use std::ptr;
 use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
 
-use crossbeam_utils::{Backoff, CachePadded};
+use funnelpq_util::{Backoff, CachePadded};
 
 struct QNode {
     locked: AtomicBool,

@@ -6,7 +6,7 @@
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, Ordering};
 
-use crossbeam_utils::{Backoff, CachePadded};
+use funnelpq_util::{Backoff, CachePadded};
 
 /// A test-and-test-and-set spin lock protecting a value.
 ///

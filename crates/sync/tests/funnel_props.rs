@@ -1,11 +1,11 @@
-//! Property-based tests for the native combining-funnel structures:
-//! single-threaded sequences must match simple reference models exactly
-//! (quiescent consistency degenerates to sequential semantics), and
-//! multi-threaded histories must satisfy the counter/stack invariants.
-
-use proptest::prelude::*;
+//! Property-style tests for the native combining-funnel structures, driven
+//! by the in-repo deterministic PRNG: single-threaded sequences must match
+//! simple reference models exactly (quiescent consistency degenerates to
+//! sequential semantics), and multi-threaded histories must satisfy the
+//! counter/stack invariants.
 
 use funnelpq_sync::{Bounds, FunnelConfig, FunnelCounter, FunnelStack, SharedCounter};
+use funnelpq_util::XorShift64Star;
 
 #[derive(Debug, Clone, Copy)]
 enum CounterOp {
@@ -13,96 +13,114 @@ enum CounterOp {
     Dec,
 }
 
-fn counter_ops() -> impl Strategy<Value = Vec<CounterOp>> {
-    prop::collection::vec(
-        prop_oneof![Just(CounterOp::Inc), Just(CounterOp::Dec)],
-        1..200,
-    )
+fn counter_ops(rng: &mut XorShift64Star) -> Vec<CounterOp> {
+    let len = 1 + rng.below(199) as usize;
+    (0..len)
+        .map(|_| {
+            if rng.bool_with(0.5) {
+                CounterOp::Inc
+            } else {
+                CounterOp::Dec
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn funnel_counter_sequential_matches_model(ops in counter_ops(), start in 0i64..50) {
+#[test]
+fn funnel_counter_sequential_matches_model() {
+    for seed in 0..48u64 {
+        let mut rng = XorShift64Star::new(seed);
+        let start = rng.below(50) as i64;
+        let ops = counter_ops(&mut rng);
         let c = FunnelCounter::new(start, Bounds::non_negative(), FunnelConfig::for_threads(1));
         let mut model = start;
         for op in ops {
             match op {
                 CounterOp::Inc => {
-                    prop_assert_eq!(c.fetch_inc(0), model);
+                    assert_eq!(c.fetch_inc(0), model);
                     model += 1;
                 }
                 CounterOp::Dec => {
-                    prop_assert_eq!(c.fetch_dec(0), model);
+                    assert_eq!(c.fetch_dec(0), model);
                     if model > 0 {
                         model -= 1;
                     }
                 }
             }
         }
-        prop_assert_eq!(c.value(), model);
+        assert_eq!(c.value(), model, "seed {seed}");
     }
+}
 
-    #[test]
-    fn funnel_counter_unbounded_matches_model(ops in counter_ops()) {
+#[test]
+fn funnel_counter_unbounded_matches_model() {
+    for seed in 0..48u64 {
+        let mut rng = XorShift64Star::new(seed ^ 0xC0DE);
+        let ops = counter_ops(&mut rng);
         let c = FunnelCounter::new(0, Bounds::unbounded(), FunnelConfig::for_threads(1));
         let mut model = 0i64;
         for op in ops {
             match op {
                 CounterOp::Inc => {
-                    prop_assert_eq!(c.fetch_inc(0), model);
+                    assert_eq!(c.fetch_inc(0), model);
                     model += 1;
                 }
                 CounterOp::Dec => {
-                    prop_assert_eq!(c.fetch_dec(0), model);
+                    assert_eq!(c.fetch_dec(0), model);
                     model -= 1;
                 }
             }
         }
-        prop_assert_eq!(c.value(), model);
+        assert_eq!(c.value(), model, "seed {seed}");
     }
+}
 
-    #[test]
-    fn funnel_stack_sequential_matches_vec(ops in prop::collection::vec(prop::option::of(0u64..1000), 1..200)) {
+#[test]
+fn funnel_stack_sequential_matches_vec() {
+    for seed in 0..48u64 {
+        let mut rng = XorShift64Star::new(seed ^ 0x57AC);
         let s: FunnelStack<u64> = FunnelStack::new(FunnelConfig::for_threads(1));
         let mut model: Vec<u64> = Vec::new();
-        for op in ops {
-            match op {
-                Some(v) => {
-                    s.push(0, v);
-                    model.push(v);
-                }
-                None => {
-                    prop_assert_eq!(s.pop(0), model.pop());
-                }
+        let len = 1 + rng.below(199);
+        for _ in 0..len {
+            if rng.bool_with(0.55) {
+                let v = rng.below(1000);
+                s.push(0, v);
+                model.push(v);
+            } else {
+                assert_eq!(s.pop(0), model.pop());
             }
         }
-        prop_assert_eq!(s.is_empty(), model.is_empty());
+        assert_eq!(s.is_empty(), model.is_empty());
         // Drain both and compare the remainder in LIFO order.
         while let Some(want) = model.pop() {
-            prop_assert_eq!(s.pop(0), Some(want));
+            assert_eq!(s.pop(0), Some(want));
         }
-        prop_assert_eq!(s.pop(0), None);
+        assert_eq!(s.pop(0), None, "seed {seed}");
     }
+}
 
-    #[test]
-    fn mcs_mutex_guards_arbitrary_mutation(ops in prop::collection::vec(0u8..4, 1..100)) {
-        // Single-threaded sanity that guard drops restore invariants.
+#[test]
+fn mcs_mutex_guards_arbitrary_mutation() {
+    // Single-threaded sanity that guard drops restore invariants.
+    for seed in 0..32u64 {
+        let mut rng = XorShift64Star::new(seed ^ 0x3C5);
         let m = funnelpq_sync::McsMutex::new(Vec::<u8>::new());
         let mut model = Vec::new();
-        for op in ops {
+        let len = 1 + rng.below(99);
+        for _ in 0..len {
+            let op = rng.below(4) as u8;
             match op {
                 0..=2 => {
                     m.lock().push(op);
                     model.push(op);
                 }
                 _ => {
-                    prop_assert_eq!(m.lock().pop(), model.pop());
+                    assert_eq!(m.lock().pop(), model.pop());
                 }
             }
         }
-        prop_assert_eq!(m.lock().clone(), model);
+        assert_eq!(m.lock().clone(), model, "seed {seed}");
     }
 }
 

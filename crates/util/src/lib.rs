@@ -1,0 +1,25 @@
+//! # funnelpq-util
+//!
+//! Dependency-free primitives shared by every `funnelpq` crate:
+//!
+//! * [`XorShift64Star`] / [`AtomicRng`] — tiny deterministic PRNGs for hot
+//!   paths (funnel slot selection, simulated coin flips) where pulling in a
+//!   full RNG crate would cost a TLS access per call and an external
+//!   dependency the offline build cannot fetch;
+//! * [`CachePadded`] — pad-and-align wrapper keeping hot atomics on their
+//!   own cache line;
+//! * [`Backoff`] — bounded exponential spin/yield backoff for retry loops.
+//!
+//! Everything here is `std`-only and deliberately small; these types exist
+//! so the workspace builds with no external crates at all.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod backoff;
+mod pad;
+mod rng;
+
+pub use backoff::Backoff;
+pub use pad::CachePadded;
+pub use rng::{splitmix64, AtomicRng, XorShift64Star};

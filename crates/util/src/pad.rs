@@ -1,0 +1,76 @@
+//! Cache-line padding, replacing `crossbeam_utils::CachePadded` so the
+//! workspace carries no external dependencies.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// Pads and aligns a value to 128 bytes, keeping it on its own cache line
+/// (two lines on the common 64-byte-line x86 machines, matching the
+/// spatial-prefetcher-aware alignment crossbeam uses there).
+///
+/// # Examples
+///
+/// ```
+/// use funnelpq_util::CachePadded;
+/// use std::sync::atomic::AtomicU64;
+/// let c = CachePadded::new(AtomicU64::new(0));
+/// assert_eq!(std::mem::align_of_val(&c), 128);
+/// ```
+#[derive(Default, Clone, Copy, PartialEq, Eq)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wraps `value` in padding.
+    pub const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+
+    /// Unwraps the inner value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("CachePadded").field(&self.value).finish()
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        CachePadded::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_and_transparent() {
+        let c = CachePadded::new(7u32);
+        assert_eq!(*c, 7);
+        assert_eq!(std::mem::align_of_val(&c), 128);
+        assert!(std::mem::size_of_val(&c) >= 128);
+        let mut c = c;
+        *c = 9;
+        assert_eq!(c.into_inner(), 9);
+    }
+}
