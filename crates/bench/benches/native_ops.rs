@@ -6,59 +6,78 @@
 //! benches); these benches measure the native library's single-thread
 //! operation cost and small-thread-count throughput, which is what a
 //! downstream adopter of the `funnelpq` crate would feel.
+//!
+//! Two recorder configurations run side by side: the default
+//! `NoopRecorder` (which must monomorphize away — its column is the
+//! library's true cost) and an attached `AtomicRecorder`, whose per-run
+//! `MetricsSnapshot`s are written to `BENCH_native_metrics.json`. The
+//! noop-vs-atomic delta is the observable price of metrics; the noop
+//! column itself is the number to compare against pre-observability
+//! baselines.
 
 use std::sync::Arc;
 use std::time::Instant;
 
-use funnelpq::{
-    BoundedPq, FunnelTreePq, HuntPq, LinearFunnelsPq, SimpleLinearPq, SimpleTreePq, SingleLockPq,
-    SkipListPq,
-};
-use funnelpq_bench::{print_table, scale_percent};
+use funnelpq::obs::AtomicRecorder;
+use funnelpq::{Algorithm, BoundedPq, PqBuilder};
+use funnelpq_bench::{print_table, scale_percent, write_bench_json, BenchRecord};
 
-fn queues(n: usize, t: usize) -> Vec<(&'static str, Arc<dyn BoundedPq<u64>>)> {
-    vec![
-        (
-            "SingleLock",
-            Arc::new(SingleLockPq::new(n, t)) as Arc<dyn BoundedPq<u64>>,
-        ),
-        ("HuntEtAl", Arc::new(HuntPq::with_capacity(n, t, 1 << 14))),
-        ("SkipList", Arc::new(SkipListPq::new(n, t))),
-        ("SimpleLinear", Arc::new(SimpleLinearPq::new(n, t))),
-        ("SimpleTree", Arc::new(SimpleTreePq::new(n, t))),
-        ("LinearFunnels", Arc::new(LinearFunnelsPq::new(n, t))),
-        ("FunnelTree", Arc::new(FunnelTreePq::new(n, t))),
-    ]
+fn builder(a: Algorithm, n: usize, t: usize) -> PqBuilder {
+    PqBuilder::new(a, n, t).hunt_capacity(1 << 14)
 }
 
-fn bench_single_thread_ops(iters: u64) -> Vec<Vec<String>> {
+/// Times `iters` insert+delete_min pairs on thread id 0 (with a warmup of
+/// a tenth); returns ns per pair.
+fn time_pairs(q: &dyn BoundedPq<u64>, iters: u64) -> f64 {
+    let mut k = 0u64;
+    for _ in 0..iters / 10 {
+        k = k.wrapping_add(7);
+        q.insert(0, (k % 16) as usize, k);
+        std::hint::black_box(q.delete_min(0));
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        k = k.wrapping_add(7);
+        q.insert(0, (k % 16) as usize, k);
+        std::hint::black_box(q.delete_min(0));
+    }
+    t0.elapsed().as_nanos() as f64 / iters as f64
+}
+
+struct SingleThreadRow {
+    algorithm: Algorithm,
+    noop_ns: f64,
+    atomic_ns: f64,
+    snapshot_json: String,
+}
+
+fn bench_single_thread_ops(iters: u64) -> Vec<SingleThreadRow> {
     let mut rows = Vec::new();
-    for (name, q) in queues(16, 1) {
-        // Warm up, then time insert+delete pairs.
-        let mut k = 0u64;
-        for _ in 0..iters / 10 {
-            k = k.wrapping_add(7);
-            q.insert(0, (k % 16) as usize, k);
-            std::hint::black_box(q.delete_min(0));
-        }
-        let t0 = Instant::now();
-        for _ in 0..iters {
-            k = k.wrapping_add(7);
-            q.insert(0, (k % 16) as usize, k);
-            std::hint::black_box(q.delete_min(0));
-        }
-        let ns_per_pair = t0.elapsed().as_nanos() as f64 / iters as f64;
-        rows.push(vec![name.to_string(), format!("{ns_per_pair:.0}")]);
+    for a in Algorithm::ALL {
+        let q = builder(a, 16, 1).build::<u64>();
+        let noop_ns = time_pairs(q.as_ref(), iters);
+
+        let rec = Arc::new(AtomicRecorder::new());
+        let q = builder(a, 16, 1).recorder(Arc::clone(&rec)).build::<u64>();
+        let atomic_ns = time_pairs(q.as_ref(), iters);
+
+        rows.push(SingleThreadRow {
+            algorithm: a,
+            noop_ns,
+            atomic_ns,
+            snapshot_json: rec.snapshot().to_json(a.name()),
+        });
     }
     rows
 }
 
-fn bench_two_thread_mixed(reps: u64) -> Vec<Vec<String>> {
+fn bench_two_thread_mixed(reps: u64) -> Vec<(Algorithm, f64)> {
     // With one core this measures interleaved (not parallel) behaviour —
     // still useful as a lock-convoy smoke test.
     const OPS: u64 = 200;
     let mut rows = Vec::new();
-    for (name, q) in queues(16, 2) {
+    for a in Algorithm::ALL {
+        let q: Arc<dyn BoundedPq<u64>> = Arc::from(builder(a, 16, 2).build::<u64>());
         let t0 = Instant::now();
         for _ in 0..reps {
             let q2 = Arc::clone(&q);
@@ -75,7 +94,7 @@ fn bench_two_thread_mixed(reps: u64) -> Vec<Vec<String>> {
             h.join().unwrap();
         }
         let ns_per_pair = t0.elapsed().as_nanos() as f64 / (reps * OPS * 2) as f64;
-        rows.push(vec![name.to_string(), format!("{ns_per_pair:.0}")]);
+        rows.push((a, ns_per_pair));
     }
     rows
 }
@@ -83,14 +102,75 @@ fn bench_two_thread_mixed(reps: u64) -> Vec<Vec<String>> {
 fn main() {
     let iters = (100_000u64 * scale_percent() as u64 / 100).max(1_000);
     let reps = (30u64 * scale_percent() as u64 / 100).max(3);
+
+    let single = bench_single_thread_ops(iters);
     print_table(
         "Native single-thread insert+delete pair cost",
-        &["queue", "ns/pair"],
-        &bench_single_thread_ops(iters),
+        &["queue", "ns/pair (noop)", "ns/pair (metrics)", "overhead %"],
+        &single
+            .iter()
+            .map(|r| {
+                vec![
+                    r.algorithm.name().to_string(),
+                    format!("{:.0}", r.noop_ns),
+                    format!("{:.0}", r.atomic_ns),
+                    format!("{:+.1}", (r.atomic_ns / r.noop_ns - 1.0) * 100.0),
+                ]
+            })
+            .collect::<Vec<_>>(),
     );
+
+    let two = bench_two_thread_mixed(reps);
     print_table(
         "Native two-thread mixed insert+delete pair cost",
         &["queue", "ns/pair"],
-        &bench_two_thread_mixed(reps),
+        &two.iter()
+            .map(|(a, ns)| vec![a.name().to_string(), format!("{ns:.0}")])
+            .collect::<Vec<_>>(),
     );
+
+    // Machine-readable report: per-algorithm cost with and without metrics.
+    let records: Vec<BenchRecord> = single
+        .iter()
+        .map(|r| {
+            let two_ns = two
+                .iter()
+                .find(|(a, _)| *a == r.algorithm)
+                .map(|(_, ns)| *ns)
+                .unwrap_or(f64::NAN);
+            BenchRecord {
+                name: r.algorithm.name().to_string(),
+                fields: vec![
+                    ("noop_ns_per_pair", r.noop_ns),
+                    ("atomic_ns_per_pair", r.atomic_ns),
+                    (
+                        "atomic_overhead_percent",
+                        (r.atomic_ns / r.noop_ns - 1.0) * 100.0,
+                    ),
+                    ("two_thread_ns_per_pair", two_ns),
+                ],
+            }
+        })
+        .collect();
+    // Benches run with the package directory as cwd; anchor the reports at
+    // the workspace root where CI picks them up.
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let ops_path = format!("{root}/BENCH_native_ops.json");
+    if let Err(e) = write_bench_json(&ops_path, "native_ops", &records) {
+        eprintln!("could not write {ops_path}: {e}");
+    }
+
+    // Full metrics snapshots (event counters + latency histograms) from the
+    // AtomicRecorder runs, one object per algorithm.
+    let mut out = String::from("{\n  \"benchmark\": \"native_metrics\",\n  \"snapshots\": [\n");
+    for (i, r) in single.iter().enumerate() {
+        out.push_str(&r.snapshot_json);
+        out.push_str(if i + 1 == single.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("  ]\n}\n");
+    let metrics_path = format!("{root}/BENCH_native_metrics.json");
+    if let Err(e) = std::fs::write(&metrics_path, out) {
+        eprintln!("could not write {metrics_path}: {e}");
+    }
+    println!("wrote {ops_path} and {metrics_path}");
 }

@@ -3,7 +3,7 @@
 
 #![warn(missing_docs)]
 
-use funnelpq_simqueues::queues::Algorithm;
+use funnelpq::Algorithm;
 use funnelpq_simqueues::workload::Workload;
 
 /// Scale factor for experiment sizes, set with `FUNNELPQ_SCALE` (percent).

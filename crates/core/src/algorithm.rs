@@ -1,0 +1,132 @@
+//! The shared algorithm name list: one enum for both the native queues in
+//! this crate and the simulated queues in `funnelpq-simqueues`.
+
+use crate::traits::Consistency;
+
+/// Which of the paper's algorithms to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Heap under one MCS lock.
+    SingleLock,
+    /// Hunt et al. concurrent heap.
+    HuntEtAl,
+    /// Bounded-range skip list of bins with a delete bin.
+    SkipList,
+    /// Array of MCS-locked bins, scanned.
+    SimpleLinear,
+    /// Tree of MCS-locked counters over locked bins.
+    SimpleTree,
+    /// Array of combining-funnel stacks, scanned.
+    LinearFunnels,
+    /// Tree with funnel counters at the top and funnel-stack bins.
+    FunnelTree,
+    /// Ablation: tree with hardware fetch-and-add counters. Not one of the
+    /// paper's seven (its machine model has no fetch-and-add) and only
+    /// buildable on the simulator side — [`crate::PqBuilder`] rejects it.
+    HardwareTree,
+}
+
+impl Algorithm {
+    /// All seven algorithms, in the paper's presentation order.
+    pub const ALL: [Algorithm; 7] = [
+        Algorithm::SingleLock,
+        Algorithm::HuntEtAl,
+        Algorithm::SkipList,
+        Algorithm::SimpleLinear,
+        Algorithm::SimpleTree,
+        Algorithm::LinearFunnels,
+        Algorithm::FunnelTree,
+    ];
+
+    /// The four algorithms the paper carries into its high-concurrency
+    /// comparisons (Figures 7–9).
+    pub const SCALABLE: [Algorithm; 4] = [
+        Algorithm::SimpleLinear,
+        Algorithm::SimpleTree,
+        Algorithm::LinearFunnels,
+        Algorithm::FunnelTree,
+    ];
+
+    /// The algorithm's name as printed in the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::SingleLock => "SingleLock",
+            Algorithm::HuntEtAl => "HuntEtAl",
+            Algorithm::SkipList => "SkipList",
+            Algorithm::SimpleLinear => "SimpleLinear",
+            Algorithm::SimpleTree => "SimpleTree",
+            Algorithm::LinearFunnels => "LinearFunnels",
+            Algorithm::FunnelTree => "FunnelTree",
+            Algorithm::HardwareTree => "HardwareTree",
+        }
+    }
+
+    /// The consistency condition this algorithm provides (paper Appendix B).
+    pub fn consistency(&self) -> Consistency {
+        match self {
+            Algorithm::SingleLock | Algorithm::HuntEtAl | Algorithm::SimpleLinear => {
+                Consistency::Linearizable
+            }
+            Algorithm::SkipList
+            | Algorithm::SimpleTree
+            | Algorithm::LinearFunnels
+            | Algorithm::FunnelTree
+            | Algorithm::HardwareTree => Consistency::QuiescentlyConsistent,
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Algorithm {
+    type Err = String;
+
+    /// Parses a paper name (case-insensitive), e.g. `"FunnelTree"`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Algorithm::ALL
+            .into_iter()
+            .chain([Algorithm::HardwareTree])
+            .find(|a| a.name().eq_ignore_ascii_case(s))
+            .ok_or_else(|| format!("unknown algorithm {s:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip_through_from_str() {
+        for a in Algorithm::ALL.into_iter().chain([Algorithm::HardwareTree]) {
+            assert_eq!(a.name().parse::<Algorithm>().unwrap(), a);
+            assert_eq!(a.name().to_lowercase().parse::<Algorithm>().unwrap(), a);
+        }
+        assert!("nope".parse::<Algorithm>().is_err());
+    }
+
+    #[test]
+    fn scalable_is_a_subset_of_all() {
+        for a in Algorithm::SCALABLE {
+            assert!(Algorithm::ALL.contains(&a));
+        }
+    }
+
+    #[test]
+    fn paper_consistency_labels() {
+        use Consistency::*;
+        assert_eq!(Algorithm::SingleLock.consistency(), Linearizable);
+        assert_eq!(Algorithm::HuntEtAl.consistency(), Linearizable);
+        assert_eq!(Algorithm::SimpleLinear.consistency(), Linearizable);
+        assert_eq!(Algorithm::SkipList.consistency(), QuiescentlyConsistent);
+        assert_eq!(Algorithm::SimpleTree.consistency(), QuiescentlyConsistent);
+        assert_eq!(
+            Algorithm::LinearFunnels.consistency(),
+            QuiescentlyConsistent
+        );
+        assert_eq!(Algorithm::FunnelTree.consistency(), QuiescentlyConsistent);
+    }
+}

@@ -1,0 +1,295 @@
+//! One construction front door for all seven native queues.
+
+use std::sync::Arc;
+
+use funnelpq_sync::{BinOrder, FunnelConfig};
+
+use crate::algorithm::Algorithm;
+use crate::funnel_tree::{FunnelTreePq, DEFAULT_FUNNEL_LEVELS};
+use crate::hunt::HuntPq;
+use crate::linear_funnels::LinearFunnelsPq;
+use crate::obs::{NoopRecorder, Recorder};
+use crate::simple_linear::SimpleLinearPq;
+use crate::simple_tree::SimpleTreePq;
+use crate::single_lock::SingleLockPq;
+use crate::skiplist::SkipListPq;
+use crate::traits::BoundedPq;
+
+/// Why [`PqBuilder::try_build`] refused to construct a queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// The algorithm has no native implementation (only
+    /// [`Algorithm::HardwareTree`], which exists solely on the simulator
+    /// side).
+    UnsupportedAlgorithm(Algorithm),
+    /// `num_priorities` was zero.
+    ZeroPriorities,
+    /// `max_threads` was zero.
+    ZeroThreads,
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::UnsupportedAlgorithm(a) => {
+                write!(f, "{a} has no native implementation")
+            }
+            BuildError::ZeroPriorities => write!(f, "need at least one priority"),
+            BuildError::ZeroThreads => write!(f, "need at least one thread"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Builder constructing any of the seven native queues behind
+/// `Box<dyn BoundedPq<T>>`, with uniform knobs and an optional metrics
+/// recorder.
+///
+/// Algorithm-specific knobs ([`PqBuilder::bin_order`],
+/// [`PqBuilder::funnel_config`], [`PqBuilder::hunt_capacity`],
+/// [`PqBuilder::skiplist_seed`]) apply where the algorithm supports them
+/// and are ignored otherwise, so one configured builder can construct every
+/// algorithm of a sweep.
+///
+/// # Examples
+///
+/// Uniform construction:
+///
+/// ```
+/// use funnelpq::{Algorithm, PqBuilder};
+///
+/// let q = PqBuilder::new(Algorithm::FunnelTree, 32, 8).build::<u64>();
+/// q.insert(0, 7, 700);
+/// assert_eq!(q.delete_min(1), Some((7, 700)));
+/// assert_eq!(q.algorithm(), Algorithm::FunnelTree);
+/// ```
+///
+/// With metrics:
+///
+/// ```
+/// use std::sync::Arc;
+/// use funnelpq::obs::AtomicRecorder;
+/// use funnelpq::{Algorithm, PqBuilder};
+///
+/// let rec = Arc::new(AtomicRecorder::new());
+/// let q = PqBuilder::new(Algorithm::SimpleTree, 16, 4)
+///     .recorder(Arc::clone(&rec))
+///     .build::<&str>();
+/// q.insert(0, 3, "x");
+/// q.delete_min(0);
+/// let snap = rec.snapshot();
+/// assert_eq!(snap.insert.count, 1);
+/// assert_eq!(snap.delete_min.count, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PqBuilder<R: Recorder = NoopRecorder> {
+    algorithm: Algorithm,
+    num_priorities: usize,
+    max_threads: usize,
+    bin_order: BinOrder,
+    funnel_config: Option<FunnelConfig>,
+    hunt_capacity: Option<usize>,
+    skiplist_seed: Option<u64>,
+    recorder: Arc<R>,
+}
+
+impl PqBuilder<NoopRecorder> {
+    /// Starts a builder for `algorithm` with priorities `0..num_priorities`
+    /// and thread ids `0..max_threads`, no metrics, and per-algorithm
+    /// defaults for everything else.
+    pub fn new(algorithm: Algorithm, num_priorities: usize, max_threads: usize) -> Self {
+        PqBuilder {
+            algorithm,
+            num_priorities,
+            max_threads,
+            bin_order: BinOrder::Lifo,
+            funnel_config: None,
+            hunt_capacity: None,
+            skiplist_seed: None,
+            recorder: Arc::new(NoopRecorder),
+        }
+    }
+}
+
+impl<R: Recorder> PqBuilder<R> {
+    /// Attaches a metrics recorder; every operation and substrate event of
+    /// the built queue flows into it. Replaces any previous recorder (the
+    /// default is the zero-cost [`NoopRecorder`]).
+    pub fn recorder<R2: Recorder>(self, recorder: Arc<R2>) -> PqBuilder<R2> {
+        PqBuilder {
+            algorithm: self.algorithm,
+            num_priorities: self.num_priorities,
+            max_threads: self.max_threads,
+            bin_order: self.bin_order,
+            funnel_config: self.funnel_config,
+            hunt_capacity: self.hunt_capacity,
+            skiplist_seed: self.skiplist_seed,
+            recorder,
+        }
+    }
+
+    /// Removal order among equal-priority items in lock-based bins
+    /// (`SimpleLinear`, `SimpleTree`). Default LIFO, the paper's choice.
+    pub fn bin_order(mut self, order: BinOrder) -> Self {
+        self.bin_order = order;
+        self
+    }
+
+    /// Explicit combining-funnel parameters (`LinearFunnels`,
+    /// `FunnelTree`). Default: [`FunnelConfig::for_threads`].
+    pub fn funnel_config(mut self, cfg: FunnelConfig) -> Self {
+        self.funnel_config = Some(cfg);
+        self
+    }
+
+    /// Fixed capacity for `HuntEtAl` (its heap is pre-allocated). Default
+    /// 2¹⁶ items.
+    pub fn hunt_capacity(mut self, capacity: usize) -> Self {
+        self.hunt_capacity = Some(capacity);
+        self
+    }
+
+    /// Tower-height RNG seed for `SkipList`. Default: a fixed seed.
+    pub fn skiplist_seed(mut self, seed: u64) -> Self {
+        self.skiplist_seed = Some(seed);
+        self
+    }
+
+    /// The algorithm this builder will construct.
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// Builds the queue, or reports why the parameters cannot produce one.
+    pub fn try_build<T: Send + 'static>(&self) -> Result<Box<dyn BoundedPq<T>>, BuildError> {
+        if self.num_priorities == 0 {
+            return Err(BuildError::ZeroPriorities);
+        }
+        if self.max_threads == 0 {
+            return Err(BuildError::ZeroThreads);
+        }
+        let n = self.num_priorities;
+        let t = self.max_threads;
+        let rec = Arc::clone(&self.recorder);
+        let cfg = || {
+            self.funnel_config
+                .clone()
+                .unwrap_or_else(|| FunnelConfig::for_threads(t))
+        };
+        Ok(match self.algorithm {
+            Algorithm::SingleLock => Box::new(SingleLockPq::with_recorder(n, t, rec)),
+            Algorithm::HuntEtAl => Box::new(HuntPq::with_recorder(
+                n,
+                t,
+                self.hunt_capacity.unwrap_or(1 << 16),
+                rec,
+            )),
+            Algorithm::SkipList => Box::new(SkipListPq::with_recorder(
+                n,
+                t,
+                self.skiplist_seed.unwrap_or(0x5EED_CAFE),
+                rec,
+            )),
+            Algorithm::SimpleLinear => {
+                Box::new(SimpleLinearPq::with_recorder(n, t, self.bin_order, rec))
+            }
+            Algorithm::SimpleTree => {
+                Box::new(SimpleTreePq::with_recorder(n, t, self.bin_order, rec))
+            }
+            Algorithm::LinearFunnels => Box::new(LinearFunnelsPq::with_recorder(n, cfg(), rec)),
+            Algorithm::FunnelTree => Box::new(FunnelTreePq::with_recorder(
+                n,
+                cfg(),
+                DEFAULT_FUNNEL_LEVELS,
+                rec,
+            )),
+            Algorithm::HardwareTree => {
+                return Err(BuildError::UnsupportedAlgorithm(Algorithm::HardwareTree))
+            }
+        })
+    }
+
+    /// Builds the queue, panicking where [`PqBuilder::try_build`] would
+    /// return an error.
+    pub fn build<T: Send + 'static>(&self) -> Box<dyn BoundedPq<T>> {
+        match self.try_build() {
+            Ok(q) => q,
+            Err(e) => panic!("{e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::AtomicRecorder;
+
+    #[test]
+    fn builds_all_seven() {
+        for a in Algorithm::ALL {
+            let q = PqBuilder::new(a, 8, 2).build::<usize>();
+            assert_eq!(q.algorithm(), a);
+            assert_eq!(q.num_priorities(), 8);
+            assert_eq!(q.max_threads(), 2);
+            q.insert(0, 5, 50);
+            q.insert(1, 2, 20);
+            assert_eq!(q.delete_min(0), Some((2, 20)));
+            assert_eq!(q.delete_min(1), Some((5, 50)));
+            assert_eq!(q.delete_min(0), None);
+        }
+    }
+
+    #[test]
+    fn rejects_hardware_tree_and_zero_params() {
+        assert_eq!(
+            PqBuilder::new(Algorithm::HardwareTree, 8, 2)
+                .try_build::<()>()
+                .err(),
+            Some(BuildError::UnsupportedAlgorithm(Algorithm::HardwareTree)),
+        );
+        assert_eq!(
+            PqBuilder::new(Algorithm::FunnelTree, 0, 2)
+                .try_build::<()>()
+                .err(),
+            Some(BuildError::ZeroPriorities),
+        );
+        assert_eq!(
+            PqBuilder::new(Algorithm::FunnelTree, 8, 0)
+                .try_build::<()>()
+                .err(),
+            Some(BuildError::ZeroThreads),
+        );
+    }
+
+    #[test]
+    fn knobs_apply_where_supported() {
+        let q = PqBuilder::new(Algorithm::HuntEtAl, 4, 1)
+            .hunt_capacity(2)
+            .build::<u8>();
+        q.insert(0, 0, 0);
+        q.insert(0, 1, 1);
+        assert!(q.try_insert(0, 2, 2).is_err(), "capacity 2 respected");
+
+        let q = PqBuilder::new(Algorithm::SimpleLinear, 4, 1)
+            .bin_order(BinOrder::Fifo)
+            .build::<u8>();
+        q.insert(0, 1, 10);
+        q.insert(0, 1, 11);
+        assert_eq!(q.delete_min(0), Some((1, 10)), "FIFO within a priority");
+    }
+
+    #[test]
+    fn recorder_attaches_through_the_builder() {
+        let rec = Arc::new(AtomicRecorder::with_shards(4));
+        let q = PqBuilder::new(Algorithm::SingleLock, 4, 1)
+            .recorder(Arc::clone(&rec))
+            .build::<u8>();
+        q.insert(0, 1, 1);
+        q.insert(0, 2, 2);
+        q.delete_min(0);
+        let snap = rec.snapshot();
+        assert_eq!(snap.insert.count, 2);
+        assert_eq!(snap.delete_min.count, 1);
+    }
+}

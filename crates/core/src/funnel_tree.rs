@@ -1,12 +1,16 @@
 //! `FunnelTree` (paper §3.2): the tree-of-counters queue with combining
 //! funnels at the hot spots — the paper's headline algorithm.
 
+use std::sync::Arc;
+
 use funnelpq_sync::{
     Bounds, FunnelConfig, FunnelCounter, FunnelStack, LockedCounter, SharedCounter,
 };
 
+use crate::algorithm::Algorithm;
 use crate::counter_tree::CounterTree;
-use crate::traits::{BoundedPq, Consistency, PqInfo};
+use crate::obs::{self, CounterEvent, NoopRecorder, OpKind, Recorder};
+use crate::traits::{BoundedPq, PqError};
 
 /// How many levels from the root use combining-funnel counters; deeper,
 /// lower-traffic counters fall back to MCS locks (paper: "only for counters
@@ -33,8 +37,9 @@ pub const DEFAULT_FUNNEL_LEVELS: usize = 4;
 /// assert_eq!(q.delete_min(3), Some((12, "l")));
 /// ```
 #[derive(Debug)]
-pub struct FunnelTreePq<T> {
+pub struct FunnelTreePq<T, R: Recorder = NoopRecorder> {
     tree: CounterTree<T, FunnelStack<T>>,
+    recorder: Arc<R>,
 }
 
 impl<T: Send> FunnelTreePq<T> {
@@ -57,53 +62,107 @@ impl<T: Send> FunnelTreePq<T> {
     ///
     /// Panics if `num_priorities` is zero or the config is invalid.
     pub fn with_config(num_priorities: usize, cfg: FunnelConfig, funnel_levels: usize) -> Self {
+        Self::with_recorder(num_priorities, cfg, funnel_levels, Arc::new(NoopRecorder))
+    }
+}
+
+impl<T: Send, R: Recorder> FunnelTreePq<T, R> {
+    /// Like [`FunnelTreePq::with_config`], reporting metrics to `recorder`
+    /// (funnel collisions, eliminations, CAS retries, adaptions and the
+    /// deeper counters' lock acquisitions flow into the recorder's
+    /// substrate sink).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_priorities` is zero or the config is invalid.
+    pub fn with_recorder(
+        num_priorities: usize,
+        cfg: FunnelConfig,
+        funnel_levels: usize,
+        recorder: Arc<R>,
+    ) -> Self {
         let max_threads = cfg.max_threads;
         let counter_cfg = cfg.clone();
+        let sink = recorder.sink();
+        let counter_sink = sink.clone();
         FunnelTreePq {
             tree: CounterTree::new(
                 num_priorities,
                 max_threads,
                 move |depth| -> Box<dyn SharedCounter> {
                     if depth < funnel_levels {
-                        Box::new(FunnelCounter::new(
+                        Box::new(FunnelCounter::with_sink(
                             0,
                             Bounds::non_negative(),
                             counter_cfg.clone(),
+                            counter_sink.clone(),
                         ))
                     } else {
-                        Box::new(LockedCounter::new(0, Bounds::non_negative()))
+                        Box::new(LockedCounter::with_sink(
+                            0,
+                            Bounds::non_negative(),
+                            counter_sink.clone(),
+                        ))
                     }
                 },
-                move || FunnelStack::new(cfg.clone()),
+                move || FunnelStack::with_sink(cfg.clone(), sink.clone()),
             ),
+            recorder,
         }
     }
 }
 
-impl<T: Send> BoundedPq<T> for FunnelTreePq<T> {
+impl<T: Send, R: Recorder> BoundedPq<T> for FunnelTreePq<T, R> {
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::FunnelTree
+    }
+
     fn num_priorities(&self) -> usize {
         self.tree.num_priorities()
     }
+
     fn max_threads(&self) -> usize {
         self.tree.max_threads()
     }
-    fn insert(&self, tid: usize, pri: usize, item: T) {
-        self.tree.insert(tid, pri, item);
+
+    // `#[inline]` lets the panicking `insert` wrapper's monomorphization
+    // absorb this body, keeping the old direct-insert code shape (no extra
+    // call or by-stack `Result` on the hot path).
+    #[inline]
+    fn try_insert(&self, tid: usize, pri: usize, item: T) -> Result<(), PqError<T>> {
+        if tid >= self.tree.max_threads() {
+            return Err(PqError::TidOutOfRange {
+                tid,
+                max_threads: self.tree.max_threads(),
+                item,
+            });
+        }
+        if pri >= self.tree.num_priorities() {
+            return Err(PqError::PriorityOutOfRange {
+                pri,
+                num_priorities: self.tree.num_priorities(),
+                item,
+            });
+        }
+        obs::timed(&*self.recorder, OpKind::Insert, || {
+            self.tree.insert(tid, pri, item)
+        });
+        Ok(())
     }
+
     fn delete_min(&self, tid: usize) -> Option<(usize, T)> {
-        self.tree.delete_min(tid)
+        assert!(tid < self.tree.max_threads(), "tid {tid} out of range");
+        let out = obs::timed(&*self.recorder, OpKind::DeleteMin, || {
+            self.tree.delete_min(tid)
+        });
+        if R::ENABLED && out.is_none() {
+            self.recorder.record_event(CounterEvent::EmptyDeleteMin);
+        }
+        out
     }
+
     fn is_empty(&self) -> bool {
         self.tree.is_empty()
-    }
-}
-
-impl<T> PqInfo for FunnelTreePq<T> {
-    fn algorithm_name(&self) -> &'static str {
-        "FunnelTree"
-    }
-    fn consistency(&self) -> Consistency {
-        Consistency::QuiescentlyConsistent
     }
 }
 

@@ -10,9 +10,13 @@
 //! insertion positions scatters consecutive insertions across disjoint
 //! root-to-leaf paths so their lock sets rarely overlap.
 
+use std::sync::Arc;
+
 use funnelpq_sync::{McsMutex, TtasMutex};
 
-use crate::traits::{BoundedPq, Consistency, PqInfo};
+use crate::algorithm::Algorithm;
+use crate::obs::{self, CounterEvent, NoopRecorder, OpKind, Recorder};
+use crate::traits::{BoundedPq, PqError};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Tag {
@@ -63,7 +67,7 @@ fn bit_reversed_position(s: usize) -> usize {
 /// q.insert(1, 1, "a");
 /// assert_eq!(q.delete_min(0), Some((1, "a")));
 /// ```
-pub struct HuntPq<T> {
+pub struct HuntPq<T, R: Recorder = NoopRecorder> {
     /// Guards `size`; held only while reserving/releasing a position.
     size: McsMutex<usize>,
     /// Heap nodes, 1-based; `nodes[0]` unused.
@@ -71,6 +75,7 @@ pub struct HuntPq<T> {
     capacity: usize,
     num_priorities: usize,
     max_threads: usize,
+    recorder: Arc<R>,
 }
 
 impl<T: Send> HuntPq<T> {
@@ -85,6 +90,28 @@ impl<T: Send> HuntPq<T> {
     ///
     /// Panics if any argument is zero.
     pub fn with_capacity(num_priorities: usize, max_threads: usize, capacity: usize) -> Self {
+        Self::with_recorder(
+            num_priorities,
+            max_threads,
+            capacity,
+            Arc::new(NoopRecorder),
+        )
+    }
+}
+
+impl<T: Send, R: Recorder> HuntPq<T, R> {
+    /// Like [`HuntPq::with_capacity`], reporting metrics to `recorder` (the
+    /// size lock's acquisitions flow into the recorder's substrate sink).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is zero.
+    pub fn with_recorder(
+        num_priorities: usize,
+        max_threads: usize,
+        capacity: usize,
+        recorder: Arc<R>,
+    ) -> Self {
         assert!(num_priorities > 0, "need at least one priority");
         assert!(max_threads > 0, "need at least one thread");
         assert!(capacity > 0, "capacity must be positive");
@@ -96,17 +123,23 @@ impl<T: Send> HuntPq<T> {
                 })
             })
             .collect();
+        let sink = recorder.sink();
         HuntPq {
-            size: McsMutex::new(0),
+            size: McsMutex::with_sink(0, sink),
             nodes,
             capacity,
             num_priorities,
             max_threads,
+            recorder,
         }
     }
 }
 
-impl<T: Send> BoundedPq<T> for HuntPq<T> {
+impl<T: Send, R: Recorder> BoundedPq<T> for HuntPq<T, R> {
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::HuntEtAl
+    }
+
     fn num_priorities(&self) -> usize {
         self.num_priorities
     }
@@ -115,58 +148,95 @@ impl<T: Send> BoundedPq<T> for HuntPq<T> {
         self.max_threads
     }
 
-    fn insert(&self, tid: usize, pri: usize, item: T) {
-        assert!(tid < self.max_threads, "tid {tid} out of range");
-        assert!(pri < self.num_priorities, "priority {pri} out of range");
-        // Reserve a position under the size lock; lock the target node
-        // before releasing it so a racing delete of the same position
-        // blocks until our item is in place.
-        let mut i;
-        {
-            let mut size = self.size.lock();
-            assert!(*size < self.capacity, "HuntPq capacity exhausted");
-            *size += 1;
-            i = bit_reversed_position(*size);
-            let mut node = self.nodes[i].lock();
-            drop(size);
-            node.entry = Some((pri, item));
-            node.tag = Tag::Owned(tid);
+    // `#[inline]` lets the panicking `insert` wrapper's monomorphization
+    // absorb this body, keeping the old direct-insert code shape (no extra
+    // call or by-stack `Result` on the hot path).
+    #[inline]
+    fn try_insert(&self, tid: usize, pri: usize, item: T) -> Result<(), PqError<T>> {
+        if tid >= self.max_threads {
+            return Err(PqError::TidOutOfRange {
+                tid,
+                max_threads: self.max_threads,
+                item,
+            });
         }
-        // Bubble up with hand-over-hand (parent, child) locking.
-        while i > 1 {
-            let parent = i / 2;
-            let mut pg = self.nodes[parent].lock();
-            let mut ig = self.nodes[i].lock();
-            if pg.tag == Tag::Available && ig.tag == Tag::Owned(tid) {
-                if ig.priority() < pg.priority() {
-                    std::mem::swap(&mut pg.entry, &mut ig.entry);
-                    ig.tag = Tag::Available;
-                    pg.tag = Tag::Owned(tid);
-                    i = parent;
-                } else {
-                    ig.tag = Tag::Available;
-                    i = 0;
+        if pri >= self.num_priorities {
+            return Err(PqError::PriorityOutOfRange {
+                pri,
+                num_priorities: self.num_priorities,
+                item,
+            });
+        }
+        obs::timed(&*self.recorder, OpKind::Insert, || {
+            // Reserve a position under the size lock; lock the target node
+            // before releasing it so a racing delete of the same position
+            // blocks until our item is in place.
+            let mut i;
+            {
+                let mut size = self.size.lock();
+                if *size >= self.capacity {
+                    return Err(PqError::CapacityExhausted { item });
                 }
-            } else if pg.tag == Tag::Empty {
-                // The whole path above was consumed; our item went with it.
-                i = 0;
-            } else if ig.tag != Tag::Owned(tid) {
-                // A concurrent delete swapped our item upward; chase it.
-                i = parent;
+                *size += 1;
+                i = bit_reversed_position(*size);
+                let mut node = self.nodes[i].lock();
+                drop(size);
+                node.entry = Some((pri, item));
+                node.tag = Tag::Owned(tid);
             }
-            // Otherwise the parent is mid-insertion by another thread:
-            // release both locks and retry at the same position.
-        }
-        if i == 1 {
-            let mut root = self.nodes[1].lock();
-            if root.tag == Tag::Owned(tid) {
-                root.tag = Tag::Available;
+            // Bubble up with hand-over-hand (parent, child) locking.
+            while i > 1 {
+                let parent = i / 2;
+                let mut pg = self.nodes[parent].lock();
+                let mut ig = self.nodes[i].lock();
+                if pg.tag == Tag::Available && ig.tag == Tag::Owned(tid) {
+                    if ig.priority() < pg.priority() {
+                        std::mem::swap(&mut pg.entry, &mut ig.entry);
+                        ig.tag = Tag::Available;
+                        pg.tag = Tag::Owned(tid);
+                        i = parent;
+                    } else {
+                        ig.tag = Tag::Available;
+                        i = 0;
+                    }
+                } else if pg.tag == Tag::Empty {
+                    // The whole path above was consumed; our item went with it.
+                    i = 0;
+                } else if ig.tag != Tag::Owned(tid) {
+                    // A concurrent delete swapped our item upward; chase it.
+                    i = parent;
+                }
+                // Otherwise the parent is mid-insertion by another thread:
+                // release both locks and retry at the same position.
             }
-        }
+            if i == 1 {
+                let mut root = self.nodes[1].lock();
+                if root.tag == Tag::Owned(tid) {
+                    root.tag = Tag::Available;
+                }
+            }
+            Ok(())
+        })
     }
 
     fn delete_min(&self, tid: usize) -> Option<(usize, T)> {
         assert!(tid < self.max_threads, "tid {tid} out of range");
+        let out = obs::timed(&*self.recorder, OpKind::DeleteMin, || {
+            self.delete_min_inner()
+        });
+        if R::ENABLED && out.is_none() {
+            self.recorder.record_event(CounterEvent::EmptyDeleteMin);
+        }
+        out
+    }
+
+    fn is_empty(&self) -> bool {
+        *self.size.lock() == 0
+    }
+}
+
+impl<T: Send, R: Recorder> HuntPq<T, R> {
+    fn delete_min_inner(&self) -> Option<(usize, T)> {
         // Detach the bit-reversed last item.
         let saved: (usize, T);
         {
@@ -239,22 +309,9 @@ impl<T: Send> BoundedPq<T> for HuntPq<T> {
         let _ = i;
         Some(min)
     }
-
-    fn is_empty(&self) -> bool {
-        *self.size.lock() == 0
-    }
 }
 
-impl<T> PqInfo for HuntPq<T> {
-    fn algorithm_name(&self) -> &'static str {
-        "HuntEtAl"
-    }
-    fn consistency(&self) -> Consistency {
-        Consistency::Linearizable
-    }
-}
-
-impl<T: std::fmt::Debug> std::fmt::Debug for HuntPq<T> {
+impl<T: std::fmt::Debug, R: Recorder> std::fmt::Debug for HuntPq<T, R> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("HuntPq")
             .field("capacity", &self.capacity)

@@ -7,7 +7,8 @@
 //! A *bounded-range* priority queue supports a fixed set of priorities
 //! `0..N` (smaller = more urgent), like an OS scheduler's run queues. This
 //! crate provides the paper's two new algorithms and all five baselines it
-//! was evaluated against, behind one trait ([`BoundedPq`]):
+//! was evaluated against, behind one trait ([`BoundedPq`]) and one
+//! construction front door ([`PqBuilder`]):
 //!
 //! | Type | Paper name | Structure | Consistency |
 //! |------|-----------|-----------|-------------|
@@ -19,6 +20,12 @@
 //! | [`LinearFunnelsPq`] | LinearFunnels | array of funnel stacks | quiescent |
 //! | [`FunnelTreePq`] | FunnelTree | tree of funnel counters + funnel stacks | quiescent |
 //!
+//! Every queue is also generic over a metrics [`obs::Recorder`]: attach an
+//! [`obs::AtomicRecorder`] to count contention events (CAS retries,
+//! eliminations, funnel collisions, lock acquisitions, …) and per-operation
+//! latency histograms, or keep the default [`obs::NoopRecorder`], which
+//! monomorphizes away to zero cost.
+//!
 //! ## Which one should I use?
 //!
 //! The paper's (and this reproduction's) answer: under low contention use
@@ -29,10 +36,10 @@
 //! ## Example
 //!
 //! ```
-//! use funnelpq::{BoundedPq, FunnelTreePq};
+//! use funnelpq::{Algorithm, PqBuilder};
 //! use std::sync::Arc;
 //!
-//! let q = Arc::new(FunnelTreePq::new(32, 4));
+//! let q = Arc::new(PqBuilder::new(Algorithm::FunnelTree, 32, 4).build::<usize>());
 //! let handles: Vec<_> = (0..4).map(|tid| {
 //!     let q = Arc::clone(&q);
 //!     std::thread::spawn(move || {
@@ -47,17 +54,22 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod algorithm;
+mod builder;
 mod counter_tree;
 mod funnel_tree;
 pub mod heap;
 mod hunt;
 mod linear_funnels;
+pub mod obs;
 mod simple_linear;
 mod simple_tree;
 mod single_lock;
 mod skiplist;
 mod traits;
 
+pub use algorithm::Algorithm;
+pub use builder::{BuildError, PqBuilder};
 pub use funnel_tree::{FunnelTreePq, DEFAULT_FUNNEL_LEVELS};
 pub use hunt::HuntPq;
 pub use linear_funnels::LinearFunnelsPq;
@@ -65,7 +77,7 @@ pub use simple_linear::SimpleLinearPq;
 pub use simple_tree::SimpleTreePq;
 pub use single_lock::SingleLockPq;
 pub use skiplist::SkipListPq;
-pub use traits::{BoundedPq, Consistency, PqInfo};
+pub use traits::{BoundedPq, Consistency, PqError};
 
 // Re-export the substrate types a queue constructor may need.
 pub use funnelpq_sync::{BinOrder, Bounds, FunnelConfig};

@@ -1,9 +1,13 @@
 //! `LinearFunnels` (paper §3.2): `SimpleLinear` with combining-funnel
 //! stacks in place of lock-based bins.
 
+use std::sync::Arc;
+
 use funnelpq_sync::{FunnelConfig, FunnelStack};
 
-use crate::traits::{BoundedPq, Consistency, PqInfo};
+use crate::algorithm::Algorithm;
+use crate::obs::{self, CounterEvent, NoopRecorder, OpKind, Recorder};
+use crate::traits::{BoundedPq, PqError};
 
 /// One combining-funnel stack per priority; `delete_min` scans stacks
 /// smallest-first, popping from the first non-empty one.
@@ -23,9 +27,10 @@ use crate::traits::{BoundedPq, Consistency, PqInfo};
 /// assert_eq!(q.delete_min(1), Some((2, 'x')));
 /// ```
 #[derive(Debug)]
-pub struct LinearFunnelsPq<T> {
+pub struct LinearFunnelsPq<T, R: Recorder = NoopRecorder> {
     stacks: Vec<FunnelStack<T>>,
     max_threads: usize,
+    recorder: Arc<R>,
 }
 
 impl<T: Send> LinearFunnelsPq<T> {
@@ -40,18 +45,37 @@ impl<T: Send> LinearFunnelsPq<T> {
     ///
     /// Panics if `num_priorities` is zero or the config is invalid.
     pub fn with_config(num_priorities: usize, cfg: FunnelConfig) -> Self {
+        Self::with_recorder(num_priorities, cfg, Arc::new(NoopRecorder))
+    }
+}
+
+impl<T: Send, R: Recorder> LinearFunnelsPq<T, R> {
+    /// Like [`LinearFunnelsPq::with_config`], reporting metrics to
+    /// `recorder` (funnel collisions, eliminations, adaptions and central
+    /// locks flow into the recorder's substrate sink).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_priorities` is zero or the config is invalid.
+    pub fn with_recorder(num_priorities: usize, cfg: FunnelConfig, recorder: Arc<R>) -> Self {
         assert!(num_priorities > 0, "need at least one priority");
         let max_threads = cfg.max_threads;
+        let sink = recorder.sink();
         LinearFunnelsPq {
             stacks: (0..num_priorities)
-                .map(|_| FunnelStack::new(cfg.clone()))
+                .map(|_| FunnelStack::with_sink(cfg.clone(), sink.clone()))
                 .collect(),
             max_threads,
+            recorder,
         }
     }
 }
 
-impl<T: Send> BoundedPq<T> for LinearFunnelsPq<T> {
+impl<T: Send, R: Recorder> BoundedPq<T> for LinearFunnelsPq<T, R> {
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::LinearFunnels
+    }
+
     fn num_priorities(&self) -> usize {
         self.stacks.len()
     }
@@ -60,20 +84,47 @@ impl<T: Send> BoundedPq<T> for LinearFunnelsPq<T> {
         self.max_threads
     }
 
-    fn insert(&self, tid: usize, pri: usize, item: T) {
-        assert!(pri < self.stacks.len(), "priority {pri} out of range");
-        self.stacks[pri].push(tid, item);
+    // `#[inline]` lets the panicking `insert` wrapper's monomorphization
+    // absorb this body, keeping the old direct-insert code shape (no extra
+    // call or by-stack `Result` on the hot path).
+    #[inline]
+    fn try_insert(&self, tid: usize, pri: usize, item: T) -> Result<(), PqError<T>> {
+        if tid >= self.max_threads {
+            return Err(PqError::TidOutOfRange {
+                tid,
+                max_threads: self.max_threads,
+                item,
+            });
+        }
+        if pri >= self.stacks.len() {
+            return Err(PqError::PriorityOutOfRange {
+                pri,
+                num_priorities: self.stacks.len(),
+                item,
+            });
+        }
+        obs::timed(&*self.recorder, OpKind::Insert, || {
+            self.stacks[pri].push(tid, item)
+        });
+        Ok(())
     }
 
     fn delete_min(&self, tid: usize) -> Option<(usize, T)> {
-        for (pri, stack) in self.stacks.iter().enumerate() {
-            if !stack.is_empty() {
-                if let Some(item) = stack.pop(tid) {
-                    return Some((pri, item));
+        assert!(tid < self.max_threads, "tid {tid} out of range");
+        let out = obs::timed(&*self.recorder, OpKind::DeleteMin, || {
+            for (pri, stack) in self.stacks.iter().enumerate() {
+                if !stack.is_empty() {
+                    if let Some(item) = stack.pop(tid) {
+                        return Some((pri, item));
+                    }
                 }
             }
+            None
+        });
+        if R::ENABLED && out.is_none() {
+            self.recorder.record_event(CounterEvent::EmptyDeleteMin);
         }
-        None
+        out
     }
 
     fn is_empty(&self) -> bool {
@@ -81,19 +132,9 @@ impl<T: Send> BoundedPq<T> for LinearFunnelsPq<T> {
     }
 }
 
-impl<T> PqInfo for LinearFunnelsPq<T> {
-    fn algorithm_name(&self) -> &'static str {
-        "LinearFunnels"
-    }
-    fn consistency(&self) -> Consistency {
-        Consistency::QuiescentlyConsistent
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
     use std::thread;
 
     #[test]

@@ -1,0 +1,468 @@
+//! First-class observability for every queue: recorders, counters, and
+//! latency histograms.
+//!
+//! The paper's argument is about *where contention goes* — root counters vs.
+//! funnel layers vs. elimination — and Calciu et al.'s adaptive queues show
+//! that elimination hit rates, CAS-retry counts and per-op latency are
+//! exactly the signals an adaptive queue switches on. This module makes them
+//! observable on the native implementations:
+//!
+//! * [`Recorder`] — the queue-facing trait: counter events
+//!   ([`CounterEvent`]) plus log-bucketed latency histograms for `insert` /
+//!   `delete_min` ([`OpKind`]).
+//! * [`NoopRecorder`] — the default; compiles to nothing. Queues are generic
+//!   over their recorder with `NoopRecorder` as the default parameter, so
+//!   the unobserved path is monomorphized without a single branch or timer
+//!   read.
+//! * [`AtomicRecorder`] — thread-sharded atomic aggregation, drained into a
+//!   [`MetricsSnapshot`] that serializes to JSON with no external
+//!   dependencies.
+//!
+//! The substrate events come from `funnelpq-sync`'s probe layer
+//! ([`EventSink`]); a queue wires its recorder's sink into its locks,
+//! counters and funnels at construction time.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use funnelpq_util::CachePadded;
+
+pub use funnelpq_sync::probe::{CounterEvent, EventSink, SinkRef};
+
+/// Which queue operation a latency sample belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// A successful `insert` / `try_insert`.
+    Insert,
+    /// A `delete_min` call (counted whether or not it returned an item;
+    /// empty returns additionally fire [`CounterEvent::EmptyDeleteMin`]).
+    DeleteMin,
+}
+
+/// Number of log₂ latency buckets ([`OpStats::buckets`]); bucket `i` counts
+/// samples with `floor(log2(nanos)) + 1 == i` (bucket 0 holds 0 ns), so the
+/// top bucket starts at 2³⁰ ns ≈ 1 s.
+pub const LATENCY_BUCKETS: usize = 32;
+
+/// Receiver for queue-level metrics. Implementations must be `Send + Sync`;
+/// queues hold them in an `Arc` and call them from every operating thread.
+///
+/// The `ENABLED` constant lets the compiler erase the instrumented paths —
+/// including the `Instant::now()` reads bracketing each operation — when the
+/// recorder is a no-op: queues guard their instrumentation with
+/// `if R::ENABLED { ... }`, which monomorphizes to nothing for
+/// [`NoopRecorder`].
+pub trait Recorder: Send + Sync + 'static {
+    /// Whether this recorder wants data at all. `false` compiles the
+    /// instrumentation out of the queue's hot paths.
+    const ENABLED: bool;
+
+    /// Record `n` occurrences of a counter event.
+    fn record_event_n(&self, event: CounterEvent, n: u64);
+
+    /// Record one occurrence of a counter event.
+    fn record_event(&self, event: CounterEvent) {
+        self.record_event_n(event, 1);
+    }
+
+    /// Record one operation of `kind` that took `nanos` nanoseconds.
+    fn record_op(&self, kind: OpKind, nanos: u64);
+
+    /// The substrate-facing sink to wire into locks, counters and funnels at
+    /// queue construction, or `None` to leave the substrate uninstrumented.
+    fn sink(self: &Arc<Self>) -> Option<SinkRef>;
+}
+
+/// The do-nothing recorder every queue defaults to. All methods are empty
+/// and [`Recorder::ENABLED`] is `false`, so an un-observed queue carries no
+/// instrumentation cost (verified by the `native_ops` bench's overhead row).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn record_event_n(&self, _event: CounterEvent, _n: u64) {}
+
+    #[inline(always)]
+    fn record_op(&self, _kind: OpKind, _nanos: u64) {}
+
+    fn sink(self: &Arc<Self>) -> Option<SinkRef> {
+        None
+    }
+}
+
+/// Times `f` and reports it to `rec` as one `kind` operation — free when
+/// `R::ENABLED` is false (no timer read, no call).
+#[inline]
+pub fn timed<R: Recorder, O>(rec: &R, kind: OpKind, f: impl FnOnce() -> O) -> O {
+    if R::ENABLED {
+        let t0 = Instant::now();
+        let out = f();
+        rec.record_op(kind, t0.elapsed().as_nanos() as u64);
+        out
+    } else {
+        f()
+    }
+}
+
+/// One operation kind's latency aggregate within a shard.
+#[derive(Debug, Default)]
+struct OpShard {
+    count: AtomicU64,
+    total_nanos: AtomicU64,
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl OpShard {
+    fn record(&self, nanos: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.buckets[bucket_of(nanos)].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Log₂ bucket index of a nanosecond sample.
+fn bucket_of(nanos: u64) -> usize {
+    ((64 - nanos.leading_zeros()) as usize).min(LATENCY_BUCKETS - 1)
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    events: [AtomicU64; CounterEvent::COUNT],
+    insert: OpShard,
+    delete_min: OpShard,
+}
+
+/// Dense per-thread shard index: assigned once per OS thread, round-robin.
+/// Locks inside the substrate do not know dense queue thread ids, so the
+/// recorder derives its own shard key; counts stay exact because shards are
+/// atomic and threads merely *prefer* distinct shards.
+fn shard_index(n_shards: usize) -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static IDX: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+    }
+    IDX.with(|c| {
+        let mut v = c.get();
+        if v == usize::MAX {
+            v = NEXT.fetch_add(1, Ordering::Relaxed);
+            c.set(v);
+        }
+        v % n_shards
+    })
+}
+
+/// A [`Recorder`] (and substrate [`EventSink`]) that aggregates counts and
+/// latency histograms in per-thread-sharded atomics, drained on demand into
+/// a [`MetricsSnapshot`].
+///
+/// Counts are exact: every event lands in exactly one shard's atomic, and
+/// [`AtomicRecorder::snapshot`] sums over all shards.
+///
+/// # Examples
+///
+/// ```
+/// use funnelpq::obs::{AtomicRecorder, OpKind, Recorder};
+/// use std::sync::Arc;
+///
+/// let rec = Arc::new(AtomicRecorder::new());
+/// rec.record_op(OpKind::Insert, 150);
+/// let snap = rec.snapshot();
+/// assert_eq!(snap.insert.count, 1);
+/// assert_eq!(snap.insert.total_nanos, 150);
+/// ```
+#[derive(Debug)]
+pub struct AtomicRecorder {
+    shards: Box<[CachePadded<Shard>]>,
+}
+
+impl Default for AtomicRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AtomicRecorder {
+    /// Creates a recorder with a default shard count sized to the machine.
+    pub fn new() -> Self {
+        let n = std::thread::available_parallelism()
+            .map(|p| p.get() * 2)
+            .unwrap_or(16)
+            .clamp(8, 128);
+        Self::with_shards(n)
+    }
+
+    /// Creates a recorder with an explicit shard count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_shards` is zero.
+    pub fn with_shards(n_shards: usize) -> Self {
+        assert!(n_shards > 0, "need at least one shard");
+        AtomicRecorder {
+            shards: (0..n_shards)
+                .map(|_| CachePadded::new(Shard::default()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self) -> &Shard {
+        &self.shards[shard_index(self.shards.len())]
+    }
+
+    /// Sums every shard into an owned, plain-data snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        for shard in self.shards.iter() {
+            for (i, c) in shard.events.iter().enumerate() {
+                snap.events[i] += c.load(Ordering::Relaxed);
+            }
+            for (agg, src) in [
+                (&mut snap.insert, &shard.insert),
+                (&mut snap.delete_min, &shard.delete_min),
+            ] {
+                agg.count += src.count.load(Ordering::Relaxed);
+                agg.total_nanos += src.total_nanos.load(Ordering::Relaxed);
+                for (b, s) in agg.buckets.iter_mut().zip(src.buckets.iter()) {
+                    *b += s.load(Ordering::Relaxed);
+                }
+            }
+        }
+        snap
+    }
+}
+
+impl Recorder for AtomicRecorder {
+    const ENABLED: bool = true;
+
+    fn record_event_n(&self, event: CounterEvent, n: u64) {
+        self.shard().events[event.index()].fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn record_op(&self, kind: OpKind, nanos: u64) {
+        let shard = self.shard();
+        match kind {
+            OpKind::Insert => shard.insert.record(nanos),
+            OpKind::DeleteMin => shard.delete_min.record(nanos),
+        }
+    }
+
+    fn sink(self: &Arc<Self>) -> Option<SinkRef> {
+        Some(Arc::clone(self) as SinkRef)
+    }
+}
+
+impl EventSink for AtomicRecorder {
+    fn event_n(&self, event: CounterEvent, n: u64) {
+        self.record_event_n(event, n);
+    }
+}
+
+/// Latency aggregate for one operation kind (plain data).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpStats {
+    /// Number of recorded operations.
+    pub count: u64,
+    /// Sum of all recorded durations, in nanoseconds.
+    pub total_nanos: u64,
+    /// Log₂ histogram: `buckets[i]` counts samples whose duration `d`
+    /// satisfies `floor(log2(d)) + 1 == i` (`buckets[0]` holds `d == 0`).
+    pub buckets: [u64; LATENCY_BUCKETS],
+}
+
+impl Default for OpStats {
+    fn default() -> Self {
+        OpStats {
+            count: 0,
+            total_nanos: 0,
+            buckets: [0; LATENCY_BUCKETS],
+        }
+    }
+}
+
+impl OpStats {
+    /// Mean duration in nanoseconds (0.0 when no samples).
+    pub fn mean_nanos(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_nanos as f64 / self.count as f64
+        }
+    }
+
+    /// Upper edge (in nanoseconds) of the bucket containing quantile `q`
+    /// (`0.0..=1.0`), or 0 when no samples. Bucket-resolution only — good
+    /// for "p99 is under 4 µs" statements, not exact ranks.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return if i == 0 { 0 } else { 1u64 << i };
+            }
+        }
+        1u64 << (LATENCY_BUCKETS - 1)
+    }
+}
+
+/// Plain-data result of draining an [`AtomicRecorder`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Event totals, indexed by [`CounterEvent::index`].
+    pub events: [u64; CounterEvent::COUNT],
+    /// Latency aggregate for inserts.
+    pub insert: OpStats,
+    /// Latency aggregate for delete-mins.
+    pub delete_min: OpStats,
+}
+
+impl MetricsSnapshot {
+    /// Total for one event kind.
+    pub fn event(&self, event: CounterEvent) -> u64 {
+        self.events[event.index()]
+    }
+
+    /// Total recorded operations (inserts + delete-mins).
+    pub fn total_ops(&self) -> u64 {
+        self.insert.count + self.delete_min.count
+    }
+
+    /// Serializes to a self-contained JSON object (hand-rolled: the
+    /// container builds fully offline, so no serde). Layout:
+    ///
+    /// ```json
+    /// {"algorithm": "...",
+    ///  "events": {"cas_retry": 0, ...},
+    ///  "insert": {"count": 0, "total_nanos": 0, "mean_nanos": 0,
+    ///             "p50_nanos_le": 0, "p99_nanos_le": 0, "buckets": [...]},
+    ///  "delete_min": {...}}
+    /// ```
+    pub fn to_json(&self, algorithm: &str) -> String {
+        fn op_json(out: &mut String, key: &str, s: &OpStats) {
+            out.push_str(&format!(
+                "  \"{key}\": {{\"count\": {}, \"total_nanos\": {}, \"mean_nanos\": {:.1}, \
+                 \"p50_nanos_le\": {}, \"p99_nanos_le\": {}, \"buckets\": [",
+                s.count,
+                s.total_nanos,
+                s.mean_nanos(),
+                s.quantile_upper_bound(0.5),
+                s.quantile_upper_bound(0.99),
+            ));
+            let last_nonzero = s
+                .buckets
+                .iter()
+                .rposition(|&b| b != 0)
+                .map(|i| i + 1)
+                .unwrap_or(0);
+            for (i, b) in s.buckets[..last_nonzero].iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&b.to_string());
+            }
+            out.push_str("]}");
+        }
+
+        let mut out = String::new();
+        out.push_str(&format!("{{\n  \"algorithm\": \"{algorithm}\",\n"));
+        out.push_str("  \"events\": {");
+        for (i, e) in CounterEvent::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}\": {}", e.name(), self.event(*e)));
+        }
+        out.push_str("},\n");
+        op_json(&mut out, "insert", &self.insert);
+        out.push_str(",\n");
+        op_json(&mut out, "delete_min", &self.delete_min);
+        out.push_str("\n}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), LATENCY_BUCKETS - 1);
+    }
+
+    #[test]
+    fn recorder_aggregates_across_threads() {
+        let rec = Arc::new(AtomicRecorder::with_shards(4));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let rec = Arc::clone(&rec);
+                std::thread::spawn(move || {
+                    for i in 0..100u64 {
+                        rec.record_event(CounterEvent::CasRetry);
+                        rec.record_op(OpKind::Insert, i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.event(CounterEvent::CasRetry), 800);
+        assert_eq!(snap.insert.count, 800);
+        assert_eq!(snap.insert.total_nanos, 8 * (0..100).sum::<u64>());
+        assert_eq!(snap.insert.buckets.iter().sum::<u64>(), 800);
+    }
+
+    #[test]
+    fn quantile_upper_bounds_are_monotone() {
+        let rec = Arc::new(AtomicRecorder::with_shards(1));
+        for n in [1u64, 10, 100, 1_000, 10_000, 100_000] {
+            rec.record_op(OpKind::DeleteMin, n);
+        }
+        let s = rec.snapshot().delete_min;
+        let p50 = s.quantile_upper_bound(0.5);
+        let p99 = s.quantile_upper_bound(0.99);
+        assert!(p50 <= p99);
+        assert!(p99 >= 100_000);
+    }
+
+    #[test]
+    fn json_is_balanced_and_names_every_event() {
+        let rec = Arc::new(AtomicRecorder::new());
+        rec.record_event_n(CounterEvent::ElimHit, 7);
+        rec.record_op(OpKind::Insert, 42);
+        let json = rec.snapshot().to_json("FunnelTree");
+        assert!(json.contains("\"algorithm\": \"FunnelTree\""));
+        assert!(json.contains("\"elim_hit\": 7"));
+        for e in CounterEvent::ALL {
+            assert!(json.contains(&format!("\"{}\"", e.name())), "{e} missing");
+        }
+        let bal = |open: char, close: char| {
+            json.chars().filter(|&c| c == open).count()
+                == json.chars().filter(|&c| c == close).count()
+        };
+        assert!(bal('{', '}') && bal('[', ']'));
+    }
+
+    #[test]
+    fn noop_recorder_reports_no_sink() {
+        let rec = Arc::new(NoopRecorder);
+        assert!(rec.sink().is_none());
+        const { assert!(!NoopRecorder::ENABLED) }
+    }
+}

@@ -1,9 +1,13 @@
 //! `SimpleLinear` (paper Figure 2): an array of lock-based bins scanned in
 //! priority order.
 
+use std::sync::Arc;
+
 use funnelpq_sync::{BinOrder, LockBin};
 
-use crate::traits::{BoundedPq, Consistency, PqInfo};
+use crate::algorithm::Algorithm;
+use crate::obs::{self, CounterEvent, NoopRecorder, OpKind, Recorder};
+use crate::traits::{BoundedPq, PqError};
 
 /// One MCS-locked bin per priority; `delete_min` scans bins smallest-first,
 /// attempting removal from each non-empty bin it meets.
@@ -25,9 +29,10 @@ use crate::traits::{BoundedPq, Consistency, PqInfo};
 /// assert_eq!(q.delete_min(0), None);
 /// ```
 #[derive(Debug)]
-pub struct SimpleLinearPq<T> {
+pub struct SimpleLinearPq<T, R: Recorder = NoopRecorder> {
     bins: Vec<LockBin<T>>,
     max_threads: usize,
+    recorder: Arc<R>,
 }
 
 impl<T: Send> SimpleLinearPq<T> {
@@ -48,18 +53,42 @@ impl<T: Send> SimpleLinearPq<T> {
     ///
     /// Panics if `num_priorities` or `max_threads` is zero.
     pub fn with_order(num_priorities: usize, max_threads: usize, order: BinOrder) -> Self {
+        Self::with_recorder(num_priorities, max_threads, order, Arc::new(NoopRecorder))
+    }
+}
+
+impl<T: Send, R: Recorder> SimpleLinearPq<T, R> {
+    /// Like [`SimpleLinearPq::with_order`], reporting metrics to `recorder`
+    /// (every bin lock's acquisitions flow into the recorder's substrate
+    /// sink).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_priorities` or `max_threads` is zero.
+    pub fn with_recorder(
+        num_priorities: usize,
+        max_threads: usize,
+        order: BinOrder,
+        recorder: Arc<R>,
+    ) -> Self {
         assert!(num_priorities > 0, "need at least one priority");
         assert!(max_threads > 0, "need at least one thread");
+        let sink = recorder.sink();
         SimpleLinearPq {
             bins: (0..num_priorities)
-                .map(|_| LockBin::with_order(order))
+                .map(|_| LockBin::with_order_and_sink(order, sink.clone()))
                 .collect(),
             max_threads,
+            recorder,
         }
     }
 }
 
-impl<T: Send> BoundedPq<T> for SimpleLinearPq<T> {
+impl<T: Send, R: Recorder> BoundedPq<T> for SimpleLinearPq<T, R> {
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::SimpleLinear
+    }
+
     fn num_priorities(&self) -> usize {
         self.bins.len()
     }
@@ -68,35 +97,51 @@ impl<T: Send> BoundedPq<T> for SimpleLinearPq<T> {
         self.max_threads
     }
 
-    fn insert(&self, tid: usize, pri: usize, item: T) {
-        assert!(tid < self.max_threads, "tid {tid} out of range");
-        assert!(pri < self.bins.len(), "priority {pri} out of range");
-        self.bins[pri].insert(item);
+    // `#[inline]` lets the panicking `insert` wrapper's monomorphization
+    // absorb this body, keeping the old direct-insert code shape (no extra
+    // call or by-stack `Result` on the hot path).
+    #[inline]
+    fn try_insert(&self, tid: usize, pri: usize, item: T) -> Result<(), PqError<T>> {
+        if tid >= self.max_threads {
+            return Err(PqError::TidOutOfRange {
+                tid,
+                max_threads: self.max_threads,
+                item,
+            });
+        }
+        if pri >= self.bins.len() {
+            return Err(PqError::PriorityOutOfRange {
+                pri,
+                num_priorities: self.bins.len(),
+                item,
+            });
+        }
+        obs::timed(&*self.recorder, OpKind::Insert, || {
+            self.bins[pri].insert(item)
+        });
+        Ok(())
     }
 
     fn delete_min(&self, tid: usize) -> Option<(usize, T)> {
         assert!(tid < self.max_threads, "tid {tid} out of range");
-        for (pri, bin) in self.bins.iter().enumerate() {
-            if !bin.is_empty() {
-                if let Some(item) = bin.delete() {
-                    return Some((pri, item));
+        let out = obs::timed(&*self.recorder, OpKind::DeleteMin, || {
+            for (pri, bin) in self.bins.iter().enumerate() {
+                if !bin.is_empty() {
+                    if let Some(item) = bin.delete() {
+                        return Some((pri, item));
+                    }
                 }
             }
+            None
+        });
+        if R::ENABLED && out.is_none() {
+            self.recorder.record_event(CounterEvent::EmptyDeleteMin);
         }
-        None
+        out
     }
 
     fn is_empty(&self) -> bool {
         self.bins.iter().all(|b| b.is_empty())
-    }
-}
-
-impl<T> PqInfo for SimpleLinearPq<T> {
-    fn algorithm_name(&self) -> &'static str {
-        "SimpleLinear"
-    }
-    fn consistency(&self) -> Consistency {
-        Consistency::Linearizable
     }
 }
 

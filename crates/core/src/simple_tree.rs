@@ -1,10 +1,14 @@
 //! `SimpleTree` (paper Figure 3): tree of MCS-locked counters with
 //! lock-based bins at the leaves.
 
+use std::sync::Arc;
+
 use funnelpq_sync::{BinOrder, Bounds, LockBin, LockedCounter};
 
+use crate::algorithm::Algorithm;
 use crate::counter_tree::CounterTree;
-use crate::traits::{BoundedPq, Consistency, PqInfo};
+use crate::obs::{self, CounterEvent, NoopRecorder, OpKind, Recorder};
+use crate::traits::{BoundedPq, PqError};
 
 /// Binary tree of counters (each an MCS-locked integer) over lock-based
 /// bins: `delete_min` costs `O(log N)` counter operations, `insert` half
@@ -25,8 +29,9 @@ use crate::traits::{BoundedPq, Consistency, PqInfo};
 /// assert_eq!(q.delete_min(3), Some((9, "i")));
 /// ```
 #[derive(Debug)]
-pub struct SimpleTreePq<T> {
+pub struct SimpleTreePq<T, R: Recorder = NoopRecorder> {
     tree: CounterTree<T, LockBin<T>>,
+    recorder: Arc<R>,
 }
 
 impl<T: Send> SimpleTreePq<T> {
@@ -46,41 +51,94 @@ impl<T: Send> SimpleTreePq<T> {
     ///
     /// Panics if `num_priorities` or `max_threads` is zero.
     pub fn with_order(num_priorities: usize, max_threads: usize, order: BinOrder) -> Self {
+        Self::with_recorder(num_priorities, max_threads, order, Arc::new(NoopRecorder))
+    }
+}
+
+impl<T: Send, R: Recorder> SimpleTreePq<T, R> {
+    /// Like [`SimpleTreePq::with_order`], reporting metrics to `recorder`
+    /// (counter locks and bin locks flow into the recorder's substrate
+    /// sink).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_priorities` or `max_threads` is zero.
+    pub fn with_recorder(
+        num_priorities: usize,
+        max_threads: usize,
+        order: BinOrder,
+        recorder: Arc<R>,
+    ) -> Self {
+        let sink = recorder.sink();
         SimpleTreePq {
             tree: CounterTree::new(
                 num_priorities,
                 max_threads,
-                |_depth| Box::new(LockedCounter::new(0, Bounds::non_negative())),
-                || LockBin::with_order(order),
+                |_depth| {
+                    Box::new(LockedCounter::with_sink(
+                        0,
+                        Bounds::non_negative(),
+                        sink.clone(),
+                    ))
+                },
+                || LockBin::with_order_and_sink(order, sink.clone()),
             ),
+            recorder,
         }
     }
 }
 
-impl<T: Send> BoundedPq<T> for SimpleTreePq<T> {
+impl<T: Send, R: Recorder> BoundedPq<T> for SimpleTreePq<T, R> {
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::SimpleTree
+    }
+
     fn num_priorities(&self) -> usize {
         self.tree.num_priorities()
     }
+
     fn max_threads(&self) -> usize {
         self.tree.max_threads()
     }
-    fn insert(&self, tid: usize, pri: usize, item: T) {
-        self.tree.insert(tid, pri, item);
+
+    // `#[inline]` lets the panicking `insert` wrapper's monomorphization
+    // absorb this body, keeping the old direct-insert code shape (no extra
+    // call or by-stack `Result` on the hot path).
+    #[inline]
+    fn try_insert(&self, tid: usize, pri: usize, item: T) -> Result<(), PqError<T>> {
+        if tid >= self.tree.max_threads() {
+            return Err(PqError::TidOutOfRange {
+                tid,
+                max_threads: self.tree.max_threads(),
+                item,
+            });
+        }
+        if pri >= self.tree.num_priorities() {
+            return Err(PqError::PriorityOutOfRange {
+                pri,
+                num_priorities: self.tree.num_priorities(),
+                item,
+            });
+        }
+        obs::timed(&*self.recorder, OpKind::Insert, || {
+            self.tree.insert(tid, pri, item)
+        });
+        Ok(())
     }
+
     fn delete_min(&self, tid: usize) -> Option<(usize, T)> {
-        self.tree.delete_min(tid)
+        assert!(tid < self.tree.max_threads(), "tid {tid} out of range");
+        let out = obs::timed(&*self.recorder, OpKind::DeleteMin, || {
+            self.tree.delete_min(tid)
+        });
+        if R::ENABLED && out.is_none() {
+            self.recorder.record_event(CounterEvent::EmptyDeleteMin);
+        }
+        out
     }
+
     fn is_empty(&self) -> bool {
         self.tree.is_empty()
-    }
-}
-
-impl<T> PqInfo for SimpleTreePq<T> {
-    fn algorithm_name(&self) -> &'static str {
-        "SimpleTree"
-    }
-    fn consistency(&self) -> Consistency {
-        Consistency::QuiescentlyConsistent
     }
 }
 

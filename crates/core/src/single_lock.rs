@@ -1,10 +1,14 @@
 //! `SingleLock`: a heap under one MCS lock — the paper's representative of
 //! centralized lock-based algorithms.
 
+use std::sync::Arc;
+
 use funnelpq_sync::McsMutex;
 
+use crate::algorithm::Algorithm;
 use crate::heap::BinaryHeap;
-use crate::traits::{BoundedPq, Consistency, PqInfo};
+use crate::obs::{self, CounterEvent, NoopRecorder, OpKind, Recorder};
+use crate::traits::{BoundedPq, PqError};
 
 /// Binary heap protected by a single MCS queue lock.
 ///
@@ -23,10 +27,11 @@ use crate::traits::{BoundedPq, Consistency, PqInfo};
 /// assert_eq!(q.delete_min(0), Some((1, "a")));
 /// ```
 #[derive(Debug)]
-pub struct SingleLockPq<T> {
+pub struct SingleLockPq<T, R: Recorder = NoopRecorder> {
     heap: McsMutex<BinaryHeap<T>>,
     num_priorities: usize,
     max_threads: usize,
+    recorder: Arc<R>,
 }
 
 impl<T: Send> SingleLockPq<T> {
@@ -36,17 +41,35 @@ impl<T: Send> SingleLockPq<T> {
     ///
     /// Panics if `num_priorities` or `max_threads` is zero.
     pub fn new(num_priorities: usize, max_threads: usize) -> Self {
+        Self::with_recorder(num_priorities, max_threads, Arc::new(NoopRecorder))
+    }
+}
+
+impl<T: Send, R: Recorder> SingleLockPq<T, R> {
+    /// Creates a queue reporting metrics to `recorder` (the heap lock's
+    /// acquisitions flow into the recorder's substrate sink).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_priorities` or `max_threads` is zero.
+    pub fn with_recorder(num_priorities: usize, max_threads: usize, recorder: Arc<R>) -> Self {
         assert!(num_priorities > 0, "need at least one priority");
         assert!(max_threads > 0, "need at least one thread");
+        let sink = recorder.sink();
         SingleLockPq {
-            heap: McsMutex::new(BinaryHeap::new()),
+            heap: McsMutex::with_sink(BinaryHeap::new(), sink),
             num_priorities,
             max_threads,
+            recorder,
         }
     }
 }
 
-impl<T: Send> BoundedPq<T> for SingleLockPq<T> {
+impl<T: Send, R: Recorder> BoundedPq<T> for SingleLockPq<T, R> {
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::SingleLock
+    }
+
     fn num_priorities(&self) -> usize {
         self.num_priorities
     }
@@ -55,28 +78,44 @@ impl<T: Send> BoundedPq<T> for SingleLockPq<T> {
         self.max_threads
     }
 
-    fn insert(&self, tid: usize, pri: usize, item: T) {
-        assert!(tid < self.max_threads, "tid {tid} out of range");
-        assert!(pri < self.num_priorities, "priority {pri} out of range");
-        self.heap.lock().push(pri, item);
+    // `#[inline]` lets the panicking `insert` wrapper's monomorphization
+    // absorb this body, keeping the old direct-insert code shape (no extra
+    // call or by-stack `Result` on the hot path).
+    #[inline]
+    fn try_insert(&self, tid: usize, pri: usize, item: T) -> Result<(), PqError<T>> {
+        if tid >= self.max_threads {
+            return Err(PqError::TidOutOfRange {
+                tid,
+                max_threads: self.max_threads,
+                item,
+            });
+        }
+        if pri >= self.num_priorities {
+            return Err(PqError::PriorityOutOfRange {
+                pri,
+                num_priorities: self.num_priorities,
+                item,
+            });
+        }
+        obs::timed(&*self.recorder, OpKind::Insert, || {
+            self.heap.lock().push(pri, item)
+        });
+        Ok(())
     }
 
     fn delete_min(&self, tid: usize) -> Option<(usize, T)> {
         assert!(tid < self.max_threads, "tid {tid} out of range");
-        self.heap.lock().pop()
+        let out = obs::timed(&*self.recorder, OpKind::DeleteMin, || {
+            self.heap.lock().pop()
+        });
+        if R::ENABLED && out.is_none() {
+            self.recorder.record_event(CounterEvent::EmptyDeleteMin);
+        }
+        out
     }
 
     fn is_empty(&self) -> bool {
         self.heap.lock().is_empty()
-    }
-}
-
-impl<T> PqInfo for SingleLockPq<T> {
-    fn algorithm_name(&self) -> &'static str {
-        "SingleLock"
-    }
-    fn consistency(&self) -> Consistency {
-        Consistency::Linearizable
     }
 }
 
@@ -102,5 +141,15 @@ mod tests {
     fn rejects_out_of_range_priority() {
         let q = SingleLockPq::new(4, 1);
         q.insert(0, 4, ());
+    }
+
+    #[test]
+    fn try_insert_returns_the_item() {
+        let q = SingleLockPq::new(4, 1);
+        let err = q.try_insert(0, 9, "hot").unwrap_err();
+        assert_eq!(err.into_item(), "hot");
+        let err = q.try_insert(5, 0, "tid").unwrap_err();
+        assert_eq!(err.into_item(), "tid");
+        assert!(q.is_empty());
     }
 }

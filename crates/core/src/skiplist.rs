@@ -15,11 +15,14 @@
 //! min-ordering at quiescence, which the bare pseudocode lacks.
 
 use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
 
-use funnelpq_sync::{LockBin, TtasMutex};
+use funnelpq_sync::{BinOrder, LockBin, TtasMutex};
 use funnelpq_util::XorShift64Star;
 
-use crate::traits::{BoundedPq, Consistency, PqInfo};
+use crate::algorithm::Algorithm;
+use crate::obs::{self, CounterEvent, NoopRecorder, OpKind, Recorder};
+use crate::traits::{BoundedPq, PqError};
 
 const NONE: usize = usize::MAX;
 const HEAD: usize = usize::MAX - 1;
@@ -56,7 +59,7 @@ struct Node<T> {
 /// assert_eq!(q.delete_min(1), Some((9, "z")));
 /// assert_eq!(q.delete_min(0), None);
 /// ```
-pub struct SkipListPq<T> {
+pub struct SkipListPq<T, R: Recorder = NoopRecorder> {
     nodes: Vec<Node<T>>,
     head_forward: Vec<AtomicUsize>,
     head_lock: TtasMutex<()>,
@@ -64,6 +67,7 @@ pub struct SkipListPq<T> {
     del_lock: TtasMutex<()>,
     max_threads: usize,
     max_level: usize,
+    recorder: Arc<R>,
 }
 
 impl<T: Send> SkipListPq<T> {
@@ -79,11 +83,29 @@ impl<T: Send> SkipListPq<T> {
 
     /// Like [`SkipListPq::new`] with an explicit height-RNG seed.
     pub fn with_seed(num_priorities: usize, max_threads: usize, seed: u64) -> Self {
+        Self::with_recorder(num_priorities, max_threads, seed, Arc::new(NoopRecorder))
+    }
+}
+
+impl<T: Send, R: Recorder> SkipListPq<T, R> {
+    /// Like [`SkipListPq::with_seed`], reporting metrics to `recorder` (every
+    /// bin lock's acquisitions flow into the recorder's substrate sink).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_priorities` or `max_threads` is zero.
+    pub fn with_recorder(
+        num_priorities: usize,
+        max_threads: usize,
+        seed: u64,
+        recorder: Arc<R>,
+    ) -> Self {
         assert!(num_priorities > 0, "need at least one priority");
         assert!(max_threads > 0, "need at least one thread");
         let max_level = (usize::BITS - num_priorities.leading_zeros()) as usize;
         let max_level = max_level.clamp(1, 20);
         let mut rng = XorShift64Star::new(seed);
+        let sink = recorder.sink();
         let nodes = (0..num_priorities)
             .map(|_| {
                 let mut h = 1;
@@ -91,7 +113,7 @@ impl<T: Send> SkipListPq<T> {
                     h += 1;
                 }
                 Node {
-                    bin: LockBin::new(),
+                    bin: LockBin::with_order_and_sink(BinOrder::Lifo, sink.clone()),
                     height: h,
                     state: AtomicU8::new(UNTHREADED),
                     forward: (0..h).map(|_| AtomicUsize::new(NONE)).collect(),
@@ -107,6 +129,7 @@ impl<T: Send> SkipListPq<T> {
             del_lock: TtasMutex::new(()),
             max_threads,
             max_level,
+            recorder,
         }
     }
 
@@ -239,7 +262,11 @@ impl<T: Send> SkipListPq<T> {
     }
 }
 
-impl<T: Send> BoundedPq<T> for SkipListPq<T> {
+impl<T: Send, R: Recorder> BoundedPq<T> for SkipListPq<T, R> {
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::SkipList
+    }
+
     fn num_priorities(&self) -> usize {
         self.nodes.len()
     }
@@ -248,19 +275,55 @@ impl<T: Send> BoundedPq<T> for SkipListPq<T> {
         self.max_threads
     }
 
-    fn insert(&self, tid: usize, pri: usize, item: T) {
-        assert!(tid < self.max_threads, "tid {tid} out of range");
-        assert!(pri < self.nodes.len(), "priority {pri} out of range");
-        // Bin first (paper order): once the item is in the bin, either the
-        // node is/becomes threaded or a delete-bin drain can reach it.
-        self.nodes[pri].bin.insert(item);
-        if self.nodes[pri].state.load(Ordering::Acquire) != THREADED {
-            self.thread_node(pri);
+    // `#[inline]` lets the panicking `insert` wrapper's monomorphization
+    // absorb this body, keeping the old direct-insert code shape (no extra
+    // call or by-stack `Result` on the hot path).
+    #[inline]
+    fn try_insert(&self, tid: usize, pri: usize, item: T) -> Result<(), PqError<T>> {
+        if tid >= self.max_threads {
+            return Err(PqError::TidOutOfRange {
+                tid,
+                max_threads: self.max_threads,
+                item,
+            });
         }
+        if pri >= self.nodes.len() {
+            return Err(PqError::PriorityOutOfRange {
+                pri,
+                num_priorities: self.nodes.len(),
+                item,
+            });
+        }
+        obs::timed(&*self.recorder, OpKind::Insert, || {
+            // Bin first (paper order): once the item is in the bin, either
+            // the node is/becomes threaded or a delete-bin drain can reach
+            // it.
+            self.nodes[pri].bin.insert(item);
+            if self.nodes[pri].state.load(Ordering::Acquire) != THREADED {
+                self.thread_node(pri);
+            }
+        });
+        Ok(())
     }
 
     fn delete_min(&self, tid: usize) -> Option<(usize, T)> {
         assert!(tid < self.max_threads, "tid {tid} out of range");
+        let out = obs::timed(&*self.recorder, OpKind::DeleteMin, || {
+            self.delete_min_inner()
+        });
+        if R::ENABLED && out.is_none() {
+            self.recorder.record_event(CounterEvent::EmptyDeleteMin);
+        }
+        out
+    }
+
+    fn is_empty(&self) -> bool {
+        self.nodes.iter().all(|n| n.bin.is_empty())
+    }
+}
+
+impl<T: Send, R: Recorder> SkipListPq<T, R> {
+    fn delete_min_inner(&self) -> Option<(usize, T)> {
         loop {
             let db = self.del_bin.load(Ordering::Acquire);
             let first = self.head_forward[0].load(Ordering::Acquire);
@@ -304,22 +367,9 @@ impl<T: Send> BoundedPq<T> for SkipListPq<T> {
             }
         }
     }
-
-    fn is_empty(&self) -> bool {
-        self.nodes.iter().all(|n| n.bin.is_empty())
-    }
 }
 
-impl<T> PqInfo for SkipListPq<T> {
-    fn algorithm_name(&self) -> &'static str {
-        "SkipList"
-    }
-    fn consistency(&self) -> Consistency {
-        Consistency::QuiescentlyConsistent
-    }
-}
-
-impl<T> std::fmt::Debug for SkipListPq<T> {
+impl<T, R: Recorder> std::fmt::Debug for SkipListPq<T, R> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SkipListPq")
             .field("num_priorities", &self.nodes.len())

@@ -1,11 +1,88 @@
 //! The bounded-range concurrent priority queue interface.
 
+use crate::algorithm::Algorithm;
+
+/// Why an insert was rejected. Carries the item back so callers can retry
+/// or recover it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PqError<T> {
+    /// `tid >= max_threads()`.
+    TidOutOfRange {
+        /// The offending thread id.
+        tid: usize,
+        /// The queue's thread-id bound.
+        max_threads: usize,
+        /// The item that was not inserted.
+        item: T,
+    },
+    /// `pri >= num_priorities()`.
+    PriorityOutOfRange {
+        /// The offending priority.
+        pri: usize,
+        /// The queue's priority bound.
+        num_priorities: usize,
+        /// The item that was not inserted.
+        item: T,
+    },
+    /// The queue's fixed capacity is full (only queues with a construction-
+    /// time capacity, e.g. `HuntPq`, report this).
+    CapacityExhausted {
+        /// The item that was not inserted.
+        item: T,
+    },
+}
+
+impl<T> PqError<T> {
+    /// Recovers the item the rejected insert carried.
+    pub fn into_item(self) -> T {
+        match self {
+            PqError::TidOutOfRange { item, .. }
+            | PqError::PriorityOutOfRange { item, .. }
+            | PqError::CapacityExhausted { item } => item,
+        }
+    }
+}
+
+impl<T> std::fmt::Display for PqError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PqError::TidOutOfRange {
+                tid, max_threads, ..
+            } => {
+                write!(f, "tid {tid} out of range (max_threads {max_threads})")
+            }
+            PqError::PriorityOutOfRange {
+                pri,
+                num_priorities,
+                ..
+            } => {
+                write!(
+                    f,
+                    "priority {pri} out of range (num_priorities {num_priorities})"
+                )
+            }
+            PqError::CapacityExhausted { .. } => write!(f, "queue capacity exhausted"),
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::error::Error for PqError<T> {}
+
+// Keeps the panic formatting machinery out of the inlined `insert` fast
+// path (it costs measurable ns/op on the cheapest queues otherwise).
+#[cold]
+#[inline(never)]
+fn reject(e: &dyn std::fmt::Display) -> ! {
+    panic!("{e}");
+}
+
 /// A concurrent priority queue over the fixed priority range
 /// `0..num_priorities()`, where **smaller is more urgent**.
 ///
 /// This is the interface from §2 of the paper: `insert` files an item under
 /// a priority, `delete_min` removes an item of the smallest priority
-/// currently present.
+/// currently present. Construct implementations uniformly with
+/// [`crate::PqBuilder`], or directly through each type's constructors.
 ///
 /// # Thread ids
 ///
@@ -13,16 +90,29 @@
 /// per-thread records, so every operation takes the caller's thread id
 /// (`0..max_threads()`). Two threads using one id concurrently is a logic
 /// error — results may be wrong — but never memory-unsafe. Lock-based
-/// implementations ignore the id.
+/// implementations ignore the id (but still validate it).
+///
+/// # Panic policy
+///
+/// The fallible form of insertion is [`BoundedPq::try_insert`], which
+/// reports rejected arguments (and exhausted fixed capacity) as a
+/// [`PqError`] carrying the item back. [`BoundedPq::insert`] is a thin
+/// wrapper that panics with the error's message instead; `delete_min`
+/// panics on a tid outside `0..max_threads()`. Nothing else in the
+/// interface panics.
 ///
 /// # Consistency
 ///
-/// Each implementation documents whether it is **linearizable** or
-/// **quiescently consistent** (see the paper's Appendix B). Both guarantee
-/// that at quiescence the queue contains exactly the un-deleted inserts, and
-/// that `k` delete-mins running after a quiescent point with no concurrent
-/// inserts return the `k` smallest priorities present.
+/// Each implementation is either **linearizable** or **quiescently
+/// consistent** (see the paper's Appendix B), queryable via
+/// [`BoundedPq::consistency`]. Both guarantee that at quiescence the queue
+/// contains exactly the un-deleted inserts, and that `k` delete-mins running
+/// after a quiescent point with no concurrent inserts return the `k`
+/// smallest priorities present.
 pub trait BoundedPq<T: Send>: Send + Sync {
+    /// Which of the paper's algorithms this queue implements.
+    fn algorithm(&self) -> Algorithm;
+
     /// The number of allowed priorities; valid priorities are
     /// `0..num_priorities()`.
     fn num_priorities(&self) -> usize;
@@ -30,12 +120,19 @@ pub trait BoundedPq<T: Send>: Send + Sync {
     /// Maximum number of distinct thread ids this queue accepts.
     fn max_threads(&self) -> usize;
 
-    /// Inserts `item` with priority `pri`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `pri >= num_priorities()` or `tid >= max_threads()`.
-    fn insert(&self, tid: usize, pri: usize, item: T);
+    /// Inserts `item` with priority `pri`, or returns it inside a
+    /// [`PqError`] if `tid`/`pri` is out of range or a fixed-capacity queue
+    /// is full. Never panics (see the trait-level panic policy).
+    fn try_insert(&self, tid: usize, pri: usize, item: T) -> Result<(), PqError<T>>;
+
+    /// Inserts `item` with priority `pri`, panicking where
+    /// [`BoundedPq::try_insert`] would return an error (see the trait-level
+    /// panic policy).
+    fn insert(&self, tid: usize, pri: usize, item: T) {
+        if let Err(e) = self.try_insert(tid, pri, item) {
+            reject(&e);
+        }
+    }
 
     /// Removes and returns an item with the smallest present priority, or
     /// `None` if the queue appears empty.
@@ -44,14 +141,24 @@ pub trait BoundedPq<T: Send>: Send + Sync {
     /// operation could reach was raced away (the paper's `delete-min`
     /// likewise may return NULL); callers that know the queue is non-empty
     /// at quiescence can rely on `Some`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `tid >= max_threads()`.
     fn delete_min(&self, tid: usize) -> Option<(usize, T)>;
 
-    /// Advisory emptiness test. Exact only at quiescence.
+    /// Advisory emptiness test: a racy read that is exact **only at
+    /// quiescence**. Never use it to terminate a loop while other threads
+    /// may still insert — count operations instead (a `false` may already be
+    /// stale when acted on, and `true` says nothing about in-flight
+    /// inserts).
     fn is_empty(&self) -> bool;
+
+    /// Short algorithm name as used in the paper (e.g. `"FunnelTree"`).
+    fn algorithm_name(&self) -> &'static str {
+        self.algorithm().name()
+    }
+
+    /// The consistency condition the implementation provides.
+    fn consistency(&self) -> Consistency {
+        self.algorithm().consistency()
+    }
 }
 
 /// Consistency condition offered by a queue (paper Appendix B).
@@ -75,10 +182,29 @@ impl std::fmt::Display for Consistency {
     }
 }
 
-/// Metadata about a queue implementation, used by benches and examples.
-pub trait PqInfo {
-    /// Short algorithm name as used in the paper (e.g. `"FunnelTree"`).
-    fn algorithm_name(&self) -> &'static str;
-    /// The consistency condition the implementation provides.
-    fn consistency(&self) -> Consistency;
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pq_error_messages_and_item_recovery() {
+        let e = PqError::PriorityOutOfRange {
+            pri: 9,
+            num_priorities: 8,
+            item: "x",
+        };
+        assert_eq!(e.to_string(), "priority 9 out of range (num_priorities 8)");
+        assert_eq!(e.into_item(), "x");
+
+        let e = PqError::TidOutOfRange {
+            tid: 3,
+            max_threads: 2,
+            item: 7u32,
+        };
+        assert_eq!(e.to_string(), "tid 3 out of range (max_threads 2)");
+        assert_eq!(e.into_item(), 7);
+
+        let e = PqError::CapacityExhausted { item: () };
+        assert!(e.to_string().contains("capacity exhausted"));
+    }
 }

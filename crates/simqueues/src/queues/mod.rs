@@ -19,69 +19,10 @@ use funnelpq_sim::{Machine, ProcCtx};
 
 use crate::funnel::SimFunnelConfig;
 
-/// Which of the paper's algorithms to build.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Algorithm {
-    /// Heap under one MCS lock.
-    SingleLock,
-    /// Hunt et al. concurrent heap.
-    HuntEtAl,
-    /// Bounded-range skip list of bins with a delete bin.
-    SkipList,
-    /// Array of MCS-locked bins, scanned.
-    SimpleLinear,
-    /// Tree of MCS-locked counters over locked bins.
-    SimpleTree,
-    /// Array of combining-funnel stacks, scanned.
-    LinearFunnels,
-    /// Tree with funnel counters at the top and funnel-stack bins.
-    FunnelTree,
-    /// Ablation: tree with hardware fetch-and-add counters (not one of the
-    /// paper's seven — its machine model has no fetch-and-add).
-    HardwareTree,
-}
-
-impl Algorithm {
-    /// All seven algorithms, in the paper's presentation order.
-    pub const ALL: [Algorithm; 7] = [
-        Algorithm::SingleLock,
-        Algorithm::HuntEtAl,
-        Algorithm::SkipList,
-        Algorithm::SimpleLinear,
-        Algorithm::SimpleTree,
-        Algorithm::LinearFunnels,
-        Algorithm::FunnelTree,
-    ];
-
-    /// The four algorithms the paper carries into its high-concurrency
-    /// comparisons (Figures 7–9).
-    pub const SCALABLE: [Algorithm; 4] = [
-        Algorithm::SimpleLinear,
-        Algorithm::SimpleTree,
-        Algorithm::LinearFunnels,
-        Algorithm::FunnelTree,
-    ];
-
-    /// The algorithm's name as printed in the paper.
-    pub fn name(&self) -> &'static str {
-        match self {
-            Algorithm::SingleLock => "SingleLock",
-            Algorithm::HuntEtAl => "HuntEtAl",
-            Algorithm::SkipList => "SkipList",
-            Algorithm::SimpleLinear => "SimpleLinear",
-            Algorithm::SimpleTree => "SimpleTree",
-            Algorithm::LinearFunnels => "LinearFunnels",
-            Algorithm::FunnelTree => "FunnelTree",
-            Algorithm::HardwareTree => "HardwareTree",
-        }
-    }
-}
-
-impl std::fmt::Display for Algorithm {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.name())
-    }
-}
+// One shared name list for native and simulated queues: the enum lives in
+// the core crate (which also documents each algorithm's consistency) and is
+// re-exported here so sim-side consumers keep their import paths.
+pub use funnelpq::Algorithm;
 
 /// Build-time parameters shared by all algorithms.
 #[derive(Debug, Clone)]

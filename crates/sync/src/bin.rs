@@ -5,6 +5,7 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::mcs::McsMutex;
+use crate::probe::SinkRef;
 
 /// Removal order within a bin holding equal-priority items.
 ///
@@ -54,8 +55,14 @@ impl<T> LockBin<T> {
 
     /// Creates an empty bin with the given removal order.
     pub fn with_order(order: BinOrder) -> Self {
+        Self::with_order_and_sink(order, None)
+    }
+
+    /// Creates an empty bin whose lock reports acquisitions
+    /// ([`crate::probe::CounterEvent::LockAcquire`]) to `sink`.
+    pub fn with_order_and_sink(order: BinOrder, sink: Option<SinkRef>) -> Self {
         LockBin {
-            items: McsMutex::new(VecDeque::new()),
+            items: McsMutex::with_sink(VecDeque::new(), sink),
             size: AtomicUsize::new(0),
             order,
         }

@@ -12,6 +12,7 @@ use std::sync::atomic::{AtomicI64, Ordering};
 use funnelpq_util::CachePadded;
 
 use crate::mcs::McsMutex;
+use crate::probe::{CounterEvent, SinkRef};
 
 /// Inclusive bounds a counter's value must stay within.
 ///
@@ -80,10 +81,19 @@ pub trait SharedCounter: Send + Sync {
 /// assert_eq!(c.fetch_inc(0), 0);
 /// assert_eq!(c.value(), 1);
 /// ```
-#[derive(Debug)]
 pub struct CasCounter {
     val: CachePadded<AtomicI64>,
     bounds: Bounds,
+    sink: Option<SinkRef>,
+}
+
+impl std::fmt::Debug for CasCounter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CasCounter")
+            .field("value", &self.value())
+            .field("bounds", &self.bounds)
+            .finish_non_exhaustive()
+    }
 }
 
 impl CasCounter {
@@ -93,6 +103,16 @@ impl CasCounter {
     ///
     /// Panics if `initial` lies outside `bounds`.
     pub fn new(initial: i64, bounds: Bounds) -> Self {
+        Self::with_sink(initial, bounds, None)
+    }
+
+    /// Like [`CasCounter::new`], reporting each failed compare-and-swap as a
+    /// [`CounterEvent::CasRetry`] (batched per operation) to `sink`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` lies outside `bounds`.
+    pub fn with_sink(initial: i64, bounds: Bounds, sink: Option<SinkRef>) -> Self {
         assert_eq!(
             bounds.clamp(initial),
             initial,
@@ -101,52 +121,59 @@ impl CasCounter {
         CasCounter {
             val: CachePadded::new(AtomicI64::new(initial)),
             bounds,
+            sink,
+        }
+    }
+
+    fn fetch_add_bounded(&self, delta: i64, stop: Option<i64>) -> i64 {
+        let mut retries = 0u64;
+        let mut cur = self.val.load(Ordering::Relaxed);
+        let out = loop {
+            if stop == Some(cur) {
+                // Re-validate the saturated read before trusting it.
+                let again = self.val.load(Ordering::Acquire);
+                if again == cur {
+                    break cur;
+                }
+                cur = again;
+                continue;
+            }
+            match self.val.compare_exchange_weak(
+                cur,
+                cur + delta,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(v) => break v,
+                Err(v) => {
+                    retries += 1;
+                    cur = v;
+                }
+            }
+        };
+        if retries > 0 {
+            self.note_retries(retries);
+        }
+        out
+    }
+
+    // Out-of-line so the uncontended path pays only a not-taken branch.
+    #[cold]
+    #[inline(never)]
+    fn note_retries(&self, retries: u64) {
+        if let Some(s) = &self.sink {
+            s.event_n(CounterEvent::CasRetry, retries);
         }
     }
 }
 
 impl SharedCounter for CasCounter {
     fn fetch_inc(&self, _tid: usize) -> i64 {
-        let mut cur = self.val.load(Ordering::Relaxed);
-        loop {
-            if self.bounds.hi == Some(cur) {
-                // Re-validate the saturated read before trusting it.
-                let again = self.val.load(Ordering::Acquire);
-                if again == cur {
-                    return cur;
-                }
-                cur = again;
-                continue;
-            }
-            match self
-                .val
-                .compare_exchange_weak(cur, cur + 1, Ordering::AcqRel, Ordering::Relaxed)
-            {
-                Ok(v) => return v,
-                Err(v) => cur = v,
-            }
-        }
+        self.fetch_add_bounded(1, self.bounds.hi)
     }
 
     fn fetch_dec(&self, _tid: usize) -> i64 {
-        let mut cur = self.val.load(Ordering::Relaxed);
-        loop {
-            if self.bounds.lo == Some(cur) {
-                let again = self.val.load(Ordering::Acquire);
-                if again == cur {
-                    return cur;
-                }
-                cur = again;
-                continue;
-            }
-            match self
-                .val
-                .compare_exchange_weak(cur, cur - 1, Ordering::AcqRel, Ordering::Relaxed)
-            {
-                Ok(v) => return v,
-                Err(v) => cur = v,
-            }
-        }
+        self.fetch_add_bounded(-1, self.bounds.lo)
     }
 
     fn value(&self) -> i64 {
@@ -179,13 +206,23 @@ impl LockedCounter {
     ///
     /// Panics if `initial` lies outside `bounds`.
     pub fn new(initial: i64, bounds: Bounds) -> Self {
+        Self::with_sink(initial, bounds, None)
+    }
+
+    /// Like [`LockedCounter::new`], reporting each lock acquisition as a
+    /// [`CounterEvent::LockAcquire`] to `sink`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` lies outside `bounds`.
+    pub fn with_sink(initial: i64, bounds: Bounds, sink: Option<SinkRef>) -> Self {
         assert_eq!(
             bounds.clamp(initial),
             initial,
             "initial value out of bounds"
         );
         LockedCounter {
-            val: McsMutex::new(initial),
+            val: McsMutex::with_sink(initial, sink),
             bounds,
         }
     }

@@ -24,6 +24,7 @@ use std::sync::atomic::{AtomicI64, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use funnelpq_util::{AtomicRng, Backoff, CachePadded};
 
 use crate::counter::{Bounds, SharedCounter};
+use crate::probe::{CounterEvent, SinkRef};
 
 /// Tuning parameters for a combining funnel.
 #[derive(Debug, Clone, PartialEq)]
@@ -157,15 +158,66 @@ pub struct FunnelCounter {
     records: Box<[Record]>,
     /// `layers[d][slot]` holds `tid + 1`, or 0 for nobody.
     layers: Vec<Box<[AtomicUsize]>>,
+    sink: Option<SinkRef>,
 }
 
 impl FunnelCounter {
+    // Out-of-line so the sink-absent path pays only a not-taken branch.
+    #[cold]
+    #[inline(never)]
+    fn report_batch(
+        &self,
+        collisions_won: u32,
+        central_fails: u32,
+        elim_count: u64,
+        elim_miss: u64,
+        grows: u64,
+        shrinks: u64,
+    ) {
+        let Some(sink) = &self.sink else { return };
+        if collisions_won > 0 {
+            sink.event_n(CounterEvent::FunnelCollision, u64::from(collisions_won));
+        }
+        if central_fails > 0 {
+            sink.event_n(CounterEvent::CasRetry, u64::from(central_fails));
+        }
+        if elim_count > 0 {
+            sink.event_n(CounterEvent::ElimHit, elim_count);
+        }
+        if elim_miss > 0 {
+            sink.event_n(CounterEvent::ElimMiss, elim_miss);
+        }
+        if grows > 0 {
+            sink.event_n(CounterEvent::AdaptGrow, grows);
+        }
+        if shrinks > 0 {
+            sink.event_n(CounterEvent::AdaptShrink, shrinks);
+        }
+    }
+
     /// Creates a funnel counter.
     ///
     /// # Panics
     ///
     /// Panics if `initial` lies outside `bounds` or the config is invalid.
     pub fn new(initial: i64, bounds: Bounds, cfg: FunnelConfig) -> Self {
+        Self::with_sink(initial, bounds, cfg, None)
+    }
+
+    /// Like [`FunnelCounter::new`], reporting funnel micro-events to `sink`,
+    /// batched per operation: collisions won, central CAS retries,
+    /// operations eliminated / combined-but-applied-centrally (counted once,
+    /// by the tree root), and adaption steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` lies outside `bounds` or the config is invalid.
+    pub fn with_sink(
+        initial: i64,
+        bounds: Bounds,
+        cfg: FunnelConfig,
+        sink: Option<SinkRef>,
+    ) -> Self {
         cfg.validate();
         assert_eq!(
             bounds.clamp(initial),
@@ -187,6 +239,7 @@ impl FunnelCounter {
             central: CachePadded::new(AtomicI64::new(initial)),
             records,
             layers,
+            sink,
         }
     }
 
@@ -223,6 +276,9 @@ impl FunnelCounter {
         let mut collisions_won = 0u32;
         let mut central_fails = 0u32;
         let mut was_captured = false;
+        // Operations eliminated by this op acting as the colliding root
+        // (covers both trees; members never report themselves).
+        let mut elim_count = 0u64;
 
         me.sum.store(sum, Ordering::Relaxed);
         me.result.store(RES_NONE, Ordering::Relaxed);
@@ -274,6 +330,7 @@ impl FunnelCounter {
                                 dv = dv.min(hi);
                             }
                             let (my_v, q_v) = if sum < 0 { (dv, dv - 1) } else { (dv - 1, dv) };
+                            elim_count = sum.unsigned_abs() * 2;
                             qr.result
                                 .store(pack_result(TAG_ELIM, q_v), Ordering::SeqCst);
                             break 'mainloop (TAG_ELIM, my_v);
@@ -328,6 +385,8 @@ impl FunnelCounter {
         };
 
         // Adapt the slice of the layer widths we use to the observed load.
+        let mut grows = 0u64;
+        let mut shrinks = 0u64;
         if attempts_made > 0 {
             let frac = me.width_frac.load(Ordering::Relaxed);
             let new = if collisions_won * 2 >= attempts_made {
@@ -337,6 +396,11 @@ impl FunnelCounter {
             } else {
                 frac
             };
+            match new.cmp(&frac) {
+                std::cmp::Ordering::Greater => grows += 1,
+                std::cmp::Ordering::Less => shrinks += 1,
+                std::cmp::Ordering::Equal => {}
+            }
             me.width_frac.store(new, Ordering::Relaxed);
         }
         // Depth adaption: engagement argues for traversing layers; a clean
@@ -348,7 +412,30 @@ impl FunnelCounter {
         } else {
             dp.saturating_sub(1)
         };
+        match new_dp.cmp(&dp) {
+            std::cmp::Ordering::Greater => grows += 1,
+            std::cmp::Ordering::Less => shrinks += 1,
+            std::cmp::Ordering::Equal => {}
+        }
         me.depth_pref.store(new_dp, Ordering::Relaxed);
+
+        // One batched report per operation. Eliminated / centrally-applied
+        // operation totals are reported by the tree root only, so sinks see
+        // each operation exactly once.
+        if self.sink.is_some() {
+            self.report_batch(
+                collisions_won,
+                central_fails,
+                elim_count,
+                if !was_captured && tag == TAG_COUNT && !children.is_empty() {
+                    sum.unsigned_abs()
+                } else {
+                    0
+                },
+                grows,
+                shrinks,
+            );
+        }
 
         // Distribute results to the trees we captured.
         let my_ret = match tag {

@@ -25,6 +25,7 @@ use std::sync::atomic::{AtomicI64, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use funnelpq_util::{AtomicRng, Backoff, CachePadded};
 
 use crate::funnel::FunnelConfig;
+use crate::probe::{CounterEvent, SinkRef};
 use crate::ttas::TtasMutex;
 
 struct Node<T> {
@@ -93,6 +94,7 @@ pub struct FunnelStack<T> {
     central_lock: TtasMutex<()>,
     records: Box<[Record<T>]>,
     layers: Vec<Box<[AtomicUsize]>>,
+    sink: Option<SinkRef>,
     _marker: PhantomData<T>,
 }
 
@@ -109,12 +111,57 @@ enum Outcome<T> {
 }
 
 impl<T: Send> FunnelStack<T> {
+    // Out-of-line so the sink-absent path pays only a not-taken branch.
+    #[cold]
+    #[inline(never)]
+    fn report_batch(
+        &self,
+        collisions_won: u32,
+        central_locks: u64,
+        elim_count: u64,
+        elim_miss: u64,
+        grows: u64,
+        shrinks: u64,
+    ) {
+        let Some(sink) = &self.sink else { return };
+        if collisions_won > 0 {
+            sink.event_n(CounterEvent::FunnelCollision, u64::from(collisions_won));
+        }
+        if central_locks > 0 {
+            sink.event_n(CounterEvent::LockAcquire, central_locks);
+        }
+        if elim_count > 0 {
+            sink.event_n(CounterEvent::ElimHit, elim_count);
+        }
+        if elim_miss > 0 {
+            sink.event_n(CounterEvent::ElimMiss, elim_miss);
+        }
+        if grows > 0 {
+            sink.event_n(CounterEvent::AdaptGrow, grows);
+        }
+        if shrinks > 0 {
+            sink.event_n(CounterEvent::AdaptShrink, shrinks);
+        }
+    }
+
     /// Creates an empty stack.
     ///
     /// # Panics
     ///
     /// Panics if the configuration is invalid.
     pub fn new(cfg: FunnelConfig) -> Self {
+        Self::with_sink(cfg, None)
+    }
+
+    /// Like [`FunnelStack::new`], reporting funnel micro-events to `sink`,
+    /// batched per operation: collisions won, central-lock acquisitions,
+    /// operations eliminated / combined-but-applied-centrally (counted once,
+    /// by the tree root), and adaption steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn with_sink(cfg: FunnelConfig, sink: Option<SinkRef>) -> Self {
         cfg.validate();
         let levels = cfg.widths.len();
         let records = (0..cfg.max_threads)
@@ -131,6 +178,7 @@ impl<T: Send> FunnelStack<T> {
             central_lock: TtasMutex::new(()),
             records,
             layers,
+            sink,
             _marker: PhantomData,
         }
     }
@@ -197,6 +245,10 @@ impl<T: Send> FunnelStack<T> {
         let mut collisions_won = 0u32;
         let mut central_contended = false;
         let mut was_captured = false;
+        // Operations eliminated by this op acting as the colliding root
+        // (covers both trees), and central-lock acquisitions (0 or 1).
+        let mut elim_count = 0u64;
+        let mut central_locks = 0u64;
 
         me.sum.store(sum, Ordering::Relaxed);
         me.chain_head.store(chead, Ordering::Relaxed);
@@ -240,6 +292,7 @@ impl<T: Send> FunnelStack<T> {
                         if qsum == -sum {
                             // Elimination: the push tree's chain goes to the
                             // pop tree; the push tree is done.
+                            elim_count = sum.unsigned_abs() * 2;
                             if sum > 0 {
                                 // We are the pushers; q gets our chain.
                                 qr.result.store(chead as u64 | TAG_CHAIN, Ordering::SeqCst);
@@ -289,6 +342,7 @@ impl<T: Send> FunnelStack<T> {
             {
                 Ok(_) => {
                     if sum > 0 {
+                        central_locks = 1;
                         let _g = match self.central_lock.try_lock() {
                             Some(g) => g,
                             None => {
@@ -305,6 +359,7 @@ impl<T: Send> FunnelStack<T> {
                     } else {
                         // Detach up to |sum| nodes.
                         let want = (-sum) as usize;
+                        central_locks = 1;
                         let _g = match self.central_lock.try_lock() {
                             Some(g) => g,
                             None => {
@@ -340,6 +395,8 @@ impl<T: Send> FunnelStack<T> {
             }
         };
 
+        let mut grows = 0u64;
+        let mut shrinks = 0u64;
         if attempts_made > 0 {
             let frac = me.width_frac.load(Ordering::Relaxed);
             let new = if collisions_won * 2 >= attempts_made {
@@ -349,6 +406,11 @@ impl<T: Send> FunnelStack<T> {
             } else {
                 frac
             };
+            match new.cmp(&frac) {
+                std::cmp::Ordering::Greater => grows += 1,
+                std::cmp::Ordering::Less => shrinks += 1,
+                std::cmp::Ordering::Equal => {}
+            }
             me.width_frac.store(new, Ordering::Relaxed);
         }
         // Depth adaption (see the counter for rationale).
@@ -359,7 +421,29 @@ impl<T: Send> FunnelStack<T> {
         } else {
             dp.saturating_sub(1)
         };
+        match new_dp.cmp(&dp) {
+            std::cmp::Ordering::Greater => grows += 1,
+            std::cmp::Ordering::Less => shrinks += 1,
+            std::cmp::Ordering::Equal => {}
+        }
         me.depth_pref.store(new_dp, Ordering::Relaxed);
+
+        // One batched report per operation (roots report tree-wide totals,
+        // so each operation is seen exactly once; see the counter funnel).
+        if self.sink.is_some() {
+            self.report_batch(
+                collisions_won,
+                central_locks,
+                elim_count,
+                if !was_captured && central_locks > 0 && !children.is_empty() {
+                    sum.unsigned_abs()
+                } else {
+                    0
+                },
+                grows,
+                shrinks,
+            );
+        }
 
         // Distribute results down the tree.
         match tag {

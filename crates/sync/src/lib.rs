@@ -48,6 +48,7 @@ mod counter;
 mod funnel;
 mod funnel_stack;
 mod mcs;
+pub mod probe;
 mod ttas;
 
 pub use bin::{BinOrder, LockBin};
@@ -55,4 +56,5 @@ pub use counter::{Bounds, CasCounter, LockedCounter, SharedCounter};
 pub use funnel::{FunnelConfig, FunnelCounter};
 pub use funnel_stack::FunnelStack;
 pub use mcs::{McsGuard, McsLock, McsMutex, McsMutexGuard};
+pub use probe::{CounterEvent, EventSink, SinkRef};
 pub use ttas::{TtasGuard, TtasMutex};

@@ -14,14 +14,16 @@
 
 use std::sync::{Arc, Barrier, Mutex};
 
-use funnelpq::{BoundedPq, Consistency, FunnelTreePq, PqInfo};
+use funnelpq::{Algorithm, Consistency, PqBuilder};
 
 const THREADS: usize = 4;
 const ROUNDS: usize = 5;
 const PER_THREAD: usize = 32;
 
 fn main() {
-    let q = Arc::new(FunnelTreePq::new(64, THREADS));
+    let q = Arc::new(
+        PqBuilder::new(Algorithm::FunnelTree, 64, THREADS).build::<(usize, usize, usize)>(),
+    );
     assert_eq!(q.consistency(), Consistency::QuiescentlyConsistent);
     println!(
         "{} is {}; checking the Appendix-B k-smallest guarantee…",

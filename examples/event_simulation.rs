@@ -7,15 +7,22 @@
 //! horizon is bounded, timestamps map onto `0..HORIZON` — exactly a
 //! bounded-range priority queue.
 //!
+//! Workers stop when the *count* of processed events reaches the known
+//! total — a transient `None` from `delete_min` (or a `true` from
+//! `is_empty`) can coincide with another worker about to post follow-ups.
+//!
 //! Run with: `cargo run --example event_simulation`
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use funnelpq::{BoundedPq, SimpleTreePq};
+use funnelpq::{Algorithm, PqBuilder};
 
 const WORKERS: usize = 4;
 const HORIZON: usize = 64; // distinct pending timestamps
+                           // 32 seed events, each posting 2 follow-ups (fanout 2, follow-ups post
+                           // none): a closed workload with a known total.
+const TOTAL_EVENTS: usize = 32 + 32 * 2;
 
 #[derive(Debug)]
 struct Event {
@@ -25,7 +32,7 @@ struct Event {
 }
 
 fn main() {
-    let queue: Arc<SimpleTreePq<Event>> = Arc::new(SimpleTreePq::new(HORIZON, WORKERS));
+    let queue = Arc::new(PqBuilder::new(Algorithm::SimpleTree, HORIZON, WORKERS).build::<Event>());
     let processed = Arc::new(AtomicUsize::new(0));
     let max_seen = Arc::new(AtomicUsize::new(0));
 
@@ -39,33 +46,29 @@ fn main() {
             let processed = Arc::clone(&processed);
             let max_seen = Arc::clone(&max_seen);
             std::thread::spawn(move || {
-                let mut idle = 0;
-                while idle < 3 {
+                while processed.load(Ordering::Acquire) < TOTAL_EVENTS {
                     match queue.delete_min(tid) {
                         Some((t, ev)) => {
-                            idle = 0;
-                            processed.fetch_add(1, Ordering::Relaxed);
                             max_seen.fetch_max(t, Ordering::Relaxed);
                             // Post follow-ups a bounded delay ahead,
-                            // clamped to the horizon.
+                            // clamped to the horizon. Post before counting
+                            // this event as processed so the count only
+                            // reaches the total once nothing more will be
+                            // enqueued.
                             for k in 0..ev.fanout {
                                 let when = (t + 5 + k * 3).min(HORIZON - 1);
-                                if when > t {
-                                    queue.insert(
-                                        tid,
-                                        when,
-                                        Event {
-                                            id: ev.id * 100 + k,
-                                            fanout: 0,
-                                        },
-                                    );
-                                }
+                                queue.insert(
+                                    tid,
+                                    when.max(t + 1).min(HORIZON - 1),
+                                    Event {
+                                        id: ev.id * 100 + k,
+                                        fanout: 0,
+                                    },
+                                );
                             }
+                            processed.fetch_add(1, Ordering::Release);
                         }
-                        None => {
-                            idle += 1;
-                            std::thread::yield_now();
-                        }
+                        None => std::thread::yield_now(),
                     }
                 }
             })
@@ -80,7 +83,8 @@ fn main() {
         "processed {n} events up to virtual time {} with {WORKERS} workers",
         max_seen.load(Ordering::Relaxed)
     );
+    // At quiescence (all workers joined) is_empty is exact again.
     assert!(queue.is_empty(), "event queue drained");
-    assert_eq!(n, 32 + 32 * 2, "all seed and follow-up events processed");
+    assert_eq!(n, TOTAL_EVENTS, "all seed and follow-up events processed");
     println!("event horizon respected, all events processed ✓");
 }

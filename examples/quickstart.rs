@@ -1,19 +1,28 @@
-//! Quickstart: create a FunnelTree bounded-range priority queue, share it
-//! across threads, and drain it in priority order.
+//! Quickstart: build a FunnelTree bounded-range priority queue through
+//! `PqBuilder`, share it across threads, drain it in priority order, and
+//! print the metrics the attached recorder gathered.
 //!
 //! Run with: `cargo run --example quickstart`
 
 use std::sync::Arc;
 
-use funnelpq::{BoundedPq, FunnelTreePq, PqInfo};
+use funnelpq::obs::AtomicRecorder;
+use funnelpq::{Algorithm, PqBuilder};
 
 fn main() {
     const THREADS: usize = 4;
     const PRIORITIES: usize = 32;
 
     // A queue supports a fixed priority range 0..N (smaller = more urgent)
-    // and a fixed maximum number of registered threads.
-    let q = Arc::new(FunnelTreePq::new(PRIORITIES, THREADS));
+    // and a fixed maximum number of registered threads. The builder fronts
+    // all seven algorithms; the recorder is optional (omit it for zero
+    // overhead).
+    let rec = Arc::new(AtomicRecorder::new());
+    let q = Arc::new(
+        PqBuilder::new(Algorithm::FunnelTree, PRIORITIES, THREADS)
+            .recorder(Arc::clone(&rec))
+            .build::<String>(),
+    );
     println!(
         "created {} ({}), {} priorities",
         q.algorithm_name(),
@@ -49,4 +58,17 @@ fn main() {
     }
     assert_eq!(count, THREADS * 8);
     println!("drained {count} items in priority order ✓");
+
+    // What did the queue's internals get up to?
+    let snap = rec.snapshot();
+    println!(
+        "metrics: {} inserts (mean {} ns), {} delete-mins (mean {} ns), \
+         {} lock acquisitions, {} empty delete-mins",
+        snap.insert.count,
+        snap.insert.mean_nanos(),
+        snap.delete_min.count,
+        snap.delete_min.mean_nanos(),
+        snap.event(funnelpq::obs::CounterEvent::LockAcquire),
+        snap.event(funnelpq::obs::CounterEvent::EmptyDeleteMin),
+    );
 }

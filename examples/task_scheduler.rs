@@ -6,15 +6,23 @@
 //! spawn follow-up tasks at lower urgency. Interactive tasks (priority 0–3)
 //! must never starve behind batch tasks (priority 4–15).
 //!
+//! Workers stop when the *count* of executed tasks reaches the known total,
+//! not when the queue looks empty: `is_empty()` (and a `None` from
+//! `delete_min`) is a racy read that can fire while another worker still
+//! holds a task whose follow-ups are about to be enqueued.
+//!
 //! Run with: `cargo run --example task_scheduler`
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use funnelpq::{BoundedPq, LinearFunnelsPq};
+use funnelpq::{Algorithm, PqBuilder};
 
 const WORKERS: usize = 4;
 const PRIORITIES: usize = 16;
+// 40 batch + 8 interactive + 4 batch follow-ups * 2 + 8 interactive
+// follow-ups: the workload is closed, so the total is known up front.
+const TOTAL_TASKS: usize = 40 + 8 + 8 + 8;
 
 #[derive(Debug, Clone)]
 struct Task {
@@ -26,7 +34,8 @@ struct Task {
 fn main() {
     // Few priorities + high churn: the paper's sweet spot for
     // LinearFunnels.
-    let ready: Arc<LinearFunnelsPq<Task>> = Arc::new(LinearFunnelsPq::new(PRIORITIES, WORKERS));
+    let ready =
+        Arc::new(PqBuilder::new(Algorithm::LinearFunnels, PRIORITIES, WORKERS).build::<Task>());
     let executed = Arc::new(AtomicUsize::new(0));
     let interactive_done = Arc::new(AtomicUsize::new(0));
 
@@ -58,19 +67,18 @@ fn main() {
             let executed = Arc::clone(&executed);
             let interactive_done = Arc::clone(&interactive_done);
             std::thread::spawn(move || {
-                let mut idle_rounds = 0;
-                while idle_rounds < 3 {
+                while executed.load(Ordering::Acquire) < TOTAL_TASKS {
                     match ready.delete_min(tid) {
                         Some((pri, task)) => {
-                            idle_rounds = 0;
                             // "Execute" the task.
                             std::hint::black_box(task.name.len());
-                            executed.fetch_add(1, Ordering::Relaxed);
                             if pri < 4 {
                                 interactive_done.fetch_add(1, Ordering::Relaxed);
                             }
                             // Completions can enqueue follow-ups at lower
-                            // urgency.
+                            // urgency. Enqueue *before* counting the task as
+                            // executed, so the count can only reach the
+                            // total once every follow-up is in the queue.
                             for s in 0..task.spawns {
                                 ready.insert(
                                     tid,
@@ -81,11 +89,9 @@ fn main() {
                                     },
                                 );
                             }
+                            executed.fetch_add(1, Ordering::Release);
                         }
-                        None => {
-                            idle_rounds += 1;
-                            std::thread::yield_now();
-                        }
+                        None => std::thread::yield_now(),
                     }
                 }
             })
@@ -98,9 +104,9 @@ fn main() {
     let total = executed.load(Ordering::Relaxed);
     let interactive = interactive_done.load(Ordering::Relaxed);
     println!("executed {total} tasks ({interactive} interactive) across {WORKERS} workers");
+    // At quiescence (all workers joined) is_empty is exact again.
     assert!(ready.is_empty(), "scheduler drained the ready queue");
     assert_eq!(interactive, 8, "every interactive task ran");
-    // 40 batch + 8 interactive + 4 batch follow-ups * 2 + 8 interactive follow-ups
-    assert_eq!(total, 40 + 8 + 8 + 8);
+    assert_eq!(total, TOTAL_TASKS);
     println!("all tasks accounted for ✓");
 }

@@ -8,44 +8,20 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier, Mutex};
 use std::thread;
 
-use funnelpq::{
-    BoundedPq, FunnelTreePq, HuntPq, LinearFunnelsPq, SimpleLinearPq, SimpleTreePq, SingleLockPq,
-    SkipListPq,
-};
+use funnelpq::{Algorithm, BoundedPq, PqBuilder};
 
 const THREADS: usize = 8;
 
 fn all_queues(num_pris: usize) -> Vec<(&'static str, Arc<dyn BoundedPq<u64>>)> {
-    vec![
-        (
-            "SingleLock",
-            Arc::new(SingleLockPq::new(num_pris, THREADS)) as _,
-        ),
-        (
-            "HuntEtAl",
-            Arc::new(HuntPq::with_capacity(num_pris, THREADS, 1 << 15)) as _,
-        ),
-        (
-            "SkipList",
-            Arc::new(SkipListPq::new(num_pris, THREADS)) as _,
-        ),
-        (
-            "SimpleLinear",
-            Arc::new(SimpleLinearPq::new(num_pris, THREADS)) as _,
-        ),
-        (
-            "SimpleTree",
-            Arc::new(SimpleTreePq::new(num_pris, THREADS)) as _,
-        ),
-        (
-            "LinearFunnels",
-            Arc::new(LinearFunnelsPq::new(num_pris, THREADS)) as _,
-        ),
-        (
-            "FunnelTree",
-            Arc::new(FunnelTreePq::new(num_pris, THREADS)) as _,
-        ),
-    ]
+    Algorithm::ALL
+        .into_iter()
+        .map(|a| {
+            let q = PqBuilder::new(a, num_pris, THREADS)
+                .hunt_capacity(1 << 15)
+                .build::<u64>();
+            (a.name(), Arc::from(q))
+        })
+        .collect()
 }
 
 /// Mixed inserts/deletes from every thread; at the end, deleted ∪ drained
@@ -193,33 +169,15 @@ fn single_priority_pool_semantics() {
 /// The consistency documented per queue matches the claim table in lib.rs.
 #[test]
 fn consistency_labels() {
-    use funnelpq::{Consistency, PqInfo};
-    assert_eq!(
-        SingleLockPq::<u64>::new(4, 1).consistency(),
-        Consistency::Linearizable
-    );
-    assert_eq!(
-        HuntPq::<u64>::new(4, 1).consistency(),
-        Consistency::Linearizable
-    );
-    assert_eq!(
-        SimpleLinearPq::<u64>::new(4, 1).consistency(),
-        Consistency::Linearizable
-    );
-    assert_eq!(
-        SkipListPq::<u64>::new(4, 1).consistency(),
-        Consistency::QuiescentlyConsistent
-    );
-    assert_eq!(
-        SimpleTreePq::<u64>::new(4, 1).consistency(),
-        Consistency::QuiescentlyConsistent
-    );
-    assert_eq!(
-        LinearFunnelsPq::<u64>::new(4, 1).consistency(),
-        Consistency::QuiescentlyConsistent
-    );
-    assert_eq!(
-        FunnelTreePq::<u64>::new(4, 1).consistency(),
-        Consistency::QuiescentlyConsistent
-    );
+    use funnelpq::Consistency;
+    let expect = |a: Algorithm| match a {
+        Algorithm::SingleLock | Algorithm::HuntEtAl | Algorithm::SimpleLinear => {
+            Consistency::Linearizable
+        }
+        _ => Consistency::QuiescentlyConsistent,
+    };
+    for (name, q) in all_queues(4) {
+        assert_eq!(q.consistency(), expect(q.algorithm()), "{name}");
+        assert_eq!(q.algorithm_name(), name);
+    }
 }
