@@ -7,7 +7,7 @@
 //! eliminations become rare at the extremes, where plain fetch-and-add
 //! wins because it skips the bounds check / homogeneity constraint.
 
-use funnelpq_bench::{lat, print_table, scaled_ops};
+use funnelpq_bench::{lat, print_table, scaled_ops, trace_enabled, write_counter_trace_artifacts};
 use funnelpq_sim::MachineConfig;
 use funnelpq_simqueues::funnel::{CounterMode, SimFunnelConfig};
 use funnelpq_simqueues::workload::{run_counter_workload, Workload};
@@ -79,4 +79,17 @@ fn main() {
         &["dec%", "Fetch-and-add", "BFaD+elimination"],
         &rows,
     );
+
+    // Exemplar trace: the bounded counter under its hottest balanced mix.
+    if trace_enabled() {
+        let (trace, series) = write_counter_trace_artifacts(
+            "fig5",
+            CounterMode::BOUNDED_AT_ZERO,
+            50,
+            hot_counter_cfg(64),
+            &workload(64),
+        )
+        .expect("write fig5 trace artifacts");
+        println!("wrote {trace} and {series}");
+    }
 }

@@ -6,7 +6,10 @@
 //! LinearFunnels is ~2–3x SimpleLinear; FunnelTree ≈ SimpleTree, both
 //! ~40–50% above SimpleLinear.
 
-use funnelpq_bench::{all_algorithms, lat, print_table, standard_workload};
+use funnelpq_bench::{
+    all_algorithms, lat, print_table, standard_workload, trace_enabled, write_trace_artifacts,
+};
+use funnelpq_simqueues::queues::Algorithm;
 use funnelpq_simqueues::workload::run_queue_workload;
 
 fn main() {
@@ -29,4 +32,12 @@ fn main() {
         &header,
         &rows,
     );
+
+    // Exemplar trace: the steepest riser of the figure at its top point.
+    if trace_enabled() {
+        let wl = standard_workload(16, 16);
+        let (trace, series) = write_trace_artifacts("fig6", Algorithm::SingleLock, &wl)
+            .expect("write fig6 trace artifacts");
+        println!("wrote {trace} and {series}");
+    }
 }

@@ -8,7 +8,11 @@
 //! FunnelTree takes the lead around 64 processors and at 256 is ~8x faster
 //! than SimpleTree and ~3x faster than SimpleLinear.
 
-use funnelpq_bench::{lat, max_procs, print_table, scalable_algorithms, standard_workload};
+use funnelpq_bench::{
+    lat, max_procs, print_table, scalable_algorithms, standard_workload, trace_enabled,
+    write_trace_artifacts,
+};
+use funnelpq_simqueues::queues::Algorithm;
 use funnelpq_simqueues::workload::run_queue_workload;
 
 fn main() {
@@ -34,4 +38,13 @@ fn main() {
         &header,
         &rows,
     );
+
+    // Exemplar trace: FunnelTree at the crossover point where it takes the
+    // lead from SimpleLinear.
+    if trace_enabled() {
+        let wl = standard_workload(64, 16);
+        let (trace, series) = write_trace_artifacts("fig7", Algorithm::FunnelTree, &wl)
+            .expect("write fig7 trace artifacts");
+        println!("wrote {trace} and {series}");
+    }
 }

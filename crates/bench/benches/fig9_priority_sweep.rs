@@ -9,7 +9,9 @@
 //! is the only method that works well across nearly all priority ranges at
 //! high concurrency.
 
-use funnelpq_bench::{lat, print_table, scalable_algorithms, standard_workload};
+use funnelpq_bench::{
+    lat, print_table, scalable_algorithms, standard_workload, trace_enabled, write_trace_artifacts,
+};
 use funnelpq_simqueues::queues::Algorithm;
 use funnelpq_simqueues::workload::run_queue_workload;
 
@@ -41,4 +43,13 @@ fn sweep(procs: usize, include_simple_tree: bool) {
 fn main() {
     sweep(64, true);
     sweep(256, false); // SimpleTree off-graph at 256, as in the paper
+
+    // Exemplar trace: the wide-priority-range point where FunnelTree's
+    // sub-logarithmic growth shows.
+    if trace_enabled() {
+        let wl = standard_workload(64, 256);
+        let (trace, series) = write_trace_artifacts("fig9", Algorithm::FunnelTree, &wl)
+            .expect("write fig9 trace artifacts");
+        println!("wrote {trace} and {series}");
+    }
 }

@@ -14,9 +14,13 @@
 
 use std::time::Instant;
 
-use funnelpq_bench::{print_table, standard_workload, write_bench_json, BenchRecord};
+use funnelpq_bench::{
+    print_table, standard_workload, trace_enabled, write_bench_json, write_trace_files, BenchRecord,
+};
 use funnelpq_simqueues::queues::Algorithm;
-use funnelpq_simqueues::workload::{run_queue_workload, RunResult, Workload};
+use funnelpq_simqueues::workload::{
+    run_queue_workload, run_queue_workload_traced, RunResult, Workload,
+};
 
 struct Measurement {
     name: String,
@@ -84,6 +88,29 @@ fn main() {
     );
     let speedup = naive.wall_s / wheel.wall_s;
 
+    // Tracing differential: attaching a TraceLog must leave the simulation
+    // bit-identical (including per-line stats), and untraced runs — the
+    // measurements above — pay only a pointer-presence test per
+    // transaction, so their throughput stays within noise of the seed.
+    let t0 = Instant::now();
+    let traced = run_queue_workload_traced(Algorithm::FunnelTree, &wl);
+    let traced_wall = t0.elapsed().as_secs_f64();
+    assert_eq!(traced.result.total_cycles, wheel_result.total_cycles);
+    assert_eq!(traced.result.all.sum(), wheel_result.all.sum());
+    assert_eq!(
+        traced.result.stats.mem_accesses,
+        wheel_result.stats.mem_accesses
+    );
+    let traced_lines: Vec<_> = traced.result.stats.per_line().collect();
+    let untraced_lines: Vec<_> = wheel_result.stats.per_line().collect();
+    assert_eq!(traced_lines, untraced_lines, "per-line stats must match");
+    let trace_overhead = traced_wall / wheel.wall_s;
+    println!(
+        "traced run at P=256: {} events, bit-identical results, {:.2}x wall-clock vs untraced",
+        traced.events.len(),
+        trace_overhead
+    );
+
     let rows: Vec<Vec<String>> = measurements
         .iter()
         .chain([&wheel, &naive])
@@ -119,6 +146,19 @@ fn main() {
         name: "speedup_wheel_vs_naive_p256".into(),
         fields: vec![("speedup", speedup)],
     });
+    records.push(BenchRecord {
+        name: "traced_p256".into(),
+        fields: vec![
+            ("wall_s", traced_wall),
+            ("events", traced.events.len() as f64),
+            ("overhead_vs_untraced", trace_overhead),
+        ],
+    });
+    if trace_enabled() {
+        let (trace_path, series_path) =
+            write_trace_files("sim", &traced).expect("write trace artifacts");
+        println!("wrote {trace_path} and {series_path}");
+    }
     // Benches run with the package directory as cwd; anchor the report at
     // the workspace root where CI picks it up.
     let path = std::env::var("FUNNELPQ_BENCH_JSON")

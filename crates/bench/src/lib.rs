@@ -4,7 +4,11 @@
 #![warn(missing_docs)]
 
 use funnelpq::Algorithm;
-use funnelpq_simqueues::workload::Workload;
+use funnelpq_sim::trace::{chrome_trace_json, TimeSeries};
+use funnelpq_simqueues::funnel::{CounterMode, SimFunnelConfig};
+use funnelpq_simqueues::workload::{
+    run_counter_workload_traced, run_queue_workload_traced, TracedRun, Workload,
+};
 
 /// Scale factor for experiment sizes, set with `FUNNELPQ_SCALE` (percent).
 /// `FUNNELPQ_FAST=1` is shorthand for 25%. Defaults to 100%.
@@ -131,6 +135,67 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
         fmt_row(r.clone());
     }
     println!();
+}
+
+/// True when the figure benches should also emit one exemplar trace
+/// artifact: pass `--trace` after `--` (`cargo bench --bench fig7 --
+/// --trace`) or set `FUNNELPQ_TRACE=1`.
+pub fn trace_enabled() -> bool {
+    std::env::var("FUNNELPQ_TRACE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+        || std::env::args().any(|a| a == "--trace")
+}
+
+/// Directory trace artifacts are written to: `FUNNELPQ_TRACE_DIR`, or the
+/// workspace root (next to the `BENCH_*.json` reports).
+pub fn trace_dir() -> String {
+    std::env::var("FUNNELPQ_TRACE_DIR")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../..").into())
+}
+
+/// A time-series window for a run of `total_cycles`: about 1% of the run,
+/// never finer than 256 cycles.
+pub fn trace_window(total_cycles: u64) -> u64 {
+    (total_cycles / 100).max(256)
+}
+
+/// Writes one traced run's artifacts — `TRACE_<tag>.json` (Chrome Trace
+/// Format, Perfetto-loadable) and `TIMESERIES_<tag>.json` (windowed
+/// contention series) — into [`trace_dir`]. Returns the two paths.
+pub fn write_trace_files(tag: &str, traced: &TracedRun) -> std::io::Result<(String, String)> {
+    let window = trace_window(traced.result.total_cycles);
+    let series = TimeSeries::build(&traced.events, &traced.regions, window);
+    let chrome = chrome_trace_json(&traced.events, &traced.regions, 16, Some(&series));
+    let dir = trace_dir();
+    let trace_path = format!("{dir}/TRACE_{tag}.json");
+    let series_path = format!("{dir}/TIMESERIES_{tag}.json");
+    std::fs::write(&trace_path, chrome)?;
+    std::fs::write(&series_path, series.to_json())?;
+    Ok((trace_path, series_path))
+}
+
+/// Runs `algo` on `wl` with tracing attached and writes the exemplar
+/// artifacts for figure `tag` (see [`write_trace_files`]).
+pub fn write_trace_artifacts(
+    tag: &str,
+    algo: Algorithm,
+    wl: &Workload,
+) -> std::io::Result<(String, String)> {
+    let traced = run_queue_workload_traced(algo, wl);
+    write_trace_files(tag, &traced)
+}
+
+/// Counter-workload variant of [`write_trace_artifacts`] (Figure 5).
+pub fn write_counter_trace_artifacts(
+    tag: &str,
+    mode: CounterMode,
+    pct_dec: u32,
+    cfg: SimFunnelConfig,
+    wl: &Workload,
+) -> std::io::Result<(String, String)> {
+    let traced = run_counter_workload_traced(mode, pct_dec, cfg, wl);
+    write_trace_files(tag, &traced)
 }
 
 /// Short fixed-order list of the seven algorithms for figure 6.

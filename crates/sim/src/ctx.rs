@@ -9,6 +9,7 @@ use std::task::{Context, Poll};
 use funnelpq_util::XorShift64Star;
 
 use crate::machine::{Addr, MemOpKind, ProcId, SimState, Word};
+use crate::trace::TraceEvent;
 
 /// Handle through which one simulated processor issues memory transactions,
 /// burns local compute cycles, and records measurements.
@@ -128,6 +129,32 @@ impl ProcCtx {
         self.st.borrow_mut().stats.record(key, v);
     }
 
+    /// Opens a named tracing span on this processor's timeline; the span
+    /// closes when the returned guard drops (or is closed explicitly with
+    /// [`Span::end`]). Spans cost no simulated time and never reschedule
+    /// the task — with no tracer attached the call is a single
+    /// pointer-presence test. Use them to bracket interesting phases
+    /// (lock hold, funnel traversal, heap bubble) so traces show *why* a
+    /// processor was busy, not just *that* it was.
+    pub fn span(&self, name: &'static str) -> Span<'_> {
+        {
+            let mut st = self.st.borrow_mut();
+            if st.tracing() {
+                let now = st.now;
+                st.emit(TraceEvent::SpanBegin {
+                    proc: self.pid,
+                    name,
+                    time: now,
+                });
+            }
+        }
+        Span {
+            ctx: self,
+            name,
+            ended: false,
+        }
+    }
+
     /// Uniform random integer in `0..n`.
     ///
     /// # Panics
@@ -146,6 +173,55 @@ impl ProcCtx {
 impl std::fmt::Debug for ProcCtx {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ProcCtx").field("pid", &self.pid).finish()
+    }
+}
+
+/// RAII guard for a tracing span opened with [`ProcCtx::span`]. Emits the
+/// matching end event at the simulated time the guard drops (drops run
+/// synchronously inside the owning task's poll, so the clock is the
+/// task's current time).
+#[must_use = "a span closes when this guard drops; bind it with `let _span = ...`"]
+pub struct Span<'a> {
+    ctx: &'a ProcCtx,
+    name: &'static str,
+    ended: bool,
+}
+
+impl Span<'_> {
+    /// Closes the span now instead of at end of scope.
+    pub fn end(mut self) {
+        self.finish();
+    }
+
+    fn finish(&mut self) {
+        if self.ended {
+            return;
+        }
+        self.ended = true;
+        let mut st = self.ctx.st.borrow_mut();
+        if st.tracing() {
+            let now = st.now;
+            st.emit(TraceEvent::SpanEnd {
+                proc: self.ctx.pid,
+                name: self.name,
+                time: now,
+            });
+        }
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+impl std::fmt::Debug for Span<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Span")
+            .field("name", &self.name)
+            .field("pid", &self.ctx.pid)
+            .finish()
     }
 }
 

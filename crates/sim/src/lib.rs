@@ -41,9 +41,10 @@ mod config;
 mod ctx;
 mod machine;
 mod stats;
+pub mod trace;
 mod wheel;
 
 pub use config::MachineConfig;
-pub use ctx::{MemOp, ProcCtx, WaitChange, WorkFuture};
+pub use ctx::{MemOp, ProcCtx, Span, WaitChange, WorkFuture};
 pub use machine::{Addr, Machine, ProcId, RunOutcome, Word};
-pub use stats::{Acc, HotSpot, Stats};
+pub use stats::{Acc, HotSpot, Stats, ACC_BUCKETS};

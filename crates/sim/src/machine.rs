@@ -30,6 +30,7 @@ use std::task::{Context, Waker};
 use crate::config::MachineConfig;
 use crate::ctx::ProcCtx;
 use crate::stats::Stats;
+use crate::trace::{RegionMap, TraceEvent, Tracer, TxnKind};
 use crate::wheel::{EventQueue, EventWheel, LinearEventList};
 
 /// A word of simulated shared memory.
@@ -141,12 +142,36 @@ pub(crate) struct SimState {
     pub(crate) stats: Stats,
     /// Spawned tasks that have not yet run to completion.
     pub(crate) live_tasks: usize,
+    /// Attached trace sink, if any. Tracing is purely observational: it
+    /// never schedules events or advances time, so attaching a tracer
+    /// leaves the simulated schedule bit-identical.
+    tracer: Option<Box<dyn Tracer>>,
 }
 
 impl SimState {
     fn schedule(&mut self, time: u64, task: ProcId) {
         self.seq += 1;
         self.events.push((time, self.seq, task));
+    }
+
+    /// True while a tracer is attached. This single pointer-presence test
+    /// is all the transaction fast path pays when tracing is off — the
+    /// event construction lives in the `#[cold]` emit helpers below (the
+    /// trait-object analogue of `funnelpq::obs`'s `Recorder::ENABLED`
+    /// cold split).
+    #[inline]
+    pub(crate) fn tracing(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// Delivers one event to the attached tracer. Kept out of line so the
+    /// untraced fast path stays small.
+    #[cold]
+    #[inline(never)]
+    pub(crate) fn emit(&mut self, ev: TraceEvent) {
+        if let Some(t) = self.tracer.as_mut() {
+            t.event(&ev);
+        }
     }
 
     /// Performs one shared-memory transaction, applying its mutation in
@@ -191,6 +216,20 @@ impl SimState {
                 delta != 0
             }
         };
+        if self.tracing() {
+            self.emit(TraceEvent::Txn {
+                proc: task,
+                addr,
+                line,
+                kind: TxnKind::from(op),
+                issue: self.now,
+                arrival,
+                start: free,
+                release: effect,
+                complete: completion,
+                mutated,
+            });
+        }
         if mutated {
             // Invalidation: every spinner re-fetches after the write lands,
             // paying its own transaction when it resumes.
@@ -199,6 +238,13 @@ impl SimState {
             while n != NO_NODE {
                 let (task, next) = self.waiters.free_node(n);
                 self.schedule(wake, task);
+                if self.tracing() {
+                    self.emit(TraceEvent::TaskResume {
+                        proc: task,
+                        addr,
+                        time: wake,
+                    });
+                }
                 n = next;
             }
         }
@@ -208,6 +254,14 @@ impl SimState {
 
     pub(crate) fn register_waiter(&mut self, addr: Addr, task: ProcId) {
         self.waiters.register(addr, task);
+        if self.tracing() {
+            let now = self.now;
+            self.emit(TraceEvent::TaskBlock {
+                proc: task,
+                addr,
+                time: now,
+            });
+        }
     }
 
     pub(crate) fn schedule_wake(&mut self, time: u64, task: ProcId) {
@@ -223,6 +277,18 @@ pub(crate) enum MemOpKind {
     Swap(Word),
     Cas { expected: Word, new: Word },
     Faa(i64),
+}
+
+impl From<MemOpKind> for TxnKind {
+    fn from(op: MemOpKind) -> TxnKind {
+        match op {
+            MemOpKind::Read => TxnKind::Read,
+            MemOpKind::Write(_) => TxnKind::Write,
+            MemOpKind::Swap(_) => TxnKind::Swap,
+            MemOpKind::Cas { .. } => TxnKind::Cas,
+            MemOpKind::Faa(_) => TxnKind::Faa,
+        }
+    }
 }
 
 type TaskFuture = Pin<Box<dyn Future<Output = ()>>>;
@@ -345,6 +411,7 @@ impl Machine {
             waiters: WaiterTable::new(),
             stats: Stats::new(),
             live_tasks: 0,
+            tracer: None,
         };
         Machine {
             st: Rc::new(RefCell::new(st)),
@@ -432,6 +499,13 @@ impl Machine {
         let mut st = self.st.borrow_mut();
         st.live_tasks += 1;
         st.schedule_wake(0, pid);
+        if st.tracing() {
+            let now = st.now;
+            st.emit(TraceEvent::TaskSpawn {
+                proc: pid,
+                time: now,
+            });
+        }
         pid
     }
 
@@ -475,7 +549,15 @@ impl Machine {
             let mut cx = Context::from_waker(waker);
             if task.as_mut().poll(&mut cx).is_ready() {
                 self.tasks.remove(tid);
-                self.st.borrow_mut().live_tasks -= 1;
+                let mut st = self.st.borrow_mut();
+                st.live_tasks -= 1;
+                if st.tracing() {
+                    let now = st.now;
+                    st.emit(TraceEvent::TaskComplete {
+                        proc: tid,
+                        time: now,
+                    });
+                }
             }
         }
     }
@@ -510,6 +592,69 @@ impl Machine {
     /// Number of spawned tasks that have not yet completed.
     pub fn live_tasks(&self) -> usize {
         self.st.borrow().live_tasks
+    }
+
+    /// Attaches a trace sink: every subsequent memory transaction,
+    /// scheduler action and user span is delivered to it as a
+    /// [`TraceEvent`]. The usual sink is a [`crate::trace::TraceLog`]
+    /// handle. Tracing never perturbs the simulation — a traced run's
+    /// schedule and [`Stats`] are bit-identical to an untraced one.
+    pub fn attach_tracer(&mut self, tracer: Box<dyn Tracer>) {
+        self.st.borrow_mut().tracer = Some(tracer);
+    }
+
+    /// Detaches and returns the current tracer, if any. Subsequent events
+    /// are no longer recorded.
+    pub fn detach_tracer(&mut self) -> Option<Box<dyn Tracer>> {
+        self.st.borrow_mut().tracer.take()
+    }
+
+    /// Resolves every allocated cache line to a labelled region (merging
+    /// distinct ranges that share a display name, exactly like
+    /// [`Machine::hotspots`]), for use by the trace exporters. Build it
+    /// *after* the structures under test are allocated and labelled; lines
+    /// allocated later fall in `"<unlabelled>"`.
+    pub fn region_map(&self) -> RegionMap {
+        let mut cache = self.label_index.borrow_mut();
+        let index = cache.get_or_insert_with(|| self.build_label_index());
+        let st = self.st.borrow();
+        let shift = st.cfg.line_shift();
+        let n_lines = st.line_free.len();
+        let mut names: Vec<String> = Vec::new();
+        // Region index per label, resolved on first sighting so identical
+        // display names merge into one region.
+        let mut region_of_label: Vec<Option<u32>> = vec![None; self.labels.len()];
+        let mut line_region: Vec<u32> = Vec::with_capacity(n_lines);
+        for line in 0..n_lines {
+            let addr = line << shift;
+            let region = match self.label_of(index, addr) {
+                Some(li) => match region_of_label[li] {
+                    Some(r) => r,
+                    None => {
+                        let name = self.labels[li].2.as_str();
+                        let r = match names.iter().position(|n| n == name) {
+                            Some(pos) => pos as u32,
+                            None => {
+                                names.push(name.to_string());
+                                (names.len() - 1) as u32
+                            }
+                        };
+                        region_of_label[li] = Some(r);
+                        r
+                    }
+                },
+                None => u32::MAX,
+            };
+            line_region.push(region);
+        }
+        let unlabelled = names.len() as u32;
+        names.push("<unlabelled>".to_string());
+        for r in &mut line_region {
+            if *r == u32::MAX {
+                *r = unlabelled;
+            }
+        }
+        RegionMap::new(names, line_region, shift)
     }
 
     /// Attaches a human-readable label to the address range

@@ -3,7 +3,19 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-/// Running statistics for one named series of latency samples.
+/// Number of log₂ histogram buckets in an [`Acc`] (the same shape as
+/// `funnelpq::obs`'s latency histograms): bucket 0 holds the value 0,
+/// bucket `i ≥ 1` holds values in `[2^(i-1), 2^i)`, and the last bucket
+/// absorbs everything larger.
+pub const ACC_BUCKETS: usize = 32;
+
+/// Log₂ bucket index for one sample.
+fn bucket_of(v: u64) -> usize {
+    ((u64::BITS - v.leading_zeros()) as usize).min(ACC_BUCKETS - 1)
+}
+
+/// Running statistics for one named series of latency samples: moments,
+/// extrema, and a 32-bucket log₂ histogram for approximate quantiles.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Acc {
     count: u64,
@@ -11,6 +23,7 @@ pub struct Acc {
     sum_sq: u128,
     min: u64,
     max: u64,
+    buckets: [u64; ACC_BUCKETS],
 }
 
 impl Acc {
@@ -30,6 +43,7 @@ impl Acc {
         self.count += 1;
         self.sum += v;
         self.sum_sq += (v as u128) * (v as u128);
+        self.buckets[bucket_of(v)] += 1;
     }
 
     /// Number of samples recorded.
@@ -71,6 +85,40 @@ impl Acc {
         var.max(0.0).sqrt()
     }
 
+    /// The log₂ histogram bucket counts (see [`ACC_BUCKETS`]).
+    pub fn bucket_counts(&self) -> &[u64; ACC_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Approximate `q`-quantile (`0.0 < q <= 1.0`) as the upper edge of the
+    /// log₂ bucket containing the rank-`⌈q·n⌉` sample: exact to within a
+    /// factor of two, 0 for an empty accumulator. Same estimator as
+    /// `funnelpq::obs::OpStats::quantile_upper_bound`.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if i == 0 { 0 } else { 1u64 << i };
+            }
+        }
+        self.max
+    }
+
+    /// Approximate median (upper bound of its log₂ bucket).
+    pub fn p50(&self) -> u64 {
+        self.quantile_upper_bound(0.50)
+    }
+
+    /// Approximate 99th percentile (upper bound of its log₂ bucket).
+    pub fn p99(&self) -> u64 {
+        self.quantile_upper_bound(0.99)
+    }
+
     /// Merges another accumulator into this one.
     pub fn merge(&mut self, other: &Acc) {
         if other.count == 0 {
@@ -85,6 +133,9 @@ impl Acc {
         self.count += other.count;
         self.sum += other.sum;
         self.sum_sq += other.sum_sq;
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
     }
 }
 
@@ -245,6 +296,51 @@ mod tests {
         assert_eq!(s.acc("del").count(), 1);
         assert_eq!(s.acc("missing").count(), 0);
         assert_eq!(s.iter().count(), 2);
+    }
+
+    #[test]
+    fn acc_histogram_buckets() {
+        let mut a = Acc::new();
+        a.record(0);
+        a.record(1);
+        a.record(2);
+        a.record(3);
+        a.record(1024);
+        let b = a.bucket_counts();
+        assert_eq!(b[0], 1); // value 0
+        assert_eq!(b[1], 1); // [1, 2)
+        assert_eq!(b[2], 2); // [2, 4)
+        assert_eq!(b[11], 1); // [1024, 2048)
+        assert_eq!(b.iter().sum::<u64>(), a.count());
+    }
+
+    #[test]
+    fn acc_quantiles() {
+        let a = Acc::new();
+        assert_eq!(a.p50(), 0);
+        assert_eq!(a.p99(), 0);
+
+        let mut a = Acc::new();
+        for _ in 0..99 {
+            a.record(5); // bucket 3: [4, 8)
+        }
+        a.record(1_000_000); // bucket 20
+        assert_eq!(a.p50(), 8);
+        assert_eq!(a.p99(), 8);
+        assert_eq!(a.quantile_upper_bound(1.0), 1 << 20);
+        // The quantile never reads below a sample's bucket lower edge.
+        assert!(a.p50() > 5 / 2);
+    }
+
+    #[test]
+    fn acc_merge_merges_buckets() {
+        let mut a = Acc::new();
+        a.record(3);
+        let mut b = Acc::new();
+        b.record(100);
+        a.merge(&b);
+        assert_eq!(a.bucket_counts().iter().sum::<u64>(), 2);
+        assert_eq!(a.quantile_upper_bound(1.0), 128);
     }
 
     #[test]

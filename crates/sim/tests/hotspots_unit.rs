@@ -1,0 +1,112 @@
+//! Unit tests for [`Machine::hotspots`] itself — the aggregation and
+//! ordering rules, independent of any queue algorithm (those live in
+//! `crates/simqueues/tests/hotspots.rs`).
+
+use funnelpq_sim::{Addr, Machine, MachineConfig};
+
+fn tiny() -> MachineConfig {
+    MachineConfig::test_tiny()
+}
+
+/// One uncontended read of each address, sequentially on one processor —
+/// every region ends with the same (zero) queueing delay.
+fn touch_each_once(m: &mut Machine, addrs: Vec<Addr>) {
+    let ctx = m.ctx();
+    m.spawn(async move {
+        for a in addrs {
+            ctx.read(a).await;
+        }
+    });
+    assert!(m.run().is_quiescent());
+}
+
+#[test]
+fn equal_delay_ties_break_by_label_insertion_order() {
+    let mut m = Machine::new(tiny(), 0);
+    let a = m.alloc(1);
+    let b = m.alloc(1);
+    let c = m.alloc(1);
+    // Labelled in this order; all three see one uncontended access each,
+    // so every delay is 0 and the sort must be stable.
+    m.label(a, 1, "first");
+    m.label(b, 1, "second");
+    m.label(c, 1, "third");
+    touch_each_once(&mut m, vec![c, b, a]); // access order deliberately reversed
+    let names: Vec<String> = m.hotspots(10).into_iter().map(|h| h.label).collect();
+    assert_eq!(names, vec!["first", "second", "third"]);
+}
+
+#[test]
+fn unlabelled_lines_pool_into_one_region() {
+    let mut m = Machine::new(tiny(), 0);
+    let labelled = m.alloc(1);
+    let stray1 = m.alloc(1);
+    let stray2 = m.alloc(1);
+    m.label(labelled, 1, "the label");
+    touch_each_once(&mut m, vec![labelled, stray1, stray2, stray2]);
+    let hs = m.hotspots(10);
+    let pooled: Vec<_> = hs.iter().filter(|h| h.label == "<unlabelled>").collect();
+    assert_eq!(pooled.len(), 1, "all stray lines share one entry: {hs:?}");
+    assert_eq!(pooled[0].accesses, 3);
+    assert_eq!(
+        hs.iter().find(|h| h.label == "the label").unwrap().accesses,
+        1
+    );
+}
+
+#[test]
+fn top_k_beyond_label_count_returns_everything_once() {
+    let mut m = Machine::new(tiny(), 0);
+    let a = m.alloc(1);
+    let b = m.alloc(1);
+    m.label(a, 1, "only-a");
+    m.label(b, 1, "only-b");
+    touch_each_once(&mut m, vec![a, b]);
+    let all = m.hotspots(usize::MAX);
+    let capped = m.hotspots(1000);
+    assert_eq!(all, capped);
+    assert_eq!(all.len(), 2, "two touched regions, no padding: {all:?}");
+    // And top_k still truncates when smaller.
+    assert_eq!(m.hotspots(1).len(), 1);
+    assert_eq!(m.hotspots(0).len(), 0);
+}
+
+#[test]
+fn delay_ranking_puts_the_contended_region_first() {
+    let mut m = Machine::new(tiny(), 0);
+    let hot = m.alloc(1);
+    let cold = m.alloc(1);
+    m.label(cold, 1, "cold"); // labelled first: only delay can rank it below
+    m.label(hot, 1, "hot");
+    // Eight writers pile onto `hot`; `cold` sees one lonely read.
+    for _ in 0..8 {
+        let ctx = m.ctx();
+        m.spawn(async move {
+            ctx.write(hot, 1).await;
+        });
+    }
+    let ctx = m.ctx();
+    m.spawn(async move {
+        ctx.read(cold).await;
+    });
+    assert!(m.run().is_quiescent());
+    let hs = m.hotspots(2);
+    assert_eq!(hs[0].label, "hot");
+    assert!(hs[0].queue_delay_cycles > 0);
+    assert_eq!(hs[1].label, "cold");
+    assert_eq!(hs[1].queue_delay_cycles, 0);
+}
+
+#[test]
+fn same_name_regions_merge_in_the_report() {
+    let mut m = Machine::new(tiny(), 0);
+    let a = m.alloc(1);
+    let b = m.alloc(1);
+    m.label(a, 1, "bin");
+    m.label(b, 1, "bin"); // disjoint range, same display name
+    touch_each_once(&mut m, vec![a, b]);
+    let hs = m.hotspots(10);
+    assert_eq!(hs.len(), 1);
+    assert_eq!(hs[0].label, "bin");
+    assert_eq!(hs[0].accesses, 2);
+}

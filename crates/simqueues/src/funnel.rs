@@ -186,6 +186,7 @@ impl SimFunnelCounter {
     }
 
     async fn operate(&self, ctx: &ProcCtx, delta: i64) -> i64 {
+        let _span = ctx.span("funnel-traverse");
         ctx.work(costs::OP_SETUP).await;
         let pid = ctx.pid();
         let mut sum = delta;

@@ -152,6 +152,7 @@ impl SimFunnelStack {
     /// Funnel traversal. Returns `None` for completed pushes and
     /// `Some(encoded chain head)` for pops (0 = empty).
     async fn operate(&self, ctx: &ProcCtx, delta: i64, chead: Word, ctail: Word) -> Option<Word> {
+        let _span = ctx.span("funnel-stack-traverse");
         ctx.work(costs::OP_SETUP).await;
         let pid = ctx.pid();
         let mut sum = delta;

@@ -57,6 +57,7 @@ impl SimMcsLock {
 
     /// Acquires the lock for the calling processor.
     pub async fn acquire(&self, ctx: &ProcCtx) {
+        let _span = ctx.span("mcs-acquire");
         let pid = ctx.pid();
         ctx.write(self.next_of(pid), 0).await;
         ctx.write(self.flag_of(pid), 1).await;

@@ -139,6 +139,7 @@ impl SimCounterTree {
             "priority out of range"
         );
         self.bins[pri as usize].insert(ctx, item).await;
+        let _ascent = ctx.span("tree-ascent");
         let mut k = self.n_leaves + pri as usize;
         while k > 1 {
             ctx.work(costs::TREE_STEP).await;
@@ -158,6 +159,7 @@ impl SimCounterTree {
     /// from the reached leaf's bin.
     pub async fn delete_min(&self, ctx: &ProcCtx) -> Option<(u64, u64)> {
         ctx.work(costs::OP_SETUP).await;
+        let descent = ctx.span("tree-descent");
         let mut k = 1;
         while k < self.n_leaves {
             ctx.work(costs::TREE_STEP).await;
@@ -168,6 +170,7 @@ impl SimCounterTree {
                 k = 2 * k + 1;
             }
         }
+        descent.end();
         let pri = k - self.n_leaves;
         if pri >= self.num_priorities {
             return None;

@@ -99,6 +99,7 @@ impl SimHunt {
         ctx.write(self.tag_a(i), my_tag).await;
         self.unlock_node(ctx, i).await;
 
+        let _bubble = ctx.span("heap-bubble");
         while i > 1 {
             ctx.work(costs::SIFT_STEP).await;
             let parent = i / 2;
@@ -180,6 +181,7 @@ impl SimHunt {
         ctx.write(self.item_a(1), sitem).await;
         ctx.write(self.tag_a(1), TAG_AVAIL).await;
 
+        let _sift = ctx.span("heap-sift-down");
         let mut i = 1u64;
         loop {
             ctx.work(costs::SIFT_STEP).await;

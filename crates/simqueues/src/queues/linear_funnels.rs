@@ -43,6 +43,7 @@ impl SimLinearFunnels {
     /// that yields an item.
     pub async fn delete_min(&self, ctx: &ProcCtx) -> Option<(u64, u64)> {
         ctx.work(costs::OP_SETUP).await;
+        let _scan = ctx.span("stack-scan");
         for (pri, stack) in self.stacks.iter().enumerate() {
             ctx.work(costs::LOOP_ITER).await;
             if !stack.is_empty(ctx).await {

@@ -41,6 +41,7 @@ impl SimSimpleLinear {
     /// bin that yields an item.
     pub async fn delete_min(&self, ctx: &ProcCtx) -> Option<(u64, u64)> {
         ctx.work(costs::OP_SETUP).await;
+        let _scan = ctx.span("bin-scan");
         for (pri, bin) in self.bins.iter().enumerate() {
             ctx.work(costs::LOOP_ITER).await;
             if !bin.is_empty(ctx).await {

@@ -42,28 +42,33 @@ impl SimSingleLock {
     pub async fn insert(&self, ctx: &ProcCtx, pri: u64, item: u64) {
         ctx.work(costs::OP_SETUP).await;
         self.lock.acquire(ctx).await;
+        let hold = ctx.span("lock-hold");
         let n = ctx.read(self.size).await;
         assert!((n as usize) < self.capacity, "SimSingleLock overflow");
         ctx.write(self.pri_addr(n), pri).await;
         ctx.write(self.item_addr(n), item).await;
         ctx.write(self.size, n + 1).await;
-        let mut i = n;
-        while i > 0 {
-            ctx.work(costs::SIFT_STEP).await;
-            let parent = (i - 1) / 2;
-            let ppri = ctx.read(self.pri_addr(parent)).await;
-            if pri < ppri {
-                // Swap child and parent entries.
-                let pitem = ctx.read(self.item_addr(parent)).await;
-                ctx.write(self.pri_addr(i), ppri).await;
-                ctx.write(self.item_addr(i), pitem).await;
-                ctx.write(self.pri_addr(parent), pri).await;
-                ctx.write(self.item_addr(parent), item).await;
-                i = parent;
-            } else {
-                break;
+        {
+            let _bubble = ctx.span("heap-bubble");
+            let mut i = n;
+            while i > 0 {
+                ctx.work(costs::SIFT_STEP).await;
+                let parent = (i - 1) / 2;
+                let ppri = ctx.read(self.pri_addr(parent)).await;
+                if pri < ppri {
+                    // Swap child and parent entries.
+                    let pitem = ctx.read(self.item_addr(parent)).await;
+                    ctx.write(self.pri_addr(i), ppri).await;
+                    ctx.write(self.item_addr(i), pitem).await;
+                    ctx.write(self.pri_addr(parent), pri).await;
+                    ctx.write(self.item_addr(parent), item).await;
+                    i = parent;
+                } else {
+                    break;
+                }
             }
         }
+        hold.end();
         self.lock.release(ctx).await;
     }
 
@@ -71,8 +76,10 @@ impl SimSingleLock {
     pub async fn delete_min(&self, ctx: &ProcCtx) -> Option<(u64, u64)> {
         ctx.work(costs::OP_SETUP).await;
         self.lock.acquire(ctx).await;
+        let hold = ctx.span("lock-hold");
         let n = ctx.read(self.size).await;
         if n == 0 {
+            hold.end();
             self.lock.release(ctx).await;
             return None;
         }
@@ -81,6 +88,7 @@ impl SimSingleLock {
         let last = n - 1;
         ctx.write(self.size, last).await;
         if last > 0 {
+            let _bubble = ctx.span("heap-bubble");
             let pri = ctx.read(self.pri_addr(last)).await;
             let item = ctx.read(self.item_addr(last)).await;
             ctx.write(self.pri_addr(0), pri).await;
@@ -117,6 +125,7 @@ impl SimSingleLock {
                 }
             }
         }
+        hold.end();
         self.lock.release(ctx).await;
         Some((min_pri, min_item))
     }

@@ -143,6 +143,7 @@ impl SimSkipList {
 
     /// Splices node `enc` into all of its levels (caller holds THREADING).
     async fn splice(&self, ctx: &ProcCtx, enc: u64) {
+        let _span = ctx.span("skiplist-splice");
         let node = self.meta(enc);
         for level in 0..node.height {
             loop {
@@ -193,6 +194,7 @@ impl SimSkipList {
     /// Unlinks node `enc` from every level (caller holds the delete lock)
     /// and retargets the delete bin to it.
     async fn unlink(&self, ctx: &ProcCtx, enc: u64) {
+        let _span = ctx.span("skiplist-unlink");
         let node = self.meta(enc);
         loop {
             let old = ctx.cas(node.state, ST_THREADED, ST_UNLINKING).await;

@@ -5,6 +5,7 @@
 
 use std::rc::Rc;
 
+use funnelpq_sim::trace::{RegionMap, TraceEvent, TraceLog};
 use funnelpq_sim::{Acc, HotSpot, Machine, MachineConfig, RunOutcome, Stats};
 
 use crate::funnel::{CounterMode, SimFunnelConfig, SimFunnelCounter};
@@ -78,6 +79,19 @@ impl RunResult {
     }
 }
 
+/// A workload run with the machine's tracer attached: the usual aggregate
+/// result plus everything the `funnelpq_sim::trace` exporters need.
+#[derive(Debug, Clone)]
+pub struct TracedRun {
+    /// The aggregate result — bit-identical to the untraced run's.
+    pub result: RunResult,
+    /// Every trace event, in emission order.
+    pub events: Vec<TraceEvent>,
+    /// Line-to-region map of the structure under test, resolved after
+    /// build (for `TimeSeries::build` and `chrome_trace_json`).
+    pub regions: RegionMap,
+}
+
 /// Cycle budget guard: experiments that exceed this are treated as hung.
 const MAX_CYCLES: u64 = 2_000_000_000;
 
@@ -101,12 +115,40 @@ pub fn run_queue_workload(algo: Algorithm, wl: &Workload) -> RunResult {
     run_queue_workload_with(algo, wl, &params)
 }
 
+/// Like [`run_queue_workload`], but with a [`TraceLog`] attached for the
+/// whole run; returns the aggregate result (bit-identical to the untraced
+/// run's — tracing is observational) plus the event log and region map.
+pub fn run_queue_workload_traced(algo: Algorithm, wl: &Workload) -> TracedRun {
+    let mut params = BuildParams::new(wl.procs, wl.num_priorities);
+    params.capacity = (wl.procs * wl.ops_per_proc).max(64) + 8;
+    let log = TraceLog::new();
+    let (result, regions) = run_queue_inner(algo, wl, &params, Some(&log));
+    TracedRun {
+        result,
+        events: log.take(),
+        regions: regions.expect("traced run always builds a region map"),
+    }
+}
+
 /// Like [`run_queue_workload`] with explicit build parameters (funnel
 /// tuning sweeps, ablations).
 pub fn run_queue_workload_with(algo: Algorithm, wl: &Workload, params: &BuildParams) -> RunResult {
+    run_queue_inner(algo, wl, params, None).0
+}
+
+fn run_queue_inner(
+    algo: Algorithm,
+    wl: &Workload,
+    params: &BuildParams,
+    trace: Option<&TraceLog>,
+) -> (RunResult, Option<RegionMap>) {
     assert!(wl.procs > 0 && wl.num_priorities > 0 && wl.ops_per_proc > 0);
     let mut m = build_machine(wl);
     let q = Rc::new(SimPq::build(&mut m, algo, params));
+    let regions = trace.map(|log| {
+        m.attach_tracer(log.handle());
+        m.region_map()
+    });
     for _ in 0..wl.procs {
         let ctx = m.ctx();
         let q = Rc::clone(&q);
@@ -136,7 +178,7 @@ pub fn run_queue_workload_with(algo: Algorithm, wl: &Workload, params: &BuildPar
         RunOutcome::Quiescent => {}
         other => panic!("workload for {algo} did not finish: {other}"),
     }
-    RunResult::from_machine(&m)
+    (RunResult::from_machine(&m), regions)
 }
 
 /// Fraction-of-decrements counter workload for Figure 5: `procs`
@@ -152,11 +194,42 @@ pub fn run_counter_workload(
     cfg: SimFunnelConfig,
     wl: &Workload,
 ) -> RunResult {
+    run_counter_inner(mode, pct_dec, cfg, wl, None).0
+}
+
+/// Traced variant of [`run_counter_workload`]; see
+/// [`run_queue_workload_traced`].
+pub fn run_counter_workload_traced(
+    mode: CounterMode,
+    pct_dec: u32,
+    cfg: SimFunnelConfig,
+    wl: &Workload,
+) -> TracedRun {
+    let log = TraceLog::new();
+    let (result, regions) = run_counter_inner(mode, pct_dec, cfg, wl, Some(&log));
+    TracedRun {
+        result,
+        events: log.take(),
+        regions: regions.expect("traced run always builds a region map"),
+    }
+}
+
+fn run_counter_inner(
+    mode: CounterMode,
+    pct_dec: u32,
+    cfg: SimFunnelConfig,
+    wl: &Workload,
+    trace: Option<&TraceLog>,
+) -> (RunResult, Option<RegionMap>) {
     assert!(pct_dec <= 100);
     let mut m = build_machine(wl);
     let c = SimFunnelCounter::build(&mut m, wl.procs, mode, cfg);
     // Seed the counter high enough that unbounded modes never wrap.
     c.poke_set(&mut m, (wl.procs * wl.ops_per_proc) as i64);
+    let regions = trace.map(|log| {
+        m.attach_tracer(log.handle());
+        m.region_map()
+    });
     for _ in 0..wl.procs {
         let ctx = m.ctx();
         let c = c.clone();
@@ -180,7 +253,7 @@ pub fn run_counter_workload(
         RunOutcome::Quiescent => {}
         other => panic!("counter workload did not finish: {other}"),
     }
-    RunResult::from_machine(&m)
+    (RunResult::from_machine(&m), regions)
 }
 
 #[cfg(test)]

@@ -1,0 +1,166 @@
+//! `simtrace` — run one simulated priority-queue workload with the tracer
+//! attached and export both trace artifacts:
+//!
+//! * `trace.json` — Chrome Trace Format; open in <https://ui.perfetto.dev>
+//!   (or `chrome://tracing`) for per-processor timelines, hot-line
+//!   occupancy rows, and per-region queue-depth counters;
+//! * `timeseries.json` — windowed throughput / queue-delay / region-depth
+//!   series for plotting.
+//!
+//! Examples:
+//!
+//! ```text
+//! cargo run --release --example simtrace
+//! cargo run --release --example simtrace -- --algo SingleLock --procs 64
+//! cargo run --release --example simtrace -- --algo FunnelTree --procs 256 \
+//!     --pris 128 --ops 64 --window 4096 --out /tmp/traces
+//! ```
+//!
+//! Runs are deterministic for a given seed; the traced run is bit-identical
+//! to the untraced one (tracing is purely observational).
+
+use std::process::ExitCode;
+
+use funnelpq_sim::trace::{chrome_trace_json, TimeSeries};
+use funnelpq_simqueues::queues::Algorithm;
+use funnelpq_simqueues::workload::{run_queue_workload_traced, Workload};
+
+const USAGE: &str = "\
+simtrace — trace one simulated priority-queue run and export Perfetto + time-series JSON
+
+USAGE:
+    cargo run --release --example simtrace -- [OPTIONS]
+
+OPTIONS:
+    --algo <NAME>    algorithm (SingleLock, HuntEtAl, SkipList, SimpleLinear,
+                     SimpleTree, LinearFunnels, FunnelTree, HardwareTree)
+                     [default: FunnelTree]
+    --procs <N>      simulated processors                [default: 64]
+    --pris <N>       priority range 0..N                 [default: 16]
+    --ops <N>        queue accesses per processor        [default: 32]
+    --seed <N>       experiment seed                     [default: 61453]
+    --window <N>     time-series window, cycles          [default: ~1% of run]
+    --hot-lines <N>  memory-line rows in the trace       [default: 16]
+    --out <DIR>      output directory                    [default: .]
+    -h, --help       show this help
+";
+
+struct Args {
+    algo: Algorithm,
+    procs: usize,
+    pris: usize,
+    ops: usize,
+    seed: u64,
+    window: Option<u64>,
+    hot_lines: usize,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        algo: Algorithm::FunnelTree,
+        procs: 64,
+        pris: 16,
+        ops: 32,
+        seed: 61453,
+        window: None,
+        hot_lines: 16,
+        out: ".".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        if flag == "-h" || flag == "--help" {
+            return Err(String::new());
+        }
+        let value = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+        let parse = |what: &str, v: &str| -> Result<usize, String> {
+            v.parse().map_err(|_| format!("bad {what}: {v:?}"))
+        };
+        match flag.as_str() {
+            "--algo" => args.algo = value.parse()?,
+            "--procs" => args.procs = parse("--procs", &value)?,
+            "--pris" => args.pris = parse("--pris", &value)?,
+            "--ops" => args.ops = parse("--ops", &value)?,
+            "--seed" => args.seed = parse("--seed", &value)? as u64,
+            "--window" => args.window = Some(parse("--window", &value)? as u64),
+            "--hot-lines" => args.hot_lines = parse("--hot-lines", &value)?,
+            "--out" => args.out = value,
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    if args.procs == 0 || args.pris == 0 || args.ops == 0 {
+        return Err("--procs, --pris, and --ops must be positive".to_string());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut wl = Workload::standard(args.procs, args.pris);
+    wl.ops_per_proc = args.ops;
+    wl.seed = args.seed;
+    let traced = run_queue_workload_traced(args.algo, &wl);
+
+    let window = args
+        .window
+        .unwrap_or_else(|| (traced.result.total_cycles / 100).max(256));
+    let series = TimeSeries::build(&traced.events, &traced.regions, window);
+    let chrome = chrome_trace_json(
+        &traced.events,
+        &traced.regions,
+        args.hot_lines,
+        Some(&series),
+    );
+
+    if let Err(e) = std::fs::create_dir_all(&args.out) {
+        eprintln!("error: cannot create {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    let trace_path = format!("{}/trace.json", args.out);
+    let series_path = format!("{}/timeseries.json", args.out);
+    if let Err(e) = std::fs::write(&trace_path, &chrome) {
+        eprintln!("error: cannot write {trace_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&series_path, series.to_json()) {
+        eprintln!("error: cannot write {series_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    println!(
+        "{} at P={} N={}: {} accesses, {} cycles, {} trace events",
+        args.algo,
+        args.procs,
+        args.pris,
+        traced.result.all.count(),
+        traced.result.total_cycles,
+        traced.events.len(),
+    );
+    println!(
+        "mean latency {:.0} cycles (p50 ≤ {}, p99 ≤ {})",
+        traced.result.all.mean(),
+        traced.result.all.p50(),
+        traced.result.all.p99(),
+    );
+    println!("hot regions (by queueing delay):");
+    for h in traced.result.hotspots.iter().take(5) {
+        println!(
+            "  {:24} {:>10} delay cycles over {:>7} accesses",
+            h.label, h.queue_delay_cycles, h.accesses
+        );
+    }
+    println!("wrote {trace_path} (load in https://ui.perfetto.dev)");
+    println!("wrote {series_path} (window = {window} cycles)");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,253 @@
+//! Cross-crate conformance for simulator tracing: attaching a tracer must
+//! leave every algorithm's run bit-identical, the exported JSON must be
+//! well-formed, and the time-resolved contention series must reproduce the
+//! paper's hot-spot story (one lock serializes, funnels spread).
+
+use funnelpq_sim::trace::{chrome_trace_json, TimeSeries};
+use funnelpq_simqueues::funnel::{CounterMode, SimFunnelConfig};
+use funnelpq_simqueues::queues::Algorithm;
+use funnelpq_simqueues::workload::{
+    run_counter_workload, run_counter_workload_traced, run_queue_workload,
+    run_queue_workload_traced, TracedRun, Workload,
+};
+
+// ---------------------------------------------------------------------------
+// A minimal hand-rolled JSON validator (the container builds offline, so no
+// serde): accepts exactly the RFC 8259 grammar, rejecting trailing commas,
+// unquoted keys and bare values.
+
+fn validate_json(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut i = 0usize;
+    fn skip_ws(b: &[u8], i: &mut usize) {
+        while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+            *i += 1;
+        }
+    }
+    fn value(b: &[u8], i: &mut usize) -> Result<(), String> {
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b'{') => {
+                *i += 1;
+                skip_ws(b, i);
+                if b.get(*i) == Some(&b'}') {
+                    *i += 1;
+                    return Ok(());
+                }
+                loop {
+                    skip_ws(b, i);
+                    string(b, i)?;
+                    skip_ws(b, i);
+                    if b.get(*i) != Some(&b':') {
+                        return Err(format!("expected ':' at byte {i:?}"));
+                    }
+                    *i += 1;
+                    value(b, i)?;
+                    skip_ws(b, i);
+                    match b.get(*i) {
+                        Some(b',') => *i += 1,
+                        Some(b'}') => {
+                            *i += 1;
+                            return Ok(());
+                        }
+                        other => return Err(format!("expected ',' or '}}', got {other:?}")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                *i += 1;
+                skip_ws(b, i);
+                if b.get(*i) == Some(&b']') {
+                    *i += 1;
+                    return Ok(());
+                }
+                loop {
+                    value(b, i)?;
+                    skip_ws(b, i);
+                    match b.get(*i) {
+                        Some(b',') => *i += 1,
+                        Some(b']') => {
+                            *i += 1;
+                            return Ok(());
+                        }
+                        other => return Err(format!("expected ',' or ']', got {other:?}")),
+                    }
+                }
+            }
+            Some(b'"') => string(b, i),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => {
+                *i += 1;
+                while *i < b.len()
+                    && matches!(b[*i], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+                {
+                    *i += 1;
+                }
+                Ok(())
+            }
+            _ => {
+                for lit in ["true", "false", "null"] {
+                    if b[*i..].starts_with(lit.as_bytes()) {
+                        *i += lit.len();
+                        return Ok(());
+                    }
+                }
+                Err(format!("unexpected value at byte {i}"))
+            }
+        }
+    }
+    fn string(b: &[u8], i: &mut usize) -> Result<(), String> {
+        if b.get(*i) != Some(&b'"') {
+            return Err(format!("expected string at byte {i}"));
+        }
+        *i += 1;
+        while let Some(&c) = b.get(*i) {
+            match c {
+                b'"' => {
+                    *i += 1;
+                    return Ok(());
+                }
+                b'\\' => *i += 2,
+                _ => *i += 1,
+            }
+        }
+        Err("unterminated string".into())
+    }
+    value(b, &mut i)?;
+    skip_ws(b, &mut i);
+    if i == b.len() {
+        Ok(())
+    } else {
+        Err(format!("trailing garbage at byte {i}"))
+    }
+}
+
+#[test]
+fn json_validator_rejects_malformed_documents() {
+    assert!(validate_json(r#"{"a": [1, 2.5, "x\"y", true, null]}"#).is_ok());
+    assert!(validate_json(r#"{"a": 1,}"#).is_err());
+    assert!(validate_json(r#"{"a" 1}"#).is_err());
+    assert!(validate_json(r#"[1, 2] garbage"#).is_err());
+    assert!(validate_json(r#"{"a": }"#).is_err());
+}
+
+// ---------------------------------------------------------------------------
+// Differential: tracing must be purely observational.
+
+fn small_workload(procs: usize) -> Workload {
+    let mut wl = Workload::standard(procs, 16);
+    wl.ops_per_proc = 12;
+    wl
+}
+
+#[test]
+fn tracing_is_bit_identical_for_every_algorithm() {
+    for algo in Algorithm::ALL {
+        let wl = small_workload(8);
+        let plain = run_queue_workload(algo, &wl);
+        let traced = run_queue_workload_traced(algo, &wl);
+        assert_eq!(
+            traced.result.total_cycles, plain.total_cycles,
+            "{algo}: total cycles diverge under tracing"
+        );
+        assert_eq!(traced.result.all.sum(), plain.all.sum(), "{algo}");
+        assert_eq!(traced.result.all.count(), plain.all.count(), "{algo}");
+        assert_eq!(
+            traced.result.stats.mem_accesses, plain.stats.mem_accesses,
+            "{algo}"
+        );
+        assert_eq!(
+            traced.result.stats.queue_delay_cycles, plain.stats.queue_delay_cycles,
+            "{algo}"
+        );
+        let traced_lines: Vec<_> = traced.result.stats.per_line().collect();
+        let plain_lines: Vec<_> = plain.stats.per_line().collect();
+        assert_eq!(traced_lines, plain_lines, "{algo}: per-line stats diverge");
+        assert!(!traced.events.is_empty(), "{algo}: no events recorded");
+    }
+}
+
+#[test]
+fn tracing_is_bit_identical_for_the_counter_workload() {
+    let mut wl = Workload::standard(8, 2);
+    wl.ops_per_proc = 16;
+    let cfg = SimFunnelConfig::for_procs(8);
+    let plain = run_counter_workload(CounterMode::BOUNDED_AT_ZERO, 50, cfg.clone(), &wl);
+    let traced = run_counter_workload_traced(CounterMode::BOUNDED_AT_ZERO, 50, cfg, &wl);
+    assert_eq!(traced.result.total_cycles, plain.total_cycles);
+    assert_eq!(traced.result.all.sum(), plain.all.sum());
+    assert_eq!(traced.result.stats.mem_accesses, plain.stats.mem_accesses);
+    assert!(!traced.events.is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// Exported artifacts.
+
+fn series_of(traced: &TracedRun) -> TimeSeries {
+    let window = (traced.result.total_cycles / 100).max(256);
+    TimeSeries::build(&traced.events, &traced.regions, window)
+}
+
+#[test]
+fn chrome_trace_and_timeseries_are_well_formed_json() {
+    let traced = run_queue_workload_traced(Algorithm::FunnelTree, &small_workload(8));
+    let series = series_of(&traced);
+    let chrome = chrome_trace_json(&traced.events, &traced.regions, 8, Some(&series));
+    validate_json(&chrome).expect("chrome trace must be valid JSON");
+    validate_json(&series.to_json()).expect("time series must be valid JSON");
+    // Perfetto needs the traceEvents wrapper and per-processor rows
+    // (process/thread metadata plus at least one duration slice).
+    assert!(chrome.contains("\"traceEvents\""));
+    assert!(chrome.contains("thread_name"));
+    assert!(chrome.contains("processors"));
+    assert!(chrome.contains("\"ph\":\"X\""));
+}
+
+// ---------------------------------------------------------------------------
+// The paper's story, time-resolved: at P=64, SingleLock parks almost the
+// whole machine on its one lock for almost the whole run, while FunnelTree
+// never sustains comparable depth on any one region.
+
+#[test]
+fn single_lock_serializes_where_funnel_tree_spreads() {
+    let mut wl = Workload::standard(64, 16);
+    wl.ops_per_proc = 16;
+
+    let sl = run_queue_workload_traced(Algorithm::SingleLock, &wl);
+    let sl_series = series_of(&sl);
+    // MCS waiters park on their queue nodes, so the lock's serialization
+    // shows as sustained blocked depth there.
+    let lock_region = sl
+        .regions
+        .find("MCS queue nodes")
+        .expect("SingleLock labels its MCS queue");
+    let sl_peak = sl_series.peak_blocked_depth(lock_region);
+    let sl_sustained = sl_series.sustained_blocked_fraction(lock_region, 16.0);
+    assert!(
+        sl_peak > 32.0,
+        "SingleLock should park most of P=64 at once, peak {sl_peak:.1}"
+    );
+    assert!(
+        sl_sustained > 0.5,
+        "the lock queue should stay deep for most of the run, {sl_sustained:.2}"
+    );
+
+    let ft = run_queue_workload_traced(Algorithm::FunnelTree, &wl);
+    let ft_series = series_of(&ft);
+    let ft_worst_peak = (0..ft.regions.len())
+        .map(|r| ft_series.peak_blocked_depth(r))
+        .fold(0.0, f64::max);
+    let ft_worst_sustained = (0..ft.regions.len())
+        .map(|r| ft_series.sustained_blocked_fraction(r, 16.0))
+        .fold(0.0, f64::max);
+    assert!(
+        ft_worst_peak < sl_peak / 2.0,
+        "no FunnelTree region should concentrate waiters like the lock: \
+         {ft_worst_peak:.1} vs {sl_peak:.1}"
+    );
+    assert!(
+        ft_worst_sustained < 0.5,
+        "FunnelTree must not sustain lock-like depth anywhere, {ft_worst_sustained:.2}"
+    );
+    // And it buys real time: the funnel run finishes far sooner.
+    assert!(ft.result.total_cycles * 2 < sl.result.total_cycles);
+}
