@@ -55,8 +55,9 @@ fn bit_reversed_position(s: usize) -> usize {
 
 /// The concurrent heap priority queue of Hunt et al.
 ///
-/// Linearizable; supports any priority in the declared range; fixed
-/// capacity chosen at construction.
+/// Quiescently consistent (see [`crate::Algorithm::consistency`] for the
+/// sift-down race that rules out linearizability); supports any priority
+/// in the declared range; fixed capacity chosen at construction.
 ///
 /// # Examples
 ///

@@ -13,7 +13,7 @@
 //! | Type | Paper name | Structure | Consistency |
 //! |------|-----------|-----------|-------------|
 //! | [`SingleLockPq`] | SingleLock | heap + one MCS lock | linearizable |
-//! | [`HuntPq`] | HuntEtAl | heap, per-node locks, bit-reversal | linearizable |
+//! | [`HuntPq`] | HuntEtAl | heap, per-node locks, bit-reversal | quiescent |
 //! | [`SkipListPq`] | SkipList | skip list of bins + delete bin | quiescent |
 //! | [`SimpleLinearPq`] | SimpleLinear | array of locked bins | linearizable |
 //! | [`SimpleTreePq`] | SimpleTree | tree of locked counters | quiescent |

@@ -8,6 +8,7 @@ use std::task::{Context, Poll};
 
 use funnelpq_util::XorShift64Star;
 
+use crate::fault::SpanPoint;
 use crate::machine::{Addr, MemOpKind, ProcId, SimState, Word};
 use crate::trace::TraceEvent;
 
@@ -125,8 +126,10 @@ impl ProcCtx {
     }
 
     /// Records a latency sample under `key` in the machine's statistics.
+    /// Each sample also counts as machine-wide progress for the livelock
+    /// watchdog ([`crate::Machine::set_watchdog`]).
     pub fn record(&self, key: &'static str, v: u64) {
-        self.st.borrow_mut().stats.record(key, v);
+        self.st.borrow_mut().record_progress(key, v);
     }
 
     /// Opens a named tracing span on this processor's timeline; the span
@@ -146,6 +149,9 @@ impl ProcCtx {
                     name,
                     time: now,
                 });
+            }
+            if st.faulting() {
+                st.fault_span(self.pid, name, SpanPoint::Begin);
             }
         }
         Span {
@@ -206,6 +212,9 @@ impl Span<'_> {
                 name: self.name,
                 time: now,
             });
+        }
+        if st.faulting() {
+            st.fault_span(self.ctx.pid, self.name, SpanPoint::End);
         }
     }
 }

@@ -37,8 +37,10 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod audit;
 mod config;
 mod ctx;
+pub mod fault;
 mod machine;
 mod stats;
 pub mod trace;
@@ -46,5 +48,6 @@ mod wheel;
 
 pub use config::MachineConfig;
 pub use ctx::{MemOp, ProcCtx, Span, WaitChange, WorkFuture};
-pub use machine::{Addr, Machine, ProcId, RunOutcome, Word};
+pub use fault::{FaultPlan, FaultPlanError, SpanPoint};
+pub use machine::{Addr, LivelockDiag, Machine, ProcDiag, ProcId, ProcState, RunOutcome, Word};
 pub use stats::{Acc, HotSpot, Stats, ACC_BUCKETS};

@@ -29,6 +29,7 @@ use std::task::{Context, Waker};
 
 use crate::config::MachineConfig;
 use crate::ctx::ProcCtx;
+use crate::fault::{FaultGate, FaultPlan, FaultPlanError, FaultState, FaultSummary, SpanPoint};
 use crate::stats::Stats;
 use crate::trace::{RegionMap, TraceEvent, Tracer, TxnKind};
 use crate::wheel::{EventQueue, EventWheel, LinearEventList};
@@ -115,12 +116,21 @@ impl WaiterTable {
     /// All blocked tasks, in address order then registration order —
     /// the deadlock report.
     fn blocked(&self) -> Vec<ProcId> {
+        self.blocked_with_addrs()
+            .into_iter()
+            .map(|(t, _)| t)
+            .collect()
+    }
+
+    /// All blocked tasks with the address each is waiting on — the
+    /// livelock diagnostic.
+    fn blocked_with_addrs(&self) -> Vec<(ProcId, Addr)> {
         let mut out = Vec::with_capacity(self.waiting);
-        for &h in &self.head {
+        for (addr, &h) in self.head.iter().enumerate() {
             let mut n = h;
             while n != NO_NODE {
                 let (task, next) = self.nodes[n as usize];
-                out.push(task as ProcId);
+                out.push((task as ProcId, addr));
                 n = next;
             }
         }
@@ -146,6 +156,15 @@ pub(crate) struct SimState {
     /// never schedules events or advances time, so attaching a tracer
     /// leaves the simulated schedule bit-identical.
     tracer: Option<Box<dyn Tracer>>,
+    /// Attached fault injector, if any. Follows the tracer's cold split:
+    /// the fast paths pay one presence test, and a present-but-empty plan
+    /// injects nothing, so the schedule stays bit-identical.
+    faults: Option<Box<FaultState>>,
+    /// Livelock watchdog window in cycles; 0 = disabled.
+    watchdog_window: u64,
+    /// Time by which the next progress report must arrive; `u64::MAX`
+    /// while the watchdog is disabled.
+    watchdog_deadline: u64,
 }
 
 impl SimState {
@@ -174,17 +193,86 @@ impl SimState {
         }
     }
 
+    /// True while a fault plan is attached — the span fast path's single
+    /// presence test, mirroring [`SimState::tracing`].
+    #[inline]
+    pub(crate) fn faulting(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// Feeds one span open/close to the span-triggered stall rules. Cold:
+    /// only reached while a plan is attached.
+    #[cold]
+    #[inline(never)]
+    pub(crate) fn fault_span(&mut self, proc: ProcId, name: &'static str, point: SpanPoint) {
+        let now = self.now;
+        if let Some(f) = self.faults.as_mut() {
+            f.on_span(proc, name, point, now);
+        }
+    }
+
+    /// Extra `(net_per_leg, service)` latency the attached plan adds to a
+    /// transaction on `addr` issued now. Cold: only reached while a plan
+    /// is attached.
+    #[cold]
+    #[inline(never)]
+    fn fault_latency(&mut self, addr: Addr) -> (u64, u64) {
+        let now = self.now;
+        match self.faults.as_mut() {
+            Some(f) => f.latency_extras(addr, now),
+            None => (0, 0),
+        }
+    }
+
+    /// Decides the fate of a popped event while a fault plan is attached.
+    /// Cold: the healthy fast path never reaches it.
+    #[cold]
+    #[inline(never)]
+    fn fault_step(&mut self, t: u64, tid: ProcId) -> Step {
+        let gate = match self.faults.as_mut() {
+            Some(f) => f.gate(t, tid),
+            None => FaultGate::Deliver,
+        };
+        match gate {
+            FaultGate::Deliver => {
+                self.now = self.now.max(t);
+                Step::Poll(tid)
+            }
+            FaultGate::Delay(until) => {
+                self.schedule(until, tid);
+                Step::Skip
+            }
+            FaultGate::Kill => Step::Kill(tid),
+            FaultGate::Swallow => Step::Skip,
+        }
+    }
+
+    /// Records a latency sample and feeds the livelock watchdog: each
+    /// recorded sample counts as machine-wide progress, pushing the
+    /// deadline out by one window.
+    pub(crate) fn record_progress(&mut self, key: &'static str, v: u64) {
+        self.stats.record(key, v);
+        if self.watchdog_window != 0 {
+            self.watchdog_deadline = self.now.saturating_add(self.watchdog_window);
+        }
+    }
+
     /// Performs one shared-memory transaction, applying its mutation in
     /// line-service order (which equals arrival order under a constant
     /// network latency). Returns `(previous value, completion time)`.
     pub(crate) fn transact(&mut self, task: ProcId, addr: Addr, op: MemOpKind) -> (Word, u64) {
+        let (extra_net, extra_service) = if self.faults.is_some() {
+            self.fault_latency(addr)
+        } else {
+            (0, 0)
+        };
         let shift = self.cfg.line_shift();
         let line = addr >> shift;
-        let arrival = self.now + self.cfg.net_latency;
+        let arrival = self.now + self.cfg.net_latency + extra_net;
         let free = self.line_free[line].max(arrival);
-        let effect = free + self.cfg.service;
+        let effect = free + self.cfg.service + extra_service;
         self.line_free[line] = effect;
-        let completion = effect + self.cfg.net_latency;
+        let completion = effect + self.cfg.net_latency + extra_net;
 
         self.stats.mem_accesses += 1;
         self.stats.queue_delay_cycles += free - arrival;
@@ -315,9 +403,30 @@ impl TaskSlab {
         self.entries[id] = None;
     }
 
+    fn contains(&self, id: ProcId) -> bool {
+        self.entries.get(id).is_some_and(|e| e.is_some())
+    }
+
     fn len(&self) -> usize {
         self.entries.len()
     }
+}
+
+/// What one popped event turned into (computed inside the state borrow,
+/// acted on outside it).
+enum Step {
+    /// Deliver: poll the task.
+    Poll(ProcId),
+    /// Event swallowed or deferred by the fault layer.
+    Skip,
+    /// Crash-stop the task.
+    Kill(ProcId),
+    /// `run_for`'s cycle limit passed.
+    Limit,
+    /// The livelock watchdog's deadline passed.
+    Livelock,
+    /// The event queue is empty.
+    Drained,
 }
 
 /// Why [`Machine::run`] stopped.
@@ -333,6 +442,12 @@ pub enum RunOutcome {
     },
     /// The cycle limit passed to [`Machine::run_for`] was reached.
     CycleLimit,
+    /// The watchdog armed with [`Machine::set_watchdog`] saw no
+    /// machine-wide progress for a full window.
+    Livelock {
+        /// Who was doing what when progress stopped.
+        diag: LivelockDiag,
+    },
 }
 
 impl RunOutcome {
@@ -350,7 +465,83 @@ impl fmt::Display for RunOutcome {
                 write!(f, "deadlock ({} tasks blocked)", blocked.len())
             }
             RunOutcome::CycleLimit => write!(f, "cycle limit reached"),
+            RunOutcome::Livelock { diag } => write!(f, "{diag}"),
         }
+    }
+}
+
+/// What each simulated processor was doing when the livelock watchdog
+/// fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcState {
+    /// Scheduled normally (has a pending event, not stalled or blocked).
+    Running,
+    /// Suspended until the given word changes.
+    BlockedOn(Addr),
+    /// Held inside a fault-injected stall window.
+    Stalled {
+        /// When the stall window ends.
+        until: u64,
+    },
+    /// Crash-stopped by the fault plan.
+    Crashed,
+    /// Ran to completion before progress stopped.
+    Done,
+}
+
+/// One processor's row in a [`LivelockDiag`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProcDiag {
+    /// The processor.
+    pub proc: ProcId,
+    /// What it was doing.
+    pub state: ProcState,
+}
+
+/// Diagnostic dump produced when the livelock watchdog fires: per-proc
+/// state, the hottest memory regions, and how deep the blocked set is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LivelockDiag {
+    /// Simulated time when the watchdog fired.
+    pub now: u64,
+    /// The configured progress window, in cycles.
+    pub window: u64,
+    /// Time of the last recorded progress sample.
+    pub last_progress: u64,
+    /// Per-processor state, indexed by processor id.
+    pub procs: Vec<ProcDiag>,
+    /// Hottest labelled regions as `(label, queue-delay cycles)`.
+    pub hot: Vec<(String, u64)>,
+    /// Number of tasks suspended on memory words.
+    pub blocked_depth: usize,
+}
+
+impl fmt::Display for LivelockDiag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "livelock: no progress for {} cycles (last progress at {}, now {})",
+            self.window, self.last_progress, self.now
+        )?;
+        writeln!(f, "  {} tasks blocked on memory words", self.blocked_depth)?;
+        for p in &self.procs {
+            match p.state {
+                ProcState::Running => writeln!(f, "  proc {} runnable", p.proc)?,
+                ProcState::BlockedOn(addr) => {
+                    writeln!(f, "  proc {} blocked on word {}", p.proc, addr)?
+                }
+                ProcState::Stalled { until } => {
+                    writeln!(f, "  proc {} stalled until {}", p.proc, until)?
+                }
+                ProcState::Crashed => writeln!(f, "  proc {} crashed", p.proc)?,
+                ProcState::Done => {}
+            }
+        }
+        write!(f, "  hottest regions:")?;
+        for (label, delay) in &self.hot {
+            write!(f, " {label} ({delay} delay cycles)")?;
+        }
+        Ok(())
     }
 }
 
@@ -412,6 +603,9 @@ impl Machine {
             stats: Stats::new(),
             live_tasks: 0,
             tracer: None,
+            faults: None,
+            watchdog_window: 0,
+            watchdog_deadline: u64::MAX,
         };
         Machine {
             st: Rc::new(RefCell::new(st)),
@@ -519,29 +713,52 @@ impl Machine {
     pub fn run_for(&mut self, max_cycles: u64) -> RunOutcome {
         let waker = Waker::noop();
         loop {
-            let next = {
+            let step = {
                 let mut st = self.st.borrow_mut();
                 match st.events.pop() {
                     Some((t, _, tid)) => {
                         if t > max_cycles {
                             // Put it back so a later run_for can resume.
                             st.schedule_wake(t, tid);
-                            return RunOutcome::CycleLimit;
+                            Step::Limit
+                        } else if t > st.watchdog_deadline {
+                            st.schedule_wake(t, tid);
+                            Step::Livelock
+                        } else if st.faults.is_some() {
+                            st.fault_step(t, tid)
+                        } else {
+                            st.now = st.now.max(t);
+                            Step::Poll(tid)
                         }
-                        st.now = st.now.max(t);
-                        Some(tid)
                     }
-                    None => None,
+                    None => Step::Drained,
                 }
             };
-            let Some(tid) = next else {
-                let st = self.st.borrow();
-                if st.live_tasks == 0 {
-                    return RunOutcome::Quiescent;
+            let tid = match step {
+                Step::Poll(tid) => tid,
+                Step::Skip => continue,
+                Step::Kill(tid) => {
+                    if self.tasks.get_mut(tid).is_some() {
+                        self.tasks.remove(tid);
+                        self.st.borrow_mut().live_tasks -= 1;
+                    }
+                    continue;
                 }
-                return RunOutcome::Deadlock {
-                    blocked: st.waiters.blocked(),
-                };
+                Step::Limit => return RunOutcome::CycleLimit,
+                Step::Livelock => {
+                    return RunOutcome::Livelock {
+                        diag: self.livelock_diag(),
+                    }
+                }
+                Step::Drained => {
+                    let st = self.st.borrow();
+                    if st.live_tasks == 0 {
+                        return RunOutcome::Quiescent;
+                    }
+                    return RunOutcome::Deadlock {
+                        blocked: st.waiters.blocked(),
+                    };
+                }
             };
             let Some(task) = self.tasks.get_mut(tid) else {
                 continue;
@@ -607,6 +824,97 @@ impl Machine {
     /// are no longer recorded.
     pub fn detach_tracer(&mut self) -> Option<Box<dyn Tracer>> {
         self.st.borrow_mut().tracer.take()
+    }
+
+    /// Attaches a fault plan: subsequent runs inject its stalls, latency
+    /// spikes and crashes. Attach *after* allocating the memory a
+    /// [`crate::fault::Fault::RegionDelay`] targets, so ranges can be
+    /// checked. An empty plan is observationally free — the run stays
+    /// bit-identical to one with no plan attached (verified differentially
+    /// by `tests/chaos_conformance.rs`).
+    ///
+    /// Shape and memory-range problems are reported here; processor ids
+    /// are not known to the machine until spawn time, so validate them
+    /// against the run with [`FaultPlan::check`].
+    pub fn attach_faults(&mut self, plan: &FaultPlan) -> Result<(), FaultPlanError> {
+        plan.check_shape()?;
+        plan.check_mem(self.st.borrow().mem.len())?;
+        self.st.borrow_mut().faults = Some(Box::new(FaultState::from_plan(plan)));
+        Ok(())
+    }
+
+    /// Arms the global-progress livelock watchdog: if no progress sample
+    /// is recorded (via [`ProcCtx::record`]) for `window` consecutive
+    /// cycles, [`Machine::run`] stops with [`RunOutcome::Livelock`] and a
+    /// diagnostic dump. `window` 0 disarms. Size the window well above the
+    /// workload's worst healthy inter-op gap.
+    pub fn set_watchdog(&mut self, window: u64) {
+        let mut st = self.st.borrow_mut();
+        st.watchdog_window = window;
+        st.watchdog_deadline = if window == 0 {
+            u64::MAX
+        } else {
+            st.now.saturating_add(window)
+        };
+    }
+
+    /// Processors crash-stopped by the attached fault plan so far, in kill
+    /// order.
+    pub fn crashed(&self) -> Vec<ProcId> {
+        self.st
+            .borrow()
+            .faults
+            .as_ref()
+            .map(|f| f.crashed().to_vec())
+            .unwrap_or_default()
+    }
+
+    /// What the attached fault plan actually injected so far, or `None`
+    /// when no plan is attached.
+    pub fn fault_summary(&self) -> Option<FaultSummary> {
+        self.st.borrow().faults.as_ref().map(|f| f.summary())
+    }
+
+    /// Builds the livelock diagnostic dump (who was doing what, hottest
+    /// regions, blocked depth) at the moment the watchdog fired.
+    fn livelock_diag(&self) -> LivelockDiag {
+        let hot = self
+            .hotspots(4)
+            .into_iter()
+            .map(|h| (h.label, h.queue_delay_cycles))
+            .collect();
+        let st = self.st.borrow();
+        let now = st.now;
+        let window = st.watchdog_window;
+        let last_progress = st.watchdog_deadline.saturating_sub(window);
+        let blocked = st.waiters.blocked_with_addrs();
+        let mut procs = Vec::with_capacity(self.next_pid);
+        for pid in 0..self.next_pid {
+            let state = if st
+                .faults
+                .as_ref()
+                .is_some_and(|f| f.crashed().contains(&pid))
+            {
+                ProcState::Crashed
+            } else if let Some(until) = st.faults.as_ref().and_then(|f| f.stalled_until(pid, now)) {
+                ProcState::Stalled { until }
+            } else if let Some(&(_, addr)) = blocked.iter().find(|&&(t, _)| t == pid) {
+                ProcState::BlockedOn(addr)
+            } else if self.tasks.contains(pid) {
+                ProcState::Running
+            } else {
+                ProcState::Done
+            };
+            procs.push(ProcDiag { proc: pid, state });
+        }
+        LivelockDiag {
+            now,
+            window,
+            last_progress,
+            procs,
+            hot,
+            blocked_depth: blocked.len(),
+        }
     }
 
     /// Resolves every allocated cache line to a labelled region (merging

@@ -3,6 +3,7 @@
 
 use funnelpq_sim::{Addr, Machine, ProcCtx};
 
+use crate::error::SimPqError;
 use crate::mcs::SimMcsLock;
 
 /// A simulated lock-based bin. Emptiness is one shared read of the size
@@ -35,14 +36,33 @@ impl SimBin {
     ///
     /// # Panics
     ///
-    /// Panics if the bin is full (sized generously by the workloads).
+    /// Panics if the bin is full (sized generously by the workloads);
+    /// use [`try_insert`](Self::try_insert) to handle that case.
     pub async fn insert(&self, ctx: &ProcCtx, item: u64) {
+        if let Err(e) = self.try_insert(ctx, item).await {
+            panic!("{e}");
+        }
+    }
+
+    /// Adds `item` to the bin, reporting capacity exhaustion (with the
+    /// failing processor and simulated time) instead of panicking. On
+    /// `Err` the bin is unchanged and the lock released.
+    pub async fn try_insert(&self, ctx: &ProcCtx, item: u64) -> Result<(), SimPqError> {
         self.lock.acquire(ctx).await;
         let n = ctx.read(self.size).await;
-        assert!((n as usize) < self.capacity, "SimBin overflow");
+        if n as usize >= self.capacity {
+            self.lock.release(ctx).await;
+            return Err(SimPqError::CapacityExhausted {
+                what: "SimBin",
+                capacity: self.capacity,
+                proc: ctx.pid(),
+                time: ctx.now(),
+            });
+        }
         ctx.write(self.elems + n as usize, item).await;
         ctx.write(self.size, n + 1).await;
         self.lock.release(ctx).await;
+        Ok(())
     }
 
     /// Removes an unspecified item (LIFO), or `None` when empty.
@@ -63,6 +83,39 @@ impl SimBin {
     /// One-read emptiness test (may be stale, as in the paper).
     pub async fn is_empty(&self, ctx: &ProcCtx) -> bool {
         ctx.read(self.size).await == 0
+    }
+
+    /// Host-side item count. Costs no simulated time; meaningful only at
+    /// quiescence.
+    pub fn peek_len(&self, m: &Machine) -> u64 {
+        m.peek(self.size)
+    }
+
+    /// Host-side snapshot of the stored items, oldest first.
+    pub fn peek_items(&self, m: &Machine) -> Vec<u64> {
+        let n = (m.peek(self.size) as usize).min(self.capacity);
+        (0..n).map(|i| m.peek(self.elems + i)).collect()
+    }
+
+    /// Host-side check that the bin's lock is free.
+    pub fn peek_lock_free(&self, m: &Machine) -> bool {
+        self.lock.peek_free(m)
+    }
+
+    /// Structural validation at quiescence: the lock must be free and the
+    /// size word within capacity. Returns the item count.
+    pub fn validate(&self, m: &Machine) -> Result<u64, String> {
+        if !self.lock.peek_free(m) {
+            return Err("SimBin: lock held at quiescence".into());
+        }
+        let n = m.peek(self.size);
+        if n as usize > self.capacity {
+            return Err(format!(
+                "SimBin: size word {n} exceeds capacity {}",
+                self.capacity
+            ));
+        }
+        Ok(n)
     }
 }
 

@@ -48,6 +48,16 @@ impl SimLockedCounter {
         self.lock.release(ctx).await;
         v
     }
+
+    /// Host-side read of the counter value (no simulated cost).
+    pub fn peek(&self, m: &Machine) -> i64 {
+        m.peek(self.val) as i64
+    }
+
+    /// Host-side check that the counter's lock is free.
+    pub fn peek_lock_free(&self, m: &Machine) -> bool {
+        self.lock.peek_free(m)
+    }
 }
 
 /// Counter backed directly by one hardware atomic word: unbounded
@@ -92,6 +102,11 @@ impl SimHwCounter {
             }
         }
     }
+
+    /// Host-side read of the counter value (no simulated cost).
+    pub fn peek(&self, m: &Machine) -> i64 {
+        m.peek(self.val) as i64
+    }
 }
 
 /// A tree-node counter: MCS-locked, combining funnel, or hardware atomic.
@@ -132,6 +147,24 @@ impl SimCounter {
             SimCounter::Locked(c) => c.label(m, name),
             SimCounter::Funnel(c) => c.label(m, name),
             SimCounter::Hardware(c) => c.label(m, name),
+        }
+    }
+
+    /// Host-side read of the counter value (no simulated cost).
+    pub fn peek(&self, m: &Machine) -> i64 {
+        match self {
+            SimCounter::Locked(c) => c.peek(m),
+            SimCounter::Funnel(c) => c.peek_value(m),
+            SimCounter::Hardware(c) => c.peek(m),
+        }
+    }
+
+    /// Host-side check that any lock inside the counter is free (always
+    /// true for lock-free variants).
+    pub fn peek_lock_free(&self, m: &Machine) -> bool {
+        match self {
+            SimCounter::Locked(c) => c.peek_lock_free(m),
+            SimCounter::Funnel(_) | SimCounter::Hardware(_) => true,
         }
     }
 }

@@ -1,0 +1,92 @@
+//! Structured errors for workload-facing failure paths.
+//!
+//! The simulated queues historically `panic!`ed on capacity exhaustion with
+//! a bare message, which loses the two facts that matter when debugging a
+//! chaos run: *which simulated processor* hit the wall and *at what
+//! simulated time*. Every fallible queue entry point now has a `try_*`
+//! variant returning [`SimPqError`]; the infallible wrappers panic with the
+//! structured message so existing call sites keep their signatures.
+
+use std::fmt;
+
+use funnelpq_sim::ProcId;
+
+/// A failure inside a simulated queue operation, tagged with the simulated
+/// processor and clock so the failing schedule can be replayed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimPqError {
+    /// A fixed-capacity structure was full.
+    CapacityExhausted {
+        /// The structure that filled up (e.g. `"SimBin"`, `"SimHunt"`).
+        what: &'static str,
+        /// Its configured capacity in items.
+        capacity: usize,
+        /// The simulated processor whose insert failed.
+        proc: ProcId,
+        /// Simulated time of the failure, in cycles.
+        time: u64,
+    },
+    /// A preallocated node pool ran dry.
+    PoolExhausted {
+        /// The structure whose pool drained (e.g. `"SimFunnelStack"`).
+        what: &'static str,
+        /// The simulated processor whose operation failed.
+        proc: ProcId,
+        /// Simulated time of the failure, in cycles.
+        time: u64,
+    },
+    /// A build-time parameter was inconsistent; rejected before any
+    /// simulated memory is allocated.
+    BadConfig {
+        /// The parameter at fault.
+        what: &'static str,
+        /// Human-readable explanation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SimPqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimPqError::CapacityExhausted {
+                what,
+                capacity,
+                proc,
+                time,
+            } => write!(
+                f,
+                "{what}: capacity {capacity} exhausted (proc {proc} at cycle {time})"
+            ),
+            SimPqError::PoolExhausted { what, proc, time } => {
+                write!(
+                    f,
+                    "{what}: node pool exhausted (proc {proc} at cycle {time})"
+                )
+            }
+            SimPqError::BadConfig { what, detail } => {
+                write!(f, "bad config for {what}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimPqError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_proc_and_time() {
+        let e = SimPqError::CapacityExhausted {
+            what: "SimBin",
+            capacity: 64,
+            proc: 3,
+            time: 12345,
+        };
+        let s = e.to_string();
+        assert!(s.contains("proc 3"), "{s}");
+        assert!(s.contains("cycle 12345"), "{s}");
+        assert!(s.contains("SimBin"), "{s}");
+    }
+}

@@ -6,6 +6,7 @@
 use funnelpq_sim::{Addr, Machine, ProcCtx, Word};
 
 use crate::costs;
+use crate::error::SimPqError;
 
 /// Tuning parameters for simulated combining funnels (counters and stacks).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,10 +43,40 @@ impl SimFunnelConfig {
         }
     }
 
+    /// Checks the configuration for internal consistency, reporting what
+    /// is wrong instead of panicking. Used by fallible builders
+    /// ([`crate::queues::SimPq::try_build`]); the panicking
+    /// [`validate`](Self::validate) delegates here.
+    pub fn check(&self) -> Result<(), SimPqError> {
+        if self.widths.len() != self.spin_checks.len() {
+            return Err(SimPqError::BadConfig {
+                what: "SimFunnelConfig",
+                detail: format!(
+                    "widths has {} layers but spin_checks has {}",
+                    self.widths.len(),
+                    self.spin_checks.len()
+                ),
+            });
+        }
+        if let Some(d) = self.widths.iter().position(|&w| w == 0) {
+            return Err(SimPqError::BadConfig {
+                what: "SimFunnelConfig",
+                detail: format!("layer {d} has width 0"),
+            });
+        }
+        if self.attempts == 0 {
+            return Err(SimPqError::BadConfig {
+                what: "SimFunnelConfig",
+                detail: "attempts must be at least 1".into(),
+            });
+        }
+        Ok(())
+    }
+
     pub(crate) fn validate(&self) {
-        assert_eq!(self.widths.len(), self.spin_checks.len());
-        assert!(self.widths.iter().all(|&w| w > 0));
-        assert!(self.attempts > 0);
+        if let Err(e) = self.check() {
+            panic!("{e}");
+        }
     }
 }
 
@@ -232,6 +263,10 @@ impl SimFunnelCounter {
                     let qold = ctx.cas(self.loc_of(q), (d + 1) as u64, LOC_FROZEN).await;
                     if qold == (d + 1) as u64 {
                         collisions_won += 1;
+                        // Marker for tracers and fault plans: this
+                        // processor just won a collision and now combines
+                        // (or eliminates) on behalf of the captured peer.
+                        ctx.span("funnel-combine").end();
                         let qsum = ctx.read(self.sum_of(q)).await as i64;
                         let reversing = self.mode != CounterMode::FetchAdd && qsum == -sum;
                         if reversing {

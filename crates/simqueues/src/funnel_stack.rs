@@ -14,6 +14,7 @@ use std::rc::Rc;
 use funnelpq_sim::{Addr, Machine, ProcCtx, Word};
 
 use crate::costs;
+use crate::error::SimPqError;
 use crate::funnel::SimFunnelConfig;
 use crate::mcs::SimMcsLock;
 
@@ -44,6 +45,9 @@ pub struct SimFunnelStack {
     records: Addr,
     rec_stride: usize,
     pool: Rc<RefCell<Vec<Addr>>>,
+    /// Pool size: the most items the stack can ever hold, which also
+    /// bounds any well-formed head chain walk.
+    max_items: usize,
     frac: Rc<RefCell<Vec<u64>>>,
     /// Per-processor depth preference (see the counter's `depth` field):
     /// how many combining layers to traverse before going central.
@@ -84,6 +88,7 @@ impl SimFunnelStack {
             records,
             rec_stride,
             pool: Rc::new(RefCell::new(pool)),
+            max_items: max_items.max(1),
             frac: Rc::new(RefCell::new(vec![256; procs])),
             depth: Rc::new(RefCell::new(vec![levels; procs])),
         }
@@ -120,19 +125,84 @@ impl SimFunnelStack {
         self.depth.borrow()[pid]
     }
 
+    /// Host-side item count: walks the head chain without simulated cost.
+    /// Meaningful only at quiescence. Errors if the chain is longer than
+    /// the node pool (a cycle or corruption).
+    pub fn peek_len(&self, m: &Machine) -> Result<u64, String> {
+        self.peek_items(m).map(|v| v.len() as u64)
+    }
+
+    /// Host-side snapshot of the stored items, top of stack first. Errors
+    /// if the head chain is longer than the node pool (a cycle or
+    /// corruption).
+    pub fn peek_items(&self, m: &Machine) -> Result<Vec<u64>, String> {
+        let mut items = Vec::new();
+        let mut enc = m.peek(self.head);
+        while enc != 0 {
+            if items.len() >= self.max_items {
+                return Err(format!(
+                    "SimFunnelStack: head chain exceeds pool size {} (cycle or corruption)",
+                    self.max_items
+                ));
+            }
+            let node = (enc - 1) as Addr;
+            items.push(m.peek(node));
+            enc = m.peek(node + 1);
+        }
+        Ok(items)
+    }
+
+    /// Host-side check that the central stack lock is free.
+    pub fn peek_lock_free(&self, m: &Machine) -> bool {
+        self.central_lock.peek_free(m)
+    }
+
+    /// Structural validation at quiescence: central lock free and the head
+    /// chain well-formed. Returns the item count.
+    ///
+    /// Combining-layer slots are deliberately *not* checked: a layer slot
+    /// retains the last processor id swapped into it, so stale non-zero
+    /// slots are normal at quiescence.
+    pub fn validate(&self, m: &Machine) -> Result<u64, String> {
+        if !self.peek_lock_free(m) {
+            return Err("SimFunnelStack: central lock held at quiescence".into());
+        }
+        self.peek_len(m)
+    }
+
     /// Pushes `item`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node pool is exhausted (the stack holds `max_items`);
+    /// use [`try_push`](Self::try_push) to handle that case.
     pub async fn push(&self, ctx: &ProcCtx, item: u64) {
-        let node = self
-            .pool
-            .borrow_mut()
-            .pop()
-            .expect("SimFunnelStack node pool exhausted");
+        if let Err(e) = self.try_push(ctx, item).await {
+            panic!("{e}");
+        }
+    }
+
+    /// Pushes `item`, reporting pool exhaustion (with the failing
+    /// processor and simulated time) instead of panicking. On `Err` the
+    /// stack is unchanged.
+    pub async fn try_push(&self, ctx: &ProcCtx, item: u64) -> Result<(), SimPqError> {
+        let node = match self.pool.borrow_mut().pop() {
+            Some(node) => node,
+            None => {
+                return Err(SimPqError::PoolExhausted {
+                    what: "SimFunnelStack",
+                    proc: ctx.pid(),
+                    time: ctx.now(),
+                })
+            }
+        };
         ctx.write(node, item).await; // node.item
         ctx.write(node + 1, 0).await; // node.next
         let outcome = self
             .operate(ctx, 1, (node + 1) as Word, (node + 1) as Word)
             .await;
         debug_assert_eq!(outcome, None, "push must not yield a chain");
+        Ok(())
     }
 
     /// Pops an item, or `None` when the stack appears empty.
@@ -198,6 +268,10 @@ impl SimFunnelStack {
                     let qold = ctx.cas(self.loc_of(q), (d + 1) as u64, LOC_FROZEN).await;
                     if qold == (d + 1) as u64 {
                         collisions_won += 1;
+                        // Marker for tracers and fault plans: this
+                        // processor just won a collision and now combines
+                        // (or eliminates) on behalf of the captured peer.
+                        ctx.span("funnel-combine").end();
                         let qsum = ctx.read(self.sum_of(q)).await as i64;
                         debug_assert_eq!(qsum.abs(), sum.abs());
                         if qsum == -sum {

@@ -29,8 +29,10 @@
 #![warn(rust_2018_idioms)]
 
 pub mod bin;
+pub mod chaos;
 pub mod costs;
 pub mod counter;
+pub mod error;
 pub mod funnel;
 pub mod funnel_stack;
 pub mod mcs;
@@ -38,7 +40,9 @@ pub mod queues;
 pub mod workload;
 
 pub use bin::SimBin;
+pub use chaos::{run_chaos_workload, ChaosError, ChaosRun};
 pub use counter::{SimCounter, SimHwCounter, SimLockedCounter};
+pub use error::SimPqError;
 pub use funnel::{CounterMode, SimFunnelConfig, SimFunnelCounter};
 pub use funnel_stack::SimFunnelStack;
 pub use mcs::SimMcsLock;

@@ -69,6 +69,13 @@ impl SimMcsLock {
         }
     }
 
+    /// Host-side check that the lock is free (tail word zero). Costs no
+    /// simulated time; meaningful only at quiescence, for post-run
+    /// structural validation.
+    pub fn peek_free(&self, m: &Machine) -> bool {
+        m.peek(self.tail) == 0
+    }
+
     /// Releases the lock; the next queued processor (if any) proceeds.
     pub async fn release(&self, ctx: &ProcCtx) {
         let pid = ctx.pid();

@@ -9,6 +9,7 @@ use funnelpq_sim::{Machine, ProcCtx};
 use crate::bin::SimBin;
 use crate::costs;
 use crate::counter::{SimCounter, SimHwCounter, SimLockedCounter};
+use crate::error::SimPqError;
 use crate::funnel::{CounterMode, SimFunnelConfig, SimFunnelCounter};
 use crate::funnel_stack::SimFunnelStack;
 
@@ -23,10 +24,10 @@ pub enum SimTreeBin {
 }
 
 impl SimTreeBin {
-    async fn insert(&self, ctx: &ProcCtx, item: u64) {
+    async fn try_insert(&self, ctx: &ProcCtx, item: u64) -> Result<(), SimPqError> {
         match self {
-            SimTreeBin::Lock(b) => b.insert(ctx, item).await,
-            SimTreeBin::Funnel(s) => s.push(ctx, item).await,
+            SimTreeBin::Lock(b) => b.try_insert(ctx, item).await,
+            SimTreeBin::Funnel(s) => s.try_push(ctx, item).await,
         }
     }
 
@@ -34,6 +35,20 @@ impl SimTreeBin {
         match self {
             SimTreeBin::Lock(b) => b.delete(ctx).await,
             SimTreeBin::Funnel(s) => s.pop(ctx).await,
+        }
+    }
+
+    fn validate(&self, m: &Machine) -> Result<u64, String> {
+        match self {
+            SimTreeBin::Lock(b) => b.validate(m),
+            SimTreeBin::Funnel(s) => s.validate(m),
+        }
+    }
+
+    fn peek_len(&self, m: &Machine) -> Result<u64, String> {
+        match self {
+            SimTreeBin::Lock(b) => Ok(b.peek_len(m)),
+            SimTreeBin::Funnel(s) => s.peek_len(m),
         }
     }
 }
@@ -132,13 +147,28 @@ impl SimCounterTree {
 
     /// Inserts `(pri, item)`: bin first, then increment the counters on the
     /// path to the root wherever we ascend from a left child.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the priority's bin is full; use
+    /// [`try_insert`](Self::try_insert) to handle that case.
     pub async fn insert(&self, ctx: &ProcCtx, pri: u64, item: u64) {
+        if let Err(e) = self.try_insert(ctx, pri, item).await {
+            panic!("{e}");
+        }
+    }
+
+    /// Inserts `(pri, item)`, reporting bin capacity exhaustion (with the
+    /// failing processor and simulated time) instead of panicking. On
+    /// `Err` the queue is unchanged (the bin is filled before any counter
+    /// is touched, so a failed bin insert leaves the counters consistent).
+    pub async fn try_insert(&self, ctx: &ProcCtx, pri: u64, item: u64) -> Result<(), SimPqError> {
         ctx.work(costs::OP_SETUP).await;
         assert!(
             (pri as usize) < self.num_priorities,
             "priority out of range"
         );
-        self.bins[pri as usize].insert(ctx, item).await;
+        self.bins[pri as usize].try_insert(ctx, item).await?;
         let _ascent = ctx.span("tree-ascent");
         let mut k = self.n_leaves + pri as usize;
         while k > 1 {
@@ -153,6 +183,7 @@ impl SimCounterTree {
             }
             k = parent;
         }
+        Ok(())
     }
 
     /// Descends from the root by bounded fetch-and-decrement, then deletes
@@ -179,6 +210,67 @@ impl SimCounterTree {
             .delete(ctx)
             .await
             .map(|item| (pri as u64, item))
+    }
+
+    /// Host-side item count: sums all leaf bins (no simulated cost;
+    /// meaningful at quiescence). Errors on a corrupt funnel-stack chain.
+    pub fn peek_len(&self, m: &Machine) -> Result<u64, String> {
+        let mut total = 0u64;
+        for (pri, bin) in self.bins.iter().enumerate() {
+            total += bin.peek_len(m).map_err(|e| format!("pri {pri}: {e}"))?;
+        }
+        Ok(total)
+    }
+
+    /// Leaf heap-index range `[lo, hi)` covered by internal node `k`.
+    fn leaf_range(&self, mut k: usize) -> (usize, usize) {
+        let mut span = 1;
+        while k < self.n_leaves {
+            k *= 2;
+            span *= 2;
+        }
+        (k, k + span)
+    }
+
+    /// Structural validation at quiescence: every bin valid, every
+    /// counter's lock free, and every internal counter equal to the number
+    /// of items stored under its *left* subtree — the invariant the
+    /// descent routing depends on. Returns the item count.
+    pub fn validate(&self, m: &Machine) -> Result<u64, String> {
+        let mut leaf_counts = vec![0u64; self.n_leaves];
+        let mut total = 0u64;
+        for (pri, bin) in self.bins.iter().enumerate() {
+            let len = bin.validate(m).map_err(|e| format!("pri {pri}: {e}"))?;
+            leaf_counts[pri] = len;
+            total += len;
+        }
+        for k in 1..self.n_leaves {
+            let c = self.counters[k].as_ref().expect("internal node");
+            if !c.peek_lock_free(m) {
+                return Err(format!(
+                    "SimCounterTree: counter {k} lock held at quiescence"
+                ));
+            }
+            let val = c.peek(m);
+            let (lo, hi) = self.leaf_range(2 * k);
+            let expect: u64 = (lo..hi)
+                .map(|leaf| {
+                    let pri = leaf - self.n_leaves;
+                    if pri < self.num_priorities {
+                        leaf_counts[pri]
+                    } else {
+                        0
+                    }
+                })
+                .sum();
+            if val != expect as i64 {
+                return Err(format!(
+                    "SimCounterTree: counter {k} holds {val} but its left \
+                     subtree stores {expect} items"
+                ));
+            }
+        }
+        Ok(total)
     }
 }
 

@@ -4,6 +4,7 @@
 use funnelpq_sim::{Addr, Machine, ProcCtx};
 
 use crate::costs;
+use crate::error::SimPqError;
 use crate::mcs::SimMcsLock;
 
 const TAG_EMPTY: u64 = 0;
@@ -83,13 +84,35 @@ impl SimHunt {
     }
 
     /// Inserts `(pri, item)`; bubbles up chasing the item by tag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the heap is full; use [`try_insert`](Self::try_insert)
+    /// to handle that case.
     pub async fn insert(&self, ctx: &ProcCtx, pri: u64, item: u64) {
+        if let Err(e) = self.try_insert(ctx, pri, item).await {
+            panic!("{e}");
+        }
+    }
+
+    /// Inserts `(pri, item)`, reporting capacity exhaustion (with the
+    /// failing processor and simulated time) instead of panicking. On
+    /// `Err` the heap is unchanged and the size lock released.
+    pub async fn try_insert(&self, ctx: &ProcCtx, pri: u64, item: u64) -> Result<(), SimPqError> {
         ctx.work(costs::OP_SETUP).await;
         let my_tag = ctx.pid() as u64 + 2;
         // Reserve a position and publish the item there.
         self.size_lock.acquire(ctx).await;
         let n = ctx.read(self.size).await + 1;
-        assert!(n <= self.capacity, "SimHunt overflow");
+        if n > self.capacity {
+            self.size_lock.release(ctx).await;
+            return Err(SimPqError::CapacityExhausted {
+                what: "SimHunt",
+                capacity: self.capacity as usize,
+                proc: ctx.pid(),
+                time: ctx.now(),
+            });
+        }
         ctx.write(self.size, n).await;
         let mut i = bit_reversed_position(n);
         self.lock_node(ctx, i).await;
@@ -148,6 +171,7 @@ impl SimHunt {
             }
             self.unlock_node(ctx, 1).await;
         }
+        Ok(())
     }
 
     /// Removes the minimum: detaches the bit-reversed last item, places it
@@ -247,6 +271,56 @@ impl SimHunt {
         }
         self.unlock_node(ctx, i).await;
         Some((min_pri, min_item))
+    }
+
+    /// Host-side item count (no simulated cost; meaningful at quiescence).
+    pub fn peek_len(&self, m: &Machine) -> u64 {
+        m.peek(self.size)
+    }
+
+    /// Structural validation at quiescence: every lock free, tags
+    /// consistent with the bit-reversed occupancy of the size word, and
+    /// the heap property over occupied nodes. Returns the item count.
+    pub fn validate(&self, m: &Machine) -> Result<u64, String> {
+        if !self.size_lock.peek_free(m) {
+            return Err("SimHunt: size lock held at quiescence".into());
+        }
+        let n = m.peek(self.size);
+        if n > self.capacity {
+            return Err(format!(
+                "SimHunt: size {n} exceeds capacity {}",
+                self.capacity
+            ));
+        }
+        let occupied: std::collections::HashSet<u64> = (1..=n).map(bit_reversed_position).collect();
+        for i in 1..=self.capacity {
+            if m.peek(self.lock_a(i)) != 0 {
+                return Err(format!("SimHunt: node {i} lock held at quiescence"));
+            }
+            let tag = m.peek(self.tag_a(i));
+            match (occupied.contains(&i), tag) {
+                (true, TAG_AVAIL) | (false, TAG_EMPTY) => {}
+                (true, t) => {
+                    return Err(format!("SimHunt: node {i} should be AVAIL but has tag {t}"))
+                }
+                (false, t) => {
+                    return Err(format!("SimHunt: node {i} should be EMPTY but has tag {t}"))
+                }
+            }
+        }
+        for &i in &occupied {
+            let parent = i / 2;
+            if parent >= 1 && occupied.contains(&parent) {
+                let ppri = m.peek(self.pri_a(parent));
+                let ipri = m.peek(self.pri_a(i));
+                if ppri > ipri {
+                    return Err(format!(
+                        "SimHunt: heap violation at node {i}: parent pri {ppri} > child pri {ipri}"
+                    ));
+                }
+            }
+        }
+        Ok(n)
     }
 }
 

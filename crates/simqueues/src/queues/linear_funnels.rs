@@ -6,6 +6,7 @@ use std::rc::Rc;
 use funnelpq_sim::{Machine, ProcCtx};
 
 use crate::costs;
+use crate::error::SimPqError;
 use crate::funnel::SimFunnelConfig;
 use crate::funnel_stack::SimFunnelStack;
 
@@ -34,9 +35,23 @@ impl SimLinearFunnels {
     }
 
     /// Inserts `(pri, item)` — one funnel push.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the priority's stack pool is exhausted; use
+    /// [`try_insert`](Self::try_insert) to handle that case.
     pub async fn insert(&self, ctx: &ProcCtx, pri: u64, item: u64) {
+        if let Err(e) = self.try_insert(ctx, pri, item).await {
+            panic!("{e}");
+        }
+    }
+
+    /// Inserts `(pri, item)`, reporting pool exhaustion (with the failing
+    /// processor and simulated time) instead of panicking. On `Err` the
+    /// queue is unchanged.
+    pub async fn try_insert(&self, ctx: &ProcCtx, pri: u64, item: u64) -> Result<(), SimPqError> {
         ctx.work(costs::OP_SETUP).await;
-        self.stacks[pri as usize].push(ctx, item).await;
+        self.stacks[pri as usize].try_push(ctx, item).await
     }
 
     /// Scans the stacks smallest-first; pops from the first non-empty one
@@ -53,6 +68,26 @@ impl SimLinearFunnels {
             }
         }
         None
+    }
+
+    /// Host-side item count: sums all stacks (no simulated cost;
+    /// meaningful at quiescence). Errors on a corrupt chain.
+    pub fn peek_len(&self, m: &Machine) -> Result<u64, String> {
+        let mut total = 0u64;
+        for (pri, stack) in self.stacks.iter().enumerate() {
+            total += stack.peek_len(m).map_err(|e| format!("pri {pri}: {e}"))?;
+        }
+        Ok(total)
+    }
+
+    /// Structural validation at quiescence: every stack's central lock
+    /// free and head chain well-formed. Returns the item count.
+    pub fn validate(&self, m: &Machine) -> Result<u64, String> {
+        let mut total = 0u64;
+        for (pri, stack) in self.stacks.iter().enumerate() {
+            total += stack.validate(m).map_err(|e| format!("pri {pri}: {e}"))?;
+        }
+        Ok(total)
     }
 }
 

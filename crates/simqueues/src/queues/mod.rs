@@ -17,6 +17,7 @@ pub use skiplist::SimSkipList;
 
 use funnelpq_sim::{Machine, ProcCtx};
 
+use crate::error::SimPqError;
 use crate::funnel::SimFunnelConfig;
 
 // One shared name list for native and simulated queues: the enum lives in
@@ -51,6 +52,30 @@ impl BuildParams {
             funnel_levels: 4,
         }
     }
+
+    /// Checks the parameters for internal consistency without allocating
+    /// anything.
+    pub fn check(&self) -> Result<(), SimPqError> {
+        if self.procs == 0 {
+            return Err(SimPqError::BadConfig {
+                what: "BuildParams",
+                detail: "procs must be at least 1".into(),
+            });
+        }
+        if self.num_priorities == 0 {
+            return Err(SimPqError::BadConfig {
+                what: "BuildParams",
+                detail: "num_priorities must be at least 1".into(),
+            });
+        }
+        if self.capacity == 0 {
+            return Err(SimPqError::BadConfig {
+                what: "BuildParams",
+                detail: "capacity must be at least 1".into(),
+            });
+        }
+        self.funnel.check()
+    }
 }
 
 /// A built simulated priority queue of any of the seven kinds.
@@ -75,6 +100,17 @@ pub enum SimPq {
 }
 
 impl SimPq {
+    /// Allocates the chosen algorithm's structures in `m` after checking
+    /// the parameters, reporting inconsistencies instead of panicking.
+    pub fn try_build(
+        m: &mut Machine,
+        algo: Algorithm,
+        p: &BuildParams,
+    ) -> Result<Self, SimPqError> {
+        p.check()?;
+        Ok(Self::build(m, algo, p))
+    }
+
     /// Allocates the chosen algorithm's structures in `m`.
     pub fn build(m: &mut Machine, algo: Algorithm, p: &BuildParams) -> Self {
         match algo {
@@ -126,6 +162,11 @@ impl SimPq {
     }
 
     /// Inserts `(pri, item)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on capacity exhaustion; use
+    /// [`try_insert`](Self::try_insert) to handle that case.
     pub async fn insert(&self, ctx: &ProcCtx, pri: u64, item: u64) {
         match self {
             SimPq::SingleLock(q) => q.insert(ctx, pri, item).await,
@@ -136,6 +177,21 @@ impl SimPq {
             SimPq::LinearFunnels(q) => q.insert(ctx, pri, item).await,
             SimPq::FunnelTree(q) => q.insert(ctx, pri, item).await,
             SimPq::HardwareTree(q) => q.insert(ctx, pri, item).await,
+        }
+    }
+
+    /// Inserts `(pri, item)`, reporting capacity exhaustion (with the
+    /// failing processor and simulated time) instead of panicking.
+    pub async fn try_insert(&self, ctx: &ProcCtx, pri: u64, item: u64) -> Result<(), SimPqError> {
+        match self {
+            SimPq::SingleLock(q) => q.try_insert(ctx, pri, item).await,
+            SimPq::HuntEtAl(q) => q.try_insert(ctx, pri, item).await,
+            SimPq::SkipList(q) => q.try_insert(ctx, pri, item).await,
+            SimPq::SimpleLinear(q) => q.try_insert(ctx, pri, item).await,
+            SimPq::SimpleTree(q) => q.try_insert(ctx, pri, item).await,
+            SimPq::LinearFunnels(q) => q.try_insert(ctx, pri, item).await,
+            SimPq::FunnelTree(q) => q.try_insert(ctx, pri, item).await,
+            SimPq::HardwareTree(q) => q.try_insert(ctx, pri, item).await,
         }
     }
 
@@ -150,6 +206,39 @@ impl SimPq {
             SimPq::LinearFunnels(q) => q.delete_min(ctx).await,
             SimPq::FunnelTree(q) => q.delete_min(ctx).await,
             SimPq::HardwareTree(q) => q.delete_min(ctx).await,
+        }
+    }
+
+    /// Host-side item count: reads simulated memory directly with no
+    /// simulated cost. Meaningful only at quiescence; errors if a chain
+    /// walk finds corruption.
+    pub fn peek_len(&self, m: &Machine) -> Result<u64, String> {
+        match self {
+            SimPq::SingleLock(q) => Ok(q.peek_len(m)),
+            SimPq::HuntEtAl(q) => Ok(q.peek_len(m)),
+            SimPq::SkipList(q) => Ok(q.peek_len(m)),
+            SimPq::SimpleLinear(q) => Ok(q.peek_len(m)),
+            SimPq::SimpleTree(q) => q.peek_len(m),
+            SimPq::LinearFunnels(q) => q.peek_len(m),
+            SimPq::FunnelTree(q) => q.peek_len(m),
+            SimPq::HardwareTree(q) => q.peek_len(m),
+        }
+    }
+
+    /// Validates the structure's own invariants at quiescence — locks
+    /// free, heap/list/counter shape consistent — and returns the number
+    /// of items currently stored. Host-side only; call after
+    /// [`Machine::run`] returns quiescent.
+    pub fn validate(&self, m: &Machine) -> Result<u64, String> {
+        match self {
+            SimPq::SingleLock(q) => q.validate(m),
+            SimPq::HuntEtAl(q) => q.validate(m),
+            SimPq::SkipList(q) => q.validate(m),
+            SimPq::SimpleLinear(q) => q.validate(m),
+            SimPq::SimpleTree(q) => q.validate(m),
+            SimPq::LinearFunnels(q) => q.validate(m),
+            SimPq::FunnelTree(q) => q.validate(m),
+            SimPq::HardwareTree(q) => q.validate(m),
         }
     }
 }

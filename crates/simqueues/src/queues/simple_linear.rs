@@ -7,6 +7,7 @@ use funnelpq_sim::{Machine, ProcCtx};
 
 use crate::bin::SimBin;
 use crate::costs;
+use crate::error::SimPqError;
 
 /// One MCS-locked bin per priority; `delete_min` reads each bin's size word
 /// in ascending priority order and tries to delete from non-empty bins.
@@ -32,9 +33,23 @@ impl SimSimpleLinear {
     }
 
     /// Inserts `(pri, item)` — one bin insert, no scanning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the priority's bin is full; use
+    /// [`try_insert`](Self::try_insert) to handle that case.
     pub async fn insert(&self, ctx: &ProcCtx, pri: u64, item: u64) {
+        if let Err(e) = self.try_insert(ctx, pri, item).await {
+            panic!("{e}");
+        }
+    }
+
+    /// Inserts `(pri, item)`, reporting bin capacity exhaustion (with the
+    /// failing processor and simulated time) instead of panicking. On
+    /// `Err` the queue is unchanged.
+    pub async fn try_insert(&self, ctx: &ProcCtx, pri: u64, item: u64) -> Result<(), SimPqError> {
         ctx.work(costs::OP_SETUP).await;
-        self.bins[pri as usize].insert(ctx, item).await;
+        self.bins[pri as usize].try_insert(ctx, item).await
     }
 
     /// Scans bins from smallest priority; deletes from the first non-empty
@@ -51,6 +66,22 @@ impl SimSimpleLinear {
             }
         }
         None
+    }
+
+    /// Host-side item count: sums all bins (no simulated cost; meaningful
+    /// at quiescence).
+    pub fn peek_len(&self, m: &Machine) -> u64 {
+        self.bins.iter().map(|b| b.peek_len(m)).sum()
+    }
+
+    /// Structural validation at quiescence: every bin lock free and every
+    /// size word within capacity. Returns the item count.
+    pub fn validate(&self, m: &Machine) -> Result<u64, String> {
+        let mut total = 0u64;
+        for (pri, bin) in self.bins.iter().enumerate() {
+            total += bin.validate(m).map_err(|e| format!("pri {pri}: {e}"))?;
+        }
+        Ok(total)
     }
 }
 

@@ -3,6 +3,7 @@
 use funnelpq_sim::{Addr, Machine, ProcCtx};
 
 use crate::costs;
+use crate::error::SimPqError;
 use crate::mcs::SimMcsLock;
 
 /// Heap entries live in simulated memory ([pri, item] pairs), so the time
@@ -39,12 +40,35 @@ impl SimSingleLock {
     }
 
     /// Inserts under the global lock, sifting up in simulated memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the heap is full; use [`try_insert`](Self::try_insert)
+    /// to handle that case.
     pub async fn insert(&self, ctx: &ProcCtx, pri: u64, item: u64) {
+        if let Err(e) = self.try_insert(ctx, pri, item).await {
+            panic!("{e}");
+        }
+    }
+
+    /// Inserts under the global lock, reporting capacity exhaustion (with
+    /// the failing processor and simulated time) instead of panicking. On
+    /// `Err` the heap is unchanged and the lock released.
+    pub async fn try_insert(&self, ctx: &ProcCtx, pri: u64, item: u64) -> Result<(), SimPqError> {
         ctx.work(costs::OP_SETUP).await;
         self.lock.acquire(ctx).await;
         let hold = ctx.span("lock-hold");
         let n = ctx.read(self.size).await;
-        assert!((n as usize) < self.capacity, "SimSingleLock overflow");
+        if n as usize >= self.capacity {
+            hold.end();
+            self.lock.release(ctx).await;
+            return Err(SimPqError::CapacityExhausted {
+                what: "SimSingleLock",
+                capacity: self.capacity,
+                proc: ctx.pid(),
+                time: ctx.now(),
+            });
+        }
         ctx.write(self.pri_addr(n), pri).await;
         ctx.write(self.item_addr(n), item).await;
         ctx.write(self.size, n + 1).await;
@@ -70,6 +94,7 @@ impl SimSingleLock {
         }
         hold.end();
         self.lock.release(ctx).await;
+        Ok(())
     }
 
     /// Removes the minimum under the global lock.
@@ -128,6 +153,38 @@ impl SimSingleLock {
         hold.end();
         self.lock.release(ctx).await;
         Some((min_pri, min_item))
+    }
+
+    /// Host-side item count (no simulated cost; meaningful at quiescence).
+    pub fn peek_len(&self, m: &Machine) -> u64 {
+        m.peek(self.size)
+    }
+
+    /// Structural validation at quiescence: lock free, size within
+    /// capacity, and the heap property over the live entries. Returns the
+    /// item count.
+    pub fn validate(&self, m: &Machine) -> Result<u64, String> {
+        if !self.lock.peek_free(m) {
+            return Err("SimSingleLock: lock held at quiescence".into());
+        }
+        let n = m.peek(self.size);
+        if n as usize > self.capacity {
+            return Err(format!(
+                "SimSingleLock: size {n} exceeds capacity {}",
+                self.capacity
+            ));
+        }
+        for i in 1..n {
+            let parent = (i - 1) / 2;
+            let ppri = m.peek(self.pri_addr(parent));
+            let cpri = m.peek(self.pri_addr(i));
+            if ppri > cpri {
+                return Err(format!(
+                    "SimSingleLock: heap violation at entry {i}: parent pri {ppri} > child pri {cpri}"
+                ));
+            }
+        }
+        Ok(n)
     }
 }
 

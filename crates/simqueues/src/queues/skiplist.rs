@@ -7,6 +7,7 @@ use funnelpq_sim::{Addr, Machine, ProcCtx};
 
 use crate::bin::SimBin;
 use crate::costs;
+use crate::error::SimPqError;
 
 const ST_UNTHREADED: u64 = 0;
 const ST_THREADING: u64 = 1;
@@ -228,14 +229,29 @@ impl SimSkipList {
     }
 
     /// Inserts `(pri, item)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the priority's bin is full; use
+    /// [`try_insert`](Self::try_insert) to handle that case.
     pub async fn insert(&self, ctx: &ProcCtx, pri: u64, item: u64) {
+        if let Err(e) = self.try_insert(ctx, pri, item).await {
+            panic!("{e}");
+        }
+    }
+
+    /// Inserts `(pri, item)`, reporting bin capacity exhaustion (with the
+    /// failing processor and simulated time) instead of panicking. On
+    /// `Err` the queue is unchanged.
+    pub async fn try_insert(&self, ctx: &ProcCtx, pri: u64, item: u64) -> Result<(), SimPqError> {
         ctx.work(costs::OP_SETUP).await;
         let enc = pri + 1;
         // Bin first (paper order), then make sure the node is reachable.
-        self.meta(enc).bin.insert(ctx, item).await;
+        self.meta(enc).bin.try_insert(ctx, item).await?;
         if ctx.read(self.meta(enc).state).await != ST_THREADED {
             self.thread_node(ctx, enc).await;
         }
+        Ok(())
     }
 
     /// Removes an item of minimal priority.
@@ -282,6 +298,78 @@ impl SimSkipList {
                 ctx.work(costs::FUNNEL_SPIN_STEP).await;
             }
         }
+    }
+
+    /// Host-side item count: sums all bins (no simulated cost; meaningful
+    /// at quiescence).
+    pub fn peek_len(&self, m: &Machine) -> u64 {
+        self.nodes.iter().map(|nm| nm.bin.peek_len(m)).sum()
+    }
+
+    /// Structural validation at quiescence: all locks free, every node in
+    /// a stable state, the level-0 list ascending and exactly the THREADED
+    /// nodes, and every nonempty bin visible to deletes (threaded or the
+    /// delete-bin target). Returns the item count.
+    pub fn validate(&self, m: &Machine) -> Result<u64, String> {
+        if m.peek(self.head_lock) != 0 {
+            return Err("SimSkipList: head lock held at quiescence".into());
+        }
+        if m.peek(self.del_lock) != 0 {
+            return Err("SimSkipList: delete lock held at quiescence".into());
+        }
+        let db = m.peek(self.del_bin);
+        // Walk level 0: must be strictly ascending, all THREADED.
+        let mut reachable = vec![false; self.nodes.len()];
+        let mut x = m.peek(self.head_forward);
+        let mut prev = 0u64;
+        let mut steps = 0usize;
+        while x != NIL {
+            if steps > self.nodes.len() {
+                return Err("SimSkipList: level-0 list has a cycle".into());
+            }
+            if x <= prev {
+                return Err(format!(
+                    "SimSkipList: level-0 list not ascending ({x} after {prev})"
+                ));
+            }
+            let nm = self.meta(x);
+            if m.peek(nm.state) != ST_THREADED {
+                return Err(format!(
+                    "SimSkipList: node {x} reachable at level 0 but not THREADED"
+                ));
+            }
+            reachable[(x - 1) as usize] = true;
+            prev = x;
+            x = m.peek(nm.forward);
+            steps += 1;
+        }
+        let mut total = 0u64;
+        for (i, nm) in self.nodes.iter().enumerate() {
+            let enc = i as u64 + 1;
+            if m.peek(nm.lock) != 0 {
+                return Err(format!("SimSkipList: node {enc} lock held at quiescence"));
+            }
+            let st = m.peek(nm.state);
+            if st != ST_THREADED && st != ST_UNTHREADED {
+                return Err(format!(
+                    "SimSkipList: node {enc} in transient state {st} at quiescence"
+                ));
+            }
+            if st == ST_THREADED && !reachable[i] {
+                return Err(format!(
+                    "SimSkipList: node {enc} THREADED but unreachable at level 0"
+                ));
+            }
+            let len = nm.bin.validate(m).map_err(|e| format!("node {enc}: {e}"))?;
+            if len > 0 && st != ST_THREADED && db != enc {
+                return Err(format!(
+                    "SimSkipList: node {enc} holds {len} items but is invisible \
+                     (unthreaded and not the delete bin)"
+                ));
+            }
+            total += len;
+        }
+        Ok(total)
     }
 }
 

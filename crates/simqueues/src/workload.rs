@@ -66,7 +66,7 @@ pub struct RunResult {
 }
 
 impl RunResult {
-    fn from_machine(m: &Machine) -> Self {
+    pub(crate) fn from_machine(m: &Machine) -> Self {
         let stats = m.stats();
         RunResult {
             all: stats.acc("all"),
@@ -93,9 +93,9 @@ pub struct TracedRun {
 }
 
 /// Cycle budget guard: experiments that exceed this are treated as hung.
-const MAX_CYCLES: u64 = 2_000_000_000;
+pub(crate) const MAX_CYCLES: u64 = 2_000_000_000;
 
-fn build_machine(wl: &Workload) -> Machine {
+pub(crate) fn build_machine(wl: &Workload) -> Machine {
     if wl.naive_events {
         Machine::new_reference(wl.machine, wl.seed)
     } else {

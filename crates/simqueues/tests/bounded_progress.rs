@@ -25,6 +25,9 @@ fn assert_finishes(m: &mut Machine, what: &str) {
         RunOutcome::CycleLimit => {
             panic!("{what}: no quiescence within {BUDGET} cycles (livelock?)")
         }
+        RunOutcome::Livelock { diag } => {
+            panic!("{what}: watchdog fired at cycle {}: {diag}", m.now())
+        }
     }
 }
 

@@ -1,0 +1,210 @@
+//! Chaos conformance: the fault layer must be invisible when off, and the
+//! seven algorithms must keep their invariants under every fault plan the
+//! model can express.
+//!
+//! - Differential: a chaos run with an **empty attached plan** (gated
+//!   event path exercised, watchdog armed) is bit-identical to the plain
+//!   workload driver for every algorithm.
+//! - Sweep: combiner-stall, lock-holder-stall, region-latency-spike, and
+//!   one-processor crash-stop plans across all algorithms and several
+//!   seeds, each run audited for conservation, ordering, and structure.
+//! - Watchdog: fires with a diagnostic naming the stalled processor on an
+//!   intentionally wedged run, and never on healthy runs.
+
+use funnelpq_sim::fault::FaultSummary;
+use funnelpq_sim::{FaultPlan, RunOutcome, SpanPoint};
+use funnelpq_simqueues::chaos::{chaos_build_params, run_chaos_workload, DEFAULT_WATCHDOG};
+use funnelpq_simqueues::queues::Algorithm;
+use funnelpq_simqueues::workload::{run_queue_workload_with, Workload};
+
+fn small_workload(seed: u64) -> Workload {
+    let mut wl = Workload::standard(8, 8);
+    wl.ops_per_proc = 12;
+    wl.seed = seed;
+    wl
+}
+
+/// With an empty plan attached (so every event still flows through the
+/// fault gate) and the watchdog armed tight, the phase-one result must be
+/// bit-identical to the fault-free driver's, and nothing may wedge.
+#[test]
+fn empty_plan_is_bit_identical_for_all_algorithms() {
+    let wl = small_workload(0xF00D);
+    let plan = FaultPlan::new(1);
+    assert!(plan.is_empty());
+    for algo in Algorithm::ALL {
+        let baseline = run_queue_workload_with(algo, &wl, &chaos_build_params(&wl));
+        let run = run_chaos_workload(algo, &wl, &plan, 1_000_000)
+            .unwrap_or_else(|e| panic!("{algo}: fault-free chaos run failed: {e}"));
+        assert!(!run.wedged(), "{algo}: healthy run tripped the watchdog");
+        assert_eq!(run.outcome, RunOutcome::Quiescent, "{algo}");
+        assert_eq!(run.drain_outcome, Some(RunOutcome::Quiescent), "{algo}");
+        assert_eq!(run.fault_summary, FaultSummary::default(), "{algo}");
+        assert_eq!(
+            run.result.total_cycles, baseline.total_cycles,
+            "{algo}: total_cycles diverged with the fault layer attached-but-empty"
+        );
+        assert_eq!(run.result.all, baseline.all, "{algo}: 'all' acc diverged");
+        assert_eq!(
+            run.result.insert, baseline.insert,
+            "{algo}: insert acc diverged"
+        );
+        assert_eq!(
+            run.result.delete, baseline.delete,
+            "{algo}: delete acc diverged"
+        );
+        assert_eq!(
+            run.result.stats.mem_accesses, baseline.stats.mem_accesses,
+            "{algo}: memory access count diverged"
+        );
+        assert_eq!(
+            run.result.stats.queue_delay_cycles, baseline.stats.queue_delay_cycles,
+            "{algo}: queueing delay diverged"
+        );
+        assert_eq!(
+            run.result.hotspots, baseline.hotspots,
+            "{algo}: hotspots diverged"
+        );
+        // Fault-free run: every insert drained, nothing in flight.
+        assert_eq!(run.report.in_flight, 0, "{algo}");
+        assert_eq!(run.report.leaked, 0, "{algo}");
+        assert!(run.structural_items.is_some(), "{algo}");
+    }
+}
+
+const SEEDS: [u64; 3] = [0xF00D, 0xBEEF, 0xCAFE];
+
+/// Stalls the processor that just won a funnel collision (it now holds a
+/// captured peer). Vacuous for non-funnel algorithms — the span never
+/// opens — which is itself part of the contract.
+fn combiner_stall_plan(seed: u64) -> FaultPlan {
+    FaultPlan::new(seed ^ 0x5EED)
+        .stall_on_span("funnel-combine", SpanPoint::Begin, 1, 200_000)
+        .stall_on_span("funnel-combine", SpanPoint::Begin, 7, 150_000)
+}
+
+/// Stalls a processor right after it acquires an MCS lock, i.e. while it
+/// holds the lock with others queued behind it.
+fn lock_holder_stall_plan(seed: u64) -> FaultPlan {
+    FaultPlan::new(seed ^ 0x5EED)
+        .stall_on_span("mcs-acquire", SpanPoint::End, 3, 200_000)
+        .stall_on_span("mcs-acquire", SpanPoint::End, 11, 120_000)
+}
+
+/// NUMA-asymmetry emulation: the first memory lines (locks, size words,
+/// roots — the hottest structures) get slower for a window, plus global
+/// jitter early in the run.
+fn region_spike_plan(seed: u64) -> FaultPlan {
+    FaultPlan::new(seed ^ 0x5EED)
+        .region_delay(0, 64, 0, 1_500_000, 40, 10)
+        .jitter(0, 400_000, 16)
+}
+
+/// Crash-stops processor 1 early in the run, mid-operation with high
+/// probability.
+fn crash_plan(seed: u64, idx: usize) -> FaultPlan {
+    FaultPlan::new(seed ^ 0x5EED).crash(1, 2_000 + 1_500 * idx as u64)
+}
+
+#[test]
+fn chaos_sweep_combiner_stall() {
+    for &seed in &SEEDS {
+        let wl = small_workload(seed);
+        let plan = combiner_stall_plan(seed);
+        for algo in Algorithm::ALL {
+            let run = run_chaos_workload(algo, &wl, &plan, DEFAULT_WATCHDOG)
+                .unwrap_or_else(|e| panic!("{algo} seed {seed:#x}: {e}"));
+            assert!(
+                !run.wedged(),
+                "{algo} seed {seed:#x}: stall plan wedged the run"
+            );
+            assert_eq!(run.report.leaked, 0, "{algo} seed {seed:#x}");
+        }
+    }
+}
+
+#[test]
+fn chaos_sweep_lock_holder_stall() {
+    for &seed in &SEEDS {
+        let wl = small_workload(seed);
+        let plan = lock_holder_stall_plan(seed);
+        for algo in Algorithm::ALL {
+            let run = run_chaos_workload(algo, &wl, &plan, DEFAULT_WATCHDOG)
+                .unwrap_or_else(|e| panic!("{algo} seed {seed:#x}: {e}"));
+            assert!(
+                !run.wedged(),
+                "{algo} seed {seed:#x}: stall plan wedged the run"
+            );
+            assert!(
+                run.fault_summary.stalls >= 1,
+                "{algo} seed {seed:#x}: no MCS acquire ever stalled"
+            );
+            assert_eq!(run.report.leaked, 0, "{algo} seed {seed:#x}");
+        }
+    }
+}
+
+#[test]
+fn chaos_sweep_region_latency_spike() {
+    for &seed in &SEEDS {
+        let wl = small_workload(seed);
+        let plan = region_spike_plan(seed);
+        for algo in Algorithm::ALL {
+            let run = run_chaos_workload(algo, &wl, &plan, DEFAULT_WATCHDOG)
+                .unwrap_or_else(|e| panic!("{algo} seed {seed:#x}: {e}"));
+            assert!(
+                !run.wedged(),
+                "{algo} seed {seed:#x}: latency plan wedged the run"
+            );
+            assert!(
+                run.fault_summary.extra_latency_cycles > 0,
+                "{algo} seed {seed:#x}: the spike never added latency"
+            );
+            assert_eq!(run.report.leaked, 0, "{algo} seed {seed:#x}");
+        }
+    }
+}
+
+#[test]
+fn chaos_sweep_crash_stop() {
+    for (idx, &seed) in SEEDS.iter().enumerate() {
+        let wl = small_workload(seed);
+        let plan = crash_plan(seed, idx);
+        for algo in Algorithm::ALL {
+            let run = run_chaos_workload(algo, &wl, &plan, DEFAULT_WATCHDOG)
+                .unwrap_or_else(|e| panic!("{algo} seed {seed:#x}: {e}"));
+            assert_eq!(
+                run.crashed,
+                vec![1],
+                "{algo} seed {seed:#x}: processor 1 should have crash-stopped"
+            );
+            // A crashed lock holder may legitimately wedge the rest of the
+            // machine; quiescent crash runs must still conserve elements up
+            // to the crash allowance — both are checked inside the audit.
+        }
+    }
+}
+
+/// An MCS lock holder stalled for ~100M cycles with a 1M-cycle watchdog:
+/// the machine makes no progress, the watchdog must fire, and the
+/// diagnostic must name the stalled processor.
+#[test]
+fn watchdog_fires_on_wedged_run_and_names_the_stalled_proc() {
+    let wl = small_workload(0xF00D);
+    let plan = FaultPlan::new(7).stall_on_span("mcs-acquire", SpanPoint::End, 1, 100_000_000);
+    let run = run_chaos_workload(Algorithm::SingleLock, &wl, &plan, 1_000_000)
+        .expect("a wedged run under a non-empty plan is tolerated, not an error");
+    assert!(run.wedged());
+    match &run.outcome {
+        RunOutcome::Livelock { diag } => {
+            let text = diag.to_string();
+            assert!(
+                text.contains("stalled"),
+                "diagnostic does not name a stalled processor: {text}"
+            );
+        }
+        other => panic!("expected a livelock, got {other}"),
+    }
+    assert_eq!(run.fault_summary.stalls, 1);
+    assert!(run.drain_outcome.is_none(), "a wedged run must not drain");
+}

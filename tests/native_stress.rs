@@ -4,13 +4,75 @@
 //! quiescent point, with no concurrent inserts, return exactly the `k`
 //! smallest priorities present.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier, Mutex};
 use std::thread;
+use std::time::{Duration, Instant};
 
 use funnelpq::{Algorithm, BoundedPq, PqBuilder};
 
 const THREADS: usize = 8;
+
+/// Wall-clock watchdog for the stress tests: a native queue bug that
+/// livelocks (threads spinning forever on a lock or a funnel slot) would
+/// otherwise hang the test runner with no diagnostic. Worker threads bump
+/// their per-thread counter after every operation; if the scenario
+/// exceeds the limit, the watchdog prints every thread's progress count —
+/// pinpointing which threads stopped advancing — and aborts the process.
+struct StressWatchdog {
+    progress: Arc<Vec<AtomicUsize>>,
+    done: Arc<AtomicBool>,
+    monitor: Option<thread::JoinHandle<()>>,
+}
+
+impl StressWatchdog {
+    fn arm(label: &'static str, threads: usize, limit: Duration) -> Self {
+        let progress: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..threads).map(|_| AtomicUsize::new(0)).collect());
+        let done = Arc::new(AtomicBool::new(false));
+        let (p, d) = (Arc::clone(&progress), Arc::clone(&done));
+        let monitor = thread::spawn(move || {
+            let start = Instant::now();
+            while !d.load(Ordering::Acquire) {
+                thread::sleep(Duration::from_millis(50));
+                if start.elapsed() > limit {
+                    let counts: Vec<usize> = p.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+                    // A panic in a background thread cannot fail the hung
+                    // test, so print the diagnostic and abort.
+                    eprintln!(
+                        "stress watchdog: {label} made no full pass within {limit:?}; \
+                         per-thread op counts: {counts:?}"
+                    );
+                    std::process::abort();
+                }
+            }
+        });
+        StressWatchdog {
+            progress,
+            done,
+            monitor: Some(monitor),
+        }
+    }
+
+    /// Per-thread counters; worker `tid` bumps `progress()[tid]` after
+    /// each operation.
+    fn progress(&self) -> Arc<Vec<AtomicUsize>> {
+        Arc::clone(&self.progress)
+    }
+}
+
+impl Drop for StressWatchdog {
+    fn drop(&mut self) {
+        self.done.store(true, Ordering::Release);
+        if let Some(h) = self.monitor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Generous limit per queue scenario: the workloads finish in milliseconds;
+/// minutes of wall clock means wedged, not slow.
+const STRESS_LIMIT: Duration = Duration::from_secs(120);
 
 fn all_queues(num_pris: usize) -> Vec<(&'static str, Arc<dyn BoundedPq<u64>>)> {
     Algorithm::ALL
@@ -30,11 +92,13 @@ fn all_queues(num_pris: usize) -> Vec<(&'static str, Arc<dyn BoundedPq<u64>>)> {
 fn conservation_under_mixed_load() {
     const OPS: usize = 400;
     for (name, q) in all_queues(16) {
+        let watchdog = StressWatchdog::arm("conservation_under_mixed_load", THREADS, STRESS_LIMIT);
         let deleted = Arc::new(Mutex::new(Vec::new()));
         let handles: Vec<_> = (0..THREADS)
             .map(|tid| {
                 let q = Arc::clone(&q);
                 let deleted = Arc::clone(&deleted);
+                let progress = watchdog.progress();
                 thread::spawn(move || {
                     let mut local = Vec::new();
                     for i in 0..OPS {
@@ -45,6 +109,7 @@ fn conservation_under_mixed_load() {
                                 local.push(x);
                             }
                         }
+                        progress[tid].fetch_add(1, Ordering::Relaxed);
                     }
                     deleted.lock().unwrap().extend(local);
                 })
@@ -72,6 +137,7 @@ fn quiescent_k_smallest() {
     const PER_THREAD: usize = 50;
     const K: usize = 200; // k = half the items
     for (name, q) in all_queues(32) {
+        let watchdog = StressWatchdog::arm("quiescent_k_smallest", THREADS, STRESS_LIMIT);
         let inserted = Arc::new(Mutex::new(Vec::new()));
         let barrier = Arc::new(Barrier::new(THREADS));
         let deleted = Arc::new(Mutex::new(Vec::new()));
@@ -83,12 +149,14 @@ fn quiescent_k_smallest() {
                 let deleted = Arc::clone(&deleted);
                 let barrier = Arc::clone(&barrier);
                 let budget = Arc::clone(&budget);
+                let progress = watchdog.progress();
                 thread::spawn(move || {
                     let mut mine = Vec::new();
                     for i in 0..PER_THREAD {
                         let pri = (tid * 13 + i * 7) % 32;
                         q.insert(tid, pri, (tid * PER_THREAD + i) as u64);
                         mine.push(pri);
+                        progress[tid].fetch_add(1, Ordering::Relaxed);
                     }
                     inserted.lock().unwrap().extend(mine);
                     // Quiescent point: all inserts complete before any
@@ -107,6 +175,7 @@ fn quiescent_k_smallest() {
                             Some((p, _)) => got.push(p),
                             None => panic!("delete_min returned None with items present"),
                         }
+                        progress[tid].fetch_add(1, Ordering::Relaxed);
                     }
                     deleted.lock().unwrap().extend(got);
                 })
@@ -131,11 +200,13 @@ fn quiescent_k_smallest() {
 fn single_priority_pool_semantics() {
     const OPS: usize = 300;
     for (name, q) in all_queues(1) {
+        let watchdog = StressWatchdog::arm("single_priority_pool_semantics", THREADS, STRESS_LIMIT);
         let taken = Arc::new(Mutex::new(Vec::new()));
         let handles: Vec<_> = (0..THREADS)
             .map(|tid| {
                 let q = Arc::clone(&q);
                 let taken = Arc::clone(&taken);
+                let progress = watchdog.progress();
                 thread::spawn(move || {
                     let mut local = Vec::new();
                     for i in 0..OPS {
@@ -144,6 +215,7 @@ fn single_priority_pool_semantics() {
                             assert_eq!(p, 0);
                             local.push(x);
                         }
+                        progress[tid].fetch_add(1, Ordering::Relaxed);
                     }
                     taken.lock().unwrap().extend(local);
                 })
@@ -171,9 +243,7 @@ fn single_priority_pool_semantics() {
 fn consistency_labels() {
     use funnelpq::Consistency;
     let expect = |a: Algorithm| match a {
-        Algorithm::SingleLock | Algorithm::HuntEtAl | Algorithm::SimpleLinear => {
-            Consistency::Linearizable
-        }
+        Algorithm::SingleLock | Algorithm::SimpleLinear => Consistency::Linearizable,
         _ => Consistency::QuiescentlyConsistent,
     };
     for (name, q) in all_queues(4) {
