@@ -1,0 +1,187 @@
+//! MultiQueue evaluation: native cost of the relaxed queue (including a
+//! stickiness A/B), and the simulated high-concurrency sweep against
+//! FunnelTree — the trade the MultiQueue offers is *throughput for
+//! ordering quality*, so every sim row records both the mean access
+//! latency and the drain rank-error distribution from the audit.
+//!
+//! The sweep runs through the chaos harness with an **empty** fault plan:
+//! that is the one driver that both reproduces the fault-free workload
+//! bit-for-bit and audits the post-run drain, which is where the
+//! rank-error numbers come from. The paper's seven strict algorithms ride
+//! along at the lowest sweep point as a zero-check — their drain rank
+//! error must be exactly 0.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use funnelpq::{Algorithm, BoundedPq, PqBuilder};
+use funnelpq_bench::{
+    max_procs, print_table, scale_percent, standard_workload, write_bench_json, BenchRecord,
+};
+use funnelpq_sim::FaultPlan;
+use funnelpq_simqueues::chaos::{run_chaos_workload, ChaosRun, DEFAULT_WATCHDOG};
+use funnelpq_simqueues::workload::Workload;
+
+/// Two native threads hammering insert+delete pairs; ns per pair.
+fn two_thread_pairs(q: Arc<dyn BoundedPq<u64>>, reps: u64) -> f64 {
+    const OPS: u64 = 200;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || {
+            for i in 0..OPS {
+                q2.insert(1, (i % 16) as usize, i);
+                std::hint::black_box(q2.delete_min(1));
+            }
+        });
+        for i in 0..OPS {
+            q.insert(0, (i % 16) as usize, i);
+            std::hint::black_box(q.delete_min(0));
+        }
+        h.join().unwrap();
+    }
+    t0.elapsed().as_nanos() as f64 / (reps * OPS * 2) as f64
+}
+
+fn native_multiqueue(stickiness: u32, reps: u64) -> f64 {
+    let q: Arc<dyn BoundedPq<u64>> = Arc::from(
+        PqBuilder::new(Algorithm::MultiQueue, 16, 2)
+            .multiqueue_stickiness(stickiness)
+            .build::<u64>(),
+    );
+    two_thread_pairs(q, reps)
+}
+
+fn chaos_fault_free(algo: Algorithm, wl: &Workload) -> ChaosRun {
+    run_chaos_workload(algo, wl, &FaultPlan::new(0), DEFAULT_WATCHDOG)
+        .unwrap_or_else(|e| panic!("{algo}: fault-free sweep run failed: {e}"))
+}
+
+fn main() {
+    let reps = (30u64 * scale_percent() as u64 / 100).max(3);
+
+    // Native A/B 1: the stickiness batching refinement. Stickiness 1 draws
+    // fresh queues every operation (the original two-choice design);
+    // stickiness 8 amortizes the draws and keeps a thread's working set on
+    // its own queue's cache lines.
+    let sticky1 = native_multiqueue(1, reps);
+    let sticky8 = native_multiqueue(8, reps);
+
+    // Native A/B 2: the relaxed queue against the strict scalable
+    // reference under the same two-thread load.
+    let funnel_tree: Arc<dyn BoundedPq<u64>> = Arc::from(
+        PqBuilder::new(Algorithm::FunnelTree, 16, 2)
+            .hunt_capacity(1 << 14)
+            .build::<u64>(),
+    );
+    let ft_ns = two_thread_pairs(funnel_tree, reps);
+
+    print_table(
+        "Native MultiQueue two-thread pair cost",
+        &["configuration", "ns/pair"],
+        &[
+            vec!["MultiQueue (stickiness 1)".into(), format!("{sticky1:.0}")],
+            vec!["MultiQueue (stickiness 8)".into(), format!("{sticky8:.0}")],
+            vec!["FunnelTree (strict)".into(), format!("{ft_ns:.0}")],
+        ],
+    );
+
+    // Simulated sweep: the fig7 shape, restricted to the crossover region
+    // and above, FunnelTree vs MultiQueue, with drain quality recorded.
+    let all_procs = [64usize, 128, 256, 512, 1024];
+    let cap = max_procs();
+    let sweep: Vec<usize> = all_procs.iter().copied().filter(|&p| p <= cap).collect();
+    let mut rows = Vec::new();
+    let mut records = vec![
+        BenchRecord {
+            name: "native_sticky_ab".into(),
+            fields: vec![
+                ("sticky1_ns_per_pair", sticky1),
+                ("sticky8_ns_per_pair", sticky8),
+                ("sticky_delta_percent", (sticky1 / sticky8 - 1.0) * 100.0),
+            ],
+        },
+        BenchRecord {
+            name: "native_vs_funneltree".into(),
+            fields: vec![
+                ("multiqueue_ns_per_pair", sticky8),
+                ("funneltree_ns_per_pair", ft_ns),
+            ],
+        },
+    ];
+    for &p in &sweep {
+        let wl = standard_workload(p, 16);
+        let ft = chaos_fault_free(Algorithm::FunnelTree, &wl);
+        let mq = chaos_fault_free(Algorithm::MultiQueue, &wl);
+        let ranks = &mq.report.rank_error;
+        rows.push(vec![
+            p.to_string(),
+            format!("{:.0}", ft.result.all.mean()),
+            format!("{:.0}", mq.result.all.mean()),
+            format!("{:.2}", ft.result.all.mean() / mq.result.all.mean()),
+            ranks.p50().to_string(),
+            ranks.p99().to_string(),
+            ranks.max().to_string(),
+        ]);
+        for (algo, run) in [(Algorithm::FunnelTree, &ft), (Algorithm::MultiQueue, &mq)] {
+            records.push(BenchRecord {
+                name: format!("sim_p{p}_{}", algo.name()),
+                fields: vec![
+                    ("mean_latency_cycles", run.result.all.mean()),
+                    ("rank_error_p50", run.report.rank_error.p50() as f64),
+                    ("rank_error_p99", run.report.rank_error.p99() as f64),
+                    ("rank_error_max", run.report.rank_error.max() as f64),
+                ],
+            });
+        }
+    }
+    print_table(
+        "MultiQueue vs FunnelTree — mean access latency (cycles) and MultiQueue drain rank error",
+        &[
+            "P",
+            "FunnelTree",
+            "MultiQueue",
+            "speedup",
+            "rank p50",
+            "rank p99",
+            "rank max",
+        ],
+        &rows,
+    );
+
+    // Zero-check: each strict algorithm's audited drain at the lowest
+    // sweep point has rank error exactly 0. SingleLock and HuntEtAl would
+    // serialize a 64-processor run for minutes; the property is about
+    // ordering, not scale, so the paper's seven run at 16 processors.
+    let wl = standard_workload(16, 16);
+    let mut zero_rows = Vec::new();
+    for algo in Algorithm::ALL {
+        let run = chaos_fault_free(algo, &wl);
+        let max = run.report.rank_error.max();
+        assert_eq!(max, 0, "{algo}: strict drain must have zero rank error");
+        zero_rows.push(vec![
+            algo.name().to_string(),
+            run.report.rank_error.count().to_string(),
+            max.to_string(),
+        ]);
+        records.push(BenchRecord {
+            name: format!("strict_zero_p16_{}", algo.name()),
+            fields: vec![
+                ("rank_error_samples", run.report.rank_error.count() as f64),
+                ("rank_error_max", max as f64),
+            ],
+        });
+    }
+    print_table(
+        "Strict algorithms — audited drain rank error (must be 0)",
+        &["queue", "drain samples", "rank max"],
+        &zero_rows,
+    );
+
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let path = format!("{root}/BENCH_multiqueue.json");
+    if let Err(e) = write_bench_json(&path, "multiqueue", &records) {
+        eprintln!("could not write {path}: {e}");
+    }
+    println!("wrote {path}");
+}

@@ -19,7 +19,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use funnelpq::obs::AtomicRecorder;
-use funnelpq::{Algorithm, BoundedPq, PqBuilder};
+use funnelpq::{Algorithm, BoundedPq, FunnelConfig, PqBuilder};
 use funnelpq_bench::{print_table, scale_percent, write_bench_json, BenchRecord};
 
 fn builder(a: Algorithm, n: usize, t: usize) -> PqBuilder {
@@ -71,32 +71,56 @@ fn bench_single_thread_ops(iters: u64) -> Vec<SingleThreadRow> {
     rows
 }
 
-fn bench_two_thread_mixed(reps: u64) -> Vec<(Algorithm, f64)> {
-    // With one core this measures interleaved (not parallel) behaviour —
-    // still useful as a lock-convoy smoke test.
+/// Two threads hammering insert+delete pairs; returns ns per pair. With
+/// one core this measures interleaved (not parallel) behaviour — still
+/// useful as a lock-convoy smoke test.
+fn two_thread_pairs(q: Arc<dyn BoundedPq<u64>>, reps: u64) -> f64 {
     const OPS: u64 = 200;
-    let mut rows = Vec::new();
-    for a in Algorithm::ALL {
-        let q: Arc<dyn BoundedPq<u64>> = Arc::from(builder(a, 16, 2).build::<u64>());
-        let t0 = Instant::now();
-        for _ in 0..reps {
-            let q2 = Arc::clone(&q);
-            let h = std::thread::spawn(move || {
-                for i in 0..OPS {
-                    q2.insert(1, (i % 16) as usize, i);
-                    std::hint::black_box(q2.delete_min(1));
-                }
-            });
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || {
             for i in 0..OPS {
-                q.insert(0, (i % 16) as usize, i);
-                std::hint::black_box(q.delete_min(0));
+                q2.insert(1, (i % 16) as usize, i);
+                std::hint::black_box(q2.delete_min(1));
             }
-            h.join().unwrap();
+        });
+        for i in 0..OPS {
+            q.insert(0, (i % 16) as usize, i);
+            std::hint::black_box(q.delete_min(0));
         }
-        let ns_per_pair = t0.elapsed().as_nanos() as f64 / (reps * OPS * 2) as f64;
-        rows.push((a, ns_per_pair));
+        h.join().unwrap();
     }
-    rows
+    t0.elapsed().as_nanos() as f64 / (reps * OPS * 2) as f64
+}
+
+fn bench_two_thread_mixed(reps: u64) -> Vec<(Algorithm, f64)> {
+    Algorithm::ALL
+        .into_iter()
+        .map(|a| {
+            let q: Arc<dyn BoundedPq<u64>> = Arc::from(builder(a, 16, 2).build::<u64>());
+            (a, two_thread_pairs(q, reps))
+        })
+        .collect()
+}
+
+/// A/B of the collision-slot cache padding (`FunnelConfig::pad_slots`) on
+/// the two funnel algorithms, under the contended two-thread load where
+/// false sharing between adjacent slots is visible at all.
+fn bench_funnel_pad_ab(reps: u64) -> Vec<(Algorithm, f64, f64)> {
+    [Algorithm::LinearFunnels, Algorithm::FunnelTree]
+        .into_iter()
+        .map(|a| {
+            let run = |pad: bool| {
+                let mut cfg = FunnelConfig::for_threads(2);
+                cfg.pad_slots = pad;
+                let q: Arc<dyn BoundedPq<u64>> =
+                    Arc::from(builder(a, 16, 2).funnel_config(cfg).build::<u64>());
+                two_thread_pairs(q, reps)
+            };
+            (a, run(true), run(false))
+        })
+        .collect()
 }
 
 fn main() {
@@ -129,8 +153,25 @@ fn main() {
             .collect::<Vec<_>>(),
     );
 
+    let pad_ab = bench_funnel_pad_ab(reps);
+    print_table(
+        "Funnel collision-slot padding A/B (two threads)",
+        &["queue", "ns/pair (padded)", "ns/pair (compact)", "delta %"],
+        &pad_ab
+            .iter()
+            .map(|(a, padded, compact)| {
+                vec![
+                    a.name().to_string(),
+                    format!("{padded:.0}"),
+                    format!("{compact:.0}"),
+                    format!("{:+.1}", (compact / padded - 1.0) * 100.0),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
     // Machine-readable report: per-algorithm cost with and without metrics.
-    let records: Vec<BenchRecord> = single
+    let mut records: Vec<BenchRecord> = single
         .iter()
         .map(|r| {
             let two_ns = two
@@ -152,6 +193,17 @@ fn main() {
             }
         })
         .collect();
+    // The slot-padding A/B rides along in the same report: `compact` is
+    // the pre-padding dense layout, so `pad_delta_percent` > 0 is the cost
+    // false sharing was adding.
+    records.extend(pad_ab.iter().map(|(a, padded, compact)| BenchRecord {
+        name: format!("{}_pad_ab", a.name()),
+        fields: vec![
+            ("padded_ns_per_pair", *padded),
+            ("compact_ns_per_pair", *compact),
+            ("pad_delta_percent", (compact / padded - 1.0) * 100.0),
+        ],
+    }));
     // Benches run with the package directory as cwd; anchor the reports at
     // the workspace root where CI picks them up.
     let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");

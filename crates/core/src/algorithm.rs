@@ -24,6 +24,12 @@ pub enum Algorithm {
     /// paper's seven (its machine model has no fetch-and-add) and only
     /// buildable on the simulator side — [`crate::PqBuilder`] rejects it.
     HardwareTree,
+    /// Relaxed MultiQueue (Williams, Sanders & Dementiev): `c·T` sequential
+    /// heaps behind try-locks, delete-min sampling two and popping the
+    /// smaller top. Not one of the paper's seven — it trades strict
+    /// delete-min for [`Consistency::Relaxed`] ordering — so it stays out
+    /// of [`Algorithm::ALL`] and the paper-replication sweeps.
+    MultiQueue,
 }
 
 impl Algorithm {
@@ -47,6 +53,52 @@ impl Algorithm {
         Algorithm::FunnelTree,
     ];
 
+    /// Every variant the workspace knows, paper or not. Name parsing and
+    /// tooling sweeps that want "everything buildable somewhere" go through
+    /// this; paper-replication sweeps stay on [`Algorithm::ALL`].
+    ///
+    /// Completeness is compiler-enforced: `roster_index` matches on every
+    /// variant, and the `every_is_complete_and_in_roster_order` test pins
+    /// this array to it, so adding a variant without extending `EVERY`
+    /// fails the build.
+    pub const EVERY: [Algorithm; 9] = [
+        Algorithm::SingleLock,
+        Algorithm::HuntEtAl,
+        Algorithm::SkipList,
+        Algorithm::SimpleLinear,
+        Algorithm::SimpleTree,
+        Algorithm::LinearFunnels,
+        Algorithm::FunnelTree,
+        Algorithm::HardwareTree,
+        Algorithm::MultiQueue,
+    ];
+
+    /// The slot each variant occupies in [`Algorithm::EVERY`]. Exists to
+    /// make the variant list `match`-exhaustive in exactly one place: a new
+    /// variant fails to compile here (and in `name`/`consistency`/every
+    /// builder match) until it is wired through, and the `const` assertion
+    /// below pins `EVERY`'s completeness at compile time.
+    const fn roster_index(self) -> usize {
+        match self {
+            Algorithm::SingleLock => 0,
+            Algorithm::HuntEtAl => 1,
+            Algorithm::SkipList => 2,
+            Algorithm::SimpleLinear => 3,
+            Algorithm::SimpleTree => 4,
+            Algorithm::LinearFunnels => 5,
+            Algorithm::FunnelTree => 6,
+            Algorithm::HardwareTree => 7,
+            Algorithm::MultiQueue => 8,
+        }
+    }
+
+    /// `true` for algorithms with [`Consistency::Relaxed`] semantics, whose
+    /// histories are audited with a rank-error bound instead of drain
+    /// sortedness.
+    pub fn is_relaxed(&self) -> bool {
+        self.consistency() == Consistency::Relaxed
+    }
+
     /// The algorithm's name as printed in the paper.
     pub fn name(&self) -> &'static str {
         match self {
@@ -58,6 +110,7 @@ impl Algorithm {
             Algorithm::LinearFunnels => "LinearFunnels",
             Algorithm::FunnelTree => "FunnelTree",
             Algorithm::HardwareTree => "HardwareTree",
+            Algorithm::MultiQueue => "MultiQueue",
         }
     }
 
@@ -81,9 +134,20 @@ impl Algorithm {
             | Algorithm::LinearFunnels
             | Algorithm::FunnelTree
             | Algorithm::HardwareTree => Consistency::QuiescentlyConsistent,
+            Algorithm::MultiQueue => Consistency::Relaxed,
         }
     }
 }
+
+// `EVERY` lists each variant exactly once, in `roster_index` order —
+// checked when this crate compiles, not when a test happens to run.
+const _: () = {
+    let mut i = 0;
+    while i < Algorithm::EVERY.len() {
+        assert!(Algorithm::EVERY[i].roster_index() == i);
+        i += 1;
+    }
+};
 
 impl std::fmt::Display for Algorithm {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -96,9 +160,8 @@ impl std::str::FromStr for Algorithm {
 
     /// Parses a paper name (case-insensitive), e.g. `"FunnelTree"`.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        Algorithm::ALL
+        Algorithm::EVERY
             .into_iter()
-            .chain([Algorithm::HardwareTree])
             .find(|a| a.name().eq_ignore_ascii_case(s))
             .ok_or_else(|| format!("unknown algorithm {s:?}"))
     }
@@ -110,7 +173,7 @@ mod tests {
 
     #[test]
     fn names_round_trip_through_from_str() {
-        for a in Algorithm::ALL.into_iter().chain([Algorithm::HardwareTree]) {
+        for a in Algorithm::EVERY {
             assert_eq!(a.name().parse::<Algorithm>().unwrap(), a);
             assert_eq!(a.name().to_lowercase().parse::<Algorithm>().unwrap(), a);
         }
@@ -122,6 +185,25 @@ mod tests {
         for a in Algorithm::SCALABLE {
             assert!(Algorithm::ALL.contains(&a));
         }
+    }
+
+    #[test]
+    fn every_is_complete_and_in_roster_order() {
+        // ALL is EVERY minus the two non-paper variants, same order.
+        let paper: Vec<_> = Algorithm::EVERY
+            .into_iter()
+            .filter(|a| !matches!(a, Algorithm::HardwareTree | Algorithm::MultiQueue))
+            .collect();
+        assert_eq!(paper, Algorithm::ALL);
+    }
+
+    #[test]
+    fn multiqueue_is_relaxed_and_not_in_the_paper_sweeps() {
+        assert_eq!(Algorithm::MultiQueue.consistency(), Consistency::Relaxed);
+        assert!(Algorithm::MultiQueue.is_relaxed());
+        assert!(!Algorithm::FunnelTree.is_relaxed());
+        assert!(!Algorithm::ALL.contains(&Algorithm::MultiQueue));
+        assert!(!Algorithm::SCALABLE.contains(&Algorithm::MultiQueue));
     }
 
     #[test]

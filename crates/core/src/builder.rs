@@ -8,6 +8,7 @@ use crate::algorithm::Algorithm;
 use crate::funnel_tree::{FunnelTreePq, DEFAULT_FUNNEL_LEVELS};
 use crate::hunt::HuntPq;
 use crate::linear_funnels::LinearFunnelsPq;
+use crate::multiqueue::{MultiQueuePq, DEFAULT_MQ_FACTOR, DEFAULT_MQ_SEED, DEFAULT_MQ_STICKINESS};
 use crate::obs::{NoopRecorder, Recorder};
 use crate::simple_linear::SimpleLinearPq;
 use crate::simple_tree::SimpleTreePq;
@@ -91,6 +92,9 @@ pub struct PqBuilder<R: Recorder = NoopRecorder> {
     funnel_config: Option<FunnelConfig>,
     hunt_capacity: Option<usize>,
     skiplist_seed: Option<u64>,
+    multiqueue_factor: Option<usize>,
+    multiqueue_stickiness: Option<u32>,
+    multiqueue_seed: Option<u64>,
     recorder: Arc<R>,
 }
 
@@ -107,6 +111,9 @@ impl PqBuilder<NoopRecorder> {
             funnel_config: None,
             hunt_capacity: None,
             skiplist_seed: None,
+            multiqueue_factor: None,
+            multiqueue_stickiness: None,
+            multiqueue_seed: None,
             recorder: Arc::new(NoopRecorder),
         }
     }
@@ -125,6 +132,9 @@ impl<R: Recorder> PqBuilder<R> {
             funnel_config: self.funnel_config,
             hunt_capacity: self.hunt_capacity,
             skiplist_seed: self.skiplist_seed,
+            multiqueue_factor: self.multiqueue_factor,
+            multiqueue_stickiness: self.multiqueue_stickiness,
+            multiqueue_seed: self.multiqueue_seed,
             recorder,
         }
     }
@@ -153,6 +163,27 @@ impl<R: Recorder> PqBuilder<R> {
     /// Tower-height RNG seed for `SkipList`. Default: a fixed seed.
     pub fn skiplist_seed(mut self, seed: u64) -> Self {
         self.skiplist_seed = Some(seed);
+        self
+    }
+
+    /// Internal-heap ratio `c` for `MultiQueue` (the queue holds
+    /// `c · max_threads` heaps, minimum two). Default 2, the MultiQueues
+    /// paper's baseline.
+    pub fn multiqueue_factor(mut self, factor: usize) -> Self {
+        self.multiqueue_factor = Some(factor);
+        self
+    }
+
+    /// Queue-choice stickiness for `MultiQueue`: consecutive operations
+    /// re-using the last choice before re-drawing (1 disables). Default 8.
+    pub fn multiqueue_stickiness(mut self, stickiness: u32) -> Self {
+        self.multiqueue_stickiness = Some(stickiness);
+        self
+    }
+
+    /// Per-thread choice-RNG seed for `MultiQueue`. Default: a fixed seed.
+    pub fn multiqueue_seed(mut self, seed: u64) -> Self {
+        self.multiqueue_seed = Some(seed);
         self
     }
 
@@ -207,6 +238,14 @@ impl<R: Recorder> PqBuilder<R> {
             Algorithm::HardwareTree => {
                 return Err(BuildError::UnsupportedAlgorithm(Algorithm::HardwareTree))
             }
+            Algorithm::MultiQueue => Box::new(MultiQueuePq::with_config(
+                n,
+                t,
+                self.multiqueue_factor.unwrap_or(DEFAULT_MQ_FACTOR),
+                self.multiqueue_stickiness.unwrap_or(DEFAULT_MQ_STICKINESS),
+                self.multiqueue_seed.unwrap_or(DEFAULT_MQ_SEED),
+                rec,
+            )),
         })
     }
 
@@ -277,6 +316,24 @@ mod tests {
         q.insert(0, 1, 10);
         q.insert(0, 1, 11);
         assert_eq!(q.delete_min(0), Some((1, 10)), "FIFO within a priority");
+    }
+
+    #[test]
+    fn builds_multiqueue_with_knobs() {
+        // Factor 1 on one thread still gets the two-heap minimum; with both
+        // heaps sampled every delete, the sequential drain is strict.
+        let q = PqBuilder::new(Algorithm::MultiQueue, 8, 1)
+            .multiqueue_factor(1)
+            .multiqueue_stickiness(1)
+            .multiqueue_seed(42)
+            .build::<usize>();
+        assert_eq!(q.algorithm(), Algorithm::MultiQueue);
+        assert_eq!(q.consistency(), crate::traits::Consistency::Relaxed);
+        q.insert(0, 5, 50);
+        q.insert(0, 2, 20);
+        assert_eq!(q.delete_min(0), Some((2, 20)));
+        assert_eq!(q.delete_min(0), Some((5, 50)));
+        assert_eq!(q.delete_min(0), None);
     }
 
     #[test]

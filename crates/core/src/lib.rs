@@ -20,6 +20,11 @@
 //! | [`LinearFunnelsPq`] | LinearFunnels | array of funnel stacks | quiescent |
 //! | [`FunnelTreePq`] | FunnelTree | tree of funnel counters + funnel stacks | quiescent |
 //!
+//! Beyond the paper, [`MultiQueuePq`] implements the modern *relaxed*
+//! answer to the same contention problem — `c·T` heaps behind try-locks
+//! with two-choice delete-min — trading strict ordering
+//! ([`Consistency::Relaxed`]) for near-linear scalability.
+//!
 //! Every queue is also generic over a metrics [`obs::Recorder`]: attach an
 //! [`obs::AtomicRecorder`] to count contention events (CAS retries,
 //! eliminations, funnel collisions, lock acquisitions, …) and per-operation
@@ -61,6 +66,7 @@ mod funnel_tree;
 pub mod heap;
 mod hunt;
 mod linear_funnels;
+mod multiqueue;
 pub mod obs;
 mod simple_linear;
 mod simple_tree;
@@ -73,6 +79,7 @@ pub use builder::{BuildError, PqBuilder};
 pub use funnel_tree::{FunnelTreePq, DEFAULT_FUNNEL_LEVELS};
 pub use hunt::HuntPq;
 pub use linear_funnels::LinearFunnelsPq;
+pub use multiqueue::{MultiQueuePq, DEFAULT_MQ_FACTOR, DEFAULT_MQ_SEED, DEFAULT_MQ_STICKINESS};
 pub use simple_linear::SimpleLinearPq;
 pub use simple_tree::SimpleTreePq;
 pub use single_lock::SingleLockPq;

@@ -13,7 +13,14 @@
 //!   the sequential post-run drain comes out in non-decreasing priority
 //!   order;
 //! * **causality** — a delete never returns an item whose insert had not
-//!   yet started when the delete finished.
+//!   yet started when the delete finished;
+//! * **quality** — every drain delete gets a *rank error*: the number of
+//!   later drain deletes returning strictly smaller priorities, i.e. how
+//!   many items still in the queue beat the one returned. A strict queue's
+//!   drain is sorted, so its rank errors are exactly zero; a relaxed queue
+//!   ([`AuditScope::relaxed`]) skips the sortedness check and is judged by
+//!   the rank-error distribution instead ([`AuditReport::rank_error`]),
+//!   optionally against a hard bound ([`AuditScope::rank_error_bound`]).
 //!
 //! The checks are interval-based, so they are sound under concurrency:
 //! they only flag behaviour impossible for *any* linearizable bounded
@@ -30,6 +37,7 @@ use std::fmt;
 use std::rc::Rc;
 
 use crate::machine::ProcId;
+use crate::stats::Acc;
 
 /// Which queue operation a record describes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -208,6 +216,15 @@ pub struct AuditScope {
     /// every queue regardless — it is exactly the paper's
     /// quiescent-consistency guarantee.
     pub linearizable: bool,
+    /// True when the queue under test only promises *relaxed* ordering
+    /// (e.g. a MultiQueue, whose `delete_min` returns a near-minimal
+    /// item). The drain-sortedness check is skipped; quality is judged by
+    /// the per-delete rank error instead ([`AuditReport::rank_error`]).
+    pub relaxed: bool,
+    /// Largest tolerated per-delete drain rank error. `None` records the
+    /// distribution without enforcing anything; strict queues need no
+    /// bound because sortedness already pins their rank errors to zero.
+    pub rank_error_bound: Option<u64>,
 }
 
 /// Aggregate counts from a successful audit.
@@ -224,6 +241,11 @@ pub struct AuditReport {
     /// Completed inserts never matched by a delete (all attributable to
     /// crash-lost operations, or the audit would have failed).
     pub leaked: u64,
+    /// Per-delete rank error over the sequential drain: for each drain
+    /// delete, the number of later drain deletes with strictly smaller
+    /// priority. Exactly zero for every sample iff the drain was sorted,
+    /// so strict queues contribute an all-zero distribution.
+    pub rank_error: Acc,
 }
 
 /// An invariant violation found by [`audit_history`]. Every variant names
@@ -329,6 +351,20 @@ pub enum AuditError {
         /// The smaller priority returned later.
         pri: u64,
     },
+    /// A drain delete's rank error exceeded the bound the scope asked for
+    /// ([`AuditScope::rank_error_bound`]).
+    RankErrorExceeded {
+        /// The draining processor.
+        proc: ProcId,
+        /// Delete end time.
+        time: u64,
+        /// Priority the delete returned.
+        pri: u64,
+        /// Items with strictly smaller priority still in the queue.
+        rank: u64,
+        /// The tolerated maximum.
+        bound: u64,
+    },
     /// More completed inserts were never deleted than crash-lost
     /// operations can explain.
     ConservationViolation {
@@ -417,6 +453,17 @@ impl fmt::Display for AuditError {
             } => write!(
                 f,
                 "audit: proc {proc} at {time}: drain returned pri {pri} after pri {prev}"
+            ),
+            AuditError::RankErrorExceeded {
+                proc,
+                time,
+                pri,
+                rank,
+                bound,
+            } => write!(
+                f,
+                "audit: proc {proc} at {time}: drain returned pri {pri} while {rank} \
+                 smaller items remained (bound {bound})"
             ),
             AuditError::ConservationViolation {
                 leaked,
@@ -574,24 +621,63 @@ pub fn audit_history(ops: &[OpRecord], scope: &AuditScope) -> Result<AuditReport
         }
     }
 
-    // The post-run drain is sequential, so its priorities must be
-    // non-decreasing.
-    let mut prev: Option<u64> = None;
-    for op in ops {
-        if op.phase != Phase::Drain || op.kind != OpKind::DeleteMin || !op.completed || op.empty {
-            continue;
-        }
-        if let Some(p) = prev {
-            if op.pri < p {
+    // The post-run drain is sequential, so a strict queue must return it
+    // in non-decreasing priority order. Relaxed queues are exempt — for
+    // them (and as a zero-check for everyone else) the drain gets a
+    // rank-error distribution below instead.
+    let drain: Vec<&OpRecord> = ops
+        .iter()
+        .filter(|op| {
+            op.phase == Phase::Drain && op.kind == OpKind::DeleteMin && op.completed && !op.empty
+        })
+        .collect();
+    if !scope.relaxed {
+        for w in drain.windows(2) {
+            if w[1].pri < w[0].pri {
                 return Err(AuditError::DrainOrdering {
-                    proc: op.proc,
-                    time: op.end,
-                    prev: p,
-                    pri: op.pri,
+                    proc: w[1].proc,
+                    time: w[1].end,
+                    prev: w[0].pri,
+                    pri: w[1].pri,
                 });
             }
         }
-        prev = Some(op.pri);
+    }
+
+    // Rank error of drain delete i: later drain deletes with strictly
+    // smaller priority — the items that were still queued and should have
+    // come out first. Counted back-to-front through a Fenwick tree over
+    // the coordinate-compressed priorities, so large priority ranges cost
+    // nothing extra.
+    let mut pris: Vec<u64> = drain.iter().map(|op| op.pri).collect();
+    pris.sort_unstable();
+    pris.dedup();
+    let mut tree = vec![0u64; pris.len() + 1];
+    for op in drain.iter().rev() {
+        let idx = pris.binary_search(&op.pri).expect("own priority present");
+        let mut rank = 0u64;
+        let mut i = idx; // 1-based prefix sum over [0, idx): strictly smaller
+        while i > 0 {
+            rank += tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        report.rank_error.record(rank);
+        if let Some(bound) = scope.rank_error_bound {
+            if rank > bound {
+                return Err(AuditError::RankErrorExceeded {
+                    proc: op.proc,
+                    time: op.end,
+                    pri: op.pri,
+                    rank,
+                    bound,
+                });
+            }
+        }
+        let mut i = idx + 1;
+        while i < tree.len() {
+            tree[i] += 1;
+            i += i & i.wrapping_neg();
+        }
     }
 
     // Conservation: completed inserts never deleted must be explained by
@@ -818,6 +904,105 @@ mod tests {
         };
         let r = audit_history(&h.snapshot(), &sc).unwrap();
         assert_eq!(r.leaked, 2);
+    }
+
+    #[test]
+    fn strict_sorted_drain_has_zero_rank_error() {
+        let h = History::new();
+        rec(&h, 0, 1, 100, 0, 10);
+        rec(&h, 0, 4, 101, 0, 12);
+        rec(&h, 0, 4, 102, 0, 14);
+        for (i, (p, x)) in [(1u64, 100u64), (4, 101), (4, 102)].iter().enumerate() {
+            let t = del(
+                &h,
+                0,
+                Some((*p, *x)),
+                20 + 10 * i as u64,
+                25 + 10 * i as u64,
+            );
+            h.mark_drain(t);
+        }
+        let r = audit_history(&h.snapshot(), &scope(8)).unwrap();
+        assert_eq!(r.rank_error.count(), 3);
+        assert_eq!(r.rank_error.max(), 0);
+        assert_eq!(r.rank_error.sum(), 0);
+    }
+
+    #[test]
+    fn relaxed_drain_gets_exact_rank_errors_instead_of_sortedness() {
+        // Drain priorities 5, 2, 2, 7: the 5 came out while two smaller
+        // items (the 2s) were still queued — rank 2; equal priorities do
+        // not count against each other, so everything else is rank 0.
+        let drain_pris = [(5u64, 100u64), (2, 101), (2, 102), (7, 103)];
+        let build = || {
+            let h = History::new();
+            for (p, x) in drain_pris {
+                rec(&h, 0, p, x, 0, 10);
+            }
+            for (i, (p, x)) in drain_pris.iter().enumerate() {
+                let t = del(
+                    &h,
+                    0,
+                    Some((*p, *x)),
+                    20 + 10 * i as u64,
+                    25 + 10 * i as u64,
+                );
+                h.mark_drain(t);
+            }
+            h.snapshot()
+        };
+
+        // Strict scope (quiescently consistent, so the interval-ordering
+        // check stays out of the way): rejected as an unsorted drain.
+        let strict = AuditScope {
+            num_priorities: 8,
+            ..AuditScope::default()
+        };
+        assert!(matches!(
+            audit_history(&build(), &strict).unwrap_err(),
+            AuditError::DrainOrdering {
+                prev: 5,
+                pri: 2,
+                ..
+            }
+        ));
+
+        // Relaxed scope: accepted, with the exact distribution.
+        let sc = AuditScope {
+            num_priorities: 8,
+            relaxed: true,
+            ..AuditScope::default()
+        };
+        let r = audit_history(&build(), &sc).unwrap();
+        assert_eq!(r.rank_error.count(), 4);
+        assert_eq!(r.rank_error.max(), 2);
+        assert_eq!(r.rank_error.sum(), 2);
+
+        // A bound below the max trips, naming the offending delete.
+        let sc = AuditScope {
+            num_priorities: 8,
+            relaxed: true,
+            rank_error_bound: Some(1),
+            ..AuditScope::default()
+        };
+        assert!(matches!(
+            audit_history(&build(), &sc).unwrap_err(),
+            AuditError::RankErrorExceeded {
+                pri: 5,
+                rank: 2,
+                bound: 1,
+                ..
+            }
+        ));
+
+        // A bound at the max passes.
+        let sc = AuditScope {
+            num_priorities: 8,
+            relaxed: true,
+            rank_error_bound: Some(2),
+            ..AuditScope::default()
+        };
+        assert!(audit_history(&build(), &sc).is_ok());
     }
 
     #[test]

@@ -43,7 +43,8 @@ USAGE:
 OPTIONS:
     --algo <LIST>        comma-separated algorithms, or 'all' / 'scalable'
                          (SingleLock, HuntEtAl, SkipList, SimpleLinear,
-                          SimpleTree, LinearFunnels, FunnelTree, HardwareTree)
+                          SimpleTree, LinearFunnels, FunnelTree, HardwareTree,
+                          MultiQueue — the relaxed post-paper design)
                          [default: scalable]
     --procs <LIST>       comma-separated processor counts   [default: 16,64,256]
     --priorities <LIST>  comma-separated priority ranges    [default: 16]
@@ -66,7 +67,7 @@ fn parse_algo(name: &str) -> Result<Vec<Algorithm>, String> {
         "scalable" => Ok(Algorithm::SCALABLE.to_vec()),
         other => Algorithm::ALL
             .into_iter()
-            .chain([Algorithm::HardwareTree])
+            .chain([Algorithm::HardwareTree, Algorithm::MultiQueue])
             .find(|a| a.name().eq_ignore_ascii_case(other))
             .map(|a| vec![a])
             .ok_or_else(|| format!("unknown algorithm '{other}'")),

@@ -137,11 +137,31 @@ impl ChaosError {
 /// Runs the standard workload for `algo` under `plan`, with the livelock
 /// watchdog armed at `watchdog_window` cycles (0 disarms it), then drains
 /// and audits. See the module docs for the two-phase shape.
+///
+/// The audit scope follows the algorithm's declared consistency: relaxed
+/// algorithms skip drain sortedness and get the rank-error distribution
+/// instead, unbounded here — use [`run_chaos_workload_bounded`] to make
+/// the audit enforce a quality ceiling.
 pub fn run_chaos_workload(
     algo: Algorithm,
     wl: &Workload,
     plan: &FaultPlan,
     watchdog_window: u64,
+) -> Result<ChaosRun, ChaosError> {
+    run_chaos_workload_bounded(algo, wl, plan, watchdog_window, None)
+}
+
+/// [`run_chaos_workload`] with a hard per-delete drain rank-error bound:
+/// the audit fails with [`AuditError::RankErrorExceeded`] if any drain
+/// delete returns an item while more than `rank_error_bound` strictly
+/// smaller items remain. Strict algorithms keep the sortedness check, so
+/// a bound is only meaningful for relaxed ones.
+pub fn run_chaos_workload_bounded(
+    algo: Algorithm,
+    wl: &Workload,
+    plan: &FaultPlan,
+    watchdog_window: u64,
+    rank_error_bound: Option<u64>,
 ) -> Result<ChaosRun, ChaosError> {
     assert!(wl.procs > 0 && wl.num_priorities > 0 && wl.ops_per_proc > 0);
     plan.check(wl.procs).map_err(ChaosError::Plan)?;
@@ -285,6 +305,8 @@ pub fn run_chaos_workload(
         stranded,
         wedged,
         linearizable: algo.consistency() == funnelpq::Consistency::Linearizable,
+        relaxed: algo.is_relaxed(),
+        rank_error_bound,
     };
     let report = audit_history(&history, &scope).map_err(|error| ChaosError::Audit {
         error,

@@ -4,6 +4,7 @@
 mod counter_tree;
 mod hunt;
 mod linear_funnels;
+mod multiqueue;
 mod simple_linear;
 mod single_lock;
 mod skiplist;
@@ -11,6 +12,7 @@ mod skiplist;
 pub use counter_tree::{SimCounterTree, SimTreeBin, TreeFlavor};
 pub use hunt::SimHunt;
 pub use linear_funnels::SimLinearFunnels;
+pub use multiqueue::SimMultiQueue;
 pub use simple_linear::SimSimpleLinear;
 pub use single_lock::SimSingleLock;
 pub use skiplist::SimSkipList;
@@ -38,6 +40,12 @@ pub struct BuildParams {
     pub funnel: SimFunnelConfig,
     /// Funnel-levels cutoff for `FunnelTree` (paper: 4).
     pub funnel_levels: usize,
+    /// Queues per processor for `MultiQueue` (the classic *c*; 2 gives the
+    /// power-of-two-choices quality bound).
+    pub mq_factor: usize,
+    /// Operations a `MultiQueue` processor reuses its queue choice for
+    /// before redrawing (1 = a fresh draw every operation).
+    pub mq_stickiness: u64,
 }
 
 impl BuildParams {
@@ -50,6 +58,8 @@ impl BuildParams {
             capacity: (procs * 64).max(1024),
             funnel: SimFunnelConfig::for_procs(procs),
             funnel_levels: 4,
+            mq_factor: 2,
+            mq_stickiness: 8,
         }
     }
 
@@ -72,6 +82,18 @@ impl BuildParams {
             return Err(SimPqError::BadConfig {
                 what: "BuildParams",
                 detail: "capacity must be at least 1".into(),
+            });
+        }
+        if self.mq_factor == 0 {
+            return Err(SimPqError::BadConfig {
+                what: "BuildParams",
+                detail: "mq_factor must be at least 1".into(),
+            });
+        }
+        if self.mq_stickiness == 0 {
+            return Err(SimPqError::BadConfig {
+                what: "BuildParams",
+                detail: "mq_stickiness must be at least 1".into(),
             });
         }
         self.funnel.check()
@@ -97,6 +119,8 @@ pub enum SimPq {
     FunnelTree(SimCounterTree),
     /// See [`SimCounterTree`] with [`TreeFlavor::Hardware`].
     HardwareTree(SimCounterTree),
+    /// See [`SimMultiQueue`]. Relaxed — not one of the paper's seven.
+    MultiQueue(SimMultiQueue),
 }
 
 impl SimPq {
@@ -158,6 +182,13 @@ impl SimPq {
                 p.capacity,
                 TreeFlavor::Hardware,
             )),
+            Algorithm::MultiQueue => SimPq::MultiQueue(SimMultiQueue::build(
+                m,
+                p.procs,
+                p.capacity,
+                p.mq_factor,
+                p.mq_stickiness,
+            )),
         }
     }
 
@@ -177,6 +208,7 @@ impl SimPq {
             SimPq::LinearFunnels(q) => q.insert(ctx, pri, item).await,
             SimPq::FunnelTree(q) => q.insert(ctx, pri, item).await,
             SimPq::HardwareTree(q) => q.insert(ctx, pri, item).await,
+            SimPq::MultiQueue(q) => q.insert(ctx, pri, item).await,
         }
     }
 
@@ -192,6 +224,7 @@ impl SimPq {
             SimPq::LinearFunnels(q) => q.try_insert(ctx, pri, item).await,
             SimPq::FunnelTree(q) => q.try_insert(ctx, pri, item).await,
             SimPq::HardwareTree(q) => q.try_insert(ctx, pri, item).await,
+            SimPq::MultiQueue(q) => q.try_insert(ctx, pri, item).await,
         }
     }
 
@@ -206,6 +239,7 @@ impl SimPq {
             SimPq::LinearFunnels(q) => q.delete_min(ctx).await,
             SimPq::FunnelTree(q) => q.delete_min(ctx).await,
             SimPq::HardwareTree(q) => q.delete_min(ctx).await,
+            SimPq::MultiQueue(q) => q.delete_min(ctx).await,
         }
     }
 
@@ -222,6 +256,7 @@ impl SimPq {
             SimPq::LinearFunnels(q) => q.peek_len(m),
             SimPq::FunnelTree(q) => q.peek_len(m),
             SimPq::HardwareTree(q) => q.peek_len(m),
+            SimPq::MultiQueue(q) => Ok(q.peek_len(m)),
         }
     }
 
@@ -239,6 +274,7 @@ impl SimPq {
             SimPq::LinearFunnels(q) => q.validate(m),
             SimPq::FunnelTree(q) => q.validate(m),
             SimPq::HardwareTree(q) => q.validate(m),
+            SimPq::MultiQueue(q) => q.validate(m),
         }
     }
 }

@@ -195,7 +195,10 @@ impl SharedCounter for CasCounter {
 /// ```
 #[derive(Debug)]
 pub struct LockedCounter {
-    val: McsMutex<i64>,
+    // Padded because the tree queues allocate these in dense per-node
+    // arrays: without it, a thread spinning on one node's lock word drags
+    // the neighbouring nodes' lines through the coherence protocol.
+    val: CachePadded<McsMutex<i64>>,
     bounds: Bounds,
 }
 
@@ -222,7 +225,7 @@ impl LockedCounter {
             "initial value out of bounds"
         );
         LockedCounter {
-            val: McsMutex::with_sink(initial, sink),
+            val: CachePadded::new(McsMutex::with_sink(initial, sink)),
             bounds,
         }
     }

@@ -19,12 +19,13 @@
 //!
 //! This implementation is quiescently consistent, like the paper's.
 
-use std::sync::atomic::{AtomicI64, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU32, AtomicU64, Ordering};
 
 use funnelpq_util::{AtomicRng, Backoff, CachePadded};
 
 use crate::counter::{Bounds, SharedCounter};
 use crate::probe::{CounterEvent, SinkRef};
+use crate::slots::SlotArray;
 
 /// Tuning parameters for a combining funnel.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,6 +40,11 @@ pub struct FunnelConfig {
     pub spin: Vec<u32>,
     /// Maximum number of registered threads (dense thread ids `0..max`).
     pub max_threads: usize,
+    /// Give every collision slot its own cache line (default `true`).
+    /// `false` restores the dense pre-padding layout, where 16 slots share
+    /// a padding unit and neighbouring swaps false-share — kept for A/B
+    /// measurement in the benches.
+    pub pad_slots: bool,
 }
 
 impl FunnelConfig {
@@ -52,6 +58,7 @@ impl FunnelConfig {
             attempts: 3,
             spin: vec![64, 128],
             max_threads,
+            pad_slots: true,
         }
     }
 
@@ -63,6 +70,7 @@ impl FunnelConfig {
             attempts: 1,
             spin: vec![],
             max_threads,
+            pad_slots: true,
         }
     }
 
@@ -156,8 +164,8 @@ pub struct FunnelCounter {
     bounds: Bounds,
     central: CachePadded<AtomicI64>,
     records: Box<[Record]>,
-    /// `layers[d][slot]` holds `tid + 1`, or 0 for nobody.
-    layers: Vec<Box<[AtomicUsize]>>,
+    /// `layers[d]` slot `i` holds `tid + 1`, or 0 for nobody.
+    layers: Vec<SlotArray>,
     sink: Option<SinkRef>,
 }
 
@@ -231,7 +239,7 @@ impl FunnelCounter {
         let layers = cfg
             .widths
             .iter()
-            .map(|&w| (0..w).map(|_| AtomicUsize::new(0)).collect())
+            .map(|&w| SlotArray::new(w, cfg.pad_slots))
             .collect();
         FunnelCounter {
             cfg,
@@ -293,7 +301,7 @@ impl FunnelCounter {
                 let frac = me.width_frac.load(Ordering::Relaxed) as usize;
                 let wid = ((layer.len() * frac) / 256).clamp(1, layer.len());
                 let slot = me.rng.below(wid as u64) as usize;
-                let q = layer[slot].swap(tid + 1, Ordering::AcqRel);
+                let q = layer.swap(slot, tid + 1, Ordering::AcqRel);
                 if q != 0 && q - 1 != tid {
                     let q = q - 1;
                     // Freeze myself so nobody captures me mid-collision.

@@ -26,6 +26,7 @@ use funnelpq_util::{AtomicRng, Backoff, CachePadded};
 
 use crate::funnel::FunnelConfig;
 use crate::probe::{CounterEvent, SinkRef};
+use crate::slots::SlotArray;
 use crate::ttas::TtasMutex;
 
 struct Node<T> {
@@ -93,7 +94,7 @@ pub struct FunnelStack<T> {
     /// Serializes structural mutation of the central chain.
     central_lock: TtasMutex<()>,
     records: Box<[Record<T>]>,
-    layers: Vec<Box<[AtomicUsize]>>,
+    layers: Vec<SlotArray>,
     sink: Option<SinkRef>,
     _marker: PhantomData<T>,
 }
@@ -170,7 +171,7 @@ impl<T: Send> FunnelStack<T> {
         let layers = cfg
             .widths
             .iter()
-            .map(|&w| (0..w).map(|_| AtomicUsize::new(0)).collect())
+            .map(|&w| SlotArray::new(w, cfg.pad_slots))
             .collect();
         FunnelStack {
             cfg,
@@ -269,7 +270,7 @@ impl<T: Send> FunnelStack<T> {
                 let frac = me.width_frac.load(Ordering::Relaxed);
                 let wid = ((layer.len() * frac) / 256).clamp(1, layer.len());
                 let slot = me.rng.below(wid as u64) as usize;
-                let q = layer[slot].swap(tid + 1, Ordering::AcqRel);
+                let q = layer.swap(slot, tid + 1, Ordering::AcqRel);
                 if q != 0 && q - 1 != tid {
                     let q = q - 1;
                     if me

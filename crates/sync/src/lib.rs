@@ -49,6 +49,7 @@ mod funnel;
 mod funnel_stack;
 mod mcs;
 pub mod probe;
+mod slots;
 mod ttas;
 
 pub use bin::{BinOrder, LockBin};

@@ -37,8 +37,9 @@ USAGE:
 
 OPTIONS:
     --algo <NAME>    one algorithm (SingleLock, HuntEtAl, SkipList, SimpleLinear,
-                     SimpleTree, LinearFunnels, FunnelTree, HardwareTree) or
-                     'all' for the paper's seven        [default: all]
+                     SimpleTree, LinearFunnels, FunnelTree, HardwareTree,
+                     MultiQueue) or 'all' for the paper's seven plus the
+                     relaxed MultiQueue                 [default: all]
     --plan <NAME>    fault plan: none, combiner-stall, lock-stall,
                      latency-spike, crash, or 'all'     [default: all]
     --procs <N>      simulated processors               [default: 16]
@@ -59,6 +60,14 @@ const PLAN_NAMES: [&str; 5] = [
     "crash",
 ];
 
+/// Default sweep roster: the paper's seven plus the relaxed MultiQueue
+/// (audited with sortedness replaced by the rank-error distribution).
+fn default_algos() -> Vec<Algorithm> {
+    let mut algos = Algorithm::ALL.to_vec();
+    algos.push(Algorithm::MultiQueue);
+    algos
+}
+
 struct Args {
     algos: Vec<Algorithm>,
     plans: Vec<&'static str>,
@@ -73,7 +82,7 @@ struct Args {
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
-        algos: Algorithm::ALL.to_vec(),
+        algos: default_algos(),
         plans: PLAN_NAMES.to_vec(),
         procs: 16,
         pris: 16,
@@ -93,7 +102,7 @@ fn parse_args() -> Result<Args, String> {
             v.parse().map_err(|_| format!("bad {what}: {v:?}"))
         };
         match flag.as_str() {
-            "--algo" if value == "all" => args.algos = Algorithm::ALL.to_vec(),
+            "--algo" if value == "all" => args.algos = default_algos(),
             "--algo" => args.algos = vec![value.parse()?],
             "--plan" if value == "all" => args.plans = PLAN_NAMES.to_vec(),
             "--plan" => {
@@ -127,9 +136,13 @@ fn build_plan(name: &str, seed: u64) -> FaultPlan {
         "combiner-stall" => plan
             .stall_on_span("funnel-combine", SpanPoint::Begin, 1, 200_000)
             .stall_on_span("funnel-combine", SpanPoint::Begin, 7, 150_000),
+        // The third rule reaches lock holders that never touch an MCS
+        // lock (the MultiQueue's CAS try-locks, and the plain mutex
+        // algorithms' critical sections).
         "lock-stall" => plan
             .stall_on_span("mcs-acquire", SpanPoint::End, 3, 200_000)
-            .stall_on_span("mcs-acquire", SpanPoint::End, 11, 120_000),
+            .stall_on_span("mcs-acquire", SpanPoint::End, 11, 120_000)
+            .stall_on_span("lock-hold", SpanPoint::Begin, 7, 150_000),
         "latency-spike" => plan
             .region_delay(0, 64, 0, 1_500_000, 40, 10)
             .jitter(0, 400_000, 16),

@@ -10,10 +10,16 @@
 //!   seeds, each run audited for conservation, ordering, and structure.
 //! - Watchdog: fires with a diagnostic naming the stalled processor on an
 //!   intentionally wedged run, and never on healthy runs.
+//! - Quality: every strict algorithm's audited drain has exactly zero rank
+//!   error on quiescent runs; the relaxed `MultiQueue` keeps conservation
+//!   and causality strict while its drain sortedness is replaced by a
+//!   rank-error bound enforced inside the audit.
 
 use funnelpq_sim::fault::FaultSummary;
 use funnelpq_sim::{FaultPlan, RunOutcome, SpanPoint};
-use funnelpq_simqueues::chaos::{chaos_build_params, run_chaos_workload, DEFAULT_WATCHDOG};
+use funnelpq_simqueues::chaos::{
+    chaos_build_params, run_chaos_workload, run_chaos_workload_bounded, DEFAULT_WATCHDOG,
+};
 use funnelpq_simqueues::queues::Algorithm;
 use funnelpq_simqueues::workload::{run_queue_workload_with, Workload};
 
@@ -65,10 +71,16 @@ fn empty_plan_is_bit_identical_for_all_algorithms() {
             run.result.hotspots, baseline.hotspots,
             "{algo}: hotspots diverged"
         );
-        // Fault-free run: every insert drained, nothing in flight.
+        // Fault-free run: every insert drained, nothing in flight, and a
+        // strict queue's drain has exactly zero rank error.
         assert_eq!(run.report.in_flight, 0, "{algo}");
         assert_eq!(run.report.leaked, 0, "{algo}");
         assert!(run.structural_items.is_some(), "{algo}");
+        assert_eq!(
+            run.report.rank_error.max(),
+            0,
+            "{algo}: a strict algorithm's drain must have zero rank error"
+        );
     }
 }
 
@@ -119,6 +131,7 @@ fn chaos_sweep_combiner_stall() {
                 "{algo} seed {seed:#x}: stall plan wedged the run"
             );
             assert_eq!(run.report.leaked, 0, "{algo} seed {seed:#x}");
+            assert_eq!(run.report.rank_error.max(), 0, "{algo} seed {seed:#x}");
         }
     }
 }
@@ -140,6 +153,7 @@ fn chaos_sweep_lock_holder_stall() {
                 "{algo} seed {seed:#x}: no MCS acquire ever stalled"
             );
             assert_eq!(run.report.leaked, 0, "{algo} seed {seed:#x}");
+            assert_eq!(run.report.rank_error.max(), 0, "{algo} seed {seed:#x}");
         }
     }
 }
@@ -161,6 +175,7 @@ fn chaos_sweep_region_latency_spike() {
                 "{algo} seed {seed:#x}: the spike never added latency"
             );
             assert_eq!(run.report.leaked, 0, "{algo} seed {seed:#x}");
+            assert_eq!(run.report.rank_error.max(), 0, "{algo} seed {seed:#x}");
         }
     }
 }
@@ -207,4 +222,83 @@ fn watchdog_fires_on_wedged_run_and_names_the_stalled_proc() {
     }
     assert_eq!(run.fault_summary.stalls, 1);
     assert!(run.drain_outcome.is_none(), "a wedged run must not drain");
+}
+
+/// Per-delete drain rank error the MultiQueue sweeps tolerate. Generous —
+/// the real distributions sit near zero (see `BENCH_multiqueue.json`) —
+/// but far below the ~50 items a run holds, so a queue that degenerated
+/// into returning arbitrary elements would trip it.
+const MQ_RANK_BOUND: u64 = 40;
+
+/// The MultiQueue guards its heaps with raw CAS try-locks, not MCS locks,
+/// so the `mcs-acquire` plans are vacuous for it; stall it inside its own
+/// critical section instead.
+fn mq_lock_holder_stall_plan(seed: u64) -> FaultPlan {
+    FaultPlan::new(seed ^ 0x5EED)
+        .stall_on_span("lock-hold", SpanPoint::Begin, 3, 200_000)
+        .stall_on_span("lock-hold", SpanPoint::Begin, 11, 120_000)
+}
+
+/// The shared `crash_plan` times target the strict algorithms' pace; the
+/// MultiQueue finishes this workload in ~6k cycles, so crash earlier to
+/// stay inside the run.
+fn mq_crash_plan(seed: u64, idx: usize) -> FaultPlan {
+    FaultPlan::new(seed ^ 0x5EED).crash(1, 1_500 + 600 * idx as u64)
+}
+
+/// With the fault layer attached-but-empty the relaxed queue is held to
+/// the same bit-identity bar as the paper's seven, and its audit keeps
+/// conservation and causality fully strict — only sortedness is relaxed,
+/// into the rank-error bound.
+#[test]
+fn multiqueue_empty_plan_is_bit_identical_and_audits_clean() {
+    let wl = small_workload(0xF00D);
+    let plan = FaultPlan::new(1);
+    let algo = Algorithm::MultiQueue;
+    let baseline = run_queue_workload_with(algo, &wl, &chaos_build_params(&wl));
+    let run = run_chaos_workload_bounded(algo, &wl, &plan, 1_000_000, Some(MQ_RANK_BOUND)).unwrap();
+    assert!(!run.wedged());
+    assert_eq!(run.result.total_cycles, baseline.total_cycles);
+    assert_eq!(run.result.all, baseline.all);
+    assert_eq!(run.result.stats.mem_accesses, baseline.stats.mem_accesses);
+    assert_eq!(run.result.hotspots, baseline.hotspots);
+    assert_eq!(run.report.in_flight, 0);
+    assert_eq!(run.report.leaked, 0);
+    assert!(run.structural_items.is_some());
+    assert!(
+        run.report.rank_error.count() > 0,
+        "the drain must have produced rank-error samples"
+    );
+}
+
+/// The full fault matrix (lock-holder stall, latency spike, crash-stop)
+/// over the relaxed queue: conservation and causality are checked strictly
+/// by the audit; drain quality is held to the rank-error bound.
+#[test]
+fn multiqueue_chaos_sweep_with_rank_bound() {
+    let algo = Algorithm::MultiQueue;
+    for (idx, &seed) in SEEDS.iter().enumerate() {
+        let wl = small_workload(seed);
+        for (name, plan) in [
+            ("lock-stall", mq_lock_holder_stall_plan(seed)),
+            ("latency-spike", region_spike_plan(seed)),
+            ("crash", mq_crash_plan(seed, idx)),
+        ] {
+            let run =
+                run_chaos_workload_bounded(algo, &wl, &plan, DEFAULT_WATCHDOG, Some(MQ_RANK_BOUND))
+                    .unwrap_or_else(|e| panic!("{algo} {name} seed {seed:#x}: {e}"));
+            if name == "crash" {
+                assert_eq!(run.crashed, vec![1], "{name} seed {seed:#x}");
+            } else {
+                assert!(!run.wedged(), "{name} seed {seed:#x}: plan wedged the run");
+                assert_eq!(run.report.leaked, 0, "{name} seed {seed:#x}");
+            }
+            if name == "lock-stall" {
+                assert!(
+                    run.fault_summary.stalls >= 1,
+                    "{name} seed {seed:#x}: no lock holder ever stalled"
+                );
+            }
+        }
+    }
 }
