@@ -1,0 +1,395 @@
+//! Batched and fused operation microbenches: what one lock hold (or one
+//! sticky absorption, or one threading check) amortized over `k` items
+//! buys, per algorithm.
+//!
+//! Four sections:
+//!
+//! 1. **Native k-sweep churn** — two threads alternate `insert_batch(k)` /
+//!    `delete_min_batch(k)` on the four natively-batched algorithms at
+//!    k ∈ {1, 8, 64}; ns per item-operation, with the speedup over k=1.
+//!    k=1 goes through the same batched entry points, so the sweep
+//!    isolates amortization, not call-shape differences. On a small host
+//!    (CI runs on one core) the two threads mostly interleave, so this
+//!    section under-reports what batching buys under real contention —
+//!    which is what the next section measures.
+//! 2. **Simulated contended k-sweep** — the same alternating churn on the
+//!    simulated multiprocessor at 16 processors
+//!    ([`run_batched_churn`]), where every `k = 1` operation pays a full
+//!    contended lock handoff in the coherence model and `k = 64` pays it
+//!    once per batch. Cycles per item, with the speedup over k=1; this is
+//!    the headline amortization number.
+//! 3. **replace_min A/B** — the fused root swap against an explicit
+//!    `delete_min` + `insert` pair on the heap-backed queues, where the
+//!    fusion saves a sift-up plus a second lock acquisition.
+//! 4. **simulated quality sweep** — `run_batched_quality` on the
+//!    simulator: the relaxed MultiQueue's drain rank error as `k` grows
+//!    (each grab serves a queue's tail without re-probing), audited
+//!    against the conservative bound, plus per-item drain cycles for the
+//!    strict SingleLock as the amortization cross-check in simulated
+//!    cycles.
+//!
+//! Everything lands in `BENCH_batch.json` at the workspace root.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use funnelpq::obs::AtomicRecorder;
+use funnelpq::{Algorithm, BoundedPq, PqBuilder};
+use funnelpq_bench::{
+    print_table, scale_percent, standard_workload, write_bench_json, BenchRecord,
+};
+use funnelpq_simqueues::workload::{run_batched_churn, run_batched_quality};
+
+fn builder(a: Algorithm, n: usize, t: usize) -> PqBuilder {
+    PqBuilder::new(a, n, t).hunt_capacity(1 << 14)
+}
+
+/// Items each thread keeps in flight per rep, constant across `k` so every
+/// sweep point moves the same number of items. Large enough that the one
+/// spawn/join per rep is amortized to noise (it would otherwise add the
+/// same flat ns/item to every `k` and compress the ratios).
+const ITEMS_PER_REP: u64 = 4096;
+
+/// Items resident in the queue while churning, so `delete_min_batch`
+/// always finds a full grab. Kept modest: the sweep isolates per-call
+/// overhead amortization, and a deep resident heap would bury it under
+/// sift work that no batching can remove.
+const PREFILL: usize = 128;
+
+fn prefill(q: &dyn BoundedPq<u64>, n: usize) {
+    let batch: Vec<(usize, u64)> = (0..n).map(|i| (i % 16, 1 << 40 | i as u64)).collect();
+    q.insert_batch(0, batch).expect("prefill fits");
+}
+
+/// One thread's churn: `rounds` iterations of insert_batch(k) then
+/// delete_min_batch(k).
+fn churn(q: &dyn BoundedPq<u64>, tid: usize, k: usize, rounds: u64) {
+    let mut out = Vec::with_capacity(k);
+    let mut x = tid as u64 * 1_000_003;
+    for _ in 0..rounds {
+        let mut batch = Vec::with_capacity(k);
+        for _ in 0..k {
+            x = x.wrapping_add(7);
+            batch.push(((x % 16) as usize, x));
+        }
+        q.insert_batch(tid, batch).expect("pris in range");
+        out.clear();
+        std::hint::black_box(q.delete_min_batch(tid, k, &mut out));
+    }
+}
+
+/// Two contending threads churning batches of `k`; ns per item-operation
+/// (each round moves `2k` items per thread).
+fn two_thread_batch_churn(q: Arc<dyn BoundedPq<u64>>, k: usize, reps: u64) -> f64 {
+    let rounds = (ITEMS_PER_REP / k as u64).max(1);
+    // Warmup rep to fault in nodes and settle the prefill.
+    churn(&*q, 0, k, rounds);
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || churn(&*q2, 1, k, rounds));
+        churn(&*q, 0, k, rounds);
+        h.join().unwrap();
+    }
+    let item_ops = reps * rounds * k as u64 * 2 * 2;
+    t0.elapsed().as_nanos() as f64 / item_ops as f64
+}
+
+struct SweepRow {
+    algorithm: Algorithm,
+    k: usize,
+    ns_per_op: f64,
+    speedup_vs_k1: f64,
+}
+
+fn bench_k_sweep(reps: u64) -> Vec<SweepRow> {
+    let algos = [
+        Algorithm::SingleLock,
+        Algorithm::HuntEtAl,
+        Algorithm::SkipList,
+        Algorithm::MultiQueue,
+    ];
+    let mut rows = Vec::new();
+    for a in algos {
+        let mut base = f64::NAN;
+        for k in [1usize, 8, 64] {
+            // Best of two passes: scheduler preemption on small CI hosts
+            // occasionally lands mid-hold and inflates a whole pass.
+            let ns = (0..2)
+                .map(|_| {
+                    let q: Arc<dyn BoundedPq<u64>> = Arc::from(builder(a, 16, 2).build::<u64>());
+                    prefill(&*q, PREFILL);
+                    two_thread_batch_churn(q, k, reps)
+                })
+                .fold(f64::INFINITY, f64::min);
+            if k == 1 {
+                base = ns;
+            }
+            rows.push(SweepRow {
+                algorithm: a,
+                k,
+                ns_per_op: ns,
+                speedup_vs_k1: base / ns,
+            });
+        }
+    }
+    rows
+}
+
+struct SimSweepRow {
+    algorithm: Algorithm,
+    k: usize,
+    cycles_per_item: f64,
+    speedup_vs_k1: f64,
+}
+
+/// Simulated contended sweep: 16 processors churning batches of `k` on
+/// the coherence-modelled machine; cycles per item moved.
+fn bench_sim_k_sweep() -> Vec<SimSweepRow> {
+    let algos = [
+        Algorithm::SingleLock,
+        Algorithm::HuntEtAl,
+        Algorithm::SkipList,
+        Algorithm::MultiQueue,
+    ];
+    let mut wl = standard_workload(16, 32);
+    // Enough items per processor that even k=64 gets several full batches.
+    wl.ops_per_proc = wl.ops_per_proc.max(256);
+    let mut rows = Vec::new();
+    for a in algos {
+        let mut base = f64::NAN;
+        for k in [1usize, 8, 64] {
+            let res = run_batched_churn(a, &wl, k);
+            // Makespan per item: under lock saturation per-batch latency
+            // grows with hold length even as throughput improves, so the
+            // cycles-to-quiescence figure is the honest one.
+            let per_item = res.total_cycles as f64 / (wl.procs * wl.ops_per_proc) as f64;
+            if k == 1 {
+                base = per_item;
+            }
+            rows.push(SimSweepRow {
+                algorithm: a,
+                k,
+                cycles_per_item: per_item,
+                speedup_vs_k1: base / per_item,
+            });
+        }
+    }
+    rows
+}
+
+/// Single-thread A/B: `iters` fused replace_min calls vs `iters` explicit
+/// delete_min + insert pairs, on a queue preloaded with `PREFILL` items.
+/// Returns (fused ns/op, pair ns/op).
+fn replace_min_ab(a: Algorithm, iters: u64) -> (f64, f64) {
+    let run = |fused: bool| {
+        let q = builder(a, 16, 1).build::<u64>();
+        prefill(&*q, PREFILL);
+        let mut x = 0u64;
+        let step = |x: &mut u64| {
+            *x = x.wrapping_add(7);
+            let pri = (*x % 16) as usize;
+            if fused {
+                std::hint::black_box(q.replace_min(0, pri, *x));
+            } else {
+                std::hint::black_box(q.delete_min(0));
+                q.insert(0, pri, *x);
+            }
+        };
+        for _ in 0..iters / 10 {
+            step(&mut x);
+        }
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            step(&mut x);
+        }
+        t0.elapsed().as_nanos() as f64 / iters as f64
+    };
+    (run(true), run(false))
+}
+
+fn main() {
+    let reps = (8u64 * scale_percent() as u64 / 100).max(2);
+    let iters = (100_000u64 * scale_percent() as u64 / 100).max(1_000);
+
+    // 1. k-sweep.
+    let sweep = bench_k_sweep(reps);
+    print_table(
+        "Batched churn, two contending threads (ns per item-op)",
+        &["queue", "k", "ns/op", "speedup vs k=1"],
+        &sweep
+            .iter()
+            .map(|r| {
+                vec![
+                    r.algorithm.name().to_string(),
+                    r.k.to_string(),
+                    format!("{:.0}", r.ns_per_op),
+                    format!("{:.2}x", r.speedup_vs_k1),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    // 2. Simulated contended k-sweep at 16 processors.
+    let sim_sweep = bench_sim_k_sweep();
+    print_table(
+        "Simulated batched churn, 16 contending processors (cycles per item)",
+        &["queue", "k", "cyc/item", "speedup vs k=1"],
+        &sim_sweep
+            .iter()
+            .map(|r| {
+                vec![
+                    r.algorithm.name().to_string(),
+                    r.k.to_string(),
+                    format!("{:.0}", r.cycles_per_item),
+                    format!("{:.2}x", r.speedup_vs_k1),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    // 3. replace_min A/B on the heap-backed queues.
+    let heap_backed = [
+        Algorithm::SingleLock,
+        Algorithm::HuntEtAl,
+        Algorithm::MultiQueue,
+    ];
+    let replace: Vec<(Algorithm, f64, f64)> = heap_backed
+        .into_iter()
+        .map(|a| {
+            let (fused, pair) = replace_min_ab(a, iters);
+            (a, fused, pair)
+        })
+        .collect();
+    print_table(
+        "replace_min vs delete_min + insert (single thread, ns per op)",
+        &["queue", "fused ns", "pop+push ns", "speedup"],
+        &replace
+            .iter()
+            .map(|(a, fused, pair)| {
+                vec![
+                    a.name().to_string(),
+                    format!("{fused:.0}"),
+                    format!("{pair:.0}"),
+                    format!("{:.2}x", pair / fused),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    // 4. Simulated quality sweep: MultiQueue drain rank error vs k, with
+    // the SingleLock per-item drain cycles as the strict cross-check.
+    let mut quality_rows = Vec::new();
+    let mut quality_table = Vec::new();
+    for k in [1usize, 8, 64] {
+        let wl = standard_workload(8, 32);
+        let total = (wl.procs * wl.ops_per_proc) as u64;
+        let mq = run_batched_quality(Algorithm::MultiQueue, &wl, k, Some(total))
+            .unwrap_or_else(|e| panic!("MultiQueue k={k} failed audit: {e}"));
+        let sl = run_batched_quality(Algorithm::SingleLock, &wl, k, None)
+            .unwrap_or_else(|e| panic!("SingleLock k={k} failed audit: {e}"));
+        assert_eq!(
+            sl.report.rank_error.max(),
+            0,
+            "SingleLock batched drain must stay exactly sorted"
+        );
+        let ranks = &mq.report.rank_error;
+        quality_table.push(vec![
+            k.to_string(),
+            format!("{:.2}", ranks.mean()),
+            ranks.p99().to_string(),
+            ranks.max().to_string(),
+            format!("{:.0}", mq.result.delete.mean() / k as f64),
+            format!("{:.0}", sl.result.delete.mean() / k as f64),
+        ]);
+        quality_rows.push(BenchRecord {
+            name: format!("sim_quality_k{k}"),
+            fields: vec![
+                ("k", k as f64),
+                ("mq_rank_error_mean", ranks.mean()),
+                ("mq_rank_error_p99", ranks.p99() as f64),
+                ("mq_rank_error_max", ranks.max() as f64),
+                ("mq_rank_error_bound", total as f64),
+                (
+                    "mq_drain_cycles_per_item",
+                    mq.result.delete.mean() / k as f64,
+                ),
+                (
+                    "sl_drain_cycles_per_item",
+                    sl.result.delete.mean() / k as f64,
+                ),
+                ("sl_rank_error_max", sl.report.rank_error.max() as f64),
+            ],
+        });
+    }
+    print_table(
+        "Simulated batched drain quality (MultiQueue rank error; cycles per item)",
+        &[
+            "k",
+            "MQ rank mean",
+            "MQ rank p99",
+            "MQ rank max",
+            "MQ cyc/item",
+            "SL cyc/item",
+        ],
+        &quality_table,
+    );
+
+    // Batch-size histogram smoke: one instrumented churn run, so the
+    // report carries the BatchOp counter and mean batch size alongside
+    // the timings.
+    let rec = Arc::new(AtomicRecorder::new());
+    let q = builder(Algorithm::SingleLock, 16, 1)
+        .recorder(Arc::clone(&rec))
+        .build::<u64>();
+    prefill(&*q, PREFILL);
+    churn(&*q, 0, 8, 64);
+    let snap = rec.snapshot();
+    assert!(snap.batch.count > 0, "batched churn must record BatchOp");
+
+    let mut records: Vec<BenchRecord> = sweep
+        .iter()
+        .map(|r| BenchRecord {
+            name: format!("{}_k{}", r.algorithm.name(), r.k),
+            fields: vec![
+                ("k", r.k as f64),
+                ("ns_per_op", r.ns_per_op),
+                ("speedup_vs_k1", r.speedup_vs_k1),
+            ],
+        })
+        .collect();
+    records.extend(sim_sweep.iter().map(|r| BenchRecord {
+        name: format!("sim_churn_{}_k{}", r.algorithm.name(), r.k),
+        fields: vec![
+            ("k", r.k as f64),
+            ("cycles_per_item", r.cycles_per_item),
+            ("speedup_vs_k1", r.speedup_vs_k1),
+        ],
+    }));
+    records.extend(replace.iter().map(|(a, fused, pair)| BenchRecord {
+        name: format!("{}_replace_min_ab", a.name()),
+        fields: vec![
+            ("fused_ns_per_op", *fused),
+            ("pop_push_ns_per_op", *pair),
+            ("fused_speedup", pair / fused),
+        ],
+    }));
+    records.extend(quality_rows);
+    records.push(BenchRecord {
+        name: "batch_histogram_smoke".into(),
+        fields: vec![
+            ("batch_count", snap.batch.count as f64),
+            ("batch_total_items", snap.batch.total_items as f64),
+            ("batch_mean_items", snap.batch.mean_items()),
+        ],
+    });
+
+    // Benches run with the package directory as cwd; anchor the report at
+    // the workspace root where CI picks it up.
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let path = format!("{root}/BENCH_batch.json");
+    if let Err(e) = write_bench_json(&path, "batch_ops", &records) {
+        eprintln!("could not write {path}: {e}");
+    }
+    println!("wrote {path}");
+}

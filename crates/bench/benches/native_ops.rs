@@ -71,6 +71,72 @@ fn bench_single_thread_ops(iters: u64) -> Vec<SingleThreadRow> {
     rows
 }
 
+/// Times `rounds` iterations of `insert_batch(k)` + `delete_min_batch(k)`
+/// (with a warmup of a tenth); returns ns per item moved.
+fn time_batch_rounds(q: &dyn BoundedPq<u64>, k: usize, rounds: u64) -> f64 {
+    let mut x = 0u64;
+    let mut out = Vec::with_capacity(k);
+    let mut round = |timing: bool| {
+        let mut batch = Vec::with_capacity(k);
+        for _ in 0..k {
+            x = x.wrapping_add(7);
+            batch.push(((x % 16) as usize, x));
+        }
+        q.insert_batch(0, batch).expect("pris in range");
+        out.clear();
+        if timing {
+            std::hint::black_box(q.delete_min_batch(0, k, &mut out));
+        } else {
+            q.delete_min_batch(0, k, &mut out);
+        }
+    };
+    for _ in 0..rounds / 10 {
+        round(false);
+    }
+    let t0 = Instant::now();
+    for _ in 0..rounds {
+        round(true);
+    }
+    t0.elapsed().as_nanos() as f64 / (rounds * 2 * k as u64) as f64
+}
+
+/// Noop/atomic A/B over the batched entry points of the four queues with
+/// native batch overrides: the noop column is the proof that the batch
+/// instrumentation ([`funnelpq::obs::Recorder::record_batch`]) still
+/// monomorphizes away when unobserved.
+fn bench_batch_ab(iters: u64) -> Vec<(Algorithm, f64, f64)> {
+    const K: usize = 8;
+    let rounds = (iters / K as u64).max(100);
+    [
+        Algorithm::SingleLock,
+        Algorithm::HuntEtAl,
+        Algorithm::SkipList,
+        Algorithm::MultiQueue,
+    ]
+    .into_iter()
+    .map(|a| {
+        let q = builder(a, 16, 1).build::<u64>();
+        let noop_ns = time_batch_rounds(q.as_ref(), K, rounds);
+
+        let rec = Arc::new(AtomicRecorder::new());
+        let q = builder(a, 16, 1).recorder(Arc::clone(&rec)).build::<u64>();
+        let atomic_ns = time_batch_rounds(q.as_ref(), K, rounds);
+        let snap = rec.snapshot();
+        assert!(
+            snap.batch.count > 0,
+            "{}: instrumented batch run recorded no BatchOp",
+            a.name()
+        );
+        assert!(
+            (snap.batch.mean_items() - K as f64).abs() < 1.0,
+            "{}: batch-size histogram disagrees with k={K}",
+            a.name()
+        );
+        (a, noop_ns, atomic_ns)
+    })
+    .collect()
+}
+
 /// Two threads hammering insert+delete pairs; returns ns per pair. With
 /// one core this measures interleaved (not parallel) behaviour — still
 /// useful as a lock-convoy smoke test.
@@ -153,6 +219,23 @@ fn main() {
             .collect::<Vec<_>>(),
     );
 
+    let batch_ab = bench_batch_ab(iters);
+    print_table(
+        "Batched entry points: noop vs metrics recorder (k=8, ns per item)",
+        &["queue", "ns/item (noop)", "ns/item (metrics)", "overhead %"],
+        &batch_ab
+            .iter()
+            .map(|(a, noop, atomic)| {
+                vec![
+                    a.name().to_string(),
+                    format!("{noop:.0}"),
+                    format!("{atomic:.0}"),
+                    format!("{:+.1}", (atomic / noop - 1.0) * 100.0),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
     let pad_ab = bench_funnel_pad_ab(reps);
     print_table(
         "Funnel collision-slot padding A/B (two threads)",
@@ -193,6 +276,14 @@ fn main() {
             }
         })
         .collect();
+    records.extend(batch_ab.iter().map(|(a, noop, atomic)| BenchRecord {
+        name: format!("{}_batch_ab", a.name()),
+        fields: vec![
+            ("noop_batch_ns_per_item", *noop),
+            ("atomic_batch_ns_per_item", *atomic),
+            ("atomic_overhead_percent", (atomic / noop - 1.0) * 100.0),
+        ],
+    }));
     // The slot-padding A/B rides along in the same report: `compact` is
     // the pre-padding dense layout, so `pad_delta_percent` > 0 is the cost
     // false sharing was adding.

@@ -56,6 +56,20 @@ impl<T> BinaryHeap<T> {
         self.sift_up(self.entries.len() - 1);
     }
 
+    /// Fused pop + push: swaps a smallest-priority entry for `(pri, item)`
+    /// with a single sift from the root, instead of a pop's sift-down plus
+    /// a push's sift-up. Returns the removed entry, or `None` when the heap
+    /// was empty (the new entry is still inserted).
+    pub fn replace_min(&mut self, pri: usize, item: T) -> Option<(usize, T)> {
+        if self.entries.is_empty() {
+            self.entries.push((pri, item));
+            return None;
+        }
+        let out = std::mem::replace(&mut self.entries[0], (pri, item));
+        self.sift_down(0);
+        Some(out)
+    }
+
     /// Removes and returns a smallest-priority entry.
     pub fn pop(&mut self) -> Option<(usize, T)> {
         if self.entries.is_empty() {
@@ -129,6 +143,38 @@ mod tests {
         h.push(2, ());
         assert!(!h.is_empty());
         assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn replace_min_matches_pop_then_push() {
+        let seq = [7usize, 2, 9, 2, 0, 5, 8, 1, 6];
+        let mut fused = BinaryHeap::new();
+        let mut naive = BinaryHeap::new();
+        for (k, &p) in seq.iter().enumerate() {
+            fused.push(p, k);
+            naive.push(p, k);
+        }
+        for new_pri in [4usize, 0, 9, 3, 3, 11] {
+            let a = fused.replace_min(new_pri, 99);
+            let b = naive.pop();
+            naive.push(new_pri, 99);
+            assert_eq!(a.map(|e| e.0), b.map(|e| e.0));
+        }
+        let drain = |mut h: BinaryHeap<usize>| {
+            let mut v = Vec::new();
+            while let Some((p, _)) = h.pop() {
+                v.push(p);
+            }
+            v
+        };
+        assert_eq!(drain(fused), drain(naive));
+    }
+
+    #[test]
+    fn replace_min_on_empty_inserts() {
+        let mut h = BinaryHeap::new();
+        assert_eq!(h.replace_min(3, 'x'), None);
+        assert_eq!(h.pop(), Some((3, 'x')));
     }
 
     #[test]

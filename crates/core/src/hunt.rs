@@ -16,7 +16,7 @@ use funnelpq_sync::{McsMutex, TtasMutex};
 
 use crate::algorithm::Algorithm;
 use crate::obs::{self, CounterEvent, NoopRecorder, OpKind, Recorder};
-use crate::traits::{BoundedPq, PqError};
+use crate::traits::{batch_reject, reject, BoundedPq, PqBatchError, PqError};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Tag {
@@ -172,7 +172,7 @@ impl<T: Send, R: Recorder> BoundedPq<T> for HuntPq<T, R> {
             // Reserve a position under the size lock; lock the target node
             // before releasing it so a racing delete of the same position
             // blocks until our item is in place.
-            let mut i;
+            let i;
             {
                 let mut size = self.size.lock();
                 if *size >= self.capacity {
@@ -185,37 +185,7 @@ impl<T: Send, R: Recorder> BoundedPq<T> for HuntPq<T, R> {
                 node.entry = Some((pri, item));
                 node.tag = Tag::Owned(tid);
             }
-            // Bubble up with hand-over-hand (parent, child) locking.
-            while i > 1 {
-                let parent = i / 2;
-                let mut pg = self.nodes[parent].lock();
-                let mut ig = self.nodes[i].lock();
-                if pg.tag == Tag::Available && ig.tag == Tag::Owned(tid) {
-                    if ig.priority() < pg.priority() {
-                        std::mem::swap(&mut pg.entry, &mut ig.entry);
-                        ig.tag = Tag::Available;
-                        pg.tag = Tag::Owned(tid);
-                        i = parent;
-                    } else {
-                        ig.tag = Tag::Available;
-                        i = 0;
-                    }
-                } else if pg.tag == Tag::Empty {
-                    // The whole path above was consumed; our item went with it.
-                    i = 0;
-                } else if ig.tag != Tag::Owned(tid) {
-                    // A concurrent delete swapped our item upward; chase it.
-                    i = parent;
-                }
-                // Otherwise the parent is mid-insertion by another thread:
-                // release both locks and retry at the same position.
-            }
-            if i == 1 {
-                let mut root = self.nodes[1].lock();
-                if root.tag == Tag::Owned(tid) {
-                    root.tag = Tag::Available;
-                }
-            }
+            self.bubble_up(tid, i);
             Ok(())
         })
     }
@@ -231,39 +201,220 @@ impl<T: Send, R: Recorder> BoundedPq<T> for HuntPq<T, R> {
         out
     }
 
+    // One size-lock hold reserves and fills every position; the bubbles run
+    // lock-free of the size lock afterwards. Deadlock-free because the size
+    // lock is always acquired before node locks and never the other way
+    // around, and node locks are taken in increasing-index pairs.
+    fn insert_batch(&self, tid: usize, mut batch: Vec<(usize, T)>) -> Result<(), PqBatchError<T>> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        if tid >= self.max_threads {
+            let max_threads = self.max_threads;
+            return Err(batch_reject(batch, 0, |_, item| PqError::TidOutOfRange {
+                tid,
+                max_threads,
+                item,
+            }));
+        }
+        if let Some(bad) = batch
+            .iter()
+            .position(|&(pri, _)| pri >= self.num_priorities)
+        {
+            let num_priorities = self.num_priorities;
+            return Err(batch_reject(batch, bad, |pri, item| {
+                PqError::PriorityOutOfRange {
+                    pri,
+                    num_priorities,
+                    item,
+                }
+            }));
+        }
+        // Ascending order: each bubble stops as soon as it meets an
+        // earlier (smaller) item from the same batch.
+        batch.sort_unstable_by_key(|&(pri, _)| pri);
+        let submitted = batch.len();
+        let leftover = obs::timed(&*self.recorder, OpKind::Insert, || {
+            let mut positions = Vec::with_capacity(submitted);
+            let mut it = batch.into_iter();
+            {
+                let mut size = self.size.lock();
+                let room = self.capacity - *size;
+                for (pri, item) in (&mut it).take(room) {
+                    *size += 1;
+                    let i = bit_reversed_position(*size);
+                    let mut node = self.nodes[i].lock();
+                    node.entry = Some((pri, item));
+                    node.tag = Tag::Owned(tid);
+                    drop(node);
+                    positions.push(i);
+                }
+            }
+            for &i in &positions {
+                self.bubble_up(tid, i);
+            }
+            it.collect::<Vec<(usize, T)>>()
+        });
+        obs::record_batch_op(&*self.recorder, (submitted - leftover.len()) as u64);
+        if leftover.is_empty() {
+            Ok(())
+        } else {
+            // Capacity hit mid-batch: the first unfiled entry is the
+            // failing one, the tail comes back unconsumed.
+            Err(batch_reject(leftover, 0, |_, item| {
+                PqError::CapacityExhausted { item }
+            }))
+        }
+    }
+
+    // One size-lock hold detaches up to `k` bit-reversed bottoms; the
+    // detached items then settle against the root one result at a time.
+    // Each result is exactly min(root, smallest detached item), so a
+    // sequential batch returns the same items as `k` single deletes.
+    fn delete_min_batch(&self, tid: usize, k: usize, out: &mut Vec<(usize, T)>) -> usize {
+        assert!(tid < self.max_threads, "tid {tid} out of range");
+        if k == 0 {
+            return 0;
+        }
+        let taken = obs::timed(&*self.recorder, OpKind::DeleteMin, || {
+            let mut saved: Vec<(usize, T)> = Vec::new();
+            {
+                let mut size = self.size.lock();
+                let m = k.min(*size);
+                saved.reserve(m);
+                for _ in 0..m {
+                    let bottom = bit_reversed_position(*size);
+                    *size -= 1;
+                    let mut bg = self.nodes[bottom].lock();
+                    saved.push(bg.entry.take().expect("bottom node occupied"));
+                    bg.tag = Tag::Empty;
+                }
+            }
+            saved.sort_unstable_by_key(|e| e.0);
+            let mut dq: std::collections::VecDeque<(usize, T)> = saved.into();
+            let mut taken = 0;
+            while !dq.is_empty() {
+                let root = self.nodes[1].lock();
+                let take_saved = match root.tag {
+                    Tag::Empty => true,
+                    _ => dq.front().expect("nonempty deque").0 <= root.priority(),
+                };
+                if take_saved {
+                    // The smallest detached item beats the root: no heap
+                    // structure needs touching at all.
+                    drop(root);
+                    out.push(dq.pop_front().expect("nonempty deque"));
+                } else {
+                    // The root is the minimum; refill it with the largest
+                    // detached item and sift once.
+                    let mut ig = root;
+                    let min = ig.entry.take().expect("root occupied");
+                    ig.entry = Some(dq.pop_back().expect("nonempty deque"));
+                    ig.tag = Tag::Available;
+                    self.sift_down(ig);
+                    out.push(min);
+                }
+                taken += 1;
+            }
+            taken
+        });
+        obs::record_batch_op(&*self.recorder, taken as u64);
+        if R::ENABLED && taken == 0 {
+            self.recorder.record_event(CounterEvent::EmptyDeleteMin);
+        }
+        taken
+    }
+
+    // Fused swap at the root when it is at rest: one node-lock episode, one
+    // sift, and — unlike delete+insert — no size-lock traffic at all.
+    fn replace_min(&self, tid: usize, pri: usize, item: T) -> Option<(usize, T)> {
+        assert!(tid < self.max_threads, "tid {tid} out of range");
+        if pri >= self.num_priorities {
+            reject(&PqError::PriorityOutOfRange {
+                pri,
+                num_priorities: self.num_priorities,
+                item: (),
+            });
+        }
+        let out = obs::timed(&*self.recorder, OpKind::DeleteMin, || {
+            let mut root = self.nodes[1].lock();
+            if root.tag == Tag::Available {
+                let min = root.entry.take().expect("root occupied");
+                root.entry = Some((pri, item));
+                self.sift_down(root);
+                return Some(min);
+            }
+            drop(root);
+            // Root empty or mid-insertion: fall back to the unfused pair.
+            let removed = self.delete_min_inner();
+            if let Err(e) = self.try_insert(tid, pri, item) {
+                if let Some((p, x)) = removed {
+                    let _ = self.try_insert(tid, p, x);
+                }
+                reject(&e);
+            }
+            removed
+        });
+        obs::record_batch_op(&*self.recorder, 1);
+        if R::ENABLED && out.is_none() {
+            self.recorder.record_event(CounterEvent::EmptyDeleteMin);
+        }
+        out
+    }
+
     fn is_empty(&self) -> bool {
         *self.size.lock() == 0
     }
 }
 
 impl<T: Send, R: Recorder> HuntPq<T, R> {
-    fn delete_min_inner(&self) -> Option<(usize, T)> {
-        // Detach the bit-reversed last item.
-        let saved: (usize, T);
-        {
-            let mut size = self.size.lock();
-            if *size == 0 {
-                return None;
+    /// Bubbles the item a thread just placed (tagged `Owned(tid)`) at
+    /// position `i` up to its resting place, with hand-over-hand
+    /// (parent, child) locking.
+    fn bubble_up(&self, tid: usize, mut i: usize) {
+        let backoff = funnelpq_util::Backoff::new();
+        while i > 1 {
+            let parent = i / 2;
+            let mut pg = self.nodes[parent].lock();
+            let mut ig = self.nodes[i].lock();
+            if pg.tag == Tag::Available && ig.tag == Tag::Owned(tid) {
+                if ig.priority() < pg.priority() {
+                    std::mem::swap(&mut pg.entry, &mut ig.entry);
+                    ig.tag = Tag::Available;
+                    pg.tag = Tag::Owned(tid);
+                    i = parent;
+                } else {
+                    ig.tag = Tag::Available;
+                    i = 0;
+                }
+            } else if pg.tag == Tag::Empty {
+                // The whole path above was consumed; our item went with it.
+                i = 0;
+            } else if ig.tag != Tag::Owned(tid) {
+                // A concurrent delete swapped our item upward; chase it.
+                i = parent;
+            } else {
+                // The parent is mid-insertion by another thread: release
+                // both locks and retry at the same position. Back off
+                // before retrying — a batched inserter can leave many
+                // positions pending at once, and a tight relock loop
+                // starves it of the CPU it needs to clear them.
+                drop(ig);
+                drop(pg);
+                backoff.snooze();
             }
-            let bottom = bit_reversed_position(*size);
-            *size -= 1;
-            let mut bg = self.nodes[bottom].lock();
-            drop(size);
-            saved = bg.entry.take().expect("bottom node occupied");
-            bg.tag = Tag::Empty;
         }
-        // Replace the root item with the detached one and sift down.
-        let mut ig = self.nodes[1].lock();
-        if ig.tag == Tag::Empty {
-            // The detached bottom *was* the root (or the root was consumed
-            // by a concurrent delete that raced us): the saved item is the
-            // answer.
-            return Some(saved);
+        if i == 1 {
+            let mut root = self.nodes[1].lock();
+            if root.tag == Tag::Owned(tid) {
+                root.tag = Tag::Available;
+            }
         }
-        let min = ig.entry.take().expect("root occupied");
-        ig.entry = Some(saved);
-        ig.tag = Tag::Available;
+    }
 
+    /// Sifts the just-installed root entry down to its resting place,
+    /// hand-over-hand; consumes (and finally releases) the root's guard.
+    fn sift_down<'a>(&'a self, mut ig: funnelpq_sync::TtasGuard<'a, Node<T>>) {
         let mut i = 1;
         loop {
             let l = 2 * i;
@@ -307,7 +458,35 @@ impl<T: Send, R: Recorder> HuntPq<T, R> {
             }
         }
         drop(ig);
-        let _ = i;
+    }
+
+    fn delete_min_inner(&self) -> Option<(usize, T)> {
+        // Detach the bit-reversed last item.
+        let saved: (usize, T);
+        {
+            let mut size = self.size.lock();
+            if *size == 0 {
+                return None;
+            }
+            let bottom = bit_reversed_position(*size);
+            *size -= 1;
+            let mut bg = self.nodes[bottom].lock();
+            drop(size);
+            saved = bg.entry.take().expect("bottom node occupied");
+            bg.tag = Tag::Empty;
+        }
+        // Replace the root item with the detached one and sift down.
+        let mut ig = self.nodes[1].lock();
+        if ig.tag == Tag::Empty {
+            // The detached bottom *was* the root (or the root was consumed
+            // by a concurrent delete that raced us): the saved item is the
+            // answer.
+            return Some(saved);
+        }
+        let min = ig.entry.take().expect("root occupied");
+        ig.entry = Some(saved);
+        ig.tag = Tag::Available;
+        self.sift_down(ig);
         Some(min)
     }
 }
@@ -378,5 +557,57 @@ mod tests {
         q.insert(0, 0, ());
         q.insert(0, 1, ());
         q.insert(0, 2, ());
+    }
+
+    #[test]
+    fn batch_ops_match_singles() {
+        let q = HuntPq::with_capacity(32, 1, 128);
+        q.insert_batch(
+            0,
+            vec![(17, 17u64), (3, 3), (3, 103), (25, 25), (0, 0), (9, 9)],
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        assert_eq!(q.delete_min_batch(0, 4, &mut out), 4);
+        let pris: Vec<usize> = out.iter().map(|e| e.0).collect();
+        assert_eq!(pris, vec![0, 3, 3, 9]);
+        assert_eq!(q.replace_min(0, 2, 99), Some((17, 17)));
+        assert_eq!(q.delete_min(0), Some((2, 99)));
+        out.clear();
+        assert_eq!(q.delete_min_batch(0, 10, &mut out), 1, "stops when dry");
+        assert_eq!(out[0].0, 25);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn batch_insert_capacity_hit_returns_unconsumed_tail() {
+        use crate::traits::PqBatchError;
+        let q = HuntPq::with_capacity(8, 1, 3);
+        q.insert(0, 7, 70u64);
+        let err: PqBatchError<u64> = q
+            .insert_batch(0, vec![(5, 50), (1, 10), (6, 60), (2, 20)])
+            .unwrap_err();
+        assert!(matches!(err.error, PqError::CapacityExhausted { .. }));
+        // Two of four fit (capacity 3, one pre-filled); the batch files in
+        // ascending order, so 1 and 2 got in, 5 and 6 come back.
+        let mut back: Vec<usize> = err.into_unconsumed().iter().map(|e| e.0).collect();
+        back.sort_unstable();
+        assert_eq!(back, vec![5, 6]);
+        let mut out = Vec::new();
+        assert_eq!(q.delete_min_batch(0, 8, &mut out), 3);
+        assert_eq!(out.iter().map(|e| e.0).collect::<Vec<_>>(), vec![1, 2, 7]);
+    }
+
+    #[test]
+    fn batch_delete_settles_detached_items_exactly() {
+        // Regression shape: the batch detaches bottoms whose priorities are
+        // *smaller* than what the root holds after the first settle; the
+        // min(root, saved) rule must still return exact ascending results.
+        let q = HuntPq::with_capacity(16, 1, 64);
+        q.insert_batch(0, vec![(0, 0u64), (1, 1), (5, 5)]).unwrap();
+        let mut out = Vec::new();
+        assert_eq!(q.delete_min_batch(0, 2, &mut out), 2);
+        assert_eq!(out.iter().map(|e| e.0).collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(q.delete_min(0), Some((5, 5)));
     }
 }

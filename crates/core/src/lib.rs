@@ -84,7 +84,7 @@ pub use simple_linear::SimpleLinearPq;
 pub use simple_tree::SimpleTreePq;
 pub use single_lock::SingleLockPq;
 pub use skiplist::SkipListPq;
-pub use traits::{BoundedPq, Consistency, PqError};
+pub use traits::{BoundedPq, Consistency, PqBatchError, PqError};
 
 // Re-export the substrate types a queue constructor may need.
 pub use funnelpq_sync::{BinOrder, Bounds, FunnelConfig};

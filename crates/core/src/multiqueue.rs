@@ -20,7 +20,7 @@ use funnelpq_util::{AtomicRng, CachePadded};
 use crate::algorithm::Algorithm;
 use crate::heap::BinaryHeap;
 use crate::obs::{self, CounterEvent, NoopRecorder, OpKind, Recorder};
-use crate::traits::{BoundedPq, Consistency, PqError};
+use crate::traits::{batch_reject, reject, BoundedPq, Consistency, PqBatchError, PqError};
 
 /// Default ratio of internal heaps to threads (`c` in the MultiQueues
 /// papers; `c = 2` is their baseline configuration).
@@ -367,6 +367,248 @@ impl<T: Send, R: Recorder> BoundedPq<T> for MultiQueuePq<T, R> {
         out
     }
 
+    // The sticky (or freshly drawn) queue absorbs the whole batch in one
+    // try-lock episode: one CAS, one top publication, k pushes.
+    fn insert_batch(&self, tid: usize, mut batch: Vec<(usize, T)>) -> Result<(), PqBatchError<T>> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        if tid >= self.max_threads {
+            let max_threads = self.max_threads;
+            return Err(batch_reject(batch, 0, |_, item| PqError::TidOutOfRange {
+                tid,
+                max_threads,
+                item,
+            }));
+        }
+        if let Some(bad) = batch
+            .iter()
+            .position(|&(pri, _)| pri >= self.num_priorities)
+        {
+            let num_priorities = self.num_priorities;
+            return Err(batch_reject(batch, bad, |pri, item| {
+                PqError::PriorityOutOfRange {
+                    pri,
+                    num_priorities,
+                    item,
+                }
+            }));
+        }
+        batch.sort_unstable_by_key(|&(pri, _)| pri);
+        let n = batch.len() as u64;
+        obs::timed(&*self.recorder, OpKind::Insert, || {
+            let t = &*self.threads[tid];
+            let mut batch = Some(batch);
+            loop {
+                let sticky = self.stickiness > 1 && t.ins_left.load(Ordering::Relaxed) > 0;
+                let q = if sticky {
+                    t.ins_q.load(Ordering::Relaxed)
+                } else {
+                    t.rng.below(self.slots.len() as u64) as usize
+                };
+                let slot = &*self.slots[q];
+                match slot.heap.try_lock() {
+                    Some(mut g) => {
+                        for (pri, item) in batch.take().expect("batch consumed once") {
+                            g.push(pri, item);
+                        }
+                        Self::publish_top(slot, &g);
+                        // The whole batch counts as one operation against
+                        // the stickiness budget.
+                        if self.stickiness > 1 {
+                            if sticky {
+                                t.ins_left.store(
+                                    t.ins_left.load(Ordering::Relaxed) - 1,
+                                    Ordering::Relaxed,
+                                );
+                            } else {
+                                t.ins_q.store(q, Ordering::Relaxed);
+                                t.ins_left.store(self.stickiness - 1, Ordering::Relaxed);
+                            }
+                        }
+                        if R::ENABLED {
+                            self.recorder.record_event(CounterEvent::LockAcquire);
+                        }
+                        return;
+                    }
+                    None => {
+                        t.ins_left.store(0, Ordering::Relaxed);
+                        if R::ENABLED {
+                            self.recorder.record_event(CounterEvent::CasRetry);
+                        }
+                    }
+                }
+            }
+        });
+        obs::record_batch_op(&*self.recorder, n);
+        Ok(())
+    }
+
+    // Pops up to `k` items from the two-choice winner under one lock hold,
+    // publishing its top once at the end; re-draws (or sweeps) only if the
+    // winner runs dry early. Relaxation grows with `k` — the winner's
+    // items are taken en bloc while other heaps may hold smaller ones —
+    // which is exactly what the simulator's rank-error audit quantifies.
+    fn delete_min_batch(&self, tid: usize, k: usize, out: &mut Vec<(usize, T)>) -> usize {
+        assert!(tid < self.max_threads, "tid {tid} out of range");
+        if k == 0 {
+            return 0;
+        }
+        let taken = obs::timed(&*self.recorder, OpKind::DeleteMin, || {
+            let t = &*self.threads[tid];
+            let mut taken = 0;
+            while taken < k {
+                let sticky = self.stickiness > 1 && t.del_left.load(Ordering::Relaxed) > 0;
+                let (a, b) = if sticky {
+                    (
+                        t.del_a.load(Ordering::Relaxed),
+                        t.del_b.load(Ordering::Relaxed),
+                    )
+                } else {
+                    self.draw_pair(t)
+                };
+                let top_a = self.slots[a].top.load(Ordering::Acquire);
+                let top_b = self.slots[b].top.load(Ordering::Acquire);
+                if top_a == EMPTY_TOP && top_b == EMPTY_TOP {
+                    t.del_left.store(0, Ordering::Relaxed);
+                    match self.sweep() {
+                        Some(e) => {
+                            out.push(e);
+                            taken += 1;
+                            continue;
+                        }
+                        None => break,
+                    }
+                }
+                let q = if top_b < top_a { b } else { a };
+                let slot = &*self.slots[q];
+                match slot.heap.try_lock() {
+                    Some(mut g) => {
+                        if R::ENABLED {
+                            self.recorder.record_event(CounterEvent::LockAcquire);
+                        }
+                        let before = taken;
+                        while taken < k {
+                            match g.pop() {
+                                Some(e) => {
+                                    out.push(e);
+                                    taken += 1;
+                                }
+                                None => break,
+                            }
+                        }
+                        Self::publish_top(slot, &g);
+                        if taken == before {
+                            // Raced empty under a stale top: repaired above.
+                            t.del_left.store(0, Ordering::Relaxed);
+                        } else if self.stickiness > 1 {
+                            if sticky {
+                                t.del_left.store(
+                                    t.del_left.load(Ordering::Relaxed) - 1,
+                                    Ordering::Relaxed,
+                                );
+                            } else {
+                                t.del_a.store(a, Ordering::Relaxed);
+                                t.del_b.store(b, Ordering::Relaxed);
+                                t.del_left.store(self.stickiness - 1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    None => {
+                        t.del_left.store(0, Ordering::Relaxed);
+                        if R::ENABLED {
+                            self.recorder.record_event(CounterEvent::CasRetry);
+                        }
+                    }
+                }
+            }
+            taken
+        });
+        obs::record_batch_op(&*self.recorder, taken as u64);
+        if R::ENABLED && taken == 0 {
+            self.recorder.record_event(CounterEvent::EmptyDeleteMin);
+        }
+        taken
+    }
+
+    // Fused root swap on the two-choice winner: one try-lock episode, one
+    // sift, one top publication — versus two full episodes for the unfused
+    // delete+insert pair.
+    fn replace_min(&self, tid: usize, pri: usize, item: T) -> Option<(usize, T)> {
+        assert!(tid < self.max_threads, "tid {tid} out of range");
+        if pri >= self.num_priorities {
+            reject(&PqError::PriorityOutOfRange {
+                pri,
+                num_priorities: self.num_priorities,
+                item: (),
+            });
+        }
+        let out = obs::timed(&*self.recorder, OpKind::DeleteMin, || {
+            let t = &*self.threads[tid];
+            let mut item = Some(item);
+            loop {
+                let sticky = self.stickiness > 1 && t.del_left.load(Ordering::Relaxed) > 0;
+                let (a, b) = if sticky {
+                    (
+                        t.del_a.load(Ordering::Relaxed),
+                        t.del_b.load(Ordering::Relaxed),
+                    )
+                } else {
+                    self.draw_pair(t)
+                };
+                let top_a = self.slots[a].top.load(Ordering::Acquire);
+                let top_b = self.slots[b].top.load(Ordering::Acquire);
+                if top_a == EMPTY_TOP && top_b == EMPTY_TOP {
+                    // Queue looks empty: definitive sweep for the removal,
+                    // then file the new item on the ordinary insert path.
+                    t.del_left.store(0, Ordering::Relaxed);
+                    let removed = self.sweep();
+                    self.insert_inner(tid, pri, item.take().expect("item filed once"));
+                    return removed;
+                }
+                let q = if top_b < top_a { b } else { a };
+                let slot = &*self.slots[q];
+                match slot.heap.try_lock() {
+                    Some(mut g) => {
+                        if R::ENABLED {
+                            self.recorder.record_event(CounterEvent::LockAcquire);
+                        }
+                        let removed = g.replace_min(pri, item.take().expect("item filed once"));
+                        Self::publish_top(slot, &g);
+                        if removed.is_none() {
+                            // Stale top over an empty heap: the new item is
+                            // filed there anyway; report the empty removal.
+                            t.del_left.store(0, Ordering::Relaxed);
+                        } else if self.stickiness > 1 {
+                            if sticky {
+                                t.del_left.store(
+                                    t.del_left.load(Ordering::Relaxed) - 1,
+                                    Ordering::Relaxed,
+                                );
+                            } else {
+                                t.del_a.store(a, Ordering::Relaxed);
+                                t.del_b.store(b, Ordering::Relaxed);
+                                t.del_left.store(self.stickiness - 1, Ordering::Relaxed);
+                            }
+                        }
+                        return removed;
+                    }
+                    None => {
+                        t.del_left.store(0, Ordering::Relaxed);
+                        if R::ENABLED {
+                            self.recorder.record_event(CounterEvent::CasRetry);
+                        }
+                    }
+                }
+            }
+        });
+        obs::record_batch_op(&*self.recorder, 1);
+        if R::ENABLED && out.is_none() {
+            self.recorder.record_event(CounterEvent::EmptyDeleteMin);
+        }
+        out
+    }
+
     fn is_empty(&self) -> bool {
         self.slots
             .iter()
@@ -479,6 +721,46 @@ mod tests {
             assert!(seen.insert(item), "item {item} returned twice");
         }
         assert_eq!(seen.len(), T * N, "inserted and drained counts must match");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn batch_ops_conserve_elements() {
+        let q = MultiQueuePq::new(32, 1);
+        let batch: Vec<(usize, usize)> = (0..100).map(|i| ((i * 7) % 32, i)).collect();
+        q.insert_batch(0, batch).unwrap();
+        let swapped = q.replace_min(0, 31, 1000).expect("queue is non-empty");
+        let mut got = BTreeSet::new();
+        got.insert(swapped.1);
+        let mut out = Vec::new();
+        loop {
+            out.clear();
+            let n = q.delete_min_batch(0, 8, &mut out);
+            for (_, item) in out.drain(..) {
+                assert!(got.insert(item), "item {item} returned twice");
+            }
+            if n == 0 {
+                break;
+            }
+        }
+        assert_eq!(got.len(), 101, "100 batched + 1 via replace_min");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn replace_min_on_empty_queue_still_files() {
+        let q = MultiQueuePq::new(8, 1);
+        assert_eq!(q.replace_min(0, 3, "x"), None);
+        assert_eq!(q.delete_min(0), Some((3, "x")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn batch_insert_validates_without_filing() {
+        let q = MultiQueuePq::new(4, 1);
+        let err = q.insert_batch(0, vec![(0, 'a'), (9, 'x')]).unwrap_err();
+        assert_eq!(err.failed_pri, 9);
+        assert_eq!(err.unconsumed_len(), 2);
         assert!(q.is_empty());
     }
 

@@ -45,6 +45,11 @@ pub enum OpKind {
 /// top bucket starts at 2³⁰ ns ≈ 1 s.
 pub const LATENCY_BUCKETS: usize = 32;
 
+/// Number of log₂ batch-size buckets ([`BatchStats::size_buckets`]); bucket
+/// `i` counts batches of `floor(log2(size)) + 1 == i` items (bucket 0 holds
+/// empty batches), so the top bucket starts at 2¹⁴ = 16384 items.
+pub const BATCH_BUCKETS: usize = 16;
+
 /// Receiver for queue-level metrics. Implementations must be `Send + Sync`;
 /// queues hold them in an `Arc` and call them from every operating thread.
 ///
@@ -69,6 +74,15 @@ pub trait Recorder: Send + Sync + 'static {
     /// Record one operation of `kind` that took `nanos` nanoseconds.
     fn record_op(&self, kind: OpKind, nanos: u64);
 
+    /// Record one batched operation ([`crate::BoundedPq::insert_batch`],
+    /// [`crate::BoundedPq::delete_min_batch`] or the fused
+    /// [`crate::BoundedPq::replace_min`]) that moved `size` items. The
+    /// paired [`CounterEvent::BatchOp`] count is reported separately, via
+    /// [`record_batch_op`]. The default discards the sample.
+    fn record_batch(&self, size: u64) {
+        let _ = size;
+    }
+
     /// The substrate-facing sink to wire into locks, counters and funnels at
     /// queue construction, or `None` to leave the substrate uninstrumented.
     fn sink(self: &Arc<Self>) -> Option<SinkRef>;
@@ -91,6 +105,18 @@ impl Recorder for NoopRecorder {
 
     fn sink(self: &Arc<Self>) -> Option<SinkRef> {
         None
+    }
+}
+
+/// Reports one batched operation that moved `size` items to `rec`: a
+/// [`CounterEvent::BatchOp`] plus a batch-size sample — free when
+/// `R::ENABLED` is false (monomorphizes to nothing, as the `native_ops`
+/// noop/atomic A/B verifies).
+#[inline]
+pub fn record_batch_op<R: Recorder>(rec: &R, size: u64) {
+    if R::ENABLED {
+        rec.record_event(CounterEvent::BatchOp);
+        rec.record_batch(size);
     }
 }
 
@@ -129,11 +155,33 @@ fn bucket_of(nanos: u64) -> usize {
     ((64 - nanos.leading_zeros()) as usize).min(LATENCY_BUCKETS - 1)
 }
 
+/// Log₂ bucket index of a batch-size sample.
+fn batch_bucket_of(size: u64) -> usize {
+    ((64 - size.leading_zeros()) as usize).min(BATCH_BUCKETS - 1)
+}
+
+/// Batch-size aggregate within a shard.
+#[derive(Debug, Default)]
+struct BatchShard {
+    count: AtomicU64,
+    total_items: AtomicU64,
+    size_buckets: [AtomicU64; BATCH_BUCKETS],
+}
+
+impl BatchShard {
+    fn record(&self, size: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_items.fetch_add(size, Ordering::Relaxed);
+        self.size_buckets[batch_bucket_of(size)].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 #[derive(Debug, Default)]
 struct Shard {
     events: [AtomicU64; CounterEvent::COUNT],
     insert: OpShard,
     delete_min: OpShard,
+    batch: BatchShard,
 }
 
 /// Dense per-thread shard index: assigned once per OS thread, round-robin.
@@ -230,6 +278,16 @@ impl AtomicRecorder {
                     *b += s.load(Ordering::Relaxed);
                 }
             }
+            snap.batch.count += shard.batch.count.load(Ordering::Relaxed);
+            snap.batch.total_items += shard.batch.total_items.load(Ordering::Relaxed);
+            for (b, s) in snap
+                .batch
+                .size_buckets
+                .iter_mut()
+                .zip(shard.batch.size_buckets.iter())
+            {
+                *b += s.load(Ordering::Relaxed);
+            }
         }
         snap
     }
@@ -248,6 +306,10 @@ impl Recorder for AtomicRecorder {
             OpKind::Insert => shard.insert.record(nanos),
             OpKind::DeleteMin => shard.delete_min.record(nanos),
         }
+    }
+
+    fn record_batch(&self, size: u64) {
+        self.shard().batch.record(size);
     }
 
     fn sink(self: &Arc<Self>) -> Option<SinkRef> {
@@ -312,6 +374,30 @@ impl OpStats {
     }
 }
 
+/// Batch-size aggregate across all batched operations (plain data).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Number of recorded batched operations.
+    pub count: u64,
+    /// Total items moved by all recorded batches.
+    pub total_items: u64,
+    /// Log₂ histogram: `size_buckets[i]` counts batches whose size `s`
+    /// satisfies `floor(log2(s)) + 1 == i` (`size_buckets[0]` holds
+    /// `s == 0`, i.e. batches that drained nothing).
+    pub size_buckets: [u64; BATCH_BUCKETS],
+}
+
+impl BatchStats {
+    /// Mean items per batch (0.0 when no batches were recorded).
+    pub fn mean_items(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_items as f64 / self.count as f64
+        }
+    }
+}
+
 /// Plain-data result of draining an [`AtomicRecorder`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MetricsSnapshot {
@@ -321,6 +407,8 @@ pub struct MetricsSnapshot {
     pub insert: OpStats,
     /// Latency aggregate for delete-mins.
     pub delete_min: OpStats,
+    /// Batch-size aggregate for batched/fused operations.
+    pub batch: BatchStats,
 }
 
 impl MetricsSnapshot {
@@ -342,7 +430,9 @@ impl MetricsSnapshot {
     ///  "events": {"cas_retry": 0, ...},
     ///  "insert": {"count": 0, "total_nanos": 0, "mean_nanos": 0,
     ///             "p50_nanos_le": 0, "p99_nanos_le": 0, "buckets": [...]},
-    ///  "delete_min": {...}}
+    ///  "delete_min": {...},
+    ///  "batch": {"count": 0, "total_items": 0, "mean_items": 0,
+    ///            "size_buckets": [...]}}
     /// ```
     pub fn to_json(&self, algorithm: &str) -> String {
         fn op_json(out: &mut String, key: &str, s: &OpStats) {
@@ -383,7 +473,28 @@ impl MetricsSnapshot {
         op_json(&mut out, "insert", &self.insert);
         out.push_str(",\n");
         op_json(&mut out, "delete_min", &self.delete_min);
-        out.push_str("\n}");
+        out.push_str(",\n");
+        out.push_str(&format!(
+            "  \"batch\": {{\"count\": {}, \"total_items\": {}, \"mean_items\": {:.1}, \
+             \"size_buckets\": [",
+            self.batch.count,
+            self.batch.total_items,
+            self.batch.mean_items(),
+        ));
+        let last_nonzero = self
+            .batch
+            .size_buckets
+            .iter()
+            .rposition(|&b| b != 0)
+            .map(|i| i + 1)
+            .unwrap_or(0);
+        for (i, b) in self.batch.size_buckets[..last_nonzero].iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&b.to_string());
+        }
+        out.push_str("]}\n}");
         out
     }
 }
@@ -457,6 +568,39 @@ mod tests {
                 == json.chars().filter(|&c| c == close).count()
         };
         assert!(bal('{', '}') && bal('[', ']'));
+    }
+
+    #[test]
+    fn batch_histogram_counts_and_serializes() {
+        let rec = Arc::new(AtomicRecorder::with_shards(2));
+        record_batch_op(&*rec, 0); // a drain that found nothing
+        record_batch_op(&*rec, 1);
+        record_batch_op(&*rec, 8);
+        record_batch_op(&*rec, 64);
+        record_batch_op(&*rec, u64::MAX); // clamps to the top bucket
+        let snap = rec.snapshot();
+        assert_eq!(snap.event(CounterEvent::BatchOp), 5);
+        assert_eq!(snap.batch.count, 5);
+        // Shard totals use wrapping atomic adds; mirror that here.
+        assert_eq!(
+            snap.batch.total_items,
+            (1u64 + 8 + 64).wrapping_add(u64::MAX)
+        );
+        assert_eq!(snap.batch.size_buckets[0], 1);
+        assert_eq!(snap.batch.size_buckets[batch_bucket_of(8)], 1);
+        assert_eq!(snap.batch.size_buckets[BATCH_BUCKETS - 1], 1);
+        assert_eq!(snap.batch.size_buckets.iter().sum::<u64>(), 5);
+        let json = snap.to_json("SingleLock");
+        assert!(json.contains("\"batch\": {\"count\": 5"));
+        assert!(json.contains("\"batch_op\": 5"));
+    }
+
+    #[test]
+    fn batch_bucket_edges() {
+        assert_eq!(batch_bucket_of(0), 0);
+        assert_eq!(batch_bucket_of(1), 1);
+        assert_eq!(batch_bucket_of(64), 7);
+        assert_eq!(batch_bucket_of(u64::MAX), BATCH_BUCKETS - 1);
     }
 
     #[test]

@@ -8,7 +8,7 @@ use funnelpq_sync::McsMutex;
 use crate::algorithm::Algorithm;
 use crate::heap::BinaryHeap;
 use crate::obs::{self, CounterEvent, NoopRecorder, OpKind, Recorder};
-use crate::traits::{BoundedPq, PqError};
+use crate::traits::{batch_reject, reject, BoundedPq, PqBatchError, PqError};
 
 /// Binary heap protected by a single MCS queue lock.
 ///
@@ -114,6 +114,90 @@ impl<T: Send, R: Recorder> BoundedPq<T> for SingleLockPq<T, R> {
         out
     }
 
+    // One MCS acquisition amortized over the whole batch. The batch is
+    // sorted ascending first so each push lands above everything already
+    // appended from the same batch and its sift-up is one comparison long.
+    fn insert_batch(&self, tid: usize, mut batch: Vec<(usize, T)>) -> Result<(), PqBatchError<T>> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        if tid >= self.max_threads {
+            let max_threads = self.max_threads;
+            return Err(batch_reject(batch, 0, |_, item| PqError::TidOutOfRange {
+                tid,
+                max_threads,
+                item,
+            }));
+        }
+        if let Some(bad) = batch
+            .iter()
+            .position(|&(pri, _)| pri >= self.num_priorities)
+        {
+            let num_priorities = self.num_priorities;
+            return Err(batch_reject(batch, bad, |pri, item| {
+                PqError::PriorityOutOfRange {
+                    pri,
+                    num_priorities,
+                    item,
+                }
+            }));
+        }
+        batch.sort_unstable_by_key(|&(pri, _)| pri);
+        let n = batch.len() as u64;
+        obs::timed(&*self.recorder, OpKind::Insert, || {
+            let mut heap = self.heap.lock();
+            for (pri, item) in batch {
+                heap.push(pri, item);
+            }
+        });
+        obs::record_batch_op(&*self.recorder, n);
+        Ok(())
+    }
+
+    // One MCS acquisition for up to `k` pops.
+    fn delete_min_batch(&self, tid: usize, k: usize, out: &mut Vec<(usize, T)>) -> usize {
+        assert!(tid < self.max_threads, "tid {tid} out of range");
+        let taken = obs::timed(&*self.recorder, OpKind::DeleteMin, || {
+            let mut heap = self.heap.lock();
+            let mut taken = 0;
+            while taken < k {
+                match heap.pop() {
+                    Some(e) => {
+                        out.push(e);
+                        taken += 1;
+                    }
+                    None => break,
+                }
+            }
+            taken
+        });
+        obs::record_batch_op(&*self.recorder, taken as u64);
+        if R::ENABLED && taken == 0 && k > 0 {
+            self.recorder.record_event(CounterEvent::EmptyDeleteMin);
+        }
+        taken
+    }
+
+    // Fused swap at the root: one lock hold, one sift, no sift-up.
+    fn replace_min(&self, tid: usize, pri: usize, item: T) -> Option<(usize, T)> {
+        assert!(tid < self.max_threads, "tid {tid} out of range");
+        if pri >= self.num_priorities {
+            reject(&PqError::PriorityOutOfRange {
+                pri,
+                num_priorities: self.num_priorities,
+                item: (),
+            });
+        }
+        let out = obs::timed(&*self.recorder, OpKind::DeleteMin, || {
+            self.heap.lock().replace_min(pri, item)
+        });
+        obs::record_batch_op(&*self.recorder, 1);
+        if R::ENABLED && out.is_none() {
+            self.recorder.record_event(CounterEvent::EmptyDeleteMin);
+        }
+        out
+    }
+
     fn is_empty(&self) -> bool {
         self.heap.lock().is_empty()
     }
@@ -141,6 +225,35 @@ mod tests {
     fn rejects_out_of_range_priority() {
         let q = SingleLockPq::new(4, 1);
         q.insert(0, 4, ());
+    }
+
+    #[test]
+    fn batch_ops_round_trip() {
+        let q = SingleLockPq::new(16, 2);
+        q.insert_batch(1, vec![(9, 'i'), (3, 'c'), (7, 'g')])
+            .unwrap();
+        q.insert_batch(0, Vec::new()).unwrap();
+        let mut out = Vec::new();
+        assert_eq!(q.delete_min_batch(0, 2, &mut out), 2);
+        assert_eq!(out, vec![(3, 'c'), (7, 'g')]);
+        assert_eq!(q.replace_min(0, 1, 'a'), Some((9, 'i')));
+        assert_eq!(q.replace_min(0, 5, 'e'), Some((1, 'a')));
+        out.clear();
+        assert_eq!(q.delete_min_batch(0, 8, &mut out), 1);
+        assert_eq!(out, vec![(5, 'e')]);
+        assert_eq!(q.replace_min(0, 2, 'b'), None, "empty queue still files");
+        assert_eq!(q.delete_min(0), Some((2, 'b')));
+    }
+
+    #[test]
+    fn batch_insert_rejects_bad_priority_without_filing_anything() {
+        let q = SingleLockPq::new(4, 1);
+        let err = q
+            .insert_batch(0, vec![(1, 'a'), (4, 'x'), (2, 'b')])
+            .unwrap_err();
+        assert_eq!(err.failed_pri, 4);
+        assert_eq!(err.unconsumed_len(), 3, "nothing may be filed on error");
+        assert!(q.is_empty());
     }
 
     #[test]

@@ -22,7 +22,7 @@ use funnelpq_util::XorShift64Star;
 
 use crate::algorithm::Algorithm;
 use crate::obs::{self, CounterEvent, NoopRecorder, OpKind, Recorder};
-use crate::traits::{BoundedPq, PqError};
+use crate::traits::{batch_reject, BoundedPq, PqBatchError, PqError};
 
 const NONE: usize = usize::MAX;
 const HEAD: usize = usize::MAX - 1;
@@ -317,6 +317,128 @@ impl<T: Send, R: Recorder> BoundedPq<T> for SkipListPq<T, R> {
         out
     }
 
+    // Sorting groups equal priorities into runs, so each run pays one
+    // threaded-state check (and at most one splice) instead of one per item.
+    fn insert_batch(&self, tid: usize, mut batch: Vec<(usize, T)>) -> Result<(), PqBatchError<T>> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        if tid >= self.max_threads {
+            let max_threads = self.max_threads;
+            return Err(batch_reject(batch, 0, |_, item| PqError::TidOutOfRange {
+                tid,
+                max_threads,
+                item,
+            }));
+        }
+        if let Some(bad) = batch.iter().position(|&(pri, _)| pri >= self.nodes.len()) {
+            let num_priorities = self.nodes.len();
+            return Err(batch_reject(batch, bad, |pri, item| {
+                PqError::PriorityOutOfRange {
+                    pri,
+                    num_priorities,
+                    item,
+                }
+            }));
+        }
+        batch.sort_unstable_by_key(|&(pri, _)| pri);
+        let n = batch.len() as u64;
+        obs::timed(&*self.recorder, OpKind::Insert, || {
+            let mut it = batch.into_iter().peekable();
+            while let Some((pri, item)) = it.next() {
+                // Bin first (paper order), for the whole equal-priority run.
+                self.nodes[pri].bin.insert(item);
+                while let Some(&(next_pri, _)) = it.peek() {
+                    if next_pri != pri {
+                        break;
+                    }
+                    let (_, run_item) = it.next().expect("peeked entry present");
+                    self.nodes[pri].bin.insert(run_item);
+                }
+                if self.nodes[pri].state.load(Ordering::Acquire) != THREADED {
+                    self.thread_node(pri);
+                }
+            }
+        });
+        obs::record_batch_op(&*self.recorder, n);
+        Ok(())
+    }
+
+    // Bin-aware drain: once a minimal bin is chosen it is drained until `k`
+    // items are taken or it runs dry, so a batch pays the delete-bin
+    // routing (and any unlink) once per *bin*, not once per item.
+    fn delete_min_batch(&self, tid: usize, k: usize, out: &mut Vec<(usize, T)>) -> usize {
+        assert!(tid < self.max_threads, "tid {tid} out of range");
+        if k == 0 {
+            return 0;
+        }
+        let taken = obs::timed(&*self.recorder, OpKind::DeleteMin, || {
+            let mut taken = 0;
+            'outer: while taken < k {
+                let db = self.del_bin.load(Ordering::Acquire);
+                let first = self.head_forward[0].load(Ordering::Acquire);
+                let db_ok = db != NONE && !self.nodes[db].bin.is_empty();
+                if db_ok && (first == NONE || db <= first) {
+                    while taken < k {
+                        match self.nodes[db].bin.delete() {
+                            Some(item) => {
+                                out.push((db, item));
+                                taken += 1;
+                            }
+                            None => continue 'outer, // bin ran dry; re-route
+                        }
+                    }
+                    continue;
+                }
+                if first == NONE {
+                    // List empty: drain delete-bin stragglers, then report
+                    // however much we got.
+                    let before = taken;
+                    if db != NONE {
+                        while taken < k {
+                            match self.nodes[db].bin.delete() {
+                                Some(item) => {
+                                    out.push((db, item));
+                                    taken += 1;
+                                }
+                                None => break,
+                            }
+                        }
+                    }
+                    if taken == before {
+                        break;
+                    }
+                    continue;
+                }
+                // Advance the delete bin to the list's first node.
+                if let Some(_g) = self.del_lock.try_lock() {
+                    let first2 = self.head_forward[0].load(Ordering::Acquire);
+                    if first2 == NONE {
+                        continue;
+                    }
+                    let old_db = self.del_bin.load(Ordering::Acquire);
+                    self.unlink(first2);
+                    drop(_g);
+                    if old_db != NONE
+                        && old_db != first2
+                        && !self.nodes[old_db].bin.is_empty()
+                        && self.nodes[old_db].state.load(Ordering::Acquire) == UNTHREADED
+                    {
+                        self.thread_node(old_db);
+                    }
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+            taken
+        });
+        obs::record_batch_op(&*self.recorder, taken as u64);
+        if R::ENABLED && taken == 0 {
+            self.recorder.record_event(CounterEvent::EmptyDeleteMin);
+        }
+        taken
+    }
+
     fn is_empty(&self) -> bool {
         self.nodes.iter().all(|n| n.bin.is_empty())
     }
@@ -415,6 +537,41 @@ mod tests {
             assert_eq!(q.delete_min(0).map(|e| e.0), Some(4));
             assert_eq!(q.delete_min(0), None);
         }
+    }
+
+    #[test]
+    fn batch_ops_preserve_order() {
+        let q = SkipListPq::new(16, 1);
+        q.insert_batch(
+            0,
+            vec![(9, 90), (2, 20), (11, 110), (2, 21), (15, 150), (0, 1)],
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        assert_eq!(q.delete_min_batch(0, 4, &mut out), 4);
+        assert_eq!(
+            out.iter().map(|e| e.0).collect::<Vec<_>>(),
+            vec![0, 2, 2, 9]
+        );
+        out.clear();
+        assert_eq!(q.delete_min_batch(0, 10, &mut out), 2, "stops when dry");
+        assert_eq!(out.iter().map(|e| e.0).collect::<Vec<_>>(), vec![11, 15]);
+        assert!(q.is_empty());
+        out.clear();
+        assert_eq!(q.delete_min_batch(0, 3, &mut out), 0);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn batch_drain_recovers_delete_bin_stragglers() {
+        // Same anomaly shape as the singles test, through the batch path.
+        let q = SkipListPq::new(16, 1);
+        q.insert_batch(0, vec![(5, 51), (5, 52)]).unwrap();
+        assert_eq!(q.delete_min(0).unwrap().0, 5); // bin 5 becomes del_bin
+        q.insert(0, 3, 30);
+        let mut out = Vec::new();
+        assert_eq!(q.delete_min_batch(0, 8, &mut out), 2);
+        assert_eq!(out.iter().map(|e| e.0).collect::<Vec<_>>(), vec![3, 5]);
     }
 
     #[test]

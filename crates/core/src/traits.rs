@@ -68,12 +68,81 @@ impl<T> std::fmt::Display for PqError<T> {
 
 impl<T: std::fmt::Debug> std::error::Error for PqError<T> {}
 
+/// Why a batched insert stopped partway. Carries everything that was *not*
+/// filed, so the caller can recover or retry: the failing entry rides in
+/// [`PqBatchError::error`] (a [`PqError`] holding its item), the remaining
+/// unconsumed entries in [`PqBatchError::rest`].
+///
+/// The contract is conservation, not order: the entries successfully filed
+/// before the error plus [`PqBatchError::into_unconsumed`] partition the
+/// submitted batch exactly, but implementations may file a batch in any
+/// order (sorted, sharded), so *which* entries were consumed — and the
+/// order of `rest` — is unspecified.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PqBatchError<T> {
+    /// The rejection the failing entry hit, carrying its item.
+    pub error: PqError<T>,
+    /// The priority the failing entry was submitted under.
+    pub failed_pri: usize,
+    /// Every other entry that was not filed, in unspecified order.
+    pub rest: Vec<(usize, T)>,
+}
+
+impl<T> PqBatchError<T> {
+    /// Recovers every entry the batch did not file: the failing entry
+    /// first, then the rest. Together with the entries already filed this
+    /// is exactly the submitted batch.
+    pub fn into_unconsumed(self) -> Vec<(usize, T)> {
+        let mut v = Vec::with_capacity(1 + self.rest.len());
+        v.push((self.failed_pri, self.error.into_item()));
+        v.extend(self.rest);
+        v
+    }
+
+    /// Number of entries that were not filed (failing entry included).
+    pub fn unconsumed_len(&self) -> usize {
+        1 + self.rest.len()
+    }
+}
+
+impl<T> std::fmt::Display for PqBatchError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "batch insert stopped with {} entries unconsumed: {}",
+            self.unconsumed_len(),
+            self.error
+        )
+    }
+}
+
+impl<T: std::fmt::Debug> std::error::Error for PqBatchError<T> {}
+
 // Keeps the panic formatting machinery out of the inlined `insert` fast
 // path (it costs measurable ns/op on the cheapest queues otherwise).
 #[cold]
 #[inline(never)]
-fn reject(e: &dyn std::fmt::Display) -> ! {
+pub(crate) fn reject(e: &dyn std::fmt::Display) -> ! {
     panic!("{e}");
+}
+
+/// Builds a [`PqBatchError`] out of a still-owned batch: entry `idx` is the
+/// failing one (its error built by `make`), everything else becomes `rest`.
+/// For overrides that validate or fail before consuming any entry; kept
+/// cold so batch fast paths don't inline the Vec surgery.
+#[cold]
+#[inline(never)]
+pub(crate) fn batch_reject<T>(
+    mut batch: Vec<(usize, T)>,
+    idx: usize,
+    make: impl FnOnce(usize, T) -> PqError<T>,
+) -> PqBatchError<T> {
+    let (pri, item) = batch.swap_remove(idx);
+    PqBatchError {
+        error: make(pri, item),
+        failed_pri: pri,
+        rest: batch,
+    }
 }
 
 /// A concurrent priority queue over the fixed priority range
@@ -109,6 +178,19 @@ fn reject(e: &dyn std::fmt::Display) -> ! {
 /// contains exactly the un-deleted inserts, and that `k` delete-mins running
 /// after a quiescent point with no concurrent inserts return the `k`
 /// smallest priorities present.
+///
+/// # Batched and fused operations
+///
+/// [`BoundedPq::insert_batch`], [`BoundedPq::delete_min_batch`] and the
+/// fused [`BoundedPq::replace_min`] amortize synchronization events over
+/// `k` items — the paper's cost model says those events, not the heap
+/// arithmetic, are the bottleneck. Semantically a batch is exactly `k`
+/// individual operations that happen to run back-to-back: it is **not**
+/// atomic, concurrent operations may interleave between its items, and each
+/// item takes effect with the queue's usual consistency class. Every queue
+/// gets correct loop-over-singles defaults; structures where one
+/// synchronization episode can cover the whole batch override them (see
+/// `docs/ALGORITHMS.md` §8).
 pub trait BoundedPq<T: Send>: Send + Sync {
     /// Which of the paper's algorithms this queue implements.
     fn algorithm(&self) -> Algorithm;
@@ -142,6 +224,72 @@ pub trait BoundedPq<T: Send>: Send + Sync {
     /// likewise may return NULL); callers that know the queue is non-empty
     /// at quiescence can rely on `Some`.
     fn delete_min(&self, tid: usize) -> Option<(usize, T)>;
+
+    /// Files every `(pri, item)` entry of `batch`, or stops at the first
+    /// rejection and returns a [`PqBatchError`] carrying everything that
+    /// was not filed. Entries may be filed in any order (implementations
+    /// sort or shard the batch to amortize synchronization); on error, the
+    /// filed entries plus [`PqBatchError::into_unconsumed`] partition the
+    /// batch exactly. Not atomic: concurrent operations may interleave
+    /// between entries.
+    ///
+    /// The default loops [`BoundedPq::try_insert`]; overrides amortize one
+    /// synchronization episode over the whole batch.
+    fn insert_batch(&self, tid: usize, batch: Vec<(usize, T)>) -> Result<(), PqBatchError<T>> {
+        let mut it = batch.into_iter();
+        while let Some((pri, item)) = it.next() {
+            if let Err(error) = self.try_insert(tid, pri, item) {
+                return Err(PqBatchError {
+                    failed_pri: pri,
+                    error,
+                    rest: it.collect(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Removes up to `k` smallest-priority items, appending them to `out`
+    /// in the order deleted, and returns how many were taken. Stops early —
+    /// without spinning the remaining attempts — as soon as a delete finds
+    /// the queue (apparently) empty. Equivalent to `k` back-to-back
+    /// [`BoundedPq::delete_min`] calls, with the same caveat that under
+    /// concurrency an early stop does not prove the queue was empty.
+    fn delete_min_batch(&self, tid: usize, k: usize, out: &mut Vec<(usize, T)>) -> usize {
+        let mut taken = 0;
+        while taken < k {
+            match self.delete_min(tid) {
+                Some(e) => {
+                    out.push(e);
+                    taken += 1;
+                }
+                None => break,
+            }
+        }
+        taken
+    }
+
+    /// Fused delete-min + insert: removes an item of the smallest present
+    /// priority (or `None` if the queue appears empty) and files `item`
+    /// under `pri`, in one operation. Heap-backed queues override this to
+    /// replace the root and sift once instead of paying two full
+    /// synchronization episodes — the Dijkstra/DES inner-loop shape.
+    ///
+    /// Panics where [`BoundedPq::insert`] would; the default restores the
+    /// removed minimum before panicking so no item is lost.
+    fn replace_min(&self, tid: usize, pri: usize, item: T) -> Option<(usize, T)> {
+        let removed = self.delete_min(tid);
+        if let Err(e) = self.try_insert(tid, pri, item) {
+            if let Some((p, x)) = removed {
+                // The slot we just freed readmits the minimum even in a
+                // fixed-capacity queue, so this cannot fail for capacity
+                // reasons; ignore the (arg-error) result and report `e`.
+                let _ = self.try_insert(tid, p, x);
+            }
+            reject(&e);
+        }
+        removed
+    }
 
     /// Advisory emptiness test: a racy read that is exact **only at
     /// quiescence**. Never use it to terminate a loop while other threads
@@ -215,5 +363,24 @@ mod tests {
 
         let e = PqError::CapacityExhausted { item: () };
         assert!(e.to_string().contains("capacity exhausted"));
+    }
+
+    #[test]
+    fn batch_error_recovers_every_unconsumed_entry() {
+        let e = batch_reject(vec![(0, "a"), (9, "b"), (2, "c")], 1, |pri, item| {
+            PqError::PriorityOutOfRange {
+                pri,
+                num_priorities: 8,
+                item,
+            }
+        });
+        assert_eq!(e.failed_pri, 9);
+        assert_eq!(e.unconsumed_len(), 3);
+        assert!(e.to_string().contains("3 entries unconsumed"));
+        assert!(e.to_string().contains("priority 9 out of range"));
+        let mut back = e.into_unconsumed();
+        assert_eq!(back[0], (9, "b"), "failing entry must come first");
+        back.sort_unstable();
+        assert_eq!(back, vec![(0, "a"), (2, "c"), (9, "b")]);
     }
 }

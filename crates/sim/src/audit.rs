@@ -82,6 +82,11 @@ pub struct OpRecord {
     pub completed: bool,
     /// True for a completed delete that found the queue empty.
     pub empty: bool,
+    /// True when the operation was issued as part of a batched call
+    /// (`insert_batch` / `delete_min_batch`); the audit attributes rank
+    /// error separately for batched drain deletes
+    /// ([`AuditReport::rank_error_batched`]).
+    pub batched: bool,
 }
 
 /// Handle to an operation opened with [`History::begin_insert`] /
@@ -116,6 +121,7 @@ impl History {
             end: now,
             completed: false,
             empty: false,
+            batched: false,
         })
     }
 
@@ -132,6 +138,7 @@ impl History {
             end: now,
             completed: false,
             empty: false,
+            batched: false,
         })
     }
 
@@ -168,6 +175,15 @@ impl History {
     /// Reclassifies the operation into the post-run drain phase.
     pub fn mark_drain(&self, token: OpToken) {
         self.ops.borrow_mut()[token.0].phase = Phase::Drain;
+    }
+
+    /// Marks the operation as issued by a batched call (`insert_batch` /
+    /// `delete_min_batch`). Drivers record one `OpRecord` per *item* of a
+    /// batch — all the per-item invariants apply unchanged — and this flag
+    /// lets the audit attribute drain rank error to the batched deletes
+    /// ([`AuditReport::rank_error_batched`]).
+    pub fn mark_batched(&self, token: OpToken) {
+        self.ops.borrow_mut()[token.0].batched = true;
     }
 
     /// Number of records so far.
@@ -246,6 +262,12 @@ pub struct AuditReport {
     /// priority. Exactly zero for every sample iff the drain was sorted,
     /// so strict queues contribute an all-zero distribution.
     pub rank_error: Acc,
+    /// The subset of [`rank_error`](Self::rank_error) samples whose delete
+    /// was issued by a batched call ([`History::mark_batched`]): a batched
+    /// drain serves the tail of each grab without re-probing, so comparing
+    /// this distribution against the full one shows what batching costs in
+    /// ordering quality. Empty when the drain used single deletes only.
+    pub rank_error_batched: Acc,
 }
 
 /// An invariant violation found by [`audit_history`]. Every variant names
@@ -662,6 +684,9 @@ pub fn audit_history(ops: &[OpRecord], scope: &AuditScope) -> Result<AuditReport
             i -= i & i.wrapping_neg();
         }
         report.rank_error.record(rank);
+        if op.batched {
+            report.rank_error_batched.record(rank);
+        }
         if let Some(bound) = scope.rank_error_bound {
             if rank > bound {
                 return Err(AuditError::RankErrorExceeded {
@@ -1003,6 +1028,42 @@ mod tests {
             ..AuditScope::default()
         };
         assert!(audit_history(&build(), &sc).is_ok());
+    }
+
+    #[test]
+    fn batched_deletes_get_their_own_rank_error_slice() {
+        // Drain 5, 2, 2, 7 where only the pri-5 delete was batched: the
+        // full distribution sees {2, 0, 0, 0}; the batched slice sees just
+        // the 2.
+        let h = History::new();
+        let drain_pris = [(5u64, 100u64), (2, 101), (2, 102), (7, 103)];
+        for (p, x) in drain_pris {
+            rec(&h, 0, p, x, 0, 10);
+        }
+        for (i, (p, x)) in drain_pris.iter().enumerate() {
+            let t = del(
+                &h,
+                0,
+                Some((*p, *x)),
+                20 + 10 * i as u64,
+                25 + 10 * i as u64,
+            );
+            h.mark_drain(t);
+            if i == 0 {
+                h.mark_batched(t);
+            }
+        }
+        let sc = AuditScope {
+            num_priorities: 8,
+            relaxed: true,
+            ..AuditScope::default()
+        };
+        let r = audit_history(&h.snapshot(), &sc).unwrap();
+        assert_eq!(r.rank_error.count(), 4);
+        assert_eq!(r.rank_error.sum(), 2);
+        assert_eq!(r.rank_error_batched.count(), 1);
+        assert_eq!(r.rank_error_batched.max(), 2);
+        assert_eq!(r.rank_error_batched.sum(), 2);
     }
 
     #[test]

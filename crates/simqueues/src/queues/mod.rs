@@ -243,6 +243,60 @@ impl SimPq {
         }
     }
 
+    /// Inserts a whole batch, reporting capacity exhaustion instead of
+    /// panicking. `SingleLock`, `SkipList`, and `MultiQueue` take their
+    /// native batched paths (one lock hold / one threading check per run /
+    /// one sticky absorption); the other algorithms loop over
+    /// [`try_insert`](Self::try_insert), matching the trait-level default
+    /// on the native side. On `Err` an already-filed prefix stays filed.
+    pub async fn insert_batch(
+        &self,
+        ctx: &ProcCtx,
+        batch: &[(u64, u64)],
+    ) -> Result<(), SimPqError> {
+        match self {
+            SimPq::SingleLock(q) => q.insert_batch(ctx, batch).await,
+            SimPq::SkipList(q) => q.insert_batch(ctx, batch).await,
+            SimPq::MultiQueue(q) => q.insert_batch(ctx, batch).await,
+            _ => {
+                for &(pri, item) in batch {
+                    self.try_insert(ctx, pri, item).await?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Removes up to `k` minimal items, appending to `out`; returns the
+    /// number taken. The three algorithms with native batched drains use
+    /// them; the rest loop over [`delete_min`](Self::delete_min), stopping
+    /// at the first `None`.
+    pub async fn delete_min_batch(
+        &self,
+        ctx: &ProcCtx,
+        k: usize,
+        out: &mut Vec<(u64, u64)>,
+    ) -> usize {
+        match self {
+            SimPq::SingleLock(q) => q.delete_min_batch(ctx, k, out).await,
+            SimPq::SkipList(q) => q.delete_min_batch(ctx, k, out).await,
+            SimPq::MultiQueue(q) => q.delete_min_batch(ctx, k, out).await,
+            _ => {
+                let mut taken = 0;
+                while taken < k {
+                    match self.delete_min(ctx).await {
+                        Some(e) => {
+                            out.push(e);
+                            taken += 1;
+                        }
+                        None => break,
+                    }
+                }
+                taken
+            }
+        }
+    }
+
     /// Host-side item count: reads simulated memory directly with no
     /// simulated cost. Meaningful only at quiescence; errors if a chain
     /// walk finds corruption.

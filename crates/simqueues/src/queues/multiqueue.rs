@@ -372,6 +372,168 @@ impl SimMultiQueue {
         }
     }
 
+    /// Inserts a whole batch into **one** queue under one lock episode,
+    /// mirroring the native `MultiQueuePq::insert_batch`: the sticky queue
+    /// (or a fresh draw) absorbs the entire batch — one try-lock, one
+    /// series of pushes, and the whole batch spends a single unit of the
+    /// stickiness budget. Sorted ascending host-side so same-batch sift-ups
+    /// are short. If the chosen queue fills mid-batch the remainder falls
+    /// back to per-item [`try_insert`](Self::try_insert), which probes for
+    /// room elsewhere.
+    pub async fn insert_batch(
+        &self,
+        ctx: &ProcCtx,
+        batch: &[(u64, u64)],
+    ) -> Result<(), SimPqError> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let mut sorted: Vec<(u64, u64)> = batch.to_vec();
+        sorted.sort_unstable_by_key(|&(pri, _)| pri);
+        ctx.work(costs::OP_SETUP).await;
+        let pid = ctx.pid();
+        let nq = self.queues.len();
+        let mut next = 0usize;
+        for _ in 0..INSERT_TRIES {
+            let sticky = self.with_sticky(pid, |s| {
+                if s.ins_left > 0 {
+                    s.ins_left -= 1;
+                    Some(s.ins_q)
+                } else {
+                    None
+                }
+            });
+            let (q, was_sticky) = match sticky {
+                Some(q) => (q, true),
+                None => {
+                    ctx.work(costs::RNG_DRAW).await;
+                    (ctx.random_below(nq as u64) as usize, false)
+                }
+            };
+            if !self.try_lock(ctx, q).await {
+                self.with_sticky(pid, |s| s.ins_left = 0);
+                ctx.work(costs::LOOP_ITER).await;
+                continue;
+            }
+            let hold = ctx.span("lock-hold");
+            while next < sorted.len() {
+                let (pri, item) = sorted[next];
+                if !self.push_locked(ctx, q, pri, item).await {
+                    break;
+                }
+                next += 1;
+            }
+            hold.end();
+            self.unlock(ctx, q).await;
+            if next == sorted.len() {
+                if !was_sticky {
+                    let left = self.stickiness - 1;
+                    self.with_sticky(pid, |s| {
+                        s.ins_q = q;
+                        s.ins_left = left;
+                    });
+                }
+                return Ok(());
+            }
+            // Queue filled mid-batch: spill the rest item-by-item.
+            self.with_sticky(pid, |s| s.ins_left = 0);
+            break;
+        }
+        for &(pri, item) in &sorted[next..] {
+            self.try_insert(ctx, pri, item).await?;
+        }
+        Ok(())
+    }
+
+    /// Pops up to `k` near-minimal items, appending to `out`; returns the
+    /// number taken. Mirrors the native batched drain: one two-choice probe
+    /// plus one lock episode drains the winning queue until `k` items are
+    /// out or it runs dry, then re-probes. Relaxation grows with `k` — the
+    /// tail of a drained queue is served without re-comparing against the
+    /// other queues' tops — which is exactly the trade the audit harness
+    /// measures.
+    pub async fn delete_min_batch(
+        &self,
+        ctx: &ProcCtx,
+        k: usize,
+        out: &mut Vec<(u64, u64)>,
+    ) -> usize {
+        ctx.work(costs::OP_SETUP).await;
+        let pid = ctx.pid();
+        let nq = self.queues.len() as u64;
+        let mut taken = 0;
+        while taken < k {
+            let sticky = self.with_sticky(pid, |s| {
+                if s.del_left > 0 {
+                    s.del_left -= 1;
+                    Some((s.del_a, s.del_b))
+                } else {
+                    None
+                }
+            });
+            let (a, b, was_sticky) = match sticky {
+                Some((a, b)) => (a, b, true),
+                None => {
+                    ctx.work(costs::RNG_DRAW).await;
+                    let a = ctx.random_below(nq);
+                    ctx.work(costs::RNG_DRAW).await;
+                    let mut b = ctx.random_below(nq - 1);
+                    if b >= a {
+                        b += 1;
+                    }
+                    (a as usize, b as usize, false)
+                }
+            };
+            let top_a = ctx.read(self.top_addr(a)).await;
+            let top_b = ctx.read(self.top_addr(b)).await;
+            if top_a == EMPTY && top_b == EMPTY {
+                self.with_sticky(pid, |s| s.del_left = 0);
+                while taken < k {
+                    match self.sweep(ctx).await {
+                        Some(e) => {
+                            out.push(e);
+                            taken += 1;
+                        }
+                        None => return taken,
+                    }
+                }
+                return taken;
+            }
+            let q = if top_b < top_a { b } else { a };
+            if !self.try_lock(ctx, q).await {
+                self.with_sticky(pid, |s| s.del_left = 0);
+                ctx.work(costs::LOOP_ITER).await;
+                continue;
+            }
+            let hold = ctx.span("lock-hold");
+            let before = taken;
+            while taken < k {
+                match self.pop_locked(ctx, q).await {
+                    Some(e) => {
+                        out.push(e);
+                        taken += 1;
+                    }
+                    None => break,
+                }
+            }
+            hold.end();
+            self.unlock(ctx, q).await;
+            if taken == before {
+                // Stale published top; it is repaired now.
+                self.with_sticky(pid, |s| s.del_left = 0);
+                ctx.work(costs::LOOP_ITER).await;
+            } else if !was_sticky {
+                let left = self.stickiness - 1;
+                self.with_sticky(pid, |s| {
+                    s.del_a = a;
+                    s.del_b = b;
+                    s.del_left = left;
+                });
+            }
+        }
+        taken
+    }
+
     /// Slow path when a sampled pair looks empty: scan every published top
     /// lock-free and pop from the first queue showing an item. Tops are
     /// published under the queue lock, so during the sequential drain they
@@ -508,6 +670,39 @@ mod tests {
             assert_eq!(got, vec![1, 1, 3, 5, 7, 9]);
         });
         assert!(m.run().is_quiescent());
+    }
+
+    #[test]
+    fn batch_ops_conserve_and_validate() {
+        let mut m = Machine::new(MachineConfig::test_tiny(), 13);
+        let q = SimMultiQueue::build(&mut m, 1, 256, 2, 4);
+        let ctx = m.ctx();
+        let q2 = q.clone();
+        m.spawn(async move {
+            let mut batch = Vec::new();
+            for i in 0..96u64 {
+                batch.push(((i * 41) % 64, i));
+                if batch.len() == 8 {
+                    q2.insert_batch(&ctx, &batch).await.unwrap();
+                    batch.clear();
+                }
+            }
+            let mut items = BTreeSet::new();
+            let mut out = Vec::new();
+            loop {
+                out.clear();
+                let n = q2.delete_min_batch(&ctx, 8, &mut out).await;
+                for &(_, x) in &out {
+                    items.insert(x);
+                }
+                if n == 0 {
+                    break;
+                }
+            }
+            assert_eq!(items.len(), 96, "every item must come back exactly once");
+        });
+        assert!(m.run().is_quiescent());
+        assert_eq!(q.validate(&m).unwrap(), 0);
     }
 
     #[test]

@@ -51,23 +51,13 @@ impl SimSingleLock {
         }
     }
 
-    /// Inserts under the global lock, reporting capacity exhaustion (with
-    /// the failing processor and simulated time) instead of panicking. On
-    /// `Err` the heap is unchanged and the lock released.
-    pub async fn try_insert(&self, ctx: &ProcCtx, pri: u64, item: u64) -> Result<(), SimPqError> {
-        ctx.work(costs::OP_SETUP).await;
-        self.lock.acquire(ctx).await;
-        let hold = ctx.span("lock-hold");
+    /// Pushes one entry; caller holds the lock. False if the heap is full
+    /// (unchanged). The simulated instruction sequence is exactly the old
+    /// inline `try_insert` body, so single-op runs stay bit-identical.
+    async fn push_locked(&self, ctx: &ProcCtx, pri: u64, item: u64) -> bool {
         let n = ctx.read(self.size).await;
         if n as usize >= self.capacity {
-            hold.end();
-            self.lock.release(ctx).await;
-            return Err(SimPqError::CapacityExhausted {
-                what: "SimSingleLock",
-                capacity: self.capacity,
-                proc: ctx.pid(),
-                time: ctx.now(),
-            });
+            return false;
         }
         ctx.write(self.pri_addr(n), pri).await;
         ctx.write(self.item_addr(n), item).await;
@@ -92,20 +82,14 @@ impl SimSingleLock {
                 }
             }
         }
-        hold.end();
-        self.lock.release(ctx).await;
-        Ok(())
+        true
     }
 
-    /// Removes the minimum under the global lock.
-    pub async fn delete_min(&self, ctx: &ProcCtx) -> Option<(u64, u64)> {
-        ctx.work(costs::OP_SETUP).await;
-        self.lock.acquire(ctx).await;
-        let hold = ctx.span("lock-hold");
+    /// Pops the minimum; caller holds the lock. Same instruction sequence
+    /// as the old inline `delete_min` body.
+    async fn pop_locked(&self, ctx: &ProcCtx) -> Option<(u64, u64)> {
         let n = ctx.read(self.size).await;
         if n == 0 {
-            hold.end();
-            self.lock.release(ctx).await;
             return None;
         }
         let min_pri = ctx.read(self.pri_addr(0)).await;
@@ -150,9 +134,105 @@ impl SimSingleLock {
                 }
             }
         }
+        Some((min_pri, min_item))
+    }
+
+    /// Inserts under the global lock, reporting capacity exhaustion (with
+    /// the failing processor and simulated time) instead of panicking. On
+    /// `Err` the heap is unchanged and the lock released.
+    pub async fn try_insert(&self, ctx: &ProcCtx, pri: u64, item: u64) -> Result<(), SimPqError> {
+        ctx.work(costs::OP_SETUP).await;
+        self.lock.acquire(ctx).await;
+        let hold = ctx.span("lock-hold");
+        let ok = self.push_locked(ctx, pri, item).await;
         hold.end();
         self.lock.release(ctx).await;
-        Some((min_pri, min_item))
+        if ok {
+            Ok(())
+        } else {
+            Err(SimPqError::CapacityExhausted {
+                what: "SimSingleLock",
+                capacity: self.capacity,
+                proc: ctx.pid(),
+                time: ctx.now(),
+            })
+        }
+    }
+
+    /// Removes the minimum under the global lock.
+    pub async fn delete_min(&self, ctx: &ProcCtx) -> Option<(u64, u64)> {
+        ctx.work(costs::OP_SETUP).await;
+        self.lock.acquire(ctx).await;
+        let hold = ctx.span("lock-hold");
+        let got = self.pop_locked(ctx).await;
+        hold.end();
+        self.lock.release(ctx).await;
+        got
+    }
+
+    /// Inserts a whole batch under **one** lock acquisition, mirroring the
+    /// native `SingleLockPq::insert_batch`: the batch is sorted ascending
+    /// host-side (free prep, like thread-local state elsewhere), then each
+    /// entry pays only its simulated heap traffic while the lock is held
+    /// once. On capacity exhaustion the already-filed prefix stays filed,
+    /// matching the native partial-batch contract.
+    pub async fn insert_batch(
+        &self,
+        ctx: &ProcCtx,
+        batch: &[(u64, u64)],
+    ) -> Result<(), SimPqError> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let mut sorted: Vec<(u64, u64)> = batch.to_vec();
+        sorted.sort_unstable_by_key(|&(pri, _)| pri);
+        ctx.work(costs::OP_SETUP).await;
+        self.lock.acquire(ctx).await;
+        let hold = ctx.span("lock-hold");
+        let mut full = false;
+        for &(pri, item) in &sorted {
+            if !self.push_locked(ctx, pri, item).await {
+                full = true;
+                break;
+            }
+        }
+        hold.end();
+        self.lock.release(ctx).await;
+        if full {
+            return Err(SimPqError::CapacityExhausted {
+                what: "SimSingleLock",
+                capacity: self.capacity,
+                proc: ctx.pid(),
+                time: ctx.now(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Pops up to `k` minima under **one** lock acquisition, appending to
+    /// `out`; returns the number taken (fewer only when the heap drains).
+    pub async fn delete_min_batch(
+        &self,
+        ctx: &ProcCtx,
+        k: usize,
+        out: &mut Vec<(u64, u64)>,
+    ) -> usize {
+        ctx.work(costs::OP_SETUP).await;
+        self.lock.acquire(ctx).await;
+        let hold = ctx.span("lock-hold");
+        let mut taken = 0;
+        while taken < k {
+            match self.pop_locked(ctx).await {
+                Some(e) => {
+                    out.push(e);
+                    taken += 1;
+                }
+                None => break,
+            }
+        }
+        hold.end();
+        self.lock.release(ctx).await;
+        taken
     }
 
     /// Host-side item count (no simulated cost; meaningful at quiescence).
@@ -209,6 +289,46 @@ mod tests {
                 got.push(p);
             }
             assert_eq!(got, vec![1, 1, 5, 7, 9]);
+        });
+        assert!(m.run().is_quiescent());
+    }
+
+    #[test]
+    fn batch_ops_match_singles() {
+        let mut m = Machine::new(MachineConfig::test_tiny(), 0);
+        let q = SimSingleLock::build(&mut m, 1, 32);
+        let ctx = m.ctx();
+        m.spawn(async move {
+            q.insert_batch(&ctx, &[(9, 90), (1, 10), (5, 50), (1, 11)])
+                .await
+                .unwrap();
+            q.insert_batch(&ctx, &[]).await.unwrap();
+            let mut out = Vec::new();
+            assert_eq!(q.delete_min_batch(&ctx, 3, &mut out).await, 3);
+            assert_eq!(out.iter().map(|e| e.0).collect::<Vec<_>>(), vec![1, 1, 5]);
+            out.clear();
+            assert_eq!(q.delete_min_batch(&ctx, 8, &mut out).await, 1);
+            assert_eq!(out, vec![(9, 90)]);
+            assert_eq!(q.delete_min_batch(&ctx, 4, &mut out).await, 0);
+        });
+        assert!(m.run().is_quiescent());
+    }
+
+    #[test]
+    fn batch_insert_reports_capacity_with_prefix_filed() {
+        let mut m = Machine::new(MachineConfig::test_tiny(), 0);
+        let q = SimSingleLock::build(&mut m, 1, 3);
+        let ctx = m.ctx();
+        m.spawn(async move {
+            let err = q
+                .insert_batch(&ctx, &[(4, 0), (2, 0), (8, 0), (6, 0)])
+                .await
+                .unwrap_err();
+            assert!(matches!(err, SimPqError::CapacityExhausted { .. }));
+            // Ascending prefix filed: 2, 4, 6 made it; 8 did not.
+            let mut out = Vec::new();
+            assert_eq!(q.delete_min_batch(&ctx, 8, &mut out).await, 3);
+            assert_eq!(out.iter().map(|e| e.0).collect::<Vec<_>>(), vec![2, 4, 6]);
         });
         assert!(m.run().is_quiescent());
     }

@@ -300,6 +300,111 @@ impl SimSkipList {
         }
     }
 
+    /// Inserts a whole batch, paying the skip-list threading check **once
+    /// per distinct priority** instead of once per item: the batch is
+    /// sorted host-side, each run of equal priorities lands in one bin, and
+    /// only the run's first item looks at (and possibly threads) the node.
+    /// Mirrors the native `SkipListPq::insert_batch`. On bin exhaustion the
+    /// already-filed prefix stays filed.
+    pub async fn insert_batch(
+        &self,
+        ctx: &ProcCtx,
+        batch: &[(u64, u64)],
+    ) -> Result<(), SimPqError> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let mut sorted: Vec<(u64, u64)> = batch.to_vec();
+        sorted.sort_unstable_by_key(|&(pri, _)| pri);
+        ctx.work(costs::OP_SETUP).await;
+        let mut i = 0;
+        while i < sorted.len() {
+            let pri = sorted[i].0;
+            let enc = pri + 1;
+            while i < sorted.len() && sorted[i].0 == pri {
+                self.meta(enc).bin.try_insert(ctx, sorted[i].1).await?;
+                i += 1;
+            }
+            if ctx.read(self.meta(enc).state).await != ST_THREADED {
+                self.thread_node(ctx, enc).await;
+            }
+        }
+        Ok(())
+    }
+
+    /// Removes up to `k` minimal items, appending to `out`; returns the
+    /// number taken. Mirrors the native batched drain: once a delete bin is
+    /// chosen it is drained until `k` items are out or it runs dry, so the
+    /// bin-advance machinery (delete lock, unlink, re-thread) runs once per
+    /// *bin*, not once per item.
+    pub async fn delete_min_batch(
+        &self,
+        ctx: &ProcCtx,
+        k: usize,
+        out: &mut Vec<(u64, u64)>,
+    ) -> usize {
+        ctx.work(costs::OP_SETUP).await;
+        let mut taken = 0;
+        'outer: while taken < k {
+            ctx.work(costs::LOOP_ITER).await;
+            let db = ctx.read(self.del_bin).await;
+            let first = ctx.read(self.head_forward).await;
+            let db_ok = db != NIL && !self.meta(db).bin.is_empty(ctx).await;
+            if db_ok && (first == NIL || db <= first) {
+                while taken < k {
+                    match self.meta(db).bin.delete(ctx).await {
+                        Some(item) => {
+                            out.push((db - 1, item));
+                            taken += 1;
+                        }
+                        None => continue 'outer,
+                    }
+                }
+                return taken;
+            }
+            if first == NIL {
+                let before = taken;
+                if db != NIL {
+                    while taken < k {
+                        match self.meta(db).bin.delete(ctx).await {
+                            Some(item) => {
+                                out.push((db - 1, item));
+                                taken += 1;
+                            }
+                            None => break,
+                        }
+                    }
+                }
+                if taken == before {
+                    return taken;
+                }
+                continue;
+            }
+            // Advance the delete bin: try-acquire the delete lock.
+            if ctx.cas(self.del_lock, 0, 1).await == 0 {
+                let first2 = ctx.read(self.head_forward).await;
+                if first2 == NIL {
+                    ctx.write(self.del_lock, 0).await;
+                    continue;
+                }
+                let old_db = ctx.read(self.del_bin).await;
+                self.unlink(ctx, first2).await;
+                ctx.write(self.del_lock, 0).await;
+                if old_db != NIL && old_db != first2 {
+                    let stale = !self.meta(old_db).bin.is_empty(ctx).await
+                        && ctx.read(self.meta(old_db).state).await == ST_UNTHREADED;
+                    if stale {
+                        self.thread_node(ctx, old_db).await;
+                    }
+                }
+            } else {
+                // Someone else is advancing; let them finish.
+                ctx.work(costs::FUNNEL_SPIN_STEP).await;
+            }
+        }
+        taken
+    }
+
     /// Host-side item count: sums all bins (no simulated cost; meaningful
     /// at quiescence).
     pub fn peek_len(&self, m: &Machine) -> u64 {
@@ -414,6 +519,32 @@ mod tests {
             assert_eq!(q2.delete_min(&ctx).await, None);
         });
         assert!(m.run().is_quiescent());
+    }
+
+    #[test]
+    fn batch_ops_preserve_order() {
+        let mut m = Machine::new(MachineConfig::test_tiny(), 0);
+        let q = SimSkipList::build(&mut m, 1, 16, 64);
+        let ctx = m.ctx();
+        let q2 = q.clone();
+        m.spawn(async move {
+            q2.insert_batch(&ctx, &[(12, 120), (2, 20), (8, 80), (2, 21), (0, 1)])
+                .await
+                .unwrap();
+            q2.insert_batch(&ctx, &[]).await.unwrap();
+            let mut out = Vec::new();
+            assert_eq!(q2.delete_min_batch(&ctx, 4, &mut out).await, 4);
+            assert_eq!(
+                out.iter().map(|e| e.0).collect::<Vec<_>>(),
+                vec![0, 2, 2, 8]
+            );
+            out.clear();
+            assert_eq!(q2.delete_min_batch(&ctx, 4, &mut out).await, 1);
+            assert_eq!(out, vec![(12, 120)]);
+            assert_eq!(q2.delete_min_batch(&ctx, 4, &mut out).await, 0);
+        });
+        assert!(m.run().is_quiescent());
+        assert_eq!(q.validate(&m).unwrap(), 0);
     }
 
     #[test]

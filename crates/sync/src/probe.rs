@@ -44,11 +44,14 @@ pub enum CounterEvent {
     LockAcquire,
     /// A queue-level `delete_min` found nothing to return.
     EmptyDeleteMin,
+    /// A batched queue operation (`insert_batch`, `delete_min_batch`, or
+    /// fused `replace_min`) ran — counted once per batch, not per item.
+    BatchOp,
 }
 
 impl CounterEvent {
     /// Number of distinct event kinds.
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 9;
 
     /// Every event kind, in a fixed order matching [`CounterEvent::index`].
     pub const ALL: [CounterEvent; CounterEvent::COUNT] = [
@@ -60,6 +63,7 @@ impl CounterEvent {
         CounterEvent::AdaptShrink,
         CounterEvent::LockAcquire,
         CounterEvent::EmptyDeleteMin,
+        CounterEvent::BatchOp,
     ];
 
     /// Dense index of this event in `0..COUNT` (array-keyed aggregation).
@@ -73,6 +77,7 @@ impl CounterEvent {
             CounterEvent::AdaptShrink => 5,
             CounterEvent::LockAcquire => 6,
             CounterEvent::EmptyDeleteMin => 7,
+            CounterEvent::BatchOp => 8,
         }
     }
 
@@ -87,6 +92,7 @@ impl CounterEvent {
             CounterEvent::AdaptShrink => "adapt_shrink",
             CounterEvent::LockAcquire => "lock_acquire",
             CounterEvent::EmptyDeleteMin => "empty_delete_min",
+            CounterEvent::BatchOp => "batch_op",
         }
     }
 }

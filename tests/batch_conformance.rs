@@ -1,0 +1,142 @@
+//! Batched-operation conformance for every native queue: random sequences
+//! of `insert_batch` / `delete_min_batch` / `replace_min`, executed
+//! single-threaded, must conserve items exactly, and each batched delete
+//! must return the current minima — rank error exactly 0 — for every
+//! strict queue. The relaxed MultiQueue is instead held to its structural
+//! bound: every returned priority is outranked by at most the number of
+//! items resident when it was taken, and conservation is exact. Sequences
+//! come from the in-repo deterministic PRNG, so every run covers the same
+//! cases.
+
+use std::collections::BTreeMap;
+
+use funnelpq::{Algorithm, BoundedPq, PqBuilder};
+use funnelpq_util::XorShift64Star;
+
+const NUM_PRIS: usize = 16;
+
+/// Reference multiset of (priority, item) pairs.
+#[derive(Default)]
+struct Model {
+    by_pri: BTreeMap<usize, Vec<u64>>,
+    resident: usize,
+}
+
+impl Model {
+    fn insert(&mut self, pri: usize, item: u64) {
+        self.by_pri.entry(pri).or_default().push(item);
+        self.resident += 1;
+    }
+
+    /// Number of resident entries strictly more urgent than `pri`.
+    fn rank_of(&self, pri: usize) -> usize {
+        self.by_pri.range(..pri).map(|(_, items)| items.len()).sum()
+    }
+
+    /// Removes one resident entry matching the queue's answer exactly.
+    fn remove(&mut self, pri: usize, item: u64) {
+        let items = self
+            .by_pri
+            .get_mut(&pri)
+            .unwrap_or_else(|| panic!("delete returned pri {pri} not resident"));
+        let at = items
+            .iter()
+            .position(|&x| x == item)
+            .unwrap_or_else(|| panic!("delete returned item {item} not resident at {pri}"));
+        items.swap_remove(at);
+        if items.is_empty() {
+            self.by_pri.remove(&pri);
+        }
+        self.resident -= 1;
+    }
+}
+
+fn run_case(q: &dyn BoundedPq<u64>, strict: bool, rng: &mut XorShift64Star) {
+    let mut model = Model::default();
+    let mut next_item = 0u64;
+    let rounds = 40 + rng.below(40);
+    for _ in 0..rounds {
+        match rng.below(5) {
+            // Insert a batch of random size (empty batches allowed).
+            0 | 1 => {
+                let k = rng.below(20) as usize;
+                let batch: Vec<(usize, u64)> = (0..k)
+                    .map(|_| {
+                        let pri = rng.below(NUM_PRIS as u64) as usize;
+                        let item = next_item;
+                        next_item += 1;
+                        model.insert(pri, item);
+                        (pri, item)
+                    })
+                    .collect();
+                q.insert_batch(0, batch).expect("in-range batch must file");
+            }
+            // Grab a batch, possibly larger than what's resident.
+            2 | 3 => {
+                let k = rng.below(24) as usize;
+                let mut out = Vec::new();
+                let n = q.delete_min_batch(0, k, &mut out);
+                assert_eq!(n, out.len(), "return value must match appended count");
+                assert_eq!(
+                    n,
+                    k.min(model.resident),
+                    "sequential grab must take min(k, resident)"
+                );
+                for &(pri, item) in &out {
+                    if strict {
+                        assert_eq!(model.rank_of(pri), 0, "strict queue returned a non-minimum");
+                    } else {
+                        assert!(
+                            model.rank_of(pri) < model.resident,
+                            "relaxed rank error exceeds residency"
+                        );
+                    }
+                    model.remove(pri, item);
+                }
+            }
+            // Fused replace_min.
+            _ => {
+                let pri = rng.below(NUM_PRIS as u64) as usize;
+                let item = next_item;
+                next_item += 1;
+                let got = q.replace_min(0, pri, item);
+                match got {
+                    Some((p, x)) => {
+                        if strict {
+                            assert_eq!(model.rank_of(p), 0, "replace_min skipped a minimum");
+                        }
+                        model.remove(p, x);
+                    }
+                    None => assert_eq!(model.resident, 0, "replace_min missed resident items"),
+                }
+                model.insert(pri, item);
+            }
+        }
+    }
+    // Conservation: the full drain returns exactly the un-deleted inserts.
+    let mut out = Vec::new();
+    q.delete_min_batch(0, usize::MAX, &mut out);
+    assert_eq!(out.len(), model.resident, "drain count mismatch");
+    for (pri, item) in out {
+        model.remove(pri, item);
+    }
+    assert_eq!(model.resident, 0);
+    assert!(q.is_empty());
+}
+
+#[test]
+fn batched_ops_conserve_items_and_strict_queues_stay_sorted() {
+    for a in Algorithm::EVERY {
+        if a == Algorithm::HardwareTree {
+            continue;
+        }
+        let strict = a != Algorithm::MultiQueue;
+        for case in 0..24u64 {
+            let q = PqBuilder::new(a, NUM_PRIS, 1)
+                .hunt_capacity(4096)
+                .build::<u64>();
+            let mut rng = XorShift64Star::new(case.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xBA7C4);
+            run_case(q.as_ref(), strict, &mut rng);
+        }
+    }
+}
