@@ -34,14 +34,18 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use funnelpq::obs::AtomicRecorder;
-use funnelpq::{Algorithm, BoundedPq, PqBuilder};
+use funnelpq::{Algorithm, BoundedPq, HuntConfig, PqBuilder, PqConfig};
 use funnelpq_bench::{
     print_table, scale_percent, standard_workload, write_bench_json, BenchRecord,
 };
 use funnelpq_simqueues::workload::{run_batched_churn, run_batched_quality};
 
 fn builder(a: Algorithm, n: usize, t: usize) -> PqBuilder {
-    PqBuilder::new(a, n, t).hunt_capacity(1 << 14)
+    let cfg = match PqConfig::for_algorithm(a).expect("natively buildable") {
+        PqConfig::HuntEtAl(_) => PqConfig::HuntEtAl(HuntConfig { capacity: 1 << 14 }),
+        cfg => cfg,
+    };
+    PqBuilder::from_config(cfg, n, t)
 }
 
 /// Items each thread keeps in flight per rep, constant across `k` so every

@@ -14,7 +14,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use funnelpq::{Algorithm, BoundedPq, PqBuilder};
+use funnelpq::{Algorithm, BoundedPq, MultiQueueConfig, PqBuilder, PqConfig};
 use funnelpq_bench::{
     max_procs, print_table, scale_percent, standard_workload, write_bench_json, BenchRecord,
 };
@@ -44,11 +44,11 @@ fn two_thread_pairs(q: Arc<dyn BoundedPq<u64>>, reps: u64) -> f64 {
 }
 
 fn native_multiqueue(stickiness: u32, reps: u64) -> f64 {
-    let q: Arc<dyn BoundedPq<u64>> = Arc::from(
-        PqBuilder::new(Algorithm::MultiQueue, 16, 2)
-            .multiqueue_stickiness(stickiness)
-            .build::<u64>(),
-    );
+    let cfg = PqConfig::MultiQueue(MultiQueueConfig {
+        stickiness,
+        ..MultiQueueConfig::default()
+    });
+    let q: Arc<dyn BoundedPq<u64>> = Arc::from(PqBuilder::from_config(cfg, 16, 2).build::<u64>());
     two_thread_pairs(q, reps)
 }
 
@@ -69,11 +69,9 @@ fn main() {
 
     // Native A/B 2: the relaxed queue against the strict scalable
     // reference under the same two-thread load.
-    let funnel_tree: Arc<dyn BoundedPq<u64>> = Arc::from(
-        PqBuilder::new(Algorithm::FunnelTree, 16, 2)
-            .hunt_capacity(1 << 14)
-            .build::<u64>(),
-    );
+    let ft_cfg = PqConfig::for_algorithm(Algorithm::FunnelTree).unwrap();
+    let funnel_tree: Arc<dyn BoundedPq<u64>> =
+        Arc::from(PqBuilder::from_config(ft_cfg, 16, 2).build::<u64>());
     let ft_ns = two_thread_pairs(funnel_tree, reps);
 
     print_table(

@@ -19,11 +19,18 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use funnelpq::obs::AtomicRecorder;
-use funnelpq::{Algorithm, BoundedPq, FunnelConfig, PqBuilder};
+use funnelpq::{
+    Algorithm, BoundedPq, FunnelConfig, FunnelTreeConfig, HuntConfig, LinearFunnelsConfig,
+    PqBuilder, PqConfig,
+};
 use funnelpq_bench::{print_table, scale_percent, write_bench_json, BenchRecord};
 
 fn builder(a: Algorithm, n: usize, t: usize) -> PqBuilder {
-    PqBuilder::new(a, n, t).hunt_capacity(1 << 14)
+    let cfg = match PqConfig::for_algorithm(a).expect("natively buildable") {
+        PqConfig::HuntEtAl(_) => PqConfig::HuntEtAl(HuntConfig { capacity: 1 << 14 }),
+        cfg => cfg,
+    };
+    PqBuilder::from_config(cfg, n, t)
 }
 
 /// Times `iters` insert+delete_min pairs on thread id 0 (with a warmup of
@@ -178,10 +185,19 @@ fn bench_funnel_pad_ab(reps: u64) -> Vec<(Algorithm, f64, f64)> {
         .into_iter()
         .map(|a| {
             let run = |pad: bool| {
-                let mut cfg = FunnelConfig::for_threads(2);
-                cfg.pad_slots = pad;
+                let mut fc = FunnelConfig::for_threads(2);
+                fc.pad_slots = pad;
+                let cfg = match a {
+                    Algorithm::LinearFunnels => {
+                        PqConfig::LinearFunnels(LinearFunnelsConfig { funnel: Some(fc) })
+                    }
+                    _ => PqConfig::FunnelTree(FunnelTreeConfig {
+                        funnel: Some(fc),
+                        ..Default::default()
+                    }),
+                };
                 let q: Arc<dyn BoundedPq<u64>> =
-                    Arc::from(builder(a, 16, 2).funnel_config(cfg).build::<u64>());
+                    Arc::from(PqBuilder::from_config(cfg, 16, 2).build::<u64>());
                 two_thread_pairs(q, reps)
             };
             (a, run(true), run(false))

@@ -1,0 +1,299 @@
+//! Closed-loop load generator for the `funnelpq-server` scheduler: bursty
+//! arrivals with hot-tenant skew, swept across strict backends
+//! (SingleLock, FunnelTree) and the relaxed MultiQueue at two relaxation
+//! settings. Headline: **deadline-miss rate as a function of the
+//! rank-error bound** (heap count, 0 for strict backends).
+//!
+//! Misses are evaluated on the server's virtual service clock (dispatch
+//! slots, paced at `service_ns` per job — see `docs/SERVER.md`), so the
+//! strict rows are *guaranteed* zero under this no-overload closed loop:
+//! every job gets `CAPACITY + MARGIN` slots of slack, and a strict backend
+//! can delay a job by at most the in-flight population (≤ `CAPACITY`)
+//! plus its same-band cohort (≤ band width ≪ `MARGIN`). The relaxed
+//! MultiQueue adds rank error on top — a job parked in a heap the
+//! two-choice draw keeps missing is overtaken without bound — which is
+//! exactly what the miss rate then measures. CI's `server-smoke` job
+//! asserts the strict-zero / relaxed-split shape from the JSON.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use funnelpq::obs::{AtomicRecorder, CounterEvent};
+use funnelpq::{MultiQueueConfig, PqConfig};
+use funnelpq_bench::{print_table, scale_percent, write_bench_json, BenchRecord};
+use funnelpq_server::{Deadline, JobSpec, Scheduler, ServerConfig, ServerError, TenantId};
+use funnelpq_util::XorShift64Star;
+
+const SHARDS: usize = 4;
+const TENANTS: u64 = 8;
+const CLIENTS: usize = 4;
+const BANDS: usize = 8192;
+/// Nominal per-job service time: the dispatcher pacing quantum. Coarse on
+/// purpose — one slot must dwarf an OS timeslice hiccup, so that a client
+/// preempted mid-insert on a small (even single-core) machine loses a
+/// couple of slots, not dozens, keeping the strict zero-miss guarantee
+/// honest on any host.
+const SERVICE_NS: u64 = 500_000;
+/// Global in-flight capacity.
+const CAPACITY: usize = 128;
+const QUOTA: usize = 16;
+/// Tenants are pinned round-robin onto shards, so one shard's backlog is
+/// capped by the quotas of its own tenants — much tighter than the global
+/// capacity, which lets the deadline slack be tight enough for rank error
+/// to matter while strict backends still cannot miss.
+const PER_SHARD_BOUND: u64 = (TENANTS / SHARDS as u64) * QUOTA as u64;
+/// The run's deadline geometry, derived from the wall duration: every job
+/// gets the same deadline offset — enough slack that a strict backend
+/// cannot miss, tight enough that MultiQueue rank error shows up as
+/// misses.
+struct Geometry {
+    horizon_ns: u64,
+    offset_ns: u64,
+}
+
+fn geometry(duration: Duration) -> Geometry {
+    // The horizon must cover every deadline the run can stamp (including
+    // the last periodic job's final re-arm).
+    let horizon_ns = duration.as_nanos() as u64 + 1_000_000_000;
+    // Strict worst-case delay on one shard: its pinned tenants' full
+    // quota backlog plus the same-band dispatch-order cohort (one band's
+    // width in slots). The margin keeps multiples of both.
+    let band_slots = horizon_ns / (BANDS as u64 * SERVICE_NS);
+    let margin = 48 + 2 * band_slots;
+    Geometry {
+        horizon_ns,
+        offset_ns: (PER_SHARD_BOUND + margin) * SERVICE_NS,
+    }
+}
+
+struct Backend {
+    label: &'static str,
+    config: PqConfig,
+    /// Upper bound on delete-min rank error: 0 for the strict classes,
+    /// the heap count (`factor × threads`) for the MultiQueue.
+    rank_error_bound: usize,
+}
+
+fn backends() -> Vec<Backend> {
+    let threads = CLIENTS + 1; // clients + the dispatcher
+    let mq = |factor: usize, stickiness: u32| {
+        PqConfig::MultiQueue(MultiQueueConfig {
+            factor,
+            stickiness,
+            ..MultiQueueConfig::default()
+        })
+    };
+    vec![
+        Backend {
+            label: "SingleLock",
+            config: PqConfig::SingleLock,
+            rank_error_bound: 0,
+        },
+        Backend {
+            label: "FunnelTree",
+            config: PqConfig::for_algorithm(funnelpq::Algorithm::FunnelTree).unwrap(),
+            rank_error_bound: 0,
+        },
+        Backend {
+            label: "MultiQueue_f2_s8",
+            config: mq(2, 8),
+            rank_error_bound: 2 * threads,
+        },
+        Backend {
+            label: "MultiQueue_f4_s32",
+            config: mq(4, 32),
+            rank_error_bound: 4 * threads,
+        },
+        Backend {
+            label: "MultiQueue_f8_s64",
+            config: mq(8, 64),
+            rank_error_bound: 8 * threads,
+        },
+    ]
+}
+
+fn run_backend(b: &Backend, duration: Duration, geo: &Geometry) -> BenchRecord {
+    let recorder = Arc::new(AtomicRecorder::new());
+    let offset_ns = geo.offset_ns;
+    let cfg = ServerConfig {
+        shards: SHARDS,
+        tenants: TENANTS as usize,
+        clients: CLIENTS,
+        bands: BANDS,
+        horizon_ns: geo.horizon_ns,
+        backend: b.config.clone(),
+        drain_batch: 8,
+        global_capacity: CAPACITY,
+        tenant_quota: QUOTA,
+        service_ns: SERVICE_NS,
+        record_dispatches: false,
+        // Round-robin pins: shard s serves tenants {s, s + SHARDS}, so its
+        // backlog is bounded by their quotas (PER_SHARD_BOUND).
+        affinity: (0..TENANTS as u32)
+            .map(|t| (TenantId(t), t as usize % SHARDS))
+            .collect(),
+    };
+    let s = Arc::new(Scheduler::with_recorder(cfg, Arc::clone(&recorder)).unwrap());
+    s.start();
+
+    let until = Instant::now() + duration;
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|client| {
+            let s = Arc::clone(&s);
+            std::thread::spawn(move || {
+                let mut rng = XorShift64Star::new(0xBEEF ^ ((client as u64) << 40));
+                let mut sent = 0u64;
+                'run: while Instant::now() < until {
+                    // Bursty arrivals: a burst of submits, then a pause.
+                    let burst = 8 + rng.below(24);
+                    for _ in 0..burst {
+                        // Hot-tenant skew: ~30% of traffic on tenant 0.
+                        let tenant = if rng.below(100) < 30 {
+                            TenantId(0)
+                        } else {
+                            TenantId(rng.below(TENANTS) as u32)
+                        };
+                        // Closed loop: quota/capacity refusals back-pressure
+                        // the client, which retries. The relative deadline
+                        // resolves at admission, so every job starts with
+                        // its full slack.
+                        let deadline = Deadline::In(offset_ns);
+                        let spec = if sent.is_multiple_of(16) {
+                            JobSpec::periodic(tenant, deadline, sent, offset_ns, 3)
+                        } else {
+                            JobSpec::once(tenant, deadline, sent)
+                        };
+                        loop {
+                            match s.submit(client, spec) {
+                                Ok(_) => break,
+                                Err(ServerError::Admit(_)) => {
+                                    if Instant::now() >= until {
+                                        break 'run;
+                                    }
+                                    std::thread::sleep(Duration::from_micros(5));
+                                }
+                                Err(other) => panic!("{}: submit failed: {other}", client),
+                            }
+                        }
+                        sent += 1;
+                    }
+                    std::thread::sleep(Duration::from_micros(rng.below(300)));
+                }
+            })
+        })
+        .collect();
+    for h in clients {
+        h.join().unwrap();
+    }
+    // Quiesce: let the dispatchers finish everything admitted (periodic
+    // jobs keep re-arming until their repeats run out).
+    let drain_start = Instant::now();
+    while s.in_flight() > 0 {
+        std::thread::sleep(Duration::from_millis(1));
+        assert!(
+            drain_start.elapsed() < Duration::from_secs(30),
+            "{}: scheduler failed to drain",
+            b.label
+        );
+    }
+    let report = s.stop();
+
+    assert_eq!(
+        report.admitted, report.completed,
+        "{}: conservation",
+        b.label
+    );
+    assert_eq!(report.in_flight_at_stop, 0, "{}: quiesced stop", b.label);
+    // The obs pipeline must agree with the report: every miss the shard
+    // counted was also recorded as a CounterEvent::DeadlineMiss.
+    let snap = recorder.snapshot();
+    assert_eq!(
+        snap.event(CounterEvent::DeadlineMiss),
+        report.misses,
+        "{}: recorder and report disagree on misses",
+        b.label
+    );
+
+    BenchRecord {
+        name: b.label.into(),
+        fields: vec![
+            ("rank_error_bound", b.rank_error_bound as f64),
+            ("miss_rate", report.miss_rate()),
+            ("misses", report.misses as f64),
+            ("dispatched", report.dispatched as f64),
+            ("admitted", report.admitted as f64),
+            (
+                "rejected",
+                (report.rejected_quota + report.rejected_capacity) as f64,
+            ),
+            ("rearmed", report.rearmed as f64),
+            ("latency_p50_ns", report.latency_ns.p50() as f64),
+            ("latency_p99_ns", report.latency_ns.p99() as f64),
+            ("latency_p999_ns", report.latency_ns.p999() as f64),
+            ("delay_slots_p50", report.delay_slots.p50() as f64),
+            ("delay_slots_p99", report.delay_slots.p99() as f64),
+            ("delay_slots_max", report.delay_slots.max() as f64),
+        ],
+    }
+}
+
+fn main() {
+    // ~2s of closed-loop load per backend at full scale.
+    let duration = Duration::from_millis((2_000 * scale_percent() as u64 / 100).max(200));
+    let geo = geometry(duration);
+
+    let mut records = vec![BenchRecord {
+        name: "meta".into(),
+        fields: vec![
+            ("shards", SHARDS as f64),
+            ("clients", CLIENTS as f64),
+            ("tenants", TENANTS as f64),
+            ("bands", BANDS as f64),
+            ("service_ns", SERVICE_NS as f64),
+            ("capacity", CAPACITY as f64),
+            ("slack_slots", (geo.offset_ns / SERVICE_NS) as f64),
+            ("duration_ms", duration.as_millis() as f64),
+        ],
+    }];
+    let mut rows = Vec::new();
+    for b in backends() {
+        let rec = run_backend(&b, duration, &geo);
+        let get = |k: &str| {
+            rec.fields
+                .iter()
+                .find(|(n, _)| *n == k)
+                .map(|(_, v)| *v)
+                .unwrap_or(f64::NAN)
+        };
+        rows.push(vec![
+            b.label.to_string(),
+            format!("{:.0}", get("rank_error_bound")),
+            format!("{:.0}", get("dispatched")),
+            format!("{:.5}", get("miss_rate")),
+            format!("{:.0}", get("latency_p50_ns")),
+            format!("{:.0}", get("latency_p999_ns")),
+            format!("{:.0}", get("delay_slots_p99")),
+        ]);
+        records.push(rec);
+    }
+    print_table(
+        "Scheduler backends — deadline-miss rate vs rank-error bound (closed loop, bursty, hot-tenant skew)",
+        &[
+            "backend",
+            "rank bound",
+            "dispatched",
+            "miss rate",
+            "lat p50 ns",
+            "lat p999 ns",
+            "delay p99",
+        ],
+        &rows,
+    );
+
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let path = format!("{root}/BENCH_server.json");
+    if let Err(e) = write_bench_json(&path, "server_load", &records) {
+        eprintln!("could not write {path}: {e}");
+    }
+    println!("wrote {path}");
+}

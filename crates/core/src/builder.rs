@@ -1,14 +1,15 @@
-//! One construction front door for all seven native queues.
+//! One construction front door for all eight native queues.
 
 use std::sync::Arc;
 
 use funnelpq_sync::{BinOrder, FunnelConfig};
 
 use crate::algorithm::Algorithm;
-use crate::funnel_tree::{FunnelTreePq, DEFAULT_FUNNEL_LEVELS};
+use crate::config::PqConfig;
+use crate::funnel_tree::FunnelTreePq;
 use crate::hunt::HuntPq;
 use crate::linear_funnels::LinearFunnelsPq;
-use crate::multiqueue::{MultiQueuePq, DEFAULT_MQ_FACTOR, DEFAULT_MQ_SEED, DEFAULT_MQ_STICKINESS};
+use crate::multiqueue::MultiQueuePq;
 use crate::obs::{NoopRecorder, Recorder};
 use crate::simple_linear::SimpleLinearPq;
 use crate::simple_tree::SimpleTreePq;
@@ -27,6 +28,16 @@ pub enum BuildError {
     ZeroPriorities,
     /// `max_threads` was zero.
     ZeroThreads,
+    /// A per-algorithm parameter was outside the range its queue can be
+    /// constructed with (see [`PqConfig::validate`]) — e.g. a MultiQueue
+    /// `factor` of 0, which would otherwise panic inside the queue
+    /// constructor and let a shard factory bring the whole server down.
+    InvalidConfig {
+        /// The algorithm whose config was rejected.
+        algorithm: Algorithm,
+        /// What was out of range.
+        reason: &'static str,
+    },
 }
 
 impl std::fmt::Display for BuildError {
@@ -37,21 +48,27 @@ impl std::fmt::Display for BuildError {
             }
             BuildError::ZeroPriorities => write!(f, "need at least one priority"),
             BuildError::ZeroThreads => write!(f, "need at least one thread"),
+            BuildError::InvalidConfig { algorithm, reason } => {
+                write!(f, "invalid {algorithm} config: {reason}")
+            }
         }
     }
 }
 
 impl std::error::Error for BuildError {}
 
-/// Builder constructing any of the seven native queues behind
-/// `Box<dyn BoundedPq<T>>`, with uniform knobs and an optional metrics
-/// recorder.
+/// Builder constructing any of the eight native queues behind
+/// `Box<dyn BoundedPq<T>>`, from a typed per-algorithm [`PqConfig`] plus
+/// the two knobs every queue shares (`num_priorities`, `max_threads`) and
+/// an optional metrics recorder.
 ///
-/// Algorithm-specific knobs ([`PqBuilder::bin_order`],
-/// [`PqBuilder::funnel_config`], [`PqBuilder::hunt_capacity`],
-/// [`PqBuilder::skiplist_seed`]) apply where the algorithm supports them
-/// and are ignored otherwise, so one configured builder can construct every
-/// algorithm of a sweep.
+/// Start from an algorithm with per-algorithm defaults
+/// ([`PqBuilder::new`]) or from an explicit config
+/// ([`PqBuilder::from_config`]). The old flat knob methods
+/// (`hunt_capacity`, `skiplist_seed`, …) survive as deprecated shims that
+/// rewrite into the config — still ignored when the algorithm does not
+/// have that knob, so legacy sweep code keeps compiling and behaving
+/// identically.
 ///
 /// # Examples
 ///
@@ -66,15 +83,15 @@ impl std::error::Error for BuildError {}
 /// assert_eq!(q.algorithm(), Algorithm::FunnelTree);
 /// ```
 ///
-/// With metrics:
+/// From a typed config, with metrics:
 ///
 /// ```
 /// use std::sync::Arc;
 /// use funnelpq::obs::AtomicRecorder;
-/// use funnelpq::{Algorithm, PqBuilder};
+/// use funnelpq::{BinPqConfig, PqBuilder, PqConfig};
 ///
 /// let rec = Arc::new(AtomicRecorder::new());
-/// let q = PqBuilder::new(Algorithm::SimpleTree, 16, 4)
+/// let q = PqBuilder::from_config(PqConfig::SimpleTree(BinPqConfig::default()), 16, 4)
 ///     .recorder(Arc::clone(&rec))
 ///     .build::<&str>();
 /// q.insert(0, 3, "x");
@@ -88,32 +105,35 @@ pub struct PqBuilder<R: Recorder = NoopRecorder> {
     algorithm: Algorithm,
     num_priorities: usize,
     max_threads: usize,
-    bin_order: BinOrder,
-    funnel_config: Option<FunnelConfig>,
-    hunt_capacity: Option<usize>,
-    skiplist_seed: Option<u64>,
-    multiqueue_factor: Option<usize>,
-    multiqueue_stickiness: Option<u32>,
-    multiqueue_seed: Option<u64>,
+    // `None` exactly when `algorithm` has no native implementation
+    // (HardwareTree), so `try_build` can still report it as a typed error.
+    config: Option<PqConfig>,
     recorder: Arc<R>,
 }
 
 impl PqBuilder<NoopRecorder> {
     /// Starts a builder for `algorithm` with priorities `0..num_priorities`
     /// and thread ids `0..max_threads`, no metrics, and per-algorithm
-    /// defaults for everything else.
+    /// defaults for everything else ([`PqConfig::for_algorithm`]).
     pub fn new(algorithm: Algorithm, num_priorities: usize, max_threads: usize) -> Self {
         PqBuilder {
             algorithm,
             num_priorities,
             max_threads,
-            bin_order: BinOrder::Lifo,
-            funnel_config: None,
-            hunt_capacity: None,
-            skiplist_seed: None,
-            multiqueue_factor: None,
-            multiqueue_stickiness: None,
-            multiqueue_seed: None,
+            config: PqConfig::for_algorithm(algorithm),
+            recorder: Arc::new(NoopRecorder),
+        }
+    }
+
+    /// Starts a builder from an explicit per-algorithm config — the typed
+    /// replacement for the deprecated flat knob methods. The algorithm is
+    /// implied by the config variant.
+    pub fn from_config(config: PqConfig, num_priorities: usize, max_threads: usize) -> Self {
+        PqBuilder {
+            algorithm: config.algorithm(),
+            num_priorities,
+            max_threads,
+            config: Some(config),
             recorder: Arc::new(NoopRecorder),
         }
     }
@@ -128,62 +148,101 @@ impl<R: Recorder> PqBuilder<R> {
             algorithm: self.algorithm,
             num_priorities: self.num_priorities,
             max_threads: self.max_threads,
-            bin_order: self.bin_order,
-            funnel_config: self.funnel_config,
-            hunt_capacity: self.hunt_capacity,
-            skiplist_seed: self.skiplist_seed,
-            multiqueue_factor: self.multiqueue_factor,
-            multiqueue_stickiness: self.multiqueue_stickiness,
-            multiqueue_seed: self.multiqueue_seed,
+            config: self.config,
             recorder,
         }
     }
 
     /// Removal order among equal-priority items in lock-based bins
     /// (`SimpleLinear`, `SimpleTree`). Default LIFO, the paper's choice.
+    #[deprecated(
+        since = "0.1.0",
+        note = "set `BinPqConfig::order` via `PqConfig` instead"
+    )]
     pub fn bin_order(mut self, order: BinOrder) -> Self {
-        self.bin_order = order;
+        match &mut self.config {
+            Some(PqConfig::SimpleLinear(c)) | Some(PqConfig::SimpleTree(c)) => c.order = order,
+            _ => {}
+        }
         self
     }
 
     /// Explicit combining-funnel parameters (`LinearFunnels`,
     /// `FunnelTree`). Default: [`FunnelConfig::for_threads`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "set `LinearFunnelsConfig::funnel` / `FunnelTreeConfig::funnel` via `PqConfig` instead"
+    )]
     pub fn funnel_config(mut self, cfg: FunnelConfig) -> Self {
-        self.funnel_config = Some(cfg);
+        match &mut self.config {
+            Some(PqConfig::LinearFunnels(c)) => c.funnel = Some(cfg),
+            Some(PqConfig::FunnelTree(c)) => c.funnel = Some(cfg),
+            _ => {}
+        }
         self
     }
 
     /// Fixed capacity for `HuntEtAl` (its heap is pre-allocated). Default
     /// 2¹⁶ items.
+    #[deprecated(
+        since = "0.1.0",
+        note = "set `HuntConfig::capacity` via `PqConfig` instead"
+    )]
     pub fn hunt_capacity(mut self, capacity: usize) -> Self {
-        self.hunt_capacity = Some(capacity);
+        if let Some(PqConfig::HuntEtAl(c)) = &mut self.config {
+            c.capacity = capacity;
+        }
         self
     }
 
     /// Tower-height RNG seed for `SkipList`. Default: a fixed seed.
+    #[deprecated(
+        since = "0.1.0",
+        note = "set `SkipListConfig::seed` via `PqConfig` instead"
+    )]
     pub fn skiplist_seed(mut self, seed: u64) -> Self {
-        self.skiplist_seed = Some(seed);
+        if let Some(PqConfig::SkipList(c)) = &mut self.config {
+            c.seed = seed;
+        }
         self
     }
 
     /// Internal-heap ratio `c` for `MultiQueue` (the queue holds
     /// `c · max_threads` heaps, minimum two). Default 2, the MultiQueues
     /// paper's baseline.
+    #[deprecated(
+        since = "0.1.0",
+        note = "set `MultiQueueConfig::factor` via `PqConfig` instead"
+    )]
     pub fn multiqueue_factor(mut self, factor: usize) -> Self {
-        self.multiqueue_factor = Some(factor);
+        if let Some(PqConfig::MultiQueue(c)) = &mut self.config {
+            c.factor = factor;
+        }
         self
     }
 
     /// Queue-choice stickiness for `MultiQueue`: consecutive operations
     /// re-using the last choice before re-drawing (1 disables). Default 8.
+    #[deprecated(
+        since = "0.1.0",
+        note = "set `MultiQueueConfig::stickiness` via `PqConfig` instead"
+    )]
     pub fn multiqueue_stickiness(mut self, stickiness: u32) -> Self {
-        self.multiqueue_stickiness = Some(stickiness);
+        if let Some(PqConfig::MultiQueue(c)) = &mut self.config {
+            c.stickiness = stickiness;
+        }
         self
     }
 
     /// Per-thread choice-RNG seed for `MultiQueue`. Default: a fixed seed.
+    #[deprecated(
+        since = "0.1.0",
+        note = "set `MultiQueueConfig::seed` via `PqConfig` instead"
+    )]
     pub fn multiqueue_seed(mut self, seed: u64) -> Self {
-        self.multiqueue_seed = Some(seed);
+        if let Some(PqConfig::MultiQueue(c)) = &mut self.config {
+            c.seed = seed;
+        }
         self
     }
 
@@ -192,7 +251,17 @@ impl<R: Recorder> PqBuilder<R> {
         self.algorithm
     }
 
-    /// Builds the queue, or reports why the parameters cannot produce one.
+    /// The typed per-algorithm config this builder will construct from, or
+    /// `None` when the algorithm has no native implementation.
+    pub fn config(&self) -> Option<&PqConfig> {
+        self.config.as_ref()
+    }
+
+    /// Builds the queue, or reports why the parameters cannot produce one:
+    /// an unsupported algorithm, a zero `num_priorities`/`max_threads`, or
+    /// an out-of-range per-algorithm parameter ([`PqConfig::validate`]).
+    /// Never panics — this is the front door for shard factories and other
+    /// callers that must survive bad configuration.
     pub fn try_build<T: Send + 'static>(&self) -> Result<Box<dyn BoundedPq<T>>, BuildError> {
         if self.num_priorities == 0 {
             return Err(BuildError::ZeroPriorities);
@@ -200,57 +269,59 @@ impl<R: Recorder> PqBuilder<R> {
         if self.max_threads == 0 {
             return Err(BuildError::ZeroThreads);
         }
+        let config = match &self.config {
+            Some(c) => c,
+            None => return Err(BuildError::UnsupportedAlgorithm(self.algorithm)),
+        };
+        config.validate()?;
         let n = self.num_priorities;
         let t = self.max_threads;
         let rec = Arc::clone(&self.recorder);
-        let cfg = || {
-            self.funnel_config
+        let funnel_cfg = |explicit: &Option<FunnelConfig>| {
+            explicit
                 .clone()
                 .unwrap_or_else(|| FunnelConfig::for_threads(t))
         };
-        Ok(match self.algorithm {
-            Algorithm::SingleLock => Box::new(SingleLockPq::with_recorder(n, t, rec)),
-            Algorithm::HuntEtAl => Box::new(HuntPq::with_recorder(
+        Ok(match config {
+            PqConfig::SingleLock => Box::new(SingleLockPq::with_recorder(n, t, rec)),
+            PqConfig::HuntEtAl(c) => Box::new(HuntPq::with_recorder(n, t, c.capacity, rec)),
+            PqConfig::SkipList(c) => Box::new(SkipListPq::with_recorder(n, t, c.seed, rec)),
+            PqConfig::SimpleLinear(c) => {
+                Box::new(SimpleLinearPq::with_recorder(n, t, c.order, rec))
+            }
+            PqConfig::SimpleTree(c) => Box::new(SimpleTreePq::with_recorder(n, t, c.order, rec)),
+            PqConfig::LinearFunnels(c) => Box::new(LinearFunnelsPq::with_recorder(
                 n,
-                t,
-                self.hunt_capacity.unwrap_or(1 << 16),
+                funnel_cfg(&c.funnel),
                 rec,
             )),
-            Algorithm::SkipList => Box::new(SkipListPq::with_recorder(
+            PqConfig::FunnelTree(c) => Box::new(FunnelTreePq::with_recorder(
                 n,
-                t,
-                self.skiplist_seed.unwrap_or(0x5EED_CAFE),
+                funnel_cfg(&c.funnel),
+                c.funnel_levels,
                 rec,
             )),
-            Algorithm::SimpleLinear => {
-                Box::new(SimpleLinearPq::with_recorder(n, t, self.bin_order, rec))
-            }
-            Algorithm::SimpleTree => {
-                Box::new(SimpleTreePq::with_recorder(n, t, self.bin_order, rec))
-            }
-            Algorithm::LinearFunnels => Box::new(LinearFunnelsPq::with_recorder(n, cfg(), rec)),
-            Algorithm::FunnelTree => Box::new(FunnelTreePq::with_recorder(
-                n,
-                cfg(),
-                DEFAULT_FUNNEL_LEVELS,
-                rec,
-            )),
-            Algorithm::HardwareTree => {
-                return Err(BuildError::UnsupportedAlgorithm(Algorithm::HardwareTree))
-            }
-            Algorithm::MultiQueue => Box::new(MultiQueuePq::with_config(
+            PqConfig::MultiQueue(c) => Box::new(MultiQueuePq::with_config(
                 n,
                 t,
-                self.multiqueue_factor.unwrap_or(DEFAULT_MQ_FACTOR),
-                self.multiqueue_stickiness.unwrap_or(DEFAULT_MQ_STICKINESS),
-                self.multiqueue_seed.unwrap_or(DEFAULT_MQ_SEED),
+                c.factor,
+                c.stickiness,
+                c.seed,
                 rec,
             )),
         })
     }
 
-    /// Builds the queue, panicking where [`PqBuilder::try_build`] would
-    /// return an error.
+    /// Builds the queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`BuildError`]'s message exactly where
+    /// [`PqBuilder::try_build`] would return it — an unsupported algorithm,
+    /// zero `num_priorities`/`max_threads`, or an invalid per-algorithm
+    /// config. Every validation goes through `try_build`, so `build` never
+    /// reaches a queue constructor's internal assertions; callers that must
+    /// not panic (shard factories, servers) use `try_build` directly.
     pub fn build<T: Send + 'static>(&self) -> Box<dyn BoundedPq<T>> {
         match self.try_build() {
             Ok(q) => q,
@@ -262,6 +333,7 @@ impl<R: Recorder> PqBuilder<R> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::{HuntConfig, MultiQueueConfig};
     use crate::obs::AtomicRecorder;
 
     #[test]
@@ -302,7 +374,49 @@ mod tests {
     }
 
     #[test]
-    fn knobs_apply_where_supported() {
+    fn try_build_rejects_degenerate_configs_instead_of_panicking() {
+        let cfg = PqConfig::MultiQueue(MultiQueueConfig {
+            factor: 0,
+            ..Default::default()
+        });
+        assert_eq!(
+            PqBuilder::from_config(cfg, 8, 2).try_build::<u64>().err(),
+            Some(BuildError::InvalidConfig {
+                algorithm: Algorithm::MultiQueue,
+                reason: "factor must be at least 1",
+            }),
+        );
+        let cfg = PqConfig::MultiQueue(MultiQueueConfig {
+            stickiness: 0,
+            ..Default::default()
+        });
+        assert!(PqBuilder::from_config(cfg, 8, 2)
+            .try_build::<u64>()
+            .is_err());
+        let cfg = PqConfig::HuntEtAl(HuntConfig { capacity: 0 });
+        assert!(PqBuilder::from_config(cfg, 8, 2)
+            .try_build::<u64>()
+            .is_err());
+    }
+
+    #[test]
+    fn from_config_builds_with_the_typed_knobs() {
+        let q = PqBuilder::from_config(PqConfig::HuntEtAl(HuntConfig { capacity: 2 }), 4, 1)
+            .build::<u8>();
+        q.insert(0, 0, 0);
+        q.insert(0, 1, 1);
+        assert!(q.try_insert(0, 2, 2).is_err(), "capacity 2 respected");
+        assert_eq!(
+            q.algorithm(),
+            PqConfig::HuntEtAl(HuntConfig { capacity: 2 }).algorithm()
+        );
+    }
+
+    // The deprecated flat knobs must keep compiling and behaving exactly as
+    // before: applied where the algorithm supports them, ignored otherwise.
+    #[allow(deprecated)]
+    #[test]
+    fn deprecated_knob_shims_apply_where_supported() {
         let q = PqBuilder::new(Algorithm::HuntEtAl, 4, 1)
             .hunt_capacity(2)
             .build::<u8>();
@@ -318,6 +432,27 @@ mod tests {
         assert_eq!(q.delete_min(0), Some((1, 10)), "FIFO within a priority");
     }
 
+    #[allow(deprecated)]
+    #[test]
+    fn deprecated_knob_shims_are_ignored_elsewhere() {
+        // A sweep-style builder chain applies knobs for other algorithms;
+        // they must not disturb the target algorithm's config.
+        let b = PqBuilder::new(Algorithm::SkipList, 8, 2)
+            .hunt_capacity(1)
+            .multiqueue_factor(0)
+            .skiplist_seed(7);
+        assert_eq!(
+            b.config(),
+            Some(&PqConfig::SkipList(crate::config::SkipListConfig {
+                seed: 7
+            }))
+        );
+        // Even the degenerate multiqueue_factor(0) was ignored: this is a
+        // SkipList builder, so it still builds fine.
+        assert!(b.try_build::<u8>().is_ok());
+    }
+
+    #[allow(deprecated)]
     #[test]
     fn builds_multiqueue_with_knobs() {
         // Factor 1 on one thread still gets the two-heap minimum; with both

@@ -1,0 +1,267 @@
+//! Typed per-algorithm construction configs: the [`PqConfig`] enum.
+//!
+//! [`crate::PqBuilder`] originally exposed every algorithm-specific knob as
+//! a flat method (`hunt_capacity`, `skiplist_seed`, `multiqueue_factor`, …)
+//! that silently applied or not depending on the algorithm. That was
+//! convenient for sweeps but made it impossible to tell from a type which
+//! knobs a given algorithm actually has — and let callers configure
+//! contradictions the builder could only ignore. This module replaces the
+//! knob soup with one config struct per algorithm, grouped under
+//! [`PqConfig`]; the old builder methods remain as deprecated shims that
+//! rewrite into these structs.
+//!
+//! Each struct derives [`Default`] with the same defaults the flat knobs
+//! had, so `PqConfig::for_algorithm(a)` (or a struct literal with
+//! `..Default::default()`) reproduces the old behaviour exactly.
+//!
+//! ```
+//! use funnelpq::{MultiQueueConfig, PqBuilder, PqConfig};
+//!
+//! let cfg = PqConfig::MultiQueue(MultiQueueConfig {
+//!     factor: 4,
+//!     ..Default::default()
+//! });
+//! let q = PqBuilder::from_config(cfg, 16, 2).build::<u64>();
+//! q.insert(0, 3, 30);
+//! assert_eq!(q.delete_min(1), Some((3, 30)));
+//! ```
+
+use funnelpq_sync::{BinOrder, FunnelConfig};
+
+use crate::algorithm::Algorithm;
+use crate::builder::BuildError;
+use crate::funnel_tree::DEFAULT_FUNNEL_LEVELS;
+use crate::multiqueue::{DEFAULT_MQ_FACTOR, DEFAULT_MQ_SEED, DEFAULT_MQ_STICKINESS};
+
+/// Config for [`Algorithm::HuntEtAl`]: its heap is pre-allocated, so the
+/// capacity is fixed at construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HuntConfig {
+    /// Fixed item capacity of the pre-allocated heap. Must be at least 1.
+    pub capacity: usize,
+}
+
+impl Default for HuntConfig {
+    fn default() -> Self {
+        HuntConfig { capacity: 1 << 16 }
+    }
+}
+
+/// Config for [`Algorithm::SkipList`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkipListConfig {
+    /// Tower-height RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SkipListConfig {
+    fn default() -> Self {
+        SkipListConfig { seed: 0x5EED_CAFE }
+    }
+}
+
+/// Config for the locked-bin queues [`Algorithm::SimpleLinear`] and
+/// [`Algorithm::SimpleTree`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BinPqConfig {
+    /// Removal order among equal-priority items. Default LIFO, the paper's
+    /// choice.
+    pub order: BinOrder,
+}
+
+/// Config for [`Algorithm::LinearFunnels`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinearFunnelsConfig {
+    /// Explicit combining-funnel parameters, or `None` for
+    /// [`FunnelConfig::for_threads`] at build time.
+    pub funnel: Option<FunnelConfig>,
+}
+
+/// Config for [`Algorithm::FunnelTree`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunnelTreeConfig {
+    /// Explicit combining-funnel parameters, or `None` for
+    /// [`FunnelConfig::for_threads`] at build time.
+    pub funnel: Option<FunnelConfig>,
+    /// Number of counter-tree levels served by funnel counters (the rest
+    /// use plain MCS-locked counters). Must be at least 1.
+    pub funnel_levels: usize,
+}
+
+impl Default for FunnelTreeConfig {
+    fn default() -> Self {
+        FunnelTreeConfig {
+            funnel: None,
+            funnel_levels: DEFAULT_FUNNEL_LEVELS,
+        }
+    }
+}
+
+/// Config for the relaxed [`Algorithm::MultiQueue`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiQueueConfig {
+    /// Internal-heap ratio `c`: the queue holds `c · max_threads` heaps
+    /// (minimum two). Must be at least 1. Default 2, the MultiQueues
+    /// paper's baseline; larger values buy less contention at the price of
+    /// a larger rank-error envelope.
+    pub factor: usize,
+    /// Queue-choice stickiness: consecutive operations re-using the last
+    /// choice before re-drawing. Must be at least 1 (1 disables). Default 8.
+    pub stickiness: u32,
+    /// Per-thread choice-RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MultiQueueConfig {
+    fn default() -> Self {
+        MultiQueueConfig {
+            factor: DEFAULT_MQ_FACTOR,
+            stickiness: DEFAULT_MQ_STICKINESS,
+            seed: DEFAULT_MQ_SEED,
+        }
+    }
+}
+
+/// Typed construction parameters for every natively-buildable algorithm:
+/// one variant per algorithm, carrying exactly the knobs that algorithm
+/// has. [`Algorithm::HardwareTree`] has no variant — it exists only on the
+/// simulator side, so "not constructible" is a type-level fact here rather
+/// than a runtime error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PqConfig {
+    /// Heap under one MCS lock; no knobs.
+    SingleLock,
+    /// Hunt et al. concurrent heap.
+    HuntEtAl(HuntConfig),
+    /// Bounded-range skip list of bins.
+    SkipList(SkipListConfig),
+    /// Array of MCS-locked bins.
+    SimpleLinear(BinPqConfig),
+    /// Tree of MCS-locked counters over locked bins.
+    SimpleTree(BinPqConfig),
+    /// Array of combining-funnel stacks.
+    LinearFunnels(LinearFunnelsConfig),
+    /// Tree with funnel counters at the top and funnel-stack bins.
+    FunnelTree(FunnelTreeConfig),
+    /// Relaxed MultiQueue.
+    MultiQueue(MultiQueueConfig),
+}
+
+impl PqConfig {
+    /// The default config for `algorithm`, or `None` for
+    /// [`Algorithm::HardwareTree`] (simulator-only, nothing to configure
+    /// natively).
+    pub fn for_algorithm(algorithm: Algorithm) -> Option<PqConfig> {
+        Some(match algorithm {
+            Algorithm::SingleLock => PqConfig::SingleLock,
+            Algorithm::HuntEtAl => PqConfig::HuntEtAl(HuntConfig::default()),
+            Algorithm::SkipList => PqConfig::SkipList(SkipListConfig::default()),
+            Algorithm::SimpleLinear => PqConfig::SimpleLinear(BinPqConfig::default()),
+            Algorithm::SimpleTree => PqConfig::SimpleTree(BinPqConfig::default()),
+            Algorithm::LinearFunnels => PqConfig::LinearFunnels(LinearFunnelsConfig::default()),
+            Algorithm::FunnelTree => PqConfig::FunnelTree(FunnelTreeConfig::default()),
+            Algorithm::MultiQueue => PqConfig::MultiQueue(MultiQueueConfig::default()),
+            Algorithm::HardwareTree => return None,
+        })
+    }
+
+    /// Which algorithm this config builds.
+    pub fn algorithm(&self) -> Algorithm {
+        match self {
+            PqConfig::SingleLock => Algorithm::SingleLock,
+            PqConfig::HuntEtAl(_) => Algorithm::HuntEtAl,
+            PqConfig::SkipList(_) => Algorithm::SkipList,
+            PqConfig::SimpleLinear(_) => Algorithm::SimpleLinear,
+            PqConfig::SimpleTree(_) => Algorithm::SimpleTree,
+            PqConfig::LinearFunnels(_) => Algorithm::LinearFunnels,
+            PqConfig::FunnelTree(_) => Algorithm::FunnelTree,
+            PqConfig::MultiQueue(_) => Algorithm::MultiQueue,
+        }
+    }
+
+    /// Checks the parameter ranges a queue constructor would otherwise
+    /// assert on, so [`crate::PqBuilder::try_build`] reports them as typed
+    /// [`BuildError::InvalidConfig`] values instead of panicking.
+    pub fn validate(&self) -> Result<(), BuildError> {
+        let invalid = |reason| {
+            Err(BuildError::InvalidConfig {
+                algorithm: self.algorithm(),
+                reason,
+            })
+        };
+        match self {
+            PqConfig::HuntEtAl(c) if c.capacity == 0 => invalid("capacity must be at least 1"),
+            PqConfig::FunnelTree(c) if c.funnel_levels == 0 => {
+                invalid("funnel_levels must be at least 1")
+            }
+            PqConfig::MultiQueue(c) if c.factor == 0 => invalid("factor must be at least 1"),
+            PqConfig::MultiQueue(c) if c.stickiness == 0 => {
+                invalid("stickiness must be at least 1")
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_old_flat_knob_defaults() {
+        assert_eq!(HuntConfig::default().capacity, 1 << 16);
+        assert_eq!(SkipListConfig::default().seed, 0x5EED_CAFE);
+        assert_eq!(BinPqConfig::default().order, BinOrder::Lifo);
+        assert_eq!(LinearFunnelsConfig::default().funnel, None);
+        let ft = FunnelTreeConfig::default();
+        assert_eq!(ft.funnel, None);
+        assert_eq!(ft.funnel_levels, DEFAULT_FUNNEL_LEVELS);
+        let mq = MultiQueueConfig::default();
+        assert_eq!(mq.factor, DEFAULT_MQ_FACTOR);
+        assert_eq!(mq.stickiness, DEFAULT_MQ_STICKINESS);
+        assert_eq!(mq.seed, DEFAULT_MQ_SEED);
+    }
+
+    #[test]
+    fn for_algorithm_round_trips_and_skips_hardware_tree() {
+        for a in Algorithm::EVERY {
+            match PqConfig::for_algorithm(a) {
+                Some(cfg) => {
+                    assert_eq!(cfg.algorithm(), a);
+                    assert_eq!(cfg.validate(), Ok(()));
+                }
+                None => assert_eq!(a, Algorithm::HardwareTree),
+            }
+        }
+    }
+
+    #[test]
+    fn validate_catches_degenerate_parameters() {
+        let bad = PqConfig::MultiQueue(MultiQueueConfig {
+            factor: 0,
+            ..Default::default()
+        });
+        assert_eq!(
+            bad.validate(),
+            Err(BuildError::InvalidConfig {
+                algorithm: Algorithm::MultiQueue,
+                reason: "factor must be at least 1",
+            })
+        );
+        let bad = PqConfig::MultiQueue(MultiQueueConfig {
+            stickiness: 0,
+            ..Default::default()
+        });
+        assert!(matches!(
+            bad.validate(),
+            Err(BuildError::InvalidConfig { .. })
+        ));
+        let bad = PqConfig::HuntEtAl(HuntConfig { capacity: 0 });
+        assert!(bad.validate().is_err());
+        let bad = PqConfig::FunnelTree(FunnelTreeConfig {
+            funnel_levels: 0,
+            ..Default::default()
+        });
+        assert!(bad.validate().is_err());
+    }
+}

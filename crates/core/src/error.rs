@@ -1,0 +1,183 @@
+//! The unified crate-level error: one type every fallible surface of
+//! `funnelpq` converts into.
+//!
+//! Construction failures ([`BuildError`]), single-insert rejections
+//! ([`PqError`]) and batch rejections ([`PqBatchError`]) each have precise,
+//! item-carrying types of their own — but a layer above the queues (the
+//! `funnelpq-server` shard factory and submit path, for instance) wants to
+//! propagate *one* error type through `?`. [`Error`] is that type: a
+//! non-exhaustive sum of the three, generic over the item so ownership of
+//! rejected items survives the conversion (`into_items` hands every carried
+//! item back, exactly as `PqError::into_item` /
+//! `PqBatchError::into_unconsumed` would have).
+//!
+//! ```
+//! use funnelpq::{Algorithm, Error, PqBuilder};
+//!
+//! fn build_and_fill(n: usize) -> Result<(), Error<u64>> {
+//!     let q = PqBuilder::new(Algorithm::SingleLock, n, 1).try_build::<u64>()?;
+//!     q.try_insert(0, 0, 7)?;
+//!     Ok(())
+//! }
+//! assert!(build_and_fill(8).is_ok());
+//! assert!(matches!(build_and_fill(0), Err(Error::Build(_))));
+//! ```
+
+use crate::builder::BuildError;
+use crate::traits::{PqBatchError, PqError};
+
+/// Any error the `funnelpq` crate can produce, as one propagatable type.
+///
+/// The generic parameter is the queue's item type; errors that carry
+/// rejected items ([`Error::Insert`], [`Error::Batch`]) keep them, and
+/// [`Error::into_items`] recovers them. Item-free call sites (pure
+/// construction) can use the default `Error<()>`.
+///
+/// Marked `#[non_exhaustive]`: later layers (persistence, networking) may
+/// add variants, so match with a wildcard arm.
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error<T = ()> {
+    /// Queue construction was refused ([`crate::PqBuilder::try_build`]).
+    Build(BuildError),
+    /// A single insert was rejected, carrying its item.
+    Insert(PqError<T>),
+    /// A batched insert stopped partway, carrying everything unfiled.
+    Batch(PqBatchError<T>),
+}
+
+impl<T> Error<T> {
+    /// Recovers every item this error carries: none for a build error, the
+    /// one rejected item for an insert, and all unfiled items (failing
+    /// entry first) for a batch. Together with whatever the operation did
+    /// file, this is exactly what the caller submitted — the same
+    /// conservation contract as [`PqError::into_item`] and
+    /// [`PqBatchError::into_unconsumed`], surviving the conversion.
+    pub fn into_items(self) -> Vec<T> {
+        match self {
+            Error::Build(_) => Vec::new(),
+            Error::Insert(e) => vec![e.into_item()],
+            Error::Batch(e) => e.into_unconsumed().into_iter().map(|(_, t)| t).collect(),
+        }
+    }
+
+    /// The build error inside, if this is one.
+    pub fn as_build(&self) -> Option<&BuildError> {
+        match self {
+            Error::Build(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl<T> From<BuildError> for Error<T> {
+    fn from(e: BuildError) -> Self {
+        Error::Build(e)
+    }
+}
+
+impl<T> From<PqError<T>> for Error<T> {
+    fn from(e: PqError<T>) -> Self {
+        Error::Insert(e)
+    }
+}
+
+impl<T> From<PqBatchError<T>> for Error<T> {
+    fn from(e: PqBatchError<T>) -> Self {
+        Error::Batch(e)
+    }
+}
+
+impl<T> std::fmt::Display for Error<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Build(e) => write!(f, "build: {e}"),
+            Error::Insert(e) => write!(f, "insert: {e}"),
+            Error::Batch(e) => write!(f, "batch: {e}"),
+        }
+    }
+}
+
+impl<T: std::fmt::Debug + 'static> std::error::Error for Error<T> {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Build(e) => Some(e),
+            Error::Insert(e) => Some(e),
+            Error::Batch(e) => Some(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::Algorithm;
+    use std::error::Error as _;
+
+    #[test]
+    fn insert_error_round_trips_with_its_item() {
+        let e: Error<String> = PqError::CapacityExhausted {
+            item: "payload".to_string(),
+        }
+        .into();
+        assert!(e.to_string().contains("capacity exhausted"));
+        match e.clone() {
+            Error::Insert(inner) => assert_eq!(inner.into_item(), "payload"),
+            other => panic!("wrong variant: {other:?}"),
+        }
+        assert_eq!(e.into_items(), vec!["payload".to_string()]);
+    }
+
+    #[test]
+    fn batch_error_round_trips_every_unconsumed_item() {
+        let batch_err = PqBatchError {
+            error: PqError::PriorityOutOfRange {
+                pri: 9,
+                num_priorities: 8,
+                item: "b",
+            },
+            failed_pri: 9,
+            rest: vec![(0, "a"), (2, "c")],
+        };
+        let e: Error<&str> = batch_err.clone().into();
+        // The conversion must not lose or reorder ownership: matching back
+        // out yields the same unconsumed partition.
+        match e.clone() {
+            Error::Batch(inner) => {
+                assert_eq!(inner.into_unconsumed(), batch_err.into_unconsumed());
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        let mut items = e.into_items();
+        assert_eq!(items.remove(0), "b", "failing item first");
+        items.sort_unstable();
+        assert_eq!(items, vec!["a", "c"]);
+    }
+
+    #[test]
+    fn build_error_converts_and_carries_no_items() {
+        let e: Error<u64> = BuildError::ZeroPriorities.into();
+        assert_eq!(e.as_build(), Some(&BuildError::ZeroPriorities));
+        assert!(e.to_string().starts_with("build: "));
+        assert!(e.source().is_some());
+        assert!(e.into_items().is_empty());
+    }
+
+    #[test]
+    fn question_mark_propagation_compiles_across_all_three() {
+        fn f(which: u8) -> Result<(), Error<u32>> {
+            match which {
+                0 => Err(BuildError::UnsupportedAlgorithm(Algorithm::HardwareTree))?,
+                1 => Err(PqError::CapacityExhausted { item: 1u32 })?,
+                _ => Err(PqBatchError {
+                    error: PqError::CapacityExhausted { item: 2u32 },
+                    failed_pri: 0,
+                    rest: vec![],
+                })?,
+            }
+        }
+        assert!(matches!(f(0), Err(Error::Build(_))));
+        assert!(matches!(f(1), Err(Error::Insert(_))));
+        assert!(matches!(f(2), Err(Error::Batch(_))));
+    }
+}

@@ -61,7 +61,9 @@
 
 mod algorithm;
 mod builder;
+mod config;
 mod counter_tree;
+mod error;
 mod funnel_tree;
 pub mod heap;
 mod hunt;
@@ -76,6 +78,11 @@ mod traits;
 
 pub use algorithm::Algorithm;
 pub use builder::{BuildError, PqBuilder};
+pub use config::{
+    BinPqConfig, FunnelTreeConfig, HuntConfig, LinearFunnelsConfig, MultiQueueConfig, PqConfig,
+    SkipListConfig,
+};
+pub use error::Error;
 pub use funnel_tree::{FunnelTreePq, DEFAULT_FUNNEL_LEVELS};
 pub use hunt::HuntPq;
 pub use linear_funnels::LinearFunnelsPq;

@@ -1,0 +1,152 @@
+//! The job model: what tenants submit and shards dispatch.
+
+/// A logical tenant of the scheduler. Tenants are dense small integers
+/// (`0..ServerConfig::tenants`): admission tracks one in-flight counter per
+/// tenant, and the router hashes or pins tenants to shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TenantId(pub u32);
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tenant{}", self.0)
+    }
+}
+
+/// Unique id the scheduler assigns to every submitted job (including ones
+/// that end up rejected), monotonically increasing per scheduler.
+pub type JobId = u64;
+
+/// When a job is due: at an absolute instant, or relative to its own
+/// admission.
+///
+/// [`Deadline::In`] is resolved against the job's enqueue stamp *inside*
+/// `submit`, so the promised slack survives intact no matter how long the
+/// caller was preempted between building the spec and the submit landing —
+/// with [`Deadline::At`] a stall in that window silently eats the slack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Deadline {
+    /// Absolute: nanoseconds since the scheduler's epoch.
+    At(u64),
+    /// Relative: this many nanoseconds after the job is admitted.
+    In(u64),
+}
+
+/// What a client asks the scheduler to run: the caller-facing subset of a
+/// [`Job`], before the scheduler stamps identity and admission metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Which tenant the job belongs to (quota accounting, routing).
+    pub tenant: TenantId,
+    /// When the job is due.
+    pub deadline: Deadline,
+    /// Opaque payload handed back at dispatch.
+    pub payload: u64,
+    /// Re-arm period for timer-style jobs: 0 means one-shot, otherwise the
+    /// job re-files itself `repeats` more times via the queue's fused
+    /// `replace_min`, each deadline `period_ns` after the previous one
+    /// (fixed-rate) or after the late dispatch (fixed-delay), whichever is
+    /// later.
+    pub period_ns: u64,
+    /// How many additional firings a periodic job gets after the first.
+    pub repeats: u32,
+}
+
+impl JobSpec {
+    /// A one-shot job.
+    pub fn once(tenant: TenantId, deadline: Deadline, payload: u64) -> Self {
+        JobSpec {
+            tenant,
+            deadline,
+            payload,
+            period_ns: 0,
+            repeats: 0,
+        }
+    }
+
+    /// A periodic job: first due at `deadline`, then `repeats` further
+    /// firings spaced `period_ns` apart.
+    pub fn periodic(
+        tenant: TenantId,
+        deadline: Deadline,
+        payload: u64,
+        period_ns: u64,
+        repeats: u32,
+    ) -> Self {
+        JobSpec {
+            tenant,
+            deadline,
+            payload,
+            period_ns,
+            repeats,
+        }
+    }
+}
+
+/// A scheduled unit of work as it lives inside a shard's priority queue.
+///
+/// `Copy` on purpose: the queue error types ([`funnelpq::PqError`],
+/// [`funnelpq::PqBatchError`]) carry rejected items back by value, so a
+/// rejected job — id, tenant, payload and all — survives the whole error
+/// path and can be resubmitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Job {
+    /// Scheduler-assigned id.
+    pub id: JobId,
+    /// Owning tenant.
+    pub tenant: TenantId,
+    /// Absolute deadline, nanoseconds since the scheduler's epoch.
+    pub deadline_ns: u64,
+    /// Opaque payload.
+    pub payload: u64,
+    /// Re-arm period (0 = one-shot).
+    pub period_ns: u64,
+    /// Remaining re-arms for a periodic job.
+    pub repeats_left: u32,
+    /// Wall-clock enqueue stamp (nanoseconds since epoch), set at
+    /// admission; enqueue→dispatch latency is measured from it.
+    pub enqueued_ns: u64,
+    /// The owning shard's dispatch count at admission — the job's position
+    /// on the shard's *virtual* service clock, against which deadline
+    /// misses are evaluated (see `docs/SERVER.md`).
+    pub enqueued_slot: u64,
+}
+
+/// SplitMix64 step over the tenant id: the router's default shard hash.
+/// Kept here (not in the router) so tests can predict placements.
+pub(crate) fn tenant_hash(t: TenantId) -> u64 {
+    let mut state = t.0 as u64;
+    funnelpq_util::splitmix64(&mut state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_constructors() {
+        let s = JobSpec::once(TenantId(3), Deadline::At(1_000), 42);
+        assert_eq!(s.period_ns, 0);
+        assert_eq!(s.repeats, 0);
+        let p = JobSpec::periodic(TenantId(3), Deadline::In(1_000), 42, 500, 4);
+        assert_eq!(p.period_ns, 500);
+        assert_eq!(p.repeats, 4);
+        assert_eq!(p.deadline, Deadline::In(1_000));
+    }
+
+    #[test]
+    fn tenant_hash_spreads() {
+        // Not a statistical test — just that nearby tenants do not all
+        // collapse onto one shard for small shard counts.
+        let shards = 4;
+        let mut seen = std::collections::HashSet::new();
+        for t in 0..16 {
+            seen.insert(tenant_hash(TenantId(t)) as usize % shards);
+        }
+        assert!(seen.len() > 1, "all 16 tenants hashed to one shard");
+    }
+
+    #[test]
+    fn tenant_display() {
+        assert_eq!(TenantId(7).to_string(), "tenant7");
+    }
+}

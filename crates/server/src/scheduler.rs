@@ -1,0 +1,627 @@
+//! The sharded scheduler: N shards, each a priority queue plus one
+//! dispatcher thread, behind admission control and a tenant router.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use funnelpq::obs::{CounterEvent, NoopRecorder, Recorder};
+use funnelpq::{PqBuilder, PqConfig};
+use funnelpq_util::{Acc, CachePadded};
+
+use crate::admission::Admission;
+use crate::error::ServerError;
+use crate::job::{Deadline, Job, JobId, JobSpec, TenantId};
+use crate::router::Router;
+use crate::shard::{DispatchRecord, Shard, ShardReport};
+
+/// Everything that shapes a [`Scheduler`], with workable defaults.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Number of shards (one queue + one dispatcher thread each).
+    pub shards: usize,
+    /// Number of tenants; tenant ids must lie in `0..tenants`.
+    pub tenants: usize,
+    /// Number of client (submitter) threads; each shard's queue is built
+    /// with `clients + 1` thread slots — clients use their own id, the
+    /// shard's dispatcher uses id `clients`.
+    pub clients: usize,
+    /// Number of deadline bands (= queue priorities). Deadlines within
+    /// `0..horizon_ns` map linearly onto bands; later deadlines clamp to
+    /// the last band.
+    pub bands: usize,
+    /// The deadline horizon the bands cover, in nanoseconds from the
+    /// scheduler's epoch.
+    pub horizon_ns: u64,
+    /// Which queue algorithm (and its typed knobs) backs every shard.
+    pub backend: PqConfig,
+    /// How many jobs a dispatcher drains per `delete_min_batch` episode.
+    pub drain_batch: usize,
+    /// Global in-flight capacity across all tenants.
+    pub global_capacity: usize,
+    /// Per-tenant in-flight quota.
+    pub tenant_quota: usize,
+    /// Nominal per-job service time in nanoseconds. Dispatchers pace
+    /// themselves at one job per `service_ns`, so the shard's virtual
+    /// service clock tracks wall time and a deadline's slack is worth
+    /// `(deadline - enqueue) / service_ns` dispatch slots. `1` effectively
+    /// disables pacing (pure-throughput tests).
+    pub service_ns: u64,
+    /// Record a [`DispatchRecord`] per dispatch (conservation/ordering
+    /// tests). Off by default: it grows a Vec per shard without bound.
+    pub record_dispatches: bool,
+    /// Tenants to pin to explicit shards, overriding the hash placement.
+    pub affinity: Vec<(TenantId, usize)>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            shards: 4,
+            tenants: 16,
+            clients: 4,
+            bands: 256,
+            horizon_ns: 5_000_000_000,
+            backend: PqConfig::SingleLock,
+            drain_batch: 16,
+            global_capacity: 4096,
+            tenant_quota: 256,
+            service_ns: 10_000,
+            record_dispatches: false,
+            affinity: Vec::new(),
+        }
+    }
+}
+
+impl ServerConfig {
+    fn validate(&self) -> Result<(), ServerError> {
+        let reason = if self.shards == 0 {
+            "shards must be >= 1"
+        } else if self.tenants == 0 {
+            "tenants must be >= 1"
+        } else if self.clients == 0 {
+            "clients must be >= 1"
+        } else if self.bands == 0 {
+            "bands must be >= 1"
+        } else if self.horizon_ns == 0 {
+            "horizon_ns must be >= 1"
+        } else if self.drain_batch == 0 {
+            "drain_batch must be >= 1"
+        } else if self.global_capacity == 0 {
+            "global_capacity must be >= 1"
+        } else if self.tenant_quota == 0 {
+            "tenant_quota must be >= 1"
+        } else if self.service_ns == 0 {
+            "service_ns must be >= 1"
+        } else if self
+            .affinity
+            .iter()
+            .any(|(t, s)| *s >= self.shards || t.0 as usize >= self.tenants)
+        {
+            "affinity pin out of range"
+        } else {
+            return Ok(());
+        };
+        Err(ServerError::Config { reason })
+    }
+}
+
+/// What a stopped scheduler hands back: merged shard accounting plus the
+/// admission tallies.
+#[derive(Debug, Clone, Default)]
+pub struct ServerReport {
+    /// Per-shard reports, indexed by shard.
+    pub shards: Vec<ShardReport>,
+    /// Jobs submitted (including rejected ones).
+    pub submitted: u64,
+    /// Jobs admitted past quota + capacity.
+    pub admitted: u64,
+    /// Jobs refused for per-tenant quota.
+    pub rejected_quota: u64,
+    /// Jobs refused for global capacity.
+    pub rejected_capacity: u64,
+    /// Total dispatches across shards (each periodic firing counts).
+    pub dispatched: u64,
+    /// Jobs fully completed (periodic jobs count once, on their last
+    /// firing). Equals `admitted` once the system is quiesced.
+    pub completed: u64,
+    /// Dispatches that missed their deadline on the virtual service clock.
+    pub misses: u64,
+    /// Periodic re-arms performed via the fused `replace_min`.
+    pub rearmed: u64,
+    /// Merged wall-clock enqueue→dispatch latency (nanoseconds).
+    pub latency_ns: Acc,
+    /// Merged dispatch-slot delay histogram.
+    pub delay_slots: Acc,
+    /// Wall-clock nanoseconds between `start()` and `stop()`.
+    pub run_ns: u64,
+    /// Jobs still admitted-but-undispatched at stop (0 when callers
+    /// quiesce clients before stopping, as the conservation contract asks).
+    pub in_flight_at_stop: u64,
+}
+
+impl ServerReport {
+    /// Deadline-miss rate over all dispatches, in `[0, 1]`.
+    pub fn miss_rate(&self) -> f64 {
+        if self.dispatched == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.dispatched as f64
+        }
+    }
+}
+
+/// A sharded job scheduler over `funnelpq` priority queues.
+///
+/// Construction is fully typed: the backend arrives as a [`PqConfig`] and
+/// every refusal — bad config, unbuildable queue, quota, capacity — is a
+/// [`ServerError`], never a panic. See `docs/SERVER.md` for the
+/// architecture and the deadline-miss metric.
+///
+/// Lifecycle: [`Scheduler::new`] → [`Scheduler::submit`] (any thread,
+/// before or after) → [`Scheduler::start`] → quiesce clients →
+/// [`Scheduler::stop`] → [`ServerReport`]. Submitting after `stop` has
+/// begun returns [`ServerError::Stopped`] with the job.
+pub struct Scheduler<R: Recorder = NoopRecorder> {
+    cfg: ServerConfig,
+    shards: Vec<Arc<Shard>>,
+    router: Router,
+    admission: Arc<Admission>,
+    epoch: Instant,
+    next_id: CachePadded<AtomicU64>,
+    stopping: Arc<AtomicBool>,
+    handles: Mutex<Vec<JoinHandle<ShardReport>>>,
+    started_at: Mutex<Option<Instant>>,
+    recorder: Arc<R>,
+}
+
+impl Scheduler<NoopRecorder> {
+    /// Builds a scheduler with the default (zero-cost) recorder.
+    pub fn new(cfg: ServerConfig) -> Result<Self, ServerError> {
+        Scheduler::with_recorder(cfg, Arc::new(NoopRecorder))
+    }
+}
+
+impl<R: Recorder> Scheduler<R> {
+    /// Builds a scheduler whose shard queues and deadline-miss counter feed
+    /// `recorder`.
+    pub fn with_recorder(cfg: ServerConfig, recorder: Arc<R>) -> Result<Self, ServerError> {
+        cfg.validate()?;
+        let mut shards = Vec::with_capacity(cfg.shards);
+        for _ in 0..cfg.shards {
+            // One thread slot per client plus one for the dispatcher.
+            let queue = PqBuilder::from_config(cfg.backend.clone(), cfg.bands, cfg.clients + 1)
+                .recorder(Arc::clone(&recorder))
+                .try_build::<Job>()?;
+            shards.push(Arc::new(Shard {
+                queue: Arc::from(queue),
+                dispatched: CachePadded::new(AtomicU64::new(0)),
+            }));
+        }
+        let mut router = Router::new(cfg.shards, cfg.tenants);
+        for (tenant, shard) in &cfg.affinity {
+            router.pin(*tenant, *shard);
+        }
+        let admission = Arc::new(Admission::new(
+            cfg.tenants,
+            cfg.tenant_quota,
+            cfg.global_capacity,
+        ));
+        Ok(Scheduler {
+            cfg,
+            shards,
+            router,
+            admission,
+            epoch: Instant::now(),
+            next_id: CachePadded::new(AtomicU64::new(0)),
+            stopping: Arc::new(AtomicBool::new(false)),
+            handles: Mutex::new(Vec::new()),
+            started_at: Mutex::new(None),
+            recorder,
+        })
+    }
+
+    /// Nanoseconds since this scheduler's epoch — the clock deadlines are
+    /// expressed against.
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// The shard that serves `tenant` (hash placement unless pinned).
+    pub fn route(&self, tenant: TenantId) -> usize {
+        self.router.route(tenant)
+    }
+
+    /// The configuration this scheduler was built from.
+    pub fn config(&self) -> &ServerConfig {
+        &self.cfg
+    }
+
+    /// Jobs currently admitted but not yet finally dispatched.
+    pub fn in_flight(&self) -> usize {
+        self.admission.in_flight()
+    }
+
+    fn band_of(&self, deadline_ns: u64) -> usize {
+        let b = (deadline_ns as u128 * self.cfg.bands as u128) / self.cfg.horizon_ns as u128;
+        (b as usize).min(self.cfg.bands - 1)
+    }
+
+    /// Submits `spec` on behalf of client thread `client`
+    /// (`0..config().clients`). Routes to the tenant's shard, admits
+    /// against quota and capacity, and files the job under its deadline
+    /// band. Every refusal carries the stamped job back.
+    pub fn submit(&self, client: usize, spec: JobSpec) -> Result<JobId, ServerError> {
+        if client >= self.cfg.clients {
+            return Err(ServerError::Config {
+                reason: "client id out of range",
+            });
+        }
+        let shard = &self.shards[self.router.route(spec.tenant)];
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let enqueued_ns = self.now_ns();
+        // A relative deadline resolves against the enqueue stamp itself,
+        // so the promised slack cannot be eroded by anything that happened
+        // before the submit landed.
+        let deadline_ns = match spec.deadline {
+            Deadline::At(t) => t,
+            Deadline::In(d) => enqueued_ns.saturating_add(d),
+        };
+        let job = Job {
+            id,
+            tenant: spec.tenant,
+            deadline_ns,
+            payload: spec.payload,
+            period_ns: spec.period_ns,
+            repeats_left: spec.repeats,
+            enqueued_ns,
+            enqueued_slot: shard.dispatched.load(Ordering::Acquire),
+        };
+        if self.stopping.load(Ordering::Acquire) {
+            return Err(ServerError::Stopped { job });
+        }
+        self.admission.try_admit(job)?;
+        let band = self.band_of(job.deadline_ns);
+        if let Err(e) = shard.queue.try_insert(client, band, job) {
+            self.admission.release(job.tenant.0 as usize);
+            return Err(e.into());
+        }
+        Ok(id)
+    }
+
+    /// Spawns one dispatcher thread per shard. Idempotent: calling again
+    /// while running is a no-op.
+    pub fn start(&self) {
+        let mut handles = self.handles.lock().unwrap();
+        if !handles.is_empty() {
+            return;
+        }
+        *self.started_at.lock().unwrap() = Some(Instant::now());
+        for (i, shard) in self.shards.iter().enumerate() {
+            let ctx = DispatcherCtx {
+                epoch: self.epoch,
+                shard: Arc::clone(shard),
+                stopping: Arc::clone(&self.stopping),
+                admission: Arc::clone(&self.admission),
+                recorder: Arc::clone(&self.recorder),
+                index: i,
+                tid: self.cfg.clients,
+                drain: self.cfg.drain_batch,
+                service_ns: self.cfg.service_ns,
+                bands: self.cfg.bands,
+                horizon_ns: self.cfg.horizon_ns,
+                record_dispatches: self.cfg.record_dispatches,
+            };
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("funnelpq-shard-{i}"))
+                    .spawn(move || ctx.run())
+                    .expect("spawn dispatcher thread"),
+            );
+        }
+    }
+
+    /// Stops the dispatchers and merges their reports. Callers should
+    /// quiesce client threads first (the conservation contract
+    /// `admitted == completed` holds only once no submits race the stop);
+    /// anything still queued is counted in
+    /// [`ServerReport::in_flight_at_stop`].
+    pub fn stop(&self) -> ServerReport {
+        self.stopping.store(true, Ordering::Release);
+        let handles = std::mem::take(&mut *self.handles.lock().unwrap());
+        let run_ns = self
+            .started_at
+            .lock()
+            .unwrap()
+            .take()
+            .map_or(0, |t| t.elapsed().as_nanos() as u64);
+        let mut report = ServerReport {
+            submitted: self.next_id.load(Ordering::Relaxed),
+            admitted: self.admission.admitted(),
+            rejected_quota: self.admission.rejected_quota(),
+            rejected_capacity: self.admission.rejected_capacity(),
+            run_ns,
+            ..ServerReport::default()
+        };
+        for h in handles {
+            let s = h.join().expect("dispatcher thread panicked");
+            report.dispatched += s.dispatched;
+            report.completed += s.completed;
+            report.misses += s.misses;
+            report.rearmed += s.rearmed;
+            report.latency_ns.merge(&s.latency_ns);
+            report.delay_slots.merge(&s.delay_slots);
+            report.shards.push(s);
+        }
+        report.in_flight_at_stop = self.admission.in_flight() as u64;
+        report
+    }
+}
+
+/// Everything one dispatcher thread owns or shares.
+struct DispatcherCtx<R: Recorder> {
+    /// The scheduler's epoch: the clock [`Job::enqueued_ns`] and deadlines
+    /// are stamped against.
+    epoch: Instant,
+    shard: Arc<Shard>,
+    stopping: Arc<AtomicBool>,
+    admission: Arc<Admission>,
+    recorder: Arc<R>,
+    index: usize,
+    tid: usize,
+    drain: usize,
+    service_ns: u64,
+    bands: usize,
+    horizon_ns: u64,
+    record_dispatches: bool,
+}
+
+impl<R: Recorder> DispatcherCtx<R> {
+    fn band_of(&self, deadline_ns: u64) -> usize {
+        let b = (deadline_ns as u128 * self.bands as u128) / self.horizon_ns as u128;
+        (b as usize).min(self.bands - 1)
+    }
+
+    /// The dispatcher loop: drain a batch, account each job, re-arm
+    /// periodic ones via the fused `replace_min`, pace at `service_ns` per
+    /// job. Exits once the stop flag is up *and* a drain came back empty.
+    fn run(self) -> ShardReport {
+        let mut report = ShardReport::new(self.index);
+        let mut out: Vec<(usize, Job)> = Vec::with_capacity(self.drain.max(1) * 2);
+        // The pacing clock: each dispatch pushes it service_ns further out,
+        // and we spin up to it, so sustained throughput is one job per
+        // service_ns and the virtual clock tracks wall time.
+        let mut next_ready = Instant::now();
+        loop {
+            out.clear();
+            let got = self
+                .shard
+                .queue
+                .delete_min_batch(self.tid, self.drain, &mut out);
+            if got == 0 {
+                if self.stopping.load(Ordering::Acquire) {
+                    break;
+                }
+                next_ready = Instant::now();
+                std::thread::sleep(Duration::from_micros(20));
+                continue;
+            }
+            // replace_min below may append the entry it popped; index-walk
+            // so those are dispatched in the same episode.
+            let mut i = 0;
+            while i < out.len() {
+                let (_band, job) = out[i];
+                i += 1;
+                self.dispatch(job, &mut report, &mut out);
+                next_ready += Duration::from_nanos(self.service_ns);
+                Self::pace(next_ready);
+            }
+        }
+        report
+    }
+
+    fn dispatch(&self, job: Job, report: &mut ShardReport, out: &mut Vec<(usize, Job)>) {
+        let pre = self.shard.dispatched.fetch_add(1, Ordering::AcqRel);
+        report.dispatched += 1;
+        let now = self.epoch.elapsed().as_nanos() as u64;
+        report
+            .latency_ns
+            .record(now.saturating_sub(job.enqueued_ns));
+        let delay = pre.saturating_sub(job.enqueued_slot);
+        report.delay_slots.record(delay);
+        let slack = job.deadline_ns.saturating_sub(job.enqueued_ns) / self.service_ns;
+        // A miss must be late on BOTH clocks. Virtual-only lateness can be
+        // manufactured by a client stalling between stamping the job and
+        // finishing the insert (dispatches pass, slack doesn't move);
+        // wall-only lateness by the dispatcher itself being preempted (the
+        // virtual clock freezes with it). The conjunction leaves exactly
+        // the backend-caused lateness: queueing and ordering error.
+        let missed = delay > slack && now > job.deadline_ns;
+        if missed {
+            report.misses += 1;
+            if R::ENABLED {
+                self.recorder.record_event(CounterEvent::DeadlineMiss);
+            }
+        }
+        if self.record_dispatches {
+            report.dispatch_log.push(DispatchRecord {
+                job: job.id,
+                tenant: job.tenant,
+                band: self.band_of(job.deadline_ns),
+                deadline_ns: job.deadline_ns,
+                missed,
+            });
+        }
+        let rearm =
+            job.period_ns > 0 && job.repeats_left > 0 && !self.stopping.load(Ordering::Acquire);
+        if rearm {
+            report.rearmed += 1;
+            // Fixed-rate while on time, fixed-delay once late: re-arming
+            // from max(deadline, now) keeps every firing's slack at least
+            // one full period, so a host stall cannot manufacture a string
+            // of impossible deadlines (no thundering catch-up).
+            let next = Job {
+                deadline_ns: job.deadline_ns.max(now).saturating_add(job.period_ns),
+                repeats_left: job.repeats_left - 1,
+                enqueued_ns: now,
+                enqueued_slot: self.shard.dispatched.load(Ordering::Acquire),
+                ..job
+            };
+            // Fused fast path: the re-insert and the next delete-min share
+            // one synchronization episode; whatever it popped joins the
+            // in-progress batch.
+            let band = self.band_of(next.deadline_ns);
+            if let Some(popped) = self.shard.queue.replace_min(self.tid, band, next) {
+                out.push(popped);
+            }
+        } else {
+            report.completed += 1;
+            self.admission.release(job.tenant.0 as usize);
+        }
+    }
+
+    /// Wait until `deadline`; no-op once the clock is past it, so a
+    /// backlogged dispatcher never waits. Sleeps for long waits and yields
+    /// for short ones rather than spinning: pacing only needs the *rate*
+    /// to be right (the virtual clock counts dispatches, not nanoseconds),
+    /// and a spinning dispatcher would starve every other thread on
+    /// low-core machines. Sleep overshoot self-corrects — the pacing
+    /// clock's `+= service_ns` lets a late dispatcher catch up.
+    fn pace(deadline: Instant) {
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return;
+            }
+            let remaining = deadline - now;
+            if remaining > Duration::from_micros(100) {
+                std::thread::sleep(remaining);
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use funnelpq::MultiQueueConfig;
+
+    fn tiny_cfg() -> ServerConfig {
+        ServerConfig {
+            shards: 2,
+            tenants: 4,
+            clients: 2,
+            bands: 64,
+            horizon_ns: 1_000_000_000,
+            service_ns: 1,
+            global_capacity: 1024,
+            tenant_quota: 512,
+            ..ServerConfig::default()
+        }
+    }
+
+    #[test]
+    fn config_validation_is_typed_not_panicky() {
+        let bad = ServerConfig {
+            shards: 0,
+            ..ServerConfig::default()
+        };
+        assert!(matches!(
+            Scheduler::new(bad),
+            Err(ServerError::Config { .. })
+        ));
+        let bad = ServerConfig {
+            affinity: vec![(TenantId(0), 9)],
+            ..ServerConfig::default()
+        };
+        assert!(matches!(
+            Scheduler::new(bad),
+            Err(ServerError::Config { .. })
+        ));
+        // A degenerate backend config surfaces as the unified queue error.
+        let bad = ServerConfig {
+            backend: PqConfig::MultiQueue(MultiQueueConfig {
+                factor: 0,
+                ..MultiQueueConfig::default()
+            }),
+            ..ServerConfig::default()
+        };
+        assert!(matches!(Scheduler::new(bad), Err(ServerError::Queue(_))));
+    }
+
+    #[test]
+    fn one_shot_jobs_round_trip() {
+        let s = Scheduler::new(tiny_cfg()).unwrap();
+        let now = s.now_ns();
+        for t in 0..4 {
+            for k in 0..25 {
+                s.submit(
+                    0,
+                    JobSpec::once(TenantId(t), Deadline::At(now + 1_000_000 + k), k),
+                )
+                .unwrap();
+            }
+        }
+        s.start();
+        while s.in_flight() > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let r = s.stop();
+        assert_eq!(r.submitted, 100);
+        assert_eq!(r.admitted, 100);
+        assert_eq!(r.dispatched, 100);
+        assert_eq!(r.completed, 100);
+        assert_eq!(r.in_flight_at_stop, 0);
+        assert_eq!(r.latency_ns.count(), 100);
+    }
+
+    #[test]
+    fn periodic_jobs_rearm_and_release_once() {
+        let s = Scheduler::new(tiny_cfg()).unwrap();
+        let now = s.now_ns();
+        // 3 firings each: first deadline + 2 repeats.
+        for k in 0..10 {
+            s.submit(
+                0,
+                JobSpec::periodic(TenantId(0), Deadline::At(now + 10_000), k, 1_000, 2),
+            )
+            .unwrap();
+        }
+        s.start();
+        while s.in_flight() > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let r = s.stop();
+        assert_eq!(r.admitted, 10);
+        assert_eq!(r.completed, 10, "a periodic job completes exactly once");
+        assert_eq!(r.dispatched, 30, "3 firings each");
+        assert_eq!(r.rearmed, 20);
+    }
+
+    #[test]
+    fn submit_after_stop_returns_the_job() {
+        let s = Scheduler::new(tiny_cfg()).unwrap();
+        s.start();
+        let _ = s.stop();
+        let err = s
+            .submit(0, JobSpec::once(TenantId(1), Deadline::In(1_000), 42))
+            .unwrap_err();
+        match err {
+            ServerError::Stopped { job } => {
+                assert_eq!(job.tenant, TenantId(1));
+                assert_eq!(job.payload, 42);
+            }
+            other => panic!("expected Stopped, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bands_clamp_to_the_horizon() {
+        let s = Scheduler::new(tiny_cfg()).unwrap();
+        assert_eq!(s.band_of(0), 0);
+        assert_eq!(s.band_of(u64::MAX), 63);
+    }
+}

@@ -1,0 +1,72 @@
+//! One shard: a priority queue of jobs plus its dispatch accounting.
+
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+use funnelpq::BoundedPq;
+use funnelpq_util::{Acc, CachePadded};
+
+use crate::job::{Job, JobId, TenantId};
+
+/// A shard's queue plus the shared state its dispatcher and submitters
+/// both touch.
+pub(crate) struct Shard {
+    /// The backing priority queue; priorities are deadline bands.
+    pub(crate) queue: Arc<dyn BoundedPq<Job>>,
+    /// Count of dispatches this shard has performed — the shard's *virtual
+    /// service clock*. Submitters stamp its current value into
+    /// [`Job::enqueued_slot`]; the dispatcher evaluates deadline misses
+    /// against it (see `docs/SERVER.md`).
+    pub(crate) dispatched: CachePadded<AtomicU64>,
+}
+
+/// One dispatched job, as remembered by a shard running with
+/// `record_dispatches` on (integration tests reconstruct conservation and
+/// ordering from these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DispatchRecord {
+    /// The dispatched job's id.
+    pub job: JobId,
+    /// Its tenant.
+    pub tenant: TenantId,
+    /// The deadline band (queue priority) it was dequeued under.
+    pub band: usize,
+    /// Its absolute deadline.
+    pub deadline_ns: u64,
+    /// Whether it missed its deadline on the virtual service clock.
+    pub missed: bool,
+}
+
+/// What one shard's dispatcher thread hands back when it exits.
+#[derive(Debug, Clone, Default)]
+pub struct ShardReport {
+    /// Which shard this is.
+    pub shard: usize,
+    /// Total dispatches (periodic re-arms count once per firing).
+    pub dispatched: u64,
+    /// Jobs fully finished (a periodic job completes only on its last
+    /// firing, releasing its admission slot).
+    pub completed: u64,
+    /// Dispatches that missed their deadline on the virtual service clock.
+    pub misses: u64,
+    /// Periodic re-arms performed via the fused `replace_min`.
+    pub rearmed: u64,
+    /// Wall-clock enqueue→dispatch latency histogram (nanoseconds).
+    pub latency_ns: Acc,
+    /// Dispatch-slot delay histogram: how many dispatches each job waited
+    /// beyond its enqueue stamp. Strict backends keep this bounded by the
+    /// in-flight population; relaxed backends add rank error on top.
+    pub delay_slots: Acc,
+    /// Per-dispatch log, populated only when the server runs with
+    /// `record_dispatches` (conservation/ordering tests).
+    pub dispatch_log: Vec<DispatchRecord>,
+}
+
+impl ShardReport {
+    pub(crate) fn new(shard: usize) -> Self {
+        ShardReport {
+            shard,
+            ..ShardReport::default()
+        }
+    }
+}

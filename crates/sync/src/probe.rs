@@ -47,11 +47,16 @@ pub enum CounterEvent {
     /// A batched queue operation (`insert_batch`, `delete_min_batch`, or
     /// fused `replace_min`) ran — counted once per batch, not per item.
     BatchOp,
+    /// A scheduled job was dispatched after its deadline. Recorded by the
+    /// `funnelpq-server` serving layer, not by the queues themselves: it is
+    /// the product-level signal the relaxation/rank-error tradeoff cashes
+    /// out as.
+    DeadlineMiss,
 }
 
 impl CounterEvent {
     /// Number of distinct event kinds.
-    pub const COUNT: usize = 9;
+    pub const COUNT: usize = 10;
 
     /// Every event kind, in a fixed order matching [`CounterEvent::index`].
     pub const ALL: [CounterEvent; CounterEvent::COUNT] = [
@@ -64,6 +69,7 @@ impl CounterEvent {
         CounterEvent::LockAcquire,
         CounterEvent::EmptyDeleteMin,
         CounterEvent::BatchOp,
+        CounterEvent::DeadlineMiss,
     ];
 
     /// Dense index of this event in `0..COUNT` (array-keyed aggregation).
@@ -78,6 +84,7 @@ impl CounterEvent {
             CounterEvent::LockAcquire => 6,
             CounterEvent::EmptyDeleteMin => 7,
             CounterEvent::BatchOp => 8,
+            CounterEvent::DeadlineMiss => 9,
         }
     }
 
@@ -93,6 +100,7 @@ impl CounterEvent {
             CounterEvent::LockAcquire => "lock_acquire",
             CounterEvent::EmptyDeleteMin => "empty_delete_min",
             CounterEvent::BatchOp => "batch_op",
+            CounterEvent::DeadlineMiss => "deadline_miss",
         }
     }
 }

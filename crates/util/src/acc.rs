@@ -1,0 +1,289 @@
+//! Running latency/quantity accumulator with a log₂ histogram.
+//!
+//! Grown out of the simulator's stats layer and promoted here so that
+//! every layer — simulator experiments, native benches, and the
+//! `funnelpq-server` serving layer — accounts latencies into the same
+//! 32-bucket log₂ shape (`funnelpq::obs`'s histograms use it too).
+
+/// Number of log₂ histogram buckets in an [`Acc`]: bucket 0 holds the value
+/// 0, bucket `i ≥ 1` holds values in `[2^(i-1), 2^i)`, and the last bucket
+/// absorbs everything larger.
+pub const ACC_BUCKETS: usize = 32;
+
+/// Log₂ bucket index for one sample.
+fn bucket_of(v: u64) -> usize {
+    ((u64::BITS - v.leading_zeros()) as usize).min(ACC_BUCKETS - 1)
+}
+
+/// Running statistics for one named series of latency samples: moments,
+/// extrema, and a 32-bucket log₂ histogram for approximate quantiles.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Acc {
+    count: u64,
+    sum: u64,
+    sum_sq: u128,
+    min: u64,
+    max: u64,
+    buckets: [u64; ACC_BUCKETS],
+}
+
+impl Acc {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Acc::default()
+    }
+
+    /// Adds one sample.
+    pub fn record(&mut self, v: u64) {
+        if self.count == 0 || v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+        self.count += 1;
+        self.sum += v;
+        self.sum_sq += (v as u128) * (v as u128);
+        self.buckets[bucket_of(v)] += 1;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Largest sample, or 0 if empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation, or 0.0 if empty.
+    pub fn std_dev(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var = self.sum_sq as f64 / self.count as f64 - mean * mean;
+        var.max(0.0).sqrt()
+    }
+
+    /// The log₂ histogram bucket counts (see [`ACC_BUCKETS`]).
+    pub fn bucket_counts(&self) -> &[u64; ACC_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Approximate `q`-quantile (`0.0 < q <= 1.0`) as the upper edge of the
+    /// log₂ bucket containing the rank-`⌈q·n⌉` sample: exact to within a
+    /// factor of two, 0 for an empty accumulator. Same estimator as
+    /// `funnelpq::obs::OpStats::quantile_upper_bound`.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if i == 0 { 0 } else { 1u64 << i };
+            }
+        }
+        self.max
+    }
+
+    /// Approximate median (upper bound of its log₂ bucket).
+    pub fn p50(&self) -> u64 {
+        self.quantile_upper_bound(0.50)
+    }
+
+    /// Approximate 99th percentile (upper bound of its log₂ bucket).
+    pub fn p99(&self) -> u64 {
+        self.quantile_upper_bound(0.99)
+    }
+
+    /// Approximate 99.9th percentile (upper bound of its log₂ bucket) —
+    /// the serving layer's tail-latency headline.
+    pub fn p999(&self) -> u64 {
+        self.quantile_upper_bound(0.999)
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &Acc) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+    }
+}
+
+impl std::fmt::Display for Acc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1} min={} max={} sd={:.1}",
+            self.count,
+            self.mean(),
+            self.min,
+            self.max,
+            self.std_dev()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acc_basic() {
+        let mut a = Acc::new();
+        a.record(10);
+        a.record(20);
+        a.record(30);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 60);
+        assert_eq!(a.min(), 10);
+        assert_eq!(a.max(), 30);
+        assert!((a.mean() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn acc_std_dev() {
+        let mut a = Acc::new();
+        for v in [2u64, 4, 4, 4, 5, 5, 7, 9] {
+            a.record(v);
+        }
+        assert!((a.std_dev() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn acc_empty() {
+        let a = Acc::new();
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.mean(), 0.0);
+        assert_eq!(a.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn acc_merge() {
+        let mut a = Acc::new();
+        a.record(1);
+        a.record(3);
+        let mut b = Acc::new();
+        b.record(5);
+        b.record(100);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.min(), 1);
+        assert_eq!(a.max(), 100);
+        assert_eq!(a.sum(), 109);
+
+        let mut empty = Acc::new();
+        empty.merge(&a);
+        assert_eq!(empty, a);
+        let before = a.clone();
+        a.merge(&Acc::new());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn acc_histogram_buckets() {
+        let mut a = Acc::new();
+        a.record(0);
+        a.record(1);
+        a.record(2);
+        a.record(3);
+        a.record(1024);
+        let b = a.bucket_counts();
+        assert_eq!(b[0], 1); // value 0
+        assert_eq!(b[1], 1); // [1, 2)
+        assert_eq!(b[2], 2); // [2, 4)
+        assert_eq!(b[11], 1); // [1024, 2048)
+        assert_eq!(b.iter().sum::<u64>(), a.count());
+    }
+
+    #[test]
+    fn acc_quantiles() {
+        let a = Acc::new();
+        assert_eq!(a.p50(), 0);
+        assert_eq!(a.p99(), 0);
+        assert_eq!(a.p999(), 0);
+
+        let mut a = Acc::new();
+        for _ in 0..99 {
+            a.record(5); // bucket 3: [4, 8)
+        }
+        a.record(1_000_000); // bucket 20
+        assert_eq!(a.p50(), 8);
+        assert_eq!(a.p99(), 8);
+        assert_eq!(a.quantile_upper_bound(1.0), 1 << 20);
+        // The quantile never reads below a sample's bucket lower edge.
+        assert!(a.p50() > 5 / 2);
+    }
+
+    #[test]
+    fn p999_splits_the_last_thousandth() {
+        // 998 fast samples and two slow ones: p99 stays in the fast bucket
+        // (rank 990), while p999 (nearest rank ⌈0.999·1000⌉ = 999) must
+        // land in the slow one.
+        let mut a = Acc::new();
+        for _ in 0..998 {
+            a.record(100); // bucket 7: [64, 128)
+        }
+        a.record(1 << 20);
+        a.record(1 << 20);
+        assert_eq!(a.p99(), 128);
+        assert_eq!(a.p999(), 1 << 21);
+        assert!(a.p50() <= a.p99() && a.p99() <= a.p999());
+    }
+
+    #[test]
+    fn acc_merge_merges_buckets() {
+        let mut a = Acc::new();
+        a.record(3);
+        let mut b = Acc::new();
+        b.record(100);
+        a.merge(&b);
+        assert_eq!(a.bucket_counts().iter().sum::<u64>(), 2);
+        assert_eq!(a.quantile_upper_bound(1.0), 128);
+    }
+
+    #[test]
+    fn acc_display_nonempty() {
+        let mut a = Acc::new();
+        a.record(42);
+        let text = a.to_string();
+        assert!(text.contains("n=1"));
+        assert!(text.contains("42"));
+    }
+}

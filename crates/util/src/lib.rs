@@ -8,7 +8,10 @@
 //!   dependency the offline build cannot fetch;
 //! * [`CachePadded`] — pad-and-align wrapper keeping hot atomics on their
 //!   own cache line;
-//! * [`Backoff`] — bounded exponential spin/yield backoff for retry loops.
+//! * [`Backoff`] — bounded exponential spin/yield backoff for retry loops;
+//! * [`Acc`] — running latency accumulator with a 32-bucket log₂ histogram
+//!   (p50/p99/p999), shared by the simulator's stats layer and the
+//!   `funnelpq-server` end-to-end latency accounting.
 //!
 //! Everything here is `std`-only and deliberately small; these types exist
 //! so the workspace builds with no external crates at all.
@@ -16,10 +19,12 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod acc;
 mod backoff;
 mod pad;
 mod rng;
 
+pub use acc::{Acc, ACC_BUCKETS};
 pub use backoff::Backoff;
 pub use pad::CachePadded;
 pub use rng::{splitmix64, AtomicRng, XorShift64Star};

@@ -10,10 +10,21 @@
 
 use std::collections::BTreeMap;
 
-use funnelpq::{Algorithm, BoundedPq, PqBuilder};
+use funnelpq::{Algorithm, BoundedPq, HuntConfig, PqBuilder, PqConfig};
 use funnelpq_util::XorShift64Star;
 
 const NUM_PRIS: usize = 16;
+
+/// Default typed config for `a`, except HuntEtAl gets an explicit
+/// capacity — the migrated form of the old `hunt_capacity` sweep knob.
+fn configured(a: Algorithm, hunt_capacity: usize) -> PqConfig {
+    match PqConfig::for_algorithm(a).expect("natively buildable") {
+        PqConfig::HuntEtAl(_) => PqConfig::HuntEtAl(HuntConfig {
+            capacity: hunt_capacity,
+        }),
+        cfg => cfg,
+    }
+}
 
 /// Reference multiset of (priority, item) pairs.
 #[derive(Default)]
@@ -132,9 +143,7 @@ fn batched_ops_conserve_items_and_strict_queues_stay_sorted() {
         }
         let strict = a != Algorithm::MultiQueue;
         for case in 0..24u64 {
-            let q = PqBuilder::new(a, NUM_PRIS, 1)
-                .hunt_capacity(4096)
-                .build::<u64>();
+            let q = PqBuilder::from_config(configured(a, 4096), NUM_PRIS, 1).build::<u64>();
             let mut rng = XorShift64Star::new(case.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xBA7C4);
             run_case(q.as_ref(), strict, &mut rng);
         }

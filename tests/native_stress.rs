@@ -9,9 +9,20 @@ use std::sync::{Arc, Barrier, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use funnelpq::{Algorithm, BoundedPq, PqBuilder};
+use funnelpq::{Algorithm, BoundedPq, HuntConfig, PqBuilder, PqConfig};
 
 const THREADS: usize = 8;
+
+/// Default typed config for `a`, except HuntEtAl gets a stress-sized
+/// capacity — the migrated form of the old `hunt_capacity` sweep knob.
+fn configured(a: Algorithm, hunt_capacity: usize) -> PqConfig {
+    match PqConfig::for_algorithm(a).expect("natively buildable") {
+        PqConfig::HuntEtAl(_) => PqConfig::HuntEtAl(HuntConfig {
+            capacity: hunt_capacity,
+        }),
+        cfg => cfg,
+    }
+}
 
 /// Wall-clock watchdog for the stress tests: a native queue bug that
 /// livelocks (threads spinning forever on a lock or a funnel slot) would
@@ -78,9 +89,8 @@ fn all_queues(num_pris: usize) -> Vec<(&'static str, Arc<dyn BoundedPq<u64>>)> {
     Algorithm::ALL
         .into_iter()
         .map(|a| {
-            let q = PqBuilder::new(a, num_pris, THREADS)
-                .hunt_capacity(1 << 15)
-                .build::<u64>();
+            let q =
+                PqBuilder::from_config(configured(a, 1 << 15), num_pris, THREADS).build::<u64>();
             (a.name(), Arc::from(q))
         })
         .collect()

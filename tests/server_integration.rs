@@ -1,0 +1,297 @@
+//! End-to-end tests for the `funnelpq-server` scheduler: conservation
+//! under concurrent seeded load, exact quota enforcement, strict-backend
+//! deadline ordering within a shard, relaxed-backend conservation, and
+//! affinity routing.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Duration;
+
+use funnelpq::{MultiQueueConfig, PqConfig};
+use funnelpq_server::{Deadline, JobId, JobSpec, Scheduler, ServerConfig, ServerError, TenantId};
+use funnelpq_util::XorShift64Star;
+
+const SHARDS: usize = 4;
+const TENANTS: usize = 8;
+
+fn cfg(backend: PqConfig) -> ServerConfig {
+    ServerConfig {
+        shards: SHARDS,
+        tenants: TENANTS,
+        clients: 4,
+        bands: 512,
+        horizon_ns: 2_000_000_000,
+        backend,
+        drain_batch: 8,
+        global_capacity: 2048,
+        tenant_quota: 512,
+        service_ns: 1, // unpaced: these tests assert accounting, not timing
+        record_dispatches: true,
+        affinity: Vec::new(),
+    }
+}
+
+fn drain(s: &Scheduler) {
+    let mut spins = 0;
+    while s.in_flight() > 0 {
+        std::thread::sleep(Duration::from_millis(1));
+        spins += 1;
+        assert!(spins < 30_000, "scheduler failed to drain");
+    }
+}
+
+/// Seeded concurrent load: `clients` threads submit one-shot and periodic
+/// jobs for 8 tenants while the dispatchers run. Returns the admitted ids
+/// and the stopped scheduler's report.
+fn run_seeded(backend: PqConfig, seed: u64) -> (HashSet<JobId>, funnelpq_server::ServerReport) {
+    let s = Arc::new(Scheduler::new(cfg(backend)).unwrap());
+    s.start();
+    let base = s.now_ns();
+    let handles: Vec<_> = (0..4)
+        .map(|client| {
+            let s = Arc::clone(&s);
+            std::thread::spawn(move || {
+                let mut rng = XorShift64Star::new(seed ^ (client as u64) << 32);
+                let mut admitted = Vec::new();
+                let mut rejected = 0u64;
+                for k in 0..500 {
+                    let tenant = TenantId(rng.below(TENANTS as u64) as u32);
+                    let deadline = Deadline::At(base + 1_000_000 + rng.below(1_000_000_000));
+                    let spec = if k % 10 == 0 {
+                        // Every tenth job is a small periodic timer.
+                        JobSpec::periodic(tenant, deadline, k, 1_000, 3)
+                    } else {
+                        JobSpec::once(tenant, deadline, k)
+                    };
+                    match s.submit(client, spec) {
+                        Ok(id) => admitted.push(id),
+                        Err(ServerError::Admit(e)) => {
+                            // Quota/capacity refusal hands the job back.
+                            assert_eq!(e.into_job().tenant, tenant);
+                            rejected += 1;
+                        }
+                        Err(other) => panic!("unexpected submit error: {other}"),
+                    }
+                }
+                (admitted, rejected)
+            })
+        })
+        .collect();
+    let mut admitted_ids = HashSet::new();
+    let mut rejected = 0;
+    for h in handles {
+        let (ids, r) = h.join().unwrap();
+        for id in ids {
+            assert!(admitted_ids.insert(id), "job ids must be unique");
+        }
+        rejected += r;
+    }
+    drain(&s);
+    let report = s.stop();
+    assert_eq!(report.submitted, 2000);
+    assert_eq!(report.admitted as usize, admitted_ids.len());
+    assert_eq!(
+        report.rejected_quota + report.rejected_capacity,
+        rejected,
+        "every admission refusal is tallied"
+    );
+    (admitted_ids, report)
+}
+
+/// Checks the conservation contract against the dispatch logs: every
+/// admitted job dispatched (once per firing), none invented, all completed.
+fn assert_conserved(admitted: &HashSet<JobId>, report: &funnelpq_server::ServerReport) {
+    assert_eq!(report.in_flight_at_stop, 0);
+    assert_eq!(report.admitted, report.completed);
+    let mut seen: HashSet<JobId> = HashSet::new();
+    let mut firings = 0u64;
+    for shard in &report.shards {
+        for rec in &shard.dispatch_log {
+            assert!(
+                admitted.contains(&rec.job),
+                "dispatched job {} was never admitted",
+                rec.job
+            );
+            seen.insert(rec.job);
+            firings += 1;
+        }
+    }
+    assert_eq!(
+        &seen, admitted,
+        "every admitted job must be dispatched at least once"
+    );
+    assert_eq!(firings, report.dispatched);
+    assert_eq!(
+        report.dispatched,
+        report.completed + report.rearmed,
+        "each dispatch either completes a job or re-arms it"
+    );
+    assert_eq!(report.latency_ns.count(), report.dispatched);
+}
+
+#[test]
+fn strict_backend_conserves_jobs_under_concurrent_load() {
+    let (admitted, report) = run_seeded(PqConfig::SingleLock, 0xC0FFEE);
+    assert_conserved(&admitted, &report);
+}
+
+#[test]
+fn funnel_tree_backend_conserves_jobs_under_concurrent_load() {
+    let (admitted, report) = run_seeded(
+        PqConfig::for_algorithm(funnelpq::Algorithm::FunnelTree).unwrap(),
+        0xBEEF,
+    );
+    assert_conserved(&admitted, &report);
+}
+
+#[test]
+fn multiqueue_backend_conserves_jobs_under_concurrent_load() {
+    // Element conservation is exactly what the relaxed class still
+    // guarantees; only ordering is weakened.
+    let (admitted, report) = run_seeded(
+        PqConfig::MultiQueue(MultiQueueConfig {
+            factor: 4,
+            ..MultiQueueConfig::default()
+        }),
+        0x5EED,
+    );
+    assert_conserved(&admitted, &report);
+}
+
+#[test]
+fn quota_is_enforced_to_the_job() {
+    let mut c = cfg(PqConfig::SingleLock);
+    c.tenant_quota = 16;
+    c.global_capacity = 64;
+    let s = Scheduler::new(c).unwrap();
+    let base = s.now_ns() + 1_000_000;
+
+    // One tenant asks for twice its quota before dispatch starts: exactly
+    // `quota` jobs get in, every refusal names the quota and carries the
+    // job back.
+    let mut admitted = 0;
+    let mut quota_rejects = 0;
+    for k in 0..32u64 {
+        match s.submit(0, JobSpec::once(TenantId(3), Deadline::At(base + k), k)) {
+            Ok(_) => admitted += 1,
+            Err(ServerError::Admit(e)) => {
+                let job = match e {
+                    funnelpq_server::AdmitError::TenantQuota { quota, job, .. } => {
+                        assert_eq!(quota, 16);
+                        job
+                    }
+                    other => panic!("expected TenantQuota, got {other:?}"),
+                };
+                assert_eq!(job.tenant, TenantId(3));
+                assert_eq!(job.payload, k);
+                quota_rejects += 1;
+            }
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+    }
+    assert_eq!(admitted, 16);
+    assert_eq!(quota_rejects, 16);
+    // Another tenant is unaffected by tenant 3 being at quota.
+    s.submit(0, JobSpec::once(TenantId(0), Deadline::At(base), 99))
+        .unwrap();
+
+    s.start();
+    drain(&s);
+    let report = s.stop();
+    assert_eq!(report.admitted, 17);
+    assert_eq!(report.completed, 17);
+    assert_eq!(report.rejected_quota, 16);
+
+    // Global capacity binds across tenants: spread 80 submits over all 8
+    // tenants (quota 16 each = 128 headroom) against capacity 64.
+    let mut c = cfg(PqConfig::SingleLock);
+    c.tenant_quota = 16;
+    c.global_capacity = 64;
+    let s = Scheduler::new(c).unwrap();
+    let base = s.now_ns() + 1_000_000;
+    let mut capacity_rejects = 0;
+    for k in 0..80u64 {
+        let spec = JobSpec::once(TenantId((k % 8) as u32), Deadline::At(base + k), k);
+        match s.submit(0, spec) {
+            Ok(_) => {}
+            Err(ServerError::Admit(funnelpq_server::AdmitError::Capacity { capacity, .. })) => {
+                assert_eq!(capacity, 64);
+                capacity_rejects += 1;
+            }
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+    }
+    assert_eq!(capacity_rejects, 16);
+    assert_eq!(s.in_flight(), 64);
+    s.start();
+    drain(&s);
+    let report = s.stop();
+    assert_eq!(report.rejected_capacity, 16);
+    assert_eq!(report.completed, 64);
+}
+
+#[test]
+fn strict_backend_dispatches_in_deadline_band_order_within_a_shard() {
+    // All submissions precede start(), so the queue is quiescent when the
+    // dispatcher begins: a strict (non-relaxed) backend must then drain
+    // bands in non-decreasing order. One shard, one tenant, scrambled
+    // deadlines across the whole horizon.
+    let mut c = cfg(PqConfig::SingleLock);
+    c.shards = 1;
+    c.tenants = 1;
+    let s = Scheduler::new(c).unwrap();
+    let mut rng = XorShift64Star::new(42);
+    for k in 0..400u64 {
+        let deadline = Deadline::At(rng.below(1_999_000_000));
+        s.submit(0, JobSpec::once(TenantId(0), deadline, k))
+            .unwrap();
+    }
+    s.start();
+    drain(&s);
+    let report = s.stop();
+    let log = &report.shards[0].dispatch_log;
+    assert_eq!(log.len(), 400);
+    for w in log.windows(2) {
+        assert!(
+            w[0].band <= w[1].band,
+            "strict backend dispatched band {} after band {}",
+            w[1].band,
+            w[0].band
+        );
+    }
+    // Dispatched in band order and unpaced from a quiescent queue: nothing
+    // can miss on the virtual service clock.
+    assert_eq!(report.misses, 0);
+}
+
+#[test]
+fn affinity_pins_a_tenant_to_its_shard() {
+    let mut c = cfg(PqConfig::SingleLock);
+    let hot = TenantId(5);
+    c.affinity = vec![(hot, 3)];
+    let s = Arc::new(Scheduler::new(c).unwrap());
+    assert_eq!(s.route(hot), 3);
+    let base = s.now_ns() + 1_000_000;
+    for k in 0..64u64 {
+        let t = TenantId((k % TENANTS as u64) as u32);
+        s.submit(0, JobSpec::once(t, Deadline::At(base + k), k))
+            .unwrap();
+    }
+    s.start();
+    drain(&s);
+    let report = s.stop();
+    let mut hot_dispatches = 0;
+    for shard in &report.shards {
+        for rec in &shard.dispatch_log {
+            if rec.tenant == hot {
+                assert_eq!(
+                    shard.shard, 3,
+                    "pinned tenant dispatched on shard {}",
+                    shard.shard
+                );
+                hot_dispatches += 1;
+            }
+        }
+    }
+    assert_eq!(hot_dispatches, 8);
+}
