@@ -321,7 +321,9 @@ fn main() {
 
     // Full metrics snapshots (event counters + latency histograms) from the
     // AtomicRecorder runs, one object per algorithm.
-    let mut out = String::from("{\n  \"benchmark\": \"native_metrics\",\n  \"snapshots\": [\n");
+    let mut out = String::from(
+        "{\n  \"schema_version\": 1,\n  \"benchmark\": \"native_metrics\",\n  \"snapshots\": [\n",
+    );
     for (i, r) in single.iter().enumerate() {
         out.push_str(&r.snapshot_json);
         out.push_str(if i + 1 == single.len() { "\n" } else { ",\n" });

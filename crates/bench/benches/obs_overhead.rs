@@ -1,0 +1,195 @@
+//! Tracing-overhead A/B: the same native mixed insert/delete-min workload
+//! run three ways per algorithm —
+//!
+//! 1. **noop** — default [`NoopRecorder`]: instrumentation monomorphizes
+//!    away; this is the disabled path users get by default;
+//! 2. **traced** — a [`TracingRecorder`] attached: atomic counters,
+//!    latency histograms, *and* per-thread ring-buffer event records;
+//! 3. **noop again** — the disabled path re-measured, bracketing the run
+//!    so host noise is quantified by the same binary that measured it.
+//!
+//! The report's gate (asserted by CI) is that the two noop runs agree
+//! within noise: the tracing subsystem must cost nothing when it is not
+//! attached. The traced column is informational — it prices what turning
+//! the flight recorder on costs.
+//!
+//! The gate columns are measured **single-threaded**: zero-cost-when-
+//! disabled is a per-operation instrumentation property, and contended
+//! multi-thread runs on shared CI runners are bimodal (lock-convoy
+//! scheduling luck swings them several hundred percent — far beyond any
+//! assertable threshold). The three variants are also interleaved within
+//! every rep so a host-noise episode lands on all of them.
+//!
+//! Writes `BENCH_obs_overhead.json`; with `FUNNELPQ_TRACE=1` also runs
+//! one `TRACE_THREADS`-way traced workload and drains its flight recorder
+//! into `TRACE_native.json` (Chrome Trace Format — the same Perfetto UI
+//! the simulator traces load into), so the exemplar timeline shows real
+//! cross-thread lock waits.
+
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use funnelpq::trace::TracingRecorder;
+use funnelpq::{Algorithm, BoundedPq, PqBuilder};
+use funnelpq_bench::{
+    print_table, scale_percent, trace_dir, trace_enabled, write_bench_json, BenchRecord,
+};
+use funnelpq_util::XorShift64Star;
+
+const TRACE_THREADS: usize = 4;
+const PRIS: usize = 64;
+const PREFILL: usize = 1024;
+const REPS: usize = 5;
+
+// Short runs measure startup transients, not the queue: even the FAST
+// profile keeps enough ops for the steady state to dominate.
+fn scaled_ops() -> usize {
+    (200_000 * scale_percent() / 100).max(50_000)
+}
+
+/// One timed run: `threads` threads each alternate insert and delete-min
+/// for `ops` operations (`threads == 1` runs inline — no spawn, no
+/// barrier). Returns nanoseconds per operation.
+fn run_once(q: Arc<dyn BoundedPq<u64>>, threads: usize, ops: usize) -> f64 {
+    for i in 0..PREFILL {
+        q.insert(0, i % PRIS, i as u64);
+    }
+    let elapsed = if threads == 1 {
+        let mut rng = XorShift64Star::new(0xD15EA5E);
+        let start = Instant::now();
+        for i in 0..ops {
+            if i % 2 == 0 {
+                q.insert(0, rng.below(PRIS as u64) as usize, i as u64);
+            } else {
+                let _ = q.delete_min(0);
+            }
+        }
+        start.elapsed().as_nanos() as f64
+    } else {
+        let barrier = Arc::new(Barrier::new(threads + 1));
+        let handles: Vec<_> = (0..threads)
+            .map(|tid| {
+                let q = Arc::clone(&q);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let mut rng = XorShift64Star::new(0xD15EA5E ^ ((tid as u64) << 32));
+                    barrier.wait();
+                    for i in 0..ops {
+                        if i % 2 == 0 {
+                            q.insert(tid, rng.below(PRIS as u64) as usize, i as u64);
+                        } else {
+                            let _ = q.delete_min(tid);
+                        }
+                    }
+                })
+            })
+            .collect();
+        barrier.wait();
+        let start = Instant::now();
+        for h in handles {
+            h.join().unwrap();
+        }
+        start.elapsed().as_nanos() as f64
+    };
+    while q.delete_min(0).is_some() {}
+    elapsed / (threads * ops) as f64
+}
+
+fn main() {
+    let ops = scaled_ops();
+    let algos = [
+        Algorithm::SingleLock,
+        Algorithm::FunnelTree,
+        Algorithm::MultiQueue,
+    ];
+    let mut records = vec![BenchRecord {
+        name: "meta".into(),
+        fields: vec![
+            ("threads", 1.0),
+            ("ops_per_thread", ops as f64),
+            ("reps", REPS as f64),
+        ],
+    }];
+    let mut rows = Vec::new();
+    let mut exemplar: Option<String> = None;
+
+    for algo in algos {
+        // Interleave the three variants within every rep: a host-noise
+        // episode (CI neighbor, frequency step) then lands on all three,
+        // so the min-of-reps columns stay comparable. noop_a runs before
+        // the traced queue in each rep and noop_b after, preserving the
+        // bracketing.
+        let build_noop = |threads: usize| {
+            Arc::from(PqBuilder::new(algo, PRIS, threads).build::<u64>()) as Arc<dyn BoundedPq<u64>>
+        };
+        let build_traced = |threads: usize, rec: &Arc<TracingRecorder>| {
+            Arc::from(
+                PqBuilder::new(algo, PRIS, threads)
+                    .recorder(Arc::clone(rec))
+                    .build::<u64>(),
+            ) as Arc<dyn BoundedPq<u64>>
+        };
+        let mut noop_a = f64::INFINITY;
+        let mut traced = f64::INFINITY;
+        let mut noop_b = f64::INFINITY;
+        for _ in 0..REPS {
+            noop_a = noop_a.min(run_once(build_noop(1), 1, ops));
+            let rec = Arc::new(TracingRecorder::new());
+            traced = traced.min(run_once(build_traced(1, &rec), 1, ops));
+            noop_b = noop_b.min(run_once(build_noop(1), 1, ops));
+        }
+        // The Perfetto exemplar comes from a separate contended run so the
+        // timeline shows cross-thread lock waits, not a single lane.
+        if trace_enabled() && exemplar.is_none() {
+            let rec = Arc::new(TracingRecorder::new());
+            run_once(build_traced(TRACE_THREADS, &rec), TRACE_THREADS, ops);
+            exemplar = Some(rec.chrome_trace());
+        }
+
+        // The gate: both disabled runs must agree. Noise is their relative
+        // spread; the traced overhead is reported against the faster one.
+        let noop = noop_a.min(noop_b);
+        let disabled_delta_pct = 100.0 * (noop_a - noop_b).abs() / noop;
+        let traced_overhead_pct = 100.0 * (traced - noop) / noop;
+        records.push(BenchRecord {
+            name: algo.name().to_string(),
+            fields: vec![
+                ("noop_ns_per_op", noop_a),
+                ("noop_rerun_ns_per_op", noop_b),
+                ("traced_ns_per_op", traced),
+                ("disabled_delta_pct", disabled_delta_pct),
+                ("traced_overhead_pct", traced_overhead_pct),
+            ],
+        });
+        rows.push(vec![
+            algo.name().to_string(),
+            format!("{noop_a:.0}"),
+            format!("{noop_b:.0}"),
+            format!("{traced:.0}"),
+            format!("{disabled_delta_pct:.1}%"),
+            format!("{traced_overhead_pct:.1}%"),
+        ]);
+    }
+
+    print_table(
+        &format!("Tracing overhead (single-threaded, {ops} ops, min of {REPS})"),
+        &[
+            "algorithm",
+            "noop ns/op",
+            "noop' ns/op",
+            "traced ns/op",
+            "disabled Δ",
+            "traced Δ",
+        ],
+        &rows,
+    );
+
+    let path = format!("{}/BENCH_obs_overhead.json", trace_dir());
+    write_bench_json(&path, "obs_overhead", &records).expect("write bench json");
+    println!("wrote {path}");
+    if let Some(trace) = exemplar {
+        let tp = format!("{}/TRACE_native.json", trace_dir());
+        std::fs::write(&tp, trace).expect("write native trace");
+        println!("wrote {tp}");
+    }
+}

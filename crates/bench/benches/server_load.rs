@@ -132,6 +132,7 @@ fn run_backend(b: &Backend, duration: Duration, geo: &Geometry) -> BenchRecord {
         affinity: (0..TENANTS as u32)
             .map(|t| (TenantId(t), t as usize % SHARDS))
             .collect(),
+        ..ServerConfig::default()
     };
     let s = Arc::new(Scheduler::with_recorder(cfg, Arc::clone(&recorder)).unwrap());
     s.start();

@@ -9,6 +9,7 @@ use funnelpq_simqueues::funnel::{CounterMode, SimFunnelConfig};
 use funnelpq_simqueues::workload::{
     run_counter_workload_traced, run_queue_workload_traced, TracedRun, Workload,
 };
+use funnelpq_util::json::{JsonWriter, SCHEMA_VERSION};
 
 /// Scale factor for experiment sizes, set with `FUNNELPQ_SCALE` (percent).
 /// `FUNNELPQ_FAST=1` is shorthand for 25%. Defaults to 100%.
@@ -58,43 +59,41 @@ pub struct BenchRecord {
     pub fields: Vec<(&'static str, f64)>,
 }
 
-/// Writes a minimal JSON benchmark report (no external serializer: the
-/// container builds fully offline). Layout:
+/// Writes a minimal JSON benchmark report via the workspace's shared
+/// [`JsonWriter`] (no external serializer: the container builds fully
+/// offline). Layout:
 ///
 /// ```json
-/// {"benchmark": "...", "scale_percent": 100,
+/// {"schema_version": 1, "benchmark": "...", "scale_percent": 100,
 ///  "results": [{"name": "...", "field": 1.0, ...}, ...]}
 /// ```
+///
+/// `schema_version` is [`funnelpq_util::json::SCHEMA_VERSION`]; the CI
+/// validators assert it so emitter and readers cannot silently drift.
 pub fn write_bench_json(
     path: &str,
     benchmark: &str,
     records: &[BenchRecord],
 ) -> std::io::Result<()> {
-    fn num(v: f64) -> String {
-        // JSON has no NaN/Inf; clamp to null which readers treat as missing.
-        if v.is_finite() {
-            format!("{v}")
-        } else {
-            "null".to_string()
-        }
-    }
-    let mut out = String::new();
-    out.push_str(&format!(
-        "{{\n  \"benchmark\": \"{benchmark}\",\n  \"scale_percent\": {},\n  \"results\": [\n",
-        scale_percent()
-    ));
-    for (i, r) in records.iter().enumerate() {
-        out.push_str(&format!("    {{\"name\": \"{}\"", r.name));
+    let mut w = JsonWriter::spaced();
+    w.begin_obj(true);
+    w.field_u64("schema_version", u64::from(SCHEMA_VERSION));
+    w.field_str("benchmark", benchmark);
+    w.field_u64("scale_percent", scale_percent() as u64);
+    w.key("results");
+    w.begin_arr(true);
+    for r in records {
+        w.begin_obj(false);
+        w.field_str("name", &r.name);
         for (k, v) in &r.fields {
-            out.push_str(&format!(", \"{k}\": {}", num(*v)));
+            w.field_f64(k, *v);
         }
-        out.push_str(if i + 1 == records.len() {
-            "}\n"
-        } else {
-            "},\n"
-        });
+        w.end();
     }
-    out.push_str("  ]\n}\n");
+    w.end();
+    w.end();
+    let mut out = w.finish();
+    out.push('\n');
     std::fs::write(path, out)
 }
 
@@ -265,6 +264,7 @@ mod tests {
         )
         .unwrap();
         let text = std::fs::read_to_string(path).unwrap();
+        assert!(text.starts_with("{\n  \"schema_version\": 1,"));
         assert!(text.contains("\"benchmark\": \"t\""));
         assert!(text.contains("\"x\": 1.5"));
         assert!(text.contains("\"bad\": null"));

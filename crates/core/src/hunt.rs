@@ -234,7 +234,7 @@ impl<T: Send, R: Recorder> BoundedPq<T> for HuntPq<T, R> {
         // earlier (smaller) item from the same batch.
         batch.sort_unstable_by_key(|&(pri, _)| pri);
         let submitted = batch.len();
-        let leftover = obs::timed(&*self.recorder, OpKind::Insert, || {
+        let leftover = obs::timed(&*self.recorder, OpKind::InsertBatch, || {
             let mut positions = Vec::with_capacity(submitted);
             let mut it = batch.into_iter();
             {
@@ -276,7 +276,7 @@ impl<T: Send, R: Recorder> BoundedPq<T> for HuntPq<T, R> {
         if k == 0 {
             return 0;
         }
-        let taken = obs::timed(&*self.recorder, OpKind::DeleteMin, || {
+        let taken = obs::timed(&*self.recorder, OpKind::DeleteMinBatch, || {
             let mut saved: Vec<(usize, T)> = Vec::new();
             {
                 let mut size = self.size.lock();
@@ -336,7 +336,7 @@ impl<T: Send, R: Recorder> BoundedPq<T> for HuntPq<T, R> {
                 item: (),
             });
         }
-        let out = obs::timed(&*self.recorder, OpKind::DeleteMin, || {
+        let out = obs::timed(&*self.recorder, OpKind::ReplaceMin, || {
             let mut root = self.nodes[1].lock();
             if root.tag == Tag::Available {
                 let min = root.entry.take().expect("root occupied");

@@ -74,6 +74,7 @@ mod simple_linear;
 mod simple_tree;
 mod single_lock;
 mod skiplist;
+pub mod trace;
 mod traits;
 
 pub use algorithm::Algorithm;

@@ -396,7 +396,7 @@ impl<T: Send, R: Recorder> BoundedPq<T> for MultiQueuePq<T, R> {
         }
         batch.sort_unstable_by_key(|&(pri, _)| pri);
         let n = batch.len() as u64;
-        obs::timed(&*self.recorder, OpKind::Insert, || {
+        obs::timed(&*self.recorder, OpKind::InsertBatch, || {
             let t = &*self.threads[tid];
             let mut batch = Some(batch);
             loop {
@@ -454,7 +454,7 @@ impl<T: Send, R: Recorder> BoundedPq<T> for MultiQueuePq<T, R> {
         if k == 0 {
             return 0;
         }
-        let taken = obs::timed(&*self.recorder, OpKind::DeleteMin, || {
+        let taken = obs::timed(&*self.recorder, OpKind::DeleteMinBatch, || {
             let t = &*self.threads[tid];
             let mut taken = 0;
             while taken < k {
@@ -543,7 +543,7 @@ impl<T: Send, R: Recorder> BoundedPq<T> for MultiQueuePq<T, R> {
                 item: (),
             });
         }
-        let out = obs::timed(&*self.recorder, OpKind::DeleteMin, || {
+        let out = obs::timed(&*self.recorder, OpKind::ReplaceMin, || {
             let t = &*self.threads[tid];
             let mut item = Some(item);
             loop {
@@ -607,6 +607,14 @@ impl<T: Send, R: Recorder> BoundedPq<T> for MultiQueuePq<T, R> {
             self.recorder.record_event(CounterEvent::EmptyDeleteMin);
         }
         out
+    }
+
+    // Batch items are en-bloc pops from whole heaps (plus redraws): every
+    // inversion inside one batch is this queue's own two-choice
+    // relaxation, which is precisely what an online rank-error sampler
+    // should see.
+    fn ordered_batch_drain(&self) -> bool {
+        true
     }
 
     fn is_empty(&self) -> bool {

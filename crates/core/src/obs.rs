@@ -24,13 +24,18 @@
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
 
-use funnelpq_util::CachePadded;
+use funnelpq_util::json::{JsonWriter, SCHEMA_VERSION};
+use funnelpq_util::{mono_ns, CachePadded};
 
 pub use funnelpq_sync::probe::{CounterEvent, EventSink, SinkRef};
 
 /// Which queue operation a latency sample belongs to.
+///
+/// The batched/fused kinds keep their identity for span tracing
+/// ([`crate::trace`]) while aggregating into the base `insert` /
+/// `delete_min` histograms of a [`MetricsSnapshot`]: a batch insert is
+/// still time spent inserting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpKind {
     /// A successful `insert` / `try_insert`.
@@ -38,6 +43,53 @@ pub enum OpKind {
     /// A `delete_min` call (counted whether or not it returned an item;
     /// empty returns additionally fire [`CounterEvent::EmptyDeleteMin`]).
     DeleteMin,
+    /// An `insert_batch` call (one sample for the whole batch).
+    InsertBatch,
+    /// A `delete_min_batch` call (one sample for the whole drain).
+    DeleteMinBatch,
+    /// A fused `replace_min` (delete_min + insert in one episode).
+    ReplaceMin,
+}
+
+impl OpKind {
+    /// Every kind, in a fixed order matching [`OpKind::index`].
+    pub const ALL: [OpKind; 5] = [
+        OpKind::Insert,
+        OpKind::DeleteMin,
+        OpKind::InsertBatch,
+        OpKind::DeleteMinBatch,
+        OpKind::ReplaceMin,
+    ];
+
+    /// Dense index in `0..ALL.len()` (trace-record encoding).
+    pub fn index(self) -> usize {
+        match self {
+            OpKind::Insert => 0,
+            OpKind::DeleteMin => 1,
+            OpKind::InsertBatch => 2,
+            OpKind::DeleteMinBatch => 3,
+            OpKind::ReplaceMin => 4,
+        }
+    }
+
+    /// Stable snake_case name (trace row labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Insert => "insert",
+            OpKind::DeleteMin => "delete_min",
+            OpKind::InsertBatch => "insert_batch",
+            OpKind::DeleteMinBatch => "delete_min_batch",
+            OpKind::ReplaceMin => "replace_min",
+        }
+    }
+
+    /// Which base histogram this kind aggregates into.
+    fn base(self) -> OpKind {
+        match self {
+            OpKind::Insert | OpKind::InsertBatch => OpKind::Insert,
+            OpKind::DeleteMin | OpKind::DeleteMinBatch | OpKind::ReplaceMin => OpKind::DeleteMin,
+        }
+    }
 }
 
 /// Number of log₂ latency buckets ([`OpStats::buckets`]); bucket `i` counts
@@ -73,6 +125,14 @@ pub trait Recorder: Send + Sync + 'static {
 
     /// Record one operation of `kind` that took `nanos` nanoseconds.
     fn record_op(&self, kind: OpKind, nanos: u64);
+
+    /// Record one operation of `kind` spanning
+    /// `[start_ns, end_ns)` on the [`funnelpq_util::mono_ns`] timeline.
+    /// The default forwards the duration to [`Recorder::record_op`];
+    /// tracing recorders override it to keep the endpoints.
+    fn record_op_span(&self, kind: OpKind, start_ns: u64, end_ns: u64) {
+        self.record_op(kind, end_ns.saturating_sub(start_ns));
+    }
 
     /// Record one batched operation ([`crate::BoundedPq::insert_batch`],
     /// [`crate::BoundedPq::delete_min_batch`] or the fused
@@ -120,14 +180,16 @@ pub fn record_batch_op<R: Recorder>(rec: &R, size: u64) {
     }
 }
 
-/// Times `f` and reports it to `rec` as one `kind` operation — free when
-/// `R::ENABLED` is false (no timer read, no call).
+/// Times `f` and reports it to `rec` as one `kind` operation span — free
+/// when `R::ENABLED` is false (no timer read, no call). Timestamps come
+/// from the process-wide [`funnelpq_util::mono_ns`] clock so recorders
+/// that keep span endpoints (the tracer) see one cross-thread timeline.
 #[inline]
 pub fn timed<R: Recorder, O>(rec: &R, kind: OpKind, f: impl FnOnce() -> O) -> O {
     if R::ENABLED {
-        let t0 = Instant::now();
+        let start = mono_ns();
         let out = f();
-        rec.record_op(kind, t0.elapsed().as_nanos() as u64);
+        rec.record_op_span(kind, start, mono_ns());
         out
     } else {
         f()
@@ -188,7 +250,7 @@ struct Shard {
 /// Locks inside the substrate do not know dense queue thread ids, so the
 /// recorder derives its own shard key; counts stay exact because shards are
 /// atomic and threads merely *prefer* distinct shards.
-fn shard_index(n_shards: usize) -> usize {
+pub(crate) fn shard_index(n_shards: usize) -> usize {
     static NEXT: AtomicUsize = AtomicUsize::new(0);
     thread_local! {
         static IDX: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
@@ -302,9 +364,9 @@ impl Recorder for AtomicRecorder {
 
     fn record_op(&self, kind: OpKind, nanos: u64) {
         let shard = self.shard();
-        match kind {
+        match kind.base() {
             OpKind::Insert => shard.insert.record(nanos),
-            OpKind::DeleteMin => shard.delete_min.record(nanos),
+            _ => shard.delete_min.record(nanos),
         }
     }
 
@@ -422,11 +484,13 @@ impl MetricsSnapshot {
         self.insert.count + self.delete_min.count
     }
 
-    /// Serializes to a self-contained JSON object (hand-rolled: the
-    /// container builds fully offline, so no serde). Layout:
+    /// Serializes to a self-contained JSON object via the workspace's
+    /// shared [`JsonWriter`] (no serde: the container builds fully
+    /// offline). Layout:
     ///
     /// ```json
-    /// {"algorithm": "...",
+    /// {"schema_version": 1,
+    ///  "algorithm": "...",
     ///  "events": {"cas_retry": 0, ...},
     ///  "insert": {"count": 0, "total_nanos": 0, "mean_nanos": 0,
     ///             "p50_nanos_le": 0, "p99_nanos_le": 0, "buckets": [...]},
@@ -434,68 +498,52 @@ impl MetricsSnapshot {
     ///  "batch": {"count": 0, "total_items": 0, "mean_items": 0,
     ///            "size_buckets": [...]}}
     /// ```
+    ///
+    /// `schema_version` is [`funnelpq_util::json::SCHEMA_VERSION`]; bucket
+    /// arrays are truncated after their last nonzero entry.
     pub fn to_json(&self, algorithm: &str) -> String {
-        fn op_json(out: &mut String, key: &str, s: &OpStats) {
-            out.push_str(&format!(
-                "  \"{key}\": {{\"count\": {}, \"total_nanos\": {}, \"mean_nanos\": {:.1}, \
-                 \"p50_nanos_le\": {}, \"p99_nanos_le\": {}, \"buckets\": [",
-                s.count,
-                s.total_nanos,
-                s.mean_nanos(),
-                s.quantile_upper_bound(0.5),
-                s.quantile_upper_bound(0.99),
-            ));
-            let last_nonzero = s
-                .buckets
-                .iter()
-                .rposition(|&b| b != 0)
-                .map(|i| i + 1)
-                .unwrap_or(0);
-            for (i, b) in s.buckets[..last_nonzero].iter().enumerate() {
-                if i > 0 {
-                    out.push_str(", ");
-                }
-                out.push_str(&b.to_string());
+        fn buckets(w: &mut JsonWriter, k: &str, all: &[u64]) {
+            let last_nonzero = all.iter().rposition(|&b| b != 0).map_or(0, |i| i + 1);
+            w.key(k);
+            w.begin_arr(false);
+            for &b in &all[..last_nonzero] {
+                w.u64(b);
             }
-            out.push_str("]}");
+            w.end();
+        }
+        fn op_json(w: &mut JsonWriter, key: &str, s: &OpStats) {
+            w.key(key);
+            w.begin_obj(false);
+            w.field_u64("count", s.count);
+            w.field_u64("total_nanos", s.total_nanos);
+            w.field_f64_fixed("mean_nanos", s.mean_nanos(), 1);
+            w.field_u64("p50_nanos_le", s.quantile_upper_bound(0.5));
+            w.field_u64("p99_nanos_le", s.quantile_upper_bound(0.99));
+            buckets(w, "buckets", &s.buckets);
+            w.end();
         }
 
-        let mut out = String::new();
-        out.push_str(&format!("{{\n  \"algorithm\": \"{algorithm}\",\n"));
-        out.push_str("  \"events\": {");
-        for (i, e) in CounterEvent::ALL.iter().enumerate() {
-            if i > 0 {
-                out.push_str(", ");
-            }
-            out.push_str(&format!("\"{}\": {}", e.name(), self.event(*e)));
+        let mut w = JsonWriter::spaced();
+        w.begin_obj(true);
+        w.field_u64("schema_version", u64::from(SCHEMA_VERSION));
+        w.field_str("algorithm", algorithm);
+        w.key("events");
+        w.begin_obj(false);
+        for e in CounterEvent::ALL.iter() {
+            w.field_u64(e.name(), self.event(*e));
         }
-        out.push_str("},\n");
-        op_json(&mut out, "insert", &self.insert);
-        out.push_str(",\n");
-        op_json(&mut out, "delete_min", &self.delete_min);
-        out.push_str(",\n");
-        out.push_str(&format!(
-            "  \"batch\": {{\"count\": {}, \"total_items\": {}, \"mean_items\": {:.1}, \
-             \"size_buckets\": [",
-            self.batch.count,
-            self.batch.total_items,
-            self.batch.mean_items(),
-        ));
-        let last_nonzero = self
-            .batch
-            .size_buckets
-            .iter()
-            .rposition(|&b| b != 0)
-            .map(|i| i + 1)
-            .unwrap_or(0);
-        for (i, b) in self.batch.size_buckets[..last_nonzero].iter().enumerate() {
-            if i > 0 {
-                out.push_str(", ");
-            }
-            out.push_str(&b.to_string());
-        }
-        out.push_str("]}\n}");
-        out
+        w.end();
+        op_json(&mut w, "insert", &self.insert);
+        op_json(&mut w, "delete_min", &self.delete_min);
+        w.key("batch");
+        w.begin_obj(false);
+        w.field_u64("count", self.batch.count);
+        w.field_u64("total_items", self.batch.total_items);
+        w.field_f64_fixed("mean_items", self.batch.mean_items(), 1);
+        buckets(&mut w, "size_buckets", &self.batch.size_buckets);
+        w.end();
+        w.end();
+        w.finish()
     }
 }
 
@@ -558,6 +606,7 @@ mod tests {
         rec.record_event_n(CounterEvent::ElimHit, 7);
         rec.record_op(OpKind::Insert, 42);
         let json = rec.snapshot().to_json("FunnelTree");
+        assert!(json.starts_with("{\n  \"schema_version\": 1,"));
         assert!(json.contains("\"algorithm\": \"FunnelTree\""));
         assert!(json.contains("\"elim_hit\": 7"));
         for e in CounterEvent::ALL {

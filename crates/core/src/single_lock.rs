@@ -144,7 +144,7 @@ impl<T: Send, R: Recorder> BoundedPq<T> for SingleLockPq<T, R> {
         }
         batch.sort_unstable_by_key(|&(pri, _)| pri);
         let n = batch.len() as u64;
-        obs::timed(&*self.recorder, OpKind::Insert, || {
+        obs::timed(&*self.recorder, OpKind::InsertBatch, || {
             let mut heap = self.heap.lock();
             for (pri, item) in batch {
                 heap.push(pri, item);
@@ -157,7 +157,7 @@ impl<T: Send, R: Recorder> BoundedPq<T> for SingleLockPq<T, R> {
     // One MCS acquisition for up to `k` pops.
     fn delete_min_batch(&self, tid: usize, k: usize, out: &mut Vec<(usize, T)>) -> usize {
         assert!(tid < self.max_threads, "tid {tid} out of range");
-        let taken = obs::timed(&*self.recorder, OpKind::DeleteMin, || {
+        let taken = obs::timed(&*self.recorder, OpKind::DeleteMinBatch, || {
             let mut heap = self.heap.lock();
             let mut taken = 0;
             while taken < k {
@@ -188,7 +188,7 @@ impl<T: Send, R: Recorder> BoundedPq<T> for SingleLockPq<T, R> {
                 item: (),
             });
         }
-        let out = obs::timed(&*self.recorder, OpKind::DeleteMin, || {
+        let out = obs::timed(&*self.recorder, OpKind::ReplaceMin, || {
             self.heap.lock().replace_min(pri, item)
         });
         obs::record_batch_op(&*self.recorder, 1);
@@ -196,6 +196,12 @@ impl<T: Send, R: Recorder> BoundedPq<T> for SingleLockPq<T, R> {
             self.recorder.record_event(CounterEvent::EmptyDeleteMin);
         }
         out
+    }
+
+    // The whole drain happens under one MCS hold, so a batch is always a
+    // sorted prefix of the heap at one instant.
+    fn ordered_batch_drain(&self) -> bool {
+        true
     }
 
     fn is_empty(&self) -> bool {

@@ -343,7 +343,7 @@ impl<T: Send, R: Recorder> BoundedPq<T> for SkipListPq<T, R> {
         }
         batch.sort_unstable_by_key(|&(pri, _)| pri);
         let n = batch.len() as u64;
-        obs::timed(&*self.recorder, OpKind::Insert, || {
+        obs::timed(&*self.recorder, OpKind::InsertBatch, || {
             let mut it = batch.into_iter().peekable();
             while let Some((pri, item)) = it.next() {
                 // Bin first (paper order), for the whole equal-priority run.
@@ -372,7 +372,7 @@ impl<T: Send, R: Recorder> BoundedPq<T> for SkipListPq<T, R> {
         if k == 0 {
             return 0;
         }
-        let taken = obs::timed(&*self.recorder, OpKind::DeleteMin, || {
+        let taken = obs::timed(&*self.recorder, OpKind::DeleteMinBatch, || {
             let mut taken = 0;
             'outer: while taken < k {
                 let db = self.del_bin.load(Ordering::Acquire);

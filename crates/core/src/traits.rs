@@ -291,6 +291,28 @@ pub trait BoundedPq<T: Send>: Send + Sync {
         removed
     }
 
+    /// Whether the item order within one [`BoundedPq::delete_min_batch`]
+    /// result reflects this queue's own dequeue policy, even under
+    /// concurrent inserts.
+    ///
+    /// `true` means every out-of-order pair inside a single batch is
+    /// attributable to the queue (deliberate relaxation, or none): a
+    /// strict backend drains the batch in one synchronization episode and
+    /// returns it sorted (SingleLock holds its one lock across the whole
+    /// drain), while a relaxed MultiQueue's en-bloc heap pops expose
+    /// exactly its rank error. `false` — the conservative default, kept
+    /// by multi-episode drains like HuntEtAl's per-iteration root locks
+    /// or SkipList's bin walk, and by the loop-over-singles default —
+    /// means a concurrent insert landing mid-drain can create inversions
+    /// that are *not* rank error (the history still linearizes).
+    ///
+    /// Online rank-error estimators (the server's telemetry sampler) must
+    /// only score batches from queues that return `true`; anything else
+    /// would report phantom relaxation for strict backends.
+    fn ordered_batch_drain(&self) -> bool {
+        false
+    }
+
     /// Advisory emptiness test: a racy read that is exact **only at
     /// quiescence**. Never use it to terminate a loop while other threads
     /// may still insert — count operations instead (a `false` may already be

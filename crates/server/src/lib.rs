@@ -21,6 +21,12 @@
 //! enqueue→dispatch latency is accounted separately into log₂ histograms
 //! ([`funnelpq_util::Acc`]: p50/p99/p999). See `docs/SERVER.md`.
 //!
+//! The running server is observable live: [`Scheduler::telemetry`] takes
+//! a [`TelemetrySnapshot`] — per-tenant and per-shard latency/slack
+//! histograms, a windowed throughput/depth time-series, and a sampled
+//! rank-error estimate for relaxed backends — serializable as versioned
+//! JSON (see `docs/OBSERVABILITY.md` and the `pqstat` example).
+//!
 //! ## Example
 //!
 //! ```
@@ -50,9 +56,11 @@ mod job;
 mod router;
 mod scheduler;
 mod shard;
+pub mod telemetry;
 
 pub use error::{AdmitError, ServerError};
 pub use job::{Deadline, Job, JobId, JobSpec, TenantId};
 pub use router::Router;
 pub use scheduler::{Scheduler, ServerConfig, ServerReport};
 pub use shard::{DispatchRecord, ShardReport};
+pub use telemetry::{ShardStats, TelemetrySnapshot, TenantStats, WindowStats};

@@ -15,6 +15,7 @@ use crate::error::ServerError;
 use crate::job::{Deadline, Job, JobId, JobSpec, TenantId};
 use crate::router::Router;
 use crate::shard::{DispatchRecord, Shard, ShardReport};
+use crate::telemetry::{ShardTelemetry, TelemetrySnapshot, RANK_SAMPLE_PERIOD};
 
 /// Everything that shapes a [`Scheduler`], with workable defaults.
 #[derive(Debug, Clone)]
@@ -51,6 +52,9 @@ pub struct ServerConfig {
     /// Record a [`DispatchRecord`] per dispatch (conservation/ordering
     /// tests). Off by default: it grows a Vec per shard without bound.
     pub record_dispatches: bool,
+    /// Width of one telemetry time-series window, in nanoseconds (the
+    /// throughput/miss/depth series in [`TelemetrySnapshot`]).
+    pub telemetry_window_ns: u64,
     /// Tenants to pin to explicit shards, overriding the hash placement.
     pub affinity: Vec<(TenantId, usize)>,
 }
@@ -69,6 +73,7 @@ impl Default for ServerConfig {
             tenant_quota: 256,
             service_ns: 10_000,
             record_dispatches: false,
+            telemetry_window_ns: 100_000_000,
             affinity: Vec::new(),
         }
     }
@@ -94,6 +99,8 @@ impl ServerConfig {
             "tenant_quota must be >= 1"
         } else if self.service_ns == 0 {
             "service_ns must be >= 1"
+        } else if self.telemetry_window_ns == 0 {
+            "telemetry_window_ns must be >= 1"
         } else if self
             .affinity
             .iter()
@@ -197,6 +204,8 @@ impl<R: Recorder> Scheduler<R> {
             shards.push(Arc::new(Shard {
                 queue: Arc::from(queue),
                 dispatched: CachePadded::new(AtomicU64::new(0)),
+                enqueued: CachePadded::new(AtomicU64::new(0)),
+                telemetry: Mutex::new(ShardTelemetry::new(cfg.tenants, cfg.telemetry_window_ns)),
             }));
         }
         let mut router = Router::new(cfg.shards, cfg.tenants);
@@ -283,11 +292,42 @@ impl<R: Recorder> Scheduler<R> {
         }
         self.admission.try_admit(job)?;
         let band = self.band_of(job.deadline_ns);
+        // Depth goes up *before* the insert (and back down on failure) so
+        // the dispatcher's decrement for this job can never observe the
+        // counter below the true population.
+        shard.enqueued.fetch_add(1, Ordering::Relaxed);
         if let Err(e) = shard.queue.try_insert(client, band, job) {
+            shard.enqueued.fetch_sub(1, Ordering::Relaxed);
             self.admission.release(job.tenant.0 as usize);
             return Err(e.into());
         }
         Ok(id)
+    }
+
+    /// Takes a live telemetry snapshot: per-shard and per-tenant
+    /// histograms, the windowed time-series, queue depths, and the sampled
+    /// rank-error estimate. Safe to call at any point in the lifecycle,
+    /// including while dispatchers run (each shard's cell is read under a
+    /// briefly-held lock; cross-shard totals may be a few dispatches
+    /// apart).
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        let at_ns = self.now_ns();
+        let per_shard = self
+            .shards
+            .iter()
+            .map(|s| {
+                (
+                    s.telemetry.lock().unwrap().clone(),
+                    s.enqueued.load(Ordering::Relaxed),
+                )
+            })
+            .collect();
+        TelemetrySnapshot::assemble(
+            at_ns,
+            self.cfg.backend.algorithm().name(),
+            self.cfg.telemetry_window_ns,
+            per_shard,
+        )
     }
 
     /// Spawns one dispatcher thread per shard. Idempotent: calling again
@@ -389,6 +429,10 @@ impl<R: Recorder> DispatcherCtx<R> {
     fn run(self) -> ShardReport {
         let mut report = ShardReport::new(self.index);
         let mut out: Vec<(usize, Job)> = Vec::with_capacity(self.drain.max(1) * 2);
+        // Rank-error sampling only makes sense when a drain batch is an
+        // en-bloc snapshot of the queue (see `telemetry` module docs).
+        let track_rank = self.shard.queue.ordered_batch_drain();
+        let mut episode: u64 = 0;
         // The pacing clock: each dispatch pushes it service_ns further out,
         // and we spin up to it, so sustained throughput is one job per
         // service_ns and the virtual clock tracks wall time.
@@ -406,6 +450,18 @@ impl<R: Recorder> DispatcherCtx<R> {
                 next_ready = Instant::now();
                 std::thread::sleep(Duration::from_micros(20));
                 continue;
+            }
+            self.shard.enqueued.fetch_sub(got as u64, Ordering::Relaxed);
+            episode += 1;
+            if track_rank && episode.is_multiple_of(RANK_SAMPLE_PERIOD) && got >= 2 {
+                // Score the batch before the index-walk below: replace_min
+                // re-arms append to `out`, and those entries are not part
+                // of the drained snapshot.
+                self.shard
+                    .telemetry
+                    .lock()
+                    .unwrap()
+                    .record_rank_sample(&out[..got]);
             }
             // replace_min below may append the entry it popped; index-walk
             // so those are dispatched in the same episode.
@@ -425,9 +481,8 @@ impl<R: Recorder> DispatcherCtx<R> {
         let pre = self.shard.dispatched.fetch_add(1, Ordering::AcqRel);
         report.dispatched += 1;
         let now = self.epoch.elapsed().as_nanos() as u64;
-        report
-            .latency_ns
-            .record(now.saturating_sub(job.enqueued_ns));
+        let latency = now.saturating_sub(job.enqueued_ns);
+        report.latency_ns.record(latency);
         let delay = pre.saturating_sub(job.enqueued_slot);
         report.delay_slots.record(delay);
         let slack = job.deadline_ns.saturating_sub(job.enqueued_ns) / self.service_ns;
@@ -453,6 +508,14 @@ impl<R: Recorder> DispatcherCtx<R> {
                 missed,
             });
         }
+        // This thread is the telemetry cell's only writer, so the lock is
+        // uncontended except against an occasional snapshot reader.
+        {
+            let mut t = self.shard.telemetry.lock().unwrap();
+            t.record_dispatch(&job, now, latency, missed);
+            t.windows
+                .record_depth(now, self.shard.enqueued.load(Ordering::Relaxed));
+        }
         let rearm =
             job.period_ns > 0 && job.repeats_left > 0 && !self.stopping.load(Ordering::Acquire);
         if rearm {
@@ -472,7 +535,11 @@ impl<R: Recorder> DispatcherCtx<R> {
             // one synchronization episode; whatever it popped joins the
             // in-progress batch.
             let band = self.band_of(next.deadline_ns);
+            self.shard.enqueued.fetch_add(1, Ordering::Relaxed);
             if let Some(popped) = self.shard.queue.replace_min(self.tid, band, next) {
+                // The popped job left the queue and joins this episode's
+                // batch, so the re-arm was depth-neutral.
+                self.shard.enqueued.fetch_sub(1, Ordering::Relaxed);
                 out.push(popped);
             }
         } else {

@@ -1,12 +1,13 @@
 //! One shard: a priority queue of jobs plus its dispatch accounting.
 
 use std::sync::atomic::AtomicU64;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use funnelpq::BoundedPq;
 use funnelpq_util::{Acc, CachePadded};
 
 use crate::job::{Job, JobId, TenantId};
+use crate::telemetry::ShardTelemetry;
 
 /// A shard's queue plus the shared state its dispatcher and submitters
 /// both touch.
@@ -18,6 +19,14 @@ pub(crate) struct Shard {
     /// [`Job::enqueued_slot`]; the dispatcher evaluates deadline misses
     /// against it (see `docs/SERVER.md`).
     pub(crate) dispatched: CachePadded<AtomicU64>,
+    /// Live queue depth: incremented by submitters on a successful insert,
+    /// decremented by the dispatcher as it drains. Lock-free so submit
+    /// never touches the telemetry mutex.
+    pub(crate) enqueued: CachePadded<AtomicU64>,
+    /// The shard's telemetry cell. Written only by the shard's dispatcher
+    /// (so the lock is uncontended on the hot path); read by
+    /// [`Scheduler::telemetry`](crate::Scheduler::telemetry).
+    pub(crate) telemetry: Mutex<ShardTelemetry>,
 }
 
 /// One dispatched job, as remembered by a shard running with

@@ -1,10 +1,16 @@
 //! Chrome Trace Format export: render a trace as per-processor timelines,
 //! per-hot-line occupancy rows, and per-region queue-depth counters that
 //! load directly in `chrome://tracing` or <https://ui.perfetto.dev>.
+//!
+//! Row shapes and document framing come from the workspace-shared
+//! [`ChromeTrace`] builder, so simulator traces and the native
+//! `funnelpq::trace` drain render identically in the same UI.
 
 use std::collections::BTreeMap;
 
-use super::{esc, RegionMap, TimeSeries, TraceEvent};
+use funnelpq_util::chrome::{Arg, ChromeTrace};
+
+use super::{RegionMap, TimeSeries, TraceEvent};
 
 const PID_PROCESSORS: u32 = 0;
 const PID_LINES: u32 = 1;
@@ -35,8 +41,8 @@ pub fn chrome_trace_json(
     hot_lines: usize,
     counters: Option<&TimeSeries>,
 ) -> String {
-    let mut items: Vec<String> = Vec::new();
-    items.push(meta_process_name(PID_PROCESSORS, "processors"));
+    let mut t = ChromeTrace::new();
+    t.process_name(PID_PROCESSORS, "processors");
 
     // Per-processor rows.
     let mut procs_seen: Vec<bool> = Vec::new();
@@ -49,11 +55,7 @@ pub fn chrome_trace_json(
     }
     for (p, seen) in procs_seen.iter().enumerate() {
         if *seen {
-            items.push(meta_thread_name(
-                PID_PROCESSORS,
-                p as u64,
-                &format!("proc {p}"),
-            ));
+            t.thread_name(PID_PROCESSORS, p as u64, &format!("proc {p}"));
         }
     }
 
@@ -75,13 +77,13 @@ pub fn chrome_trace_json(
     ranked.truncate(hot_lines);
     let hot: BTreeMap<usize, ()> = ranked.iter().map(|&(line, _)| (line, ())).collect();
     if !hot.is_empty() {
-        items.push(meta_process_name(PID_LINES, "memory lines"));
+        t.process_name(PID_LINES, "memory lines");
         for &(line, _) in &ranked {
-            items.push(meta_thread_name(
+            t.thread_name(
                 PID_LINES,
                 line as u64,
                 &format!("line {} \u{2014} {}", line, regions.name_of_line(line)),
-            ));
+            );
         }
     }
 
@@ -100,69 +102,65 @@ pub fn chrome_trace_json(
                 complete,
                 ..
             } => {
-                items.push(format!(
-                    "{{\"name\":\"{}\",\"cat\":\"txn\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
-                     \"pid\":{},\"tid\":{},\"args\":{{\"addr\":{},\"line\":{},\"queued\":{}}}}}",
+                t.complete(
                     kind.name(),
+                    "txn",
+                    PID_PROCESSORS,
+                    proc as u64,
                     issue,
                     complete - issue,
-                    PID_PROCESSORS,
-                    proc,
-                    addr,
-                    line,
-                    start - arrival,
-                ));
+                    &[
+                        ("addr", Arg::U64(addr as u64)),
+                        ("line", Arg::U64(line as u64)),
+                        ("queued", Arg::U64(start - arrival)),
+                    ],
+                );
                 if hot.contains_key(&line) {
-                    items.push(format!(
-                        "{{\"name\":\"{}\",\"cat\":\"line\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
-                         \"pid\":{},\"tid\":{},\"args\":{{\"proc\":{},\"queued\":{}}}}}",
+                    t.complete(
                         kind.name(),
+                        "line",
+                        PID_LINES,
+                        line as u64,
                         start,
                         release - start,
-                        PID_LINES,
-                        line,
-                        proc,
-                        start - arrival,
-                    ));
+                        &[
+                            ("proc", Arg::U64(proc as u64)),
+                            ("queued", Arg::U64(start - arrival)),
+                        ],
+                    );
                 }
             }
             TraceEvent::SpanBegin { proc, name, time } => {
-                items.push(format!(
-                    "{{\"name\":\"{}\",\"cat\":\"span\",\"ph\":\"B\",\"ts\":{},\"pid\":{},\"tid\":{}}}",
-                    esc(name),
-                    time,
-                    PID_PROCESSORS,
-                    proc,
-                ));
+                t.begin(name, "span", PID_PROCESSORS, proc as u64, time);
             }
             TraceEvent::SpanEnd { proc, name, time } => {
-                items.push(format!(
-                    "{{\"name\":\"{}\",\"cat\":\"span\",\"ph\":\"E\",\"ts\":{},\"pid\":{},\"tid\":{}}}",
-                    esc(name),
-                    time,
-                    PID_PROCESSORS,
-                    proc,
-                ));
+                t.end(name, "span", PID_PROCESSORS, proc as u64, time);
             }
             TraceEvent::TaskSpawn { proc, time } => {
-                items.push(instant("spawn", proc, time));
+                t.instant("spawn", "sched", PID_PROCESSORS, proc as u64, time, &[]);
             }
             TraceEvent::TaskBlock { proc, time, addr } => {
-                items.push(format!(
-                    "{{\"name\":\"block\",\"cat\":\"sched\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\
-                     \"pid\":{},\"tid\":{},\"args\":{{\"addr\":{}}}}}",
-                    time, PID_PROCESSORS, proc, addr,
-                ));
+                t.instant(
+                    "block",
+                    "sched",
+                    PID_PROCESSORS,
+                    proc as u64,
+                    time,
+                    &[("addr", Arg::U64(addr as u64))],
+                );
             }
             TraceEvent::TaskResume { proc, time, addr } => {
-                items.push(format!(
-                    "{{\"name\":\"resume\",\"cat\":\"sched\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\
-                     \"pid\":{},\"tid\":{},\"args\":{{\"addr\":{}}}}}",
-                    time, PID_PROCESSORS, proc, addr,
-                ));
+                t.instant(
+                    "resume",
+                    "sched",
+                    PID_PROCESSORS,
+                    proc as u64,
+                    time,
+                    &[("addr", Arg::U64(addr as u64))],
+                );
             }
             TraceEvent::TaskComplete { proc, time } => {
-                items.push(instant("complete", proc, time));
+                t.instant("complete", "sched", PID_PROCESSORS, proc as u64, time, &[]);
             }
         }
     }
@@ -176,74 +174,37 @@ pub fn chrome_trace_json(
             .filter(|&r| ts.windows().iter().any(|w| w.region_blocked_cycles[r] > 0))
             .collect();
         if !queued.is_empty() || !parked.is_empty() {
-            items.push(meta_process_name(PID_COUNTERS, "queue depth"));
+            t.process_name(PID_COUNTERS, "queue depth");
         }
         for &r in &queued {
-            let name = esc(&ts.region_names()[r]);
+            let name = format!("depth: {}", ts.region_names()[r]);
             for w in ts.windows() {
-                items.push(format!(
-                    "{{\"name\":\"depth: {}\",\"ph\":\"C\",\"ts\":{},\"pid\":{},\"tid\":0,\
-                     \"args\":{{\"depth\":{:.3}}}}}",
-                    name,
-                    w.start,
+                let depth = w.region_queued_cycles[r] as f64 / ts.window_cycles() as f64;
+                t.counter(
+                    &name,
                     PID_COUNTERS,
-                    w.region_queued_cycles[r] as f64 / ts.window_cycles() as f64,
-                ));
+                    0,
+                    w.start,
+                    &[("depth", Arg::F3(depth))],
+                );
             }
         }
         for &r in &parked {
-            let name = esc(&ts.region_names()[r]);
+            let name = format!("blocked: {}", ts.region_names()[r]);
             for w in ts.windows() {
-                items.push(format!(
-                    "{{\"name\":\"blocked: {}\",\"ph\":\"C\",\"ts\":{},\"pid\":{},\"tid\":0,\
-                     \"args\":{{\"procs\":{:.3}}}}}",
-                    name,
-                    w.start,
+                let procs = w.region_blocked_cycles[r] as f64 / ts.window_cycles() as f64;
+                t.counter(
+                    &name,
                     PID_COUNTERS,
-                    w.region_blocked_cycles[r] as f64 / ts.window_cycles() as f64,
-                ));
+                    0,
+                    w.start,
+                    &[("procs", Arg::F3(procs))],
+                );
             }
         }
     }
 
-    let mut out = String::with_capacity(items.iter().map(|s| s.len() + 2).sum::<usize>() + 64);
-    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
-    for (i, item) in items.iter().enumerate() {
-        out.push_str(item);
-        if i + 1 < items.len() {
-            out.push(',');
-        }
-        out.push('\n');
-    }
-    out.push_str("]}\n");
-    out
-}
-
-fn meta_process_name(pid: u32, name: &str) -> String {
-    format!(
-        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"tid\":0,\
-         \"args\":{{\"name\":\"{}\"}}}}",
-        pid,
-        esc(name)
-    )
-}
-
-fn meta_thread_name(pid: u32, tid: u64, name: &str) -> String {
-    format!(
-        "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{},\"tid\":{},\
-         \"args\":{{\"name\":\"{}\"}}}}",
-        pid,
-        tid,
-        esc(name)
-    )
-}
-
-fn instant(name: &str, proc: usize, time: u64) -> String {
-    format!(
-        "{{\"name\":\"{}\",\"cat\":\"sched\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\
-         \"pid\":{},\"tid\":{}}}",
-        name, time, PID_PROCESSORS, proc,
-    )
+    t.finish()
 }
 
 #[cfg(test)]

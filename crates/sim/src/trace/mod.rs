@@ -333,23 +333,6 @@ impl RegionMap {
     }
 }
 
-/// Minimal JSON string escaping for names (labels contain no exotic
-/// characters, but quoting must never break the document).
-pub(crate) fn esc(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -383,11 +366,5 @@ mod tests {
         assert_eq!(ev.time(), 100);
         assert_eq!(ev.proc(), 7);
         assert_eq!(TxnKind::Faa.name(), "faa");
-    }
-
-    #[test]
-    fn escaping() {
-        assert_eq!(esc("plain"), "plain");
-        assert_eq!(esc("a\"b\\c\n"), "a\\\"b\\\\c\\n");
     }
 }

@@ -1,6 +1,8 @@
 //! Windowed time-series over a trace: throughput, queueing delay and
 //! per-region queue depth as functions of simulated time.
 
+use funnelpq_util::json::JsonWriter;
+
 use super::{RegionMap, TraceEvent};
 
 /// One fixed-width window of the run.
@@ -232,61 +234,52 @@ impl TimeSeries {
         hits as f64 / self.windows.len() as f64
     }
 
-    /// Serializes the series as JSON (hand-rolled; no external deps).
+    /// Serializes the series as JSON via the workspace's shared
+    /// [`JsonWriter`] (no external deps; dense numeric sample arrays are
+    /// comma-packed).
     pub fn to_json(&self) -> String {
-        let mut out = String::new();
-        out.push_str("{\n");
-        out.push_str(&format!("  \"window_cycles\": {},\n", self.window));
-        out.push_str(&format!("  \"num_windows\": {},\n", self.windows.len()));
-        out.push_str("  \"regions\": [");
-        for (i, name) in self.region_names.iter().enumerate() {
-            if i > 0 {
-                out.push_str(", ");
-            }
-            out.push_str(&format!("\"{}\"", super::esc(name)));
+        let mut jw = JsonWriter::spaced();
+        jw.begin_obj(true);
+        jw.field_u64("window_cycles", self.window);
+        jw.field_u64("num_windows", self.windows.len() as u64);
+        jw.key("regions");
+        jw.begin_arr(false);
+        for name in &self.region_names {
+            jw.str(name);
         }
-        out.push_str("],\n");
-        out.push_str("  \"windows\": [\n");
-        for (i, w) in self.windows.iter().enumerate() {
-            out.push_str("    {");
-            out.push_str(&format!("\"start\": {}, ", w.start));
-            out.push_str(&format!("\"txns\": {}, ", w.txns));
-            out.push_str(&format!(
-                "\"queue_delay_cycles\": {}, ",
-                w.queue_delay_cycles
-            ));
-            out.push_str(&format!(
-                "\"mean_queue_delay\": {:.3}, ",
-                w.mean_queue_delay()
-            ));
-            out.push_str("\"region_accesses\": [");
-            for (j, a) in w.region_accesses.iter().enumerate() {
-                if j > 0 {
-                    out.push(',');
-                }
-                out.push_str(&a.to_string());
+        jw.end();
+        jw.key("windows");
+        jw.begin_arr(true);
+        for w in &self.windows {
+            jw.begin_obj(false);
+            jw.field_u64("start", w.start);
+            jw.field_u64("txns", w.txns);
+            jw.field_u64("queue_delay_cycles", w.queue_delay_cycles);
+            jw.field_f64_fixed("mean_queue_delay", w.mean_queue_delay(), 3);
+            jw.key("region_accesses");
+            jw.begin_arr_compact();
+            for &a in &w.region_accesses {
+                jw.u64(a);
             }
-            out.push_str("], \"region_mean_depth\": [");
-            for (j, &q) in w.region_queued_cycles.iter().enumerate() {
-                if j > 0 {
-                    out.push(',');
-                }
-                out.push_str(&format!("{:.3}", q as f64 / self.window as f64));
+            jw.end();
+            jw.key("region_mean_depth");
+            jw.begin_arr_compact();
+            for &q in &w.region_queued_cycles {
+                jw.f64_fixed(q as f64 / self.window as f64, 3);
             }
-            out.push_str("], \"region_blocked_depth\": [");
-            for (j, &q) in w.region_blocked_cycles.iter().enumerate() {
-                if j > 0 {
-                    out.push(',');
-                }
-                out.push_str(&format!("{:.3}", q as f64 / self.window as f64));
+            jw.end();
+            jw.key("region_blocked_depth");
+            jw.begin_arr_compact();
+            for &q in &w.region_blocked_cycles {
+                jw.f64_fixed(q as f64 / self.window as f64, 3);
             }
-            out.push_str("]}");
-            if i + 1 < self.windows.len() {
-                out.push(',');
-            }
-            out.push('\n');
+            jw.end();
+            jw.end();
         }
-        out.push_str("  ]\n}\n");
+        jw.end();
+        jw.end();
+        let mut out = jw.finish();
+        out.push('\n');
         out
     }
 }

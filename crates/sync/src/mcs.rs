@@ -10,7 +10,7 @@ use std::cell::UnsafeCell;
 use std::ptr;
 use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
 
-use funnelpq_util::{Backoff, CachePadded};
+use funnelpq_util::{mono_ns, Backoff, CachePadded};
 
 use crate::probe::{CounterEvent, SinkRef};
 
@@ -76,12 +76,25 @@ impl McsLock {
         }
     }
 
+    // Span reporting happens after the handoff in `McsGuard::drop`, so the
+    // sink call never extends the critical section.
+    #[cold]
+    #[inline(never)]
+    fn note_span(&self, wait_start_ns: u64, acquired_ns: u64, released_ns: u64) {
+        if let Some(s) = &self.inner.sink {
+            s.lock_span(wait_start_ns, acquired_ns, released_ns);
+        }
+    }
+
     /// Acquires the lock, spinning in FIFO order behind current holders.
     #[inline]
     pub fn lock(&self) -> McsGuard<'_> {
-        if self.inner.sink.is_some() {
+        let wait_start = if self.inner.sink.is_some() {
             self.note_acquire();
-        }
+            mono_ns()
+        } else {
+            0
+        };
         let node = Box::into_raw(Box::new(QNode {
             locked: AtomicBool::new(true),
             next: AtomicPtr::new(ptr::null_mut()),
@@ -98,7 +111,16 @@ impl McsLock {
                 backoff.snooze();
             }
         }
-        McsGuard { lock: self, node }
+        let stamps = if self.inner.sink.is_some() {
+            Some((wait_start, mono_ns()))
+        } else {
+            None
+        };
+        McsGuard {
+            lock: self,
+            node,
+            stamps,
+        }
     }
 
     /// Attempts to acquire the lock without waiting. Succeeds only when the
@@ -119,10 +141,19 @@ impl McsLock {
             Ordering::Relaxed,
         ) {
             Ok(_) => {
-                if self.inner.sink.is_some() {
+                let stamps = if self.inner.sink.is_some() {
                     self.note_acquire();
-                }
-                Some(McsGuard { lock: self, node })
+                    // No queueing on the try path: wait == acquire instant.
+                    let now = mono_ns();
+                    Some((now, now))
+                } else {
+                    None
+                };
+                Some(McsGuard {
+                    lock: self,
+                    node,
+                    stamps,
+                })
             }
             Err(_) => {
                 // SAFETY: `node` never became visible to other threads.
@@ -157,10 +188,16 @@ impl std::fmt::Debug for McsLock {
 pub struct McsGuard<'a> {
     lock: &'a McsLock,
     node: *mut QNode,
+    /// `(wait_start_ns, acquired_ns)` when the lock has a sink; the
+    /// release stamp completes the span in `drop`.
+    stamps: Option<(u64, u64)>,
 }
 
 impl Drop for McsGuard<'_> {
     fn drop(&mut self) {
+        // Hold time ends here, before the handoff protocol (a successor's
+        // linking race is the lock's cost, not this holder's).
+        let released = if self.stamps.is_some() { mono_ns() } else { 0 };
         let node = self.node;
         // SAFETY: `node` is this guard's own queue node.
         let next = unsafe { (*node).next.load(Ordering::Acquire) };
@@ -176,6 +213,9 @@ impl Drop for McsGuard<'_> {
                 // SAFETY: tail no longer references the node and no
                 // successor ever linked in, so we hold the only pointer.
                 drop(unsafe { Box::from_raw(node) });
+                if let Some((wait, acq)) = self.stamps {
+                    self.lock.note_span(wait, acq, released);
+                }
                 return;
             }
             // A successor swapped the tail but has not linked in yet; wait.
@@ -191,6 +231,9 @@ impl Drop for McsGuard<'_> {
         unsafe { (*next).locked.store(false, Ordering::Release) };
         // SAFETY: after signalling, no thread references our node.
         drop(unsafe { Box::from_raw(node) });
+        if let Some((wait, acq)) = self.stamps {
+            self.lock.note_span(wait, acq, released);
+        }
     }
 }
 
@@ -355,6 +398,46 @@ mod tests {
         *m.lock() += 1;
         assert!(m.try_lock().is_some());
         assert_eq!(sink.0.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn sink_sees_ordered_lock_spans() {
+        use crate::probe::{CounterEvent, EventSink};
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Mutex;
+
+        #[derive(Default)]
+        struct Spans {
+            acquires: AtomicU64,
+            spans: Mutex<Vec<(u64, u64, u64)>>,
+        }
+        impl EventSink for Spans {
+            fn event_n(&self, event: CounterEvent, n: u64) {
+                assert_eq!(event, CounterEvent::LockAcquire);
+                self.acquires.fetch_add(n, Ordering::Relaxed);
+            }
+            fn lock_span(&self, wait_start_ns: u64, acquired_ns: u64, released_ns: u64) {
+                self.spans
+                    .lock()
+                    .unwrap()
+                    .push((wait_start_ns, acquired_ns, released_ns));
+            }
+        }
+
+        let sink = Arc::new(Spans::default());
+        let l = McsLock::with_sink(Some(sink.clone()));
+        drop(l.lock());
+        let g = l.try_lock().expect("uncontended try_lock");
+        std::hint::black_box(&g);
+        drop(g);
+        let spans = sink.spans.lock().unwrap();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans.len() as u64, sink.acquires.load(Ordering::Relaxed));
+        for &(wait, acq, rel) in spans.iter() {
+            assert!(wait <= acq && acq <= rel, "span out of order");
+        }
+        // Spans from one thread lie on one monotonic timeline.
+        assert!(spans[0].2 <= spans[1].1);
     }
 
     #[test]

@@ -127,6 +127,18 @@ pub trait EventSink: Send + Sync {
     fn event(&self, event: CounterEvent) {
         self.event_n(event, 1);
     }
+
+    /// Record one completed lock acquire→hold→release interval, with all
+    /// three timestamps from [`funnelpq_util::mono_ns`]:
+    /// `wait_start_ns ≤ acquired_ns ≤ released_ns`, wait time being
+    /// `acquired - wait_start` and hold time `released - acquired`.
+    ///
+    /// Default is a no-op so counting-only sinks need not care; locks
+    /// call it off the critical path (after the handoff) and only when a
+    /// sink is installed, so the uninstrumented cost stays one branch.
+    fn lock_span(&self, wait_start_ns: u64, acquired_ns: u64, released_ns: u64) {
+        let _ = (wait_start_ns, acquired_ns, released_ns);
+    }
 }
 
 /// Shared handle to an event sink, as stored by instrumented structures.

@@ -11,7 +11,16 @@
 //! * [`Backoff`] — bounded exponential spin/yield backoff for retry loops;
 //! * [`Acc`] — running latency accumulator with a 32-bucket log₂ histogram
 //!   (p50/p99/p999), shared by the simulator's stats layer and the
-//!   `funnelpq-server` end-to-end latency accounting.
+//!   `funnelpq-server` end-to-end latency accounting;
+//! * [`json`] — the one hand-rolled JSON writer behind every metrics /
+//!   bench / telemetry artifact (plus the shared [`json::SCHEMA_VERSION`]
+//!   stamp CI validates);
+//! * [`chrome`] — Chrome Trace Format document builder shared by the
+//!   simulator exporter and the native tracer;
+//! * [`SeqRing`] — lock-free seqlock ring buffer for fixed-width trace
+//!   records (flight-recorder semantics);
+//! * [`mono_ns`] — process-wide monotonic nanosecond clock for
+//!   cross-thread trace timestamps.
 //!
 //! Everything here is `std`-only and deliberately small; these types exist
 //! so the workspace builds with no external crates at all.
@@ -21,10 +30,16 @@
 
 mod acc;
 mod backoff;
+pub mod chrome;
+mod clock;
+pub mod json;
 mod pad;
+mod ring;
 mod rng;
 
 pub use acc::{Acc, ACC_BUCKETS};
 pub use backoff::Backoff;
+pub use clock::mono_ns;
 pub use pad::CachePadded;
+pub use ring::SeqRing;
 pub use rng::{splitmix64, AtomicRng, XorShift64Star};

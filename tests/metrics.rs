@@ -6,7 +6,7 @@
 use std::sync::{Arc, Barrier};
 use std::thread;
 
-use funnelpq::obs::{AtomicRecorder, CounterEvent};
+use funnelpq::obs::{record_batch_op, AtomicRecorder, CounterEvent, Recorder};
 use funnelpq::{Algorithm, BoundedPq, PqBuilder};
 
 const THREADS: usize = 4;
@@ -150,5 +150,130 @@ fn funnel_events_flow_into_the_recorder() {
     let json = snap.to_json("FunnelTree");
     for ev in CounterEvent::ALL {
         assert!(json.contains(ev.name()), "{} missing from JSON", ev.name());
+    }
+}
+
+/// Sharded aggregation is exact under concurrent writers: eight threads
+/// hammer one recorder (more threads than shards, so shards are shared)
+/// with a fixed per-thread schedule of events and batch samples; the
+/// merged snapshot must report precisely the schedule times eight —
+/// counts, item totals, and every size bucket.
+#[test]
+fn concurrent_writers_aggregate_exactly_across_shards() {
+    const WRITERS: usize = 8;
+    // Per-thread schedule: (batch size, how many batches). Log₂ buckets:
+    // size 0 → bucket 0, 1 → 1, 6 → 3, 1000 → 10.
+    const BATCHES: [(u64, u64); 4] = [(0, 3), (1, 5), (6, 4), (1000, 2)];
+    for shards in [1, 4] {
+        let rec = Arc::new(AtomicRecorder::with_shards(shards));
+        let barrier = Arc::new(Barrier::new(WRITERS));
+        let handles: Vec<_> = (0..WRITERS)
+            .map(|_| {
+                let rec = Arc::clone(&rec);
+                let barrier = Arc::clone(&barrier);
+                thread::spawn(move || {
+                    barrier.wait();
+                    for _ in 0..300 {
+                        rec.record_event(CounterEvent::CasRetry);
+                    }
+                    rec.record_event_n(CounterEvent::ElimHit, 7);
+                    for _ in 0..17 {
+                        rec.record_event(CounterEvent::DeadlineMiss);
+                    }
+                    for (size, n) in BATCHES {
+                        for _ in 0..n {
+                            record_batch_op(&*rec, size);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        let snap = rec.snapshot();
+        let w = WRITERS as u64;
+        assert_eq!(snap.event(CounterEvent::CasRetry), 300 * w);
+        assert_eq!(snap.event(CounterEvent::ElimHit), 7 * w);
+        assert_eq!(snap.event(CounterEvent::DeadlineMiss), 17 * w);
+        // Events the schedule never fired stay zero.
+        assert_eq!(snap.event(CounterEvent::FunnelCollision), 0);
+        assert_eq!(snap.event(CounterEvent::LockAcquire), 0);
+
+        let batches_per_thread: u64 = BATCHES.iter().map(|&(_, n)| n).sum();
+        let items_per_thread: u64 = BATCHES.iter().map(|&(s, n)| s * n).sum();
+        assert_eq!(snap.event(CounterEvent::BatchOp), batches_per_thread * w);
+        assert_eq!(snap.batch.count, batches_per_thread * w);
+        assert_eq!(snap.batch.total_items, items_per_thread * w);
+        assert_eq!(snap.batch.size_buckets[0], 3 * w, "empty batches");
+        assert_eq!(snap.batch.size_buckets[1], 5 * w, "size-1 batches");
+        assert_eq!(snap.batch.size_buckets[3], 4 * w, "size-6 batches");
+        assert_eq!(snap.batch.size_buckets[10], 2 * w, "size-1000 batches");
+        assert_eq!(
+            snap.batch.size_buckets.iter().sum::<u64>(),
+            snap.batch.count,
+            "size-histogram mass ({shards} shards)"
+        );
+    }
+}
+
+/// Queue-level batch APIs report exactly one [`CounterEvent::BatchOp`] per
+/// call (never per item) even when batch calls from several threads race:
+/// the counts are per-call deterministic although which items each drain
+/// returns is not.
+#[test]
+fn batch_ops_through_queues_count_once_per_call_under_contention() {
+    const CALLS: usize = 40;
+    const K: usize = 8;
+    for a in [Algorithm::SingleLock, Algorithm::MultiQueue] {
+        let rec = Arc::new(AtomicRecorder::new());
+        let q: Arc<dyn BoundedPq<u64>> = Arc::from(
+            PqBuilder::new(a, 64, THREADS)
+                .recorder(Arc::clone(&rec))
+                .build::<u64>(),
+        );
+        let barrier = Arc::new(Barrier::new(THREADS));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|tid| {
+                let q = Arc::clone(&q);
+                let barrier = Arc::clone(&barrier);
+                thread::spawn(move || {
+                    barrier.wait();
+                    let mut out = Vec::new();
+                    for i in 0..CALLS {
+                        let batch: Vec<_> =
+                            (0..K).map(|j| ((tid + i + j) % 64, j as u64)).collect();
+                        q.insert_batch(tid, batch).expect("unbounded backend");
+                        q.delete_min_batch(tid, K, &mut out);
+                        q.replace_min(tid, (tid + i) % 64, i as u64);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        // 3 batched calls per iteration per thread, each counted once.
+        let calls = (THREADS * CALLS * 3) as u64;
+        let snap = rec.snapshot();
+        assert_eq!(snap.event(CounterEvent::BatchOp), calls, "{a}");
+        assert_eq!(snap.batch.count, calls, "{a}");
+        assert_eq!(
+            snap.batch.size_buckets.iter().sum::<u64>(),
+            calls,
+            "{a}: size-histogram mass"
+        );
+        // Item totals: every insert_batch files exactly K, every
+        // replace_min exactly 1; each drain takes 0..=K (racy), so the
+        // aggregate is exactly bracketed.
+        let floor = (THREADS * CALLS * (K + 1)) as u64;
+        let ceil = (THREADS * CALLS * (2 * K + 1)) as u64;
+        assert!(
+            (floor..=ceil).contains(&snap.batch.total_items),
+            "{a}: total_items {} outside [{floor}, {ceil}]",
+            snap.batch.total_items
+        );
     }
 }

@@ -27,7 +27,7 @@ fn cfg(backend: PqConfig) -> ServerConfig {
         tenant_quota: 512,
         service_ns: 1, // unpaced: these tests assert accounting, not timing
         record_dispatches: true,
-        affinity: Vec::new(),
+        ..ServerConfig::default()
     }
 }
 
@@ -294,4 +294,143 @@ fn affinity_pins_a_tenant_to_its_shard() {
         }
     }
     assert_eq!(hot_dispatches, 8);
+}
+
+/// The telemetry snapshot's totals reconcile with the authoritative stop
+/// report: per-tenant dispatch counts sum to the total, latency histogram
+/// mass equals the dispatch count, windows partition the dispatches, and
+/// the live depth gauge returns to zero once the scheduler drains.
+#[test]
+fn telemetry_reconciles_with_the_stop_report() {
+    let s = Arc::new(Scheduler::new(cfg(PqConfig::SingleLock)).unwrap());
+    let base = s.now_ns() + 1_000_000;
+    // 12 jobs per tenant, submitted pre-start so admission never refuses.
+    for k in 0..96u64 {
+        let t = TenantId((k % TENANTS as u64) as u32);
+        s.submit(0, JobSpec::once(t, Deadline::At(base + k), k))
+            .unwrap();
+    }
+    s.start();
+    drain(&s);
+    let t = s.telemetry();
+    let report = s.stop();
+
+    assert_eq!(t.dispatched(), report.dispatched);
+    assert_eq!(t.misses(), report.misses);
+    assert_eq!(t.depth(), 0, "drained scheduler reports zero depth");
+    assert_eq!(t.shards.len(), SHARDS);
+
+    assert_eq!(t.tenants.len(), TENANTS, "every tenant saw traffic");
+    let per_tenant: u64 = t.tenants.iter().map(|x| x.dispatched).sum();
+    assert_eq!(per_tenant, report.dispatched);
+    for tenant in &t.tenants {
+        assert_eq!(tenant.dispatched, 12, "uniform load, exact per-tenant");
+        assert_eq!(tenant.latency_ns.count(), tenant.dispatched);
+        assert_eq!(tenant.slack_ns.count(), tenant.dispatched);
+    }
+    let per_shard: u64 = t.shards.iter().map(|x| x.dispatched).sum();
+    assert_eq!(per_shard, report.dispatched);
+
+    assert!(!t.windows.is_empty());
+    let per_window: u64 = t.windows.iter().map(|w| w.dispatched).sum();
+    assert_eq!(per_window, report.dispatched);
+
+    // Strict backend: any sampled drain batches scored exactly zero
+    // displacement (SingleLock drains under one lock hold, sorted).
+    assert_eq!(
+        t.shards.iter().map(|x| x.rank_error.sum()).sum::<u64>(),
+        0,
+        "strict backend must show zero rank error"
+    );
+    assert_eq!(t.rank_error_mean(), 0.0);
+
+    let json = t.to_json();
+    assert!(json.starts_with("{\n  \"schema_version\": 1,"));
+    assert!(json.contains("\"backend\": \"SingleLock\""));
+}
+
+/// Sustained closed-loop load against the shallow-heap MultiQueue geometry
+/// (the `pqstat` defaults): the sampled rank-error estimator must observe
+/// genuine relaxation — nonzero displacements — while the same load on the
+/// strict SingleLock backend scores exactly zero over the same sampler.
+#[test]
+fn rank_error_sampler_separates_relaxed_from_strict() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    fn run(backend: PqConfig) -> (u64, u64) {
+        // Shallow per-heap depth: capacity 128 over many heaps forces
+        // MultiQueue drains to cross heap boundaries mid-batch.
+        let c = ServerConfig {
+            shards: 1,
+            tenants: 4,
+            clients: 2,
+            bands: 4096,
+            horizon_ns: 60_000_000_000,
+            backend,
+            drain_batch: 8,
+            global_capacity: 128,
+            tenant_quota: 64,
+            service_ns: 10_000,
+            ..ServerConfig::default()
+        };
+        let s = Arc::new(Scheduler::new(c).unwrap());
+        s.start();
+        let stop = Arc::new(AtomicBool::new(false));
+        let clients: Vec<_> = (0..2)
+            .map(|client| {
+                let s = Arc::clone(&s);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut rng = XorShift64Star::new(0xA11CE ^ (client as u64) << 32);
+                    let mut k = 0u64;
+                    while !stop.load(Ordering::Acquire) {
+                        let t = TenantId(rng.below(4) as u32);
+                        let d = Deadline::In(1_000_000 + rng.below(40_000_000));
+                        match s.submit(client, JobSpec::once(t, d, k)) {
+                            Ok(_) => k += 1,
+                            Err(ServerError::Stopped { .. }) => break,
+                            // Backlog full: that is the point — yield.
+                            Err(_) => std::thread::yield_now(),
+                        }
+                    }
+                })
+            })
+            .collect();
+        // Run until the sampler has scored enough batches to be meaningful.
+        let mut spins = 0;
+        loop {
+            std::thread::sleep(Duration::from_millis(10));
+            let t = s.telemetry();
+            let samples: u64 = t.shards.iter().map(|x| x.rank_samples).sum();
+            if samples >= 20 {
+                break;
+            }
+            spins += 1;
+            assert!(spins < 1500, "rank sampler starved of batches");
+        }
+        stop.store(true, Ordering::Release);
+        for h in clients {
+            h.join().unwrap();
+        }
+        drain(&s);
+        let t = s.telemetry();
+        s.stop();
+        let samples: u64 = t.shards.iter().map(|x| x.rank_samples).sum();
+        let displacement: u64 = t.shards.iter().map(|x| x.rank_error.sum()).sum();
+        (samples, displacement)
+    }
+
+    let (samples, displacement) = run(PqConfig::MultiQueue(MultiQueueConfig::default()));
+    assert!(samples >= 20);
+    assert!(
+        displacement > 0,
+        "relaxed MultiQueue drains must show nonzero sampled rank error"
+    );
+
+    let (samples, displacement) = run(PqConfig::SingleLock);
+    assert!(samples >= 20);
+    assert_eq!(
+        displacement, 0,
+        "strict SingleLock drains must score exactly zero"
+    );
 }
