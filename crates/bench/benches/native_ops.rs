@@ -321,8 +321,9 @@ fn main() {
 
     // Full metrics snapshots (event counters + latency histograms) from the
     // AtomicRecorder runs, one object per algorithm.
-    let mut out = String::from(
-        "{\n  \"schema_version\": 1,\n  \"benchmark\": \"native_metrics\",\n  \"snapshots\": [\n",
+    let mut out = format!(
+        "{{\n  \"schema_version\": {},\n  \"benchmark\": \"native_metrics\",\n  \"snapshots\": [\n",
+        funnelpq_util::json::SCHEMA_VERSION,
     );
     for (i, r) in single.iter().enumerate() {
         out.push_str(&r.snapshot_json);

@@ -21,7 +21,9 @@ use std::time::{Duration, Instant};
 use funnelpq::obs::{AtomicRecorder, CounterEvent};
 use funnelpq::{MultiQueueConfig, PqConfig};
 use funnelpq_bench::{print_table, scale_percent, write_bench_json, BenchRecord};
-use funnelpq_server::{Deadline, JobSpec, Scheduler, ServerConfig, ServerError, TenantId};
+use funnelpq_server::{
+    Deadline, JobSpec, OverloadConfig, RetryPolicy, Scheduler, ServerConfig, ServerError, TenantId,
+};
 use funnelpq_util::XorShift64Star;
 
 const SHARDS: usize = 4;
@@ -143,6 +145,7 @@ fn run_backend(b: &Backend, duration: Duration, geo: &Geometry) -> BenchRecord {
             let s = Arc::clone(&s);
             std::thread::spawn(move || {
                 let mut rng = XorShift64Star::new(0xBEEF ^ ((client as u64) << 40));
+                let mut retry = RetryPolicy::new(2_000, 500_000, 0xACE ^ ((client as u64) << 16));
                 let mut sent = 0u64;
                 'run: while Instant::now() < until {
                     // Bursty arrivals: a burst of submits, then a pause.
@@ -166,12 +169,18 @@ fn run_backend(b: &Backend, duration: Duration, geo: &Geometry) -> BenchRecord {
                         };
                         loop {
                             match s.submit(client, spec) {
-                                Ok(_) => break,
-                                Err(ServerError::Admit(_)) => {
+                                Ok(_) => {
+                                    retry.note_ok();
+                                    break;
+                                }
+                                Err(err @ ServerError::Admit(_)) => {
                                     if Instant::now() >= until {
                                         break 'run;
                                     }
-                                    std::thread::sleep(Duration::from_micros(5));
+                                    let delay = retry
+                                        .next_delay(&err)
+                                        .expect("admission refusals are retryable");
+                                    std::thread::sleep(delay);
                                 }
                                 Err(other) => panic!("{}: submit failed: {other}", client),
                             }
@@ -238,6 +247,116 @@ fn run_backend(b: &Backend, duration: Duration, geo: &Geometry) -> BenchRecord {
     }
 }
 
+// ---- Overload regime: shedding on vs off ---------------------------------
+//
+// A deliberately drowned single shard: four clients spam one-shot jobs with
+// 40 dispatch-slots of slack into a 1024-slot capacity served at 50 µs per
+// job. Without shedding the backlog sits at the full capacity and every
+// admitted job waits ~25× its slack — throughput survives but *goodput*
+// (dispatches that met their deadline) collapses. With deadline-aware
+// shedding the admission gate bounces jobs whose estimated wait exceeds
+// their slack, the backlog holds near the meetable bound, and the same
+// service rate turns into deadline-met work. The bench asserts the
+// headline directly: shed-on goodput ≥ shed-off goodput with strictly
+// fewer misses.
+
+/// Per-job service time in the overload regime.
+const OVERLOAD_SERVICE_NS: u64 = 50_000;
+/// Relative deadline: 40 dispatch slots of slack.
+const OVERLOAD_SLACK_NS: u64 = 40 * OVERLOAD_SERVICE_NS;
+/// Global in-flight capacity — ~25× deeper than the meetable backlog.
+const OVERLOAD_CAPACITY: usize = 1024;
+
+fn run_overload(shed: bool, duration: Duration) -> BenchRecord {
+    let cfg = ServerConfig {
+        shards: 1,
+        tenants: TENANTS as usize,
+        clients: CLIENTS,
+        bands: 512,
+        horizon_ns: duration.as_nanos() as u64 + 1_000_000_000,
+        backend: PqConfig::SingleLock,
+        drain_batch: 8,
+        global_capacity: OVERLOAD_CAPACITY,
+        tenant_quota: OVERLOAD_CAPACITY, // only the global cap binds
+        service_ns: OVERLOAD_SERVICE_NS,
+        overload: OverloadConfig { shed, margin_ns: 0 },
+        ..ServerConfig::default()
+    };
+    let s = Arc::new(Scheduler::new(cfg).unwrap());
+    let start = Instant::now();
+    s.start();
+    let until = start + duration;
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|client| {
+            let s = Arc::clone(&s);
+            std::thread::spawn(move || {
+                let mut rng = XorShift64Star::new(0xD15EA5E ^ ((client as u64) << 40));
+                let mut retry =
+                    RetryPolicy::new(5_000, 1_000_000, 0xFEED ^ ((client as u64) << 16));
+                let mut sent = 0u64;
+                while Instant::now() < until {
+                    let tenant = TenantId(rng.below(TENANTS) as u32);
+                    let spec = JobSpec::once(tenant, Deadline::In(OVERLOAD_SLACK_NS), sent);
+                    match s.submit(client, spec) {
+                        Ok(_) => {
+                            sent += 1;
+                            retry.note_ok();
+                        }
+                        Err(err) => {
+                            // Capacity refusals back off exponentially; a
+                            // shed's Retry hint is the server's own drain
+                            // estimate.
+                            let delay = retry
+                                .next_delay(&err)
+                                .expect("overload refusals are retryable");
+                            std::thread::sleep(
+                                delay.min(until.saturating_duration_since(Instant::now())),
+                            );
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in clients {
+        h.join().unwrap();
+    }
+    let drain_start = Instant::now();
+    while s.in_flight() > 0 {
+        std::thread::sleep(Duration::from_millis(1));
+        assert!(
+            drain_start.elapsed() < Duration::from_secs(30),
+            "overload run failed to drain"
+        );
+    }
+    let run_s = start.elapsed().as_secs_f64();
+    let report = s.stop();
+    assert_eq!(report.admitted, report.completed, "overload: conservation");
+    assert_eq!(report.in_flight_at_stop, 0);
+    let goodput = (report.dispatched - report.misses) as f64 / run_s;
+    BenchRecord {
+        name: if shed {
+            "overload_shed_on".into()
+        } else {
+            "overload_shed_off".into()
+        },
+        fields: vec![
+            ("shed_enabled", if shed { 1.0 } else { 0.0 }),
+            ("admitted", report.admitted as f64),
+            ("dispatched", report.dispatched as f64),
+            ("misses", report.misses as f64),
+            ("miss_rate", report.miss_rate()),
+            ("shed", report.shed as f64),
+            (
+                "rejected",
+                (report.rejected_quota + report.rejected_capacity) as f64,
+            ),
+            ("goodput_per_s", goodput),
+            ("run_ms", run_s * 1e3),
+        ],
+    }
+}
+
 fn main() {
     // ~2s of closed-loop load per backend at full scale.
     let duration = Duration::from_millis((2_000 * scale_percent() as u64 / 100).max(200));
@@ -254,6 +373,12 @@ fn main() {
             ("capacity", CAPACITY as f64),
             ("slack_slots", (geo.offset_ns / SERVICE_NS) as f64),
             ("duration_ms", duration.as_millis() as f64),
+            ("overload_service_ns", OVERLOAD_SERVICE_NS as f64),
+            (
+                "overload_slack_slots",
+                (OVERLOAD_SLACK_NS / OVERLOAD_SERVICE_NS) as f64,
+            ),
+            ("overload_capacity", OVERLOAD_CAPACITY as f64),
         ],
     }];
     let mut rows = Vec::new();
@@ -290,6 +415,60 @@ fn main() {
         ],
         &rows,
     );
+
+    // Overload regime: deadline-aware shedding on vs off.
+    let overload_duration = Duration::from_millis((1_000 * scale_percent() as u64 / 100).max(100));
+    let off = run_overload(false, overload_duration);
+    let on = run_overload(true, overload_duration);
+    let get = |rec: &BenchRecord, k: &str| {
+        rec.fields
+            .iter()
+            .find(|(n, _)| *n == k)
+            .map(|(_, v)| *v)
+            .unwrap_or(f64::NAN)
+    };
+    let overload_rows: Vec<Vec<String>> = [&off, &on]
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                format!("{:.0}", get(r, "dispatched")),
+                format!("{:.0}", get(r, "misses")),
+                format!("{:.5}", get(r, "miss_rate")),
+                format!("{:.0}", get(r, "shed")),
+                format!("{:.0}", get(r, "goodput_per_s")),
+            ]
+        })
+        .collect();
+    print_table(
+        "Overload regime (SingleLock, 25x oversubscribed) — shedding off vs on",
+        &[
+            "mode",
+            "dispatched",
+            "misses",
+            "miss rate",
+            "shed",
+            "goodput/s",
+        ],
+        &overload_rows,
+    );
+    // The headline claims, asserted in-bench so a regression fails loudly:
+    // shedding converts the same service rate into deadline-met work.
+    assert!(
+        get(&on, "misses") < get(&off, "misses"),
+        "shedding must strictly reduce deadline misses ({} vs {})",
+        get(&on, "misses"),
+        get(&off, "misses")
+    );
+    assert!(
+        get(&on, "goodput_per_s") >= get(&off, "goodput_per_s"),
+        "shedding must not reduce goodput ({} vs {})",
+        get(&on, "goodput_per_s"),
+        get(&off, "goodput_per_s")
+    );
+    assert!(get(&on, "shed") > 0.0, "the shed path must actually fire");
+    records.push(off);
+    records.push(on);
 
     let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
     let path = format!("{root}/BENCH_server.json");

@@ -28,7 +28,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use funnelpq::{Algorithm, PqConfig};
-use funnelpq_server::{Deadline, JobSpec, Scheduler, ServerConfig, ServerError, TenantId};
+use funnelpq_server::{Deadline, JobSpec, RetryPolicy, Scheduler, ServerConfig, TenantId};
 use funnelpq_util::XorShift64Star;
 
 const USAGE: &str = "\
@@ -123,10 +123,13 @@ fn config(backend: PqConfig) -> ServerConfig {
     }
 }
 
-/// One closed-loop client: submit until the quota pushes back, then yield.
-/// 30% of submissions hit the hot tenant 0; every tenth job is periodic.
+/// One closed-loop client: submit until admission pushes back, then back
+/// off under the house [`RetryPolicy`] (jittered exponential, honouring
+/// the server's shed hints). 30% of submissions hit the hot tenant 0;
+/// every tenth job is periodic.
 fn client_loop(s: &Scheduler, client: usize, seed: u64, stop: &AtomicBool) -> u64 {
     let mut rng = XorShift64Star::new(seed ^ ((client as u64) << 40));
+    let mut retry = RetryPolicy::new(20_000, 2_000_000, seed ^ ((client as u64) << 24));
     let mut sent = 0u64;
     let mut k = 0u64;
     while !stop.load(Ordering::Acquire) {
@@ -143,9 +146,15 @@ fn client_loop(s: &Scheduler, client: usize, seed: u64, stop: &AtomicBool) -> u6
         };
         k += 1;
         match s.submit(client, spec) {
-            Ok(_) => sent += 1,
-            Err(ServerError::Stopped { .. }) => break,
-            Err(_) => std::thread::sleep(Duration::from_micros(50)),
+            Ok(_) => {
+                sent += 1;
+                retry.note_ok();
+            }
+            Err(e) => match retry.next_delay(&e) {
+                Some(delay) => std::thread::sleep(delay),
+                // Permanent (stopped scheduler, config): retrying is futile.
+                None => break,
+            },
         }
     }
     sent

@@ -1,0 +1,283 @@
+//! Chaos sweep for the server resilience layer: seeded [`FaultPlan`]s
+//! (dispatcher panics, stalls, admission bursts) × strict and relaxed
+//! backends, each run audited for conservation — every admitted job
+//! dispatched exactly once, zero lost while a healthy shard exists, no
+//! process abort — and the sweep written to `CHAOS_server.json` for CI's
+//! `server-chaos` job. Exits nonzero if any run violates the audit.
+//!
+//! ```text
+//! cargo run --release --example server_chaos
+//! ```
+
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Duration;
+
+use funnelpq::{MultiQueueConfig, PqConfig};
+use funnelpq_server::{
+    Deadline, FaultPlan, JobSpec, Scheduler, ServerConfig, ServerError, ServerReport, StopOutcome,
+    TenantId,
+};
+use funnelpq_util::json::{JsonWriter, SCHEMA_VERSION};
+use funnelpq_util::XorShift64Star;
+
+const SHARDS: usize = 2;
+const TENANTS: usize = 8;
+const CLIENTS: usize = 4;
+const JOBS_PER_CLIENT: u64 = 250;
+
+struct Plan {
+    label: &'static str,
+    build: fn(u64) -> FaultPlan,
+    /// Panics the plan injects (the audit expects exactly this many).
+    panics: u64,
+}
+
+fn plans() -> Vec<Plan> {
+    vec![
+        Plan {
+            label: "panic",
+            build: |seed| {
+                FaultPlan::new(seed)
+                    .dispatcher_panic(0, 20)
+                    .dispatcher_panic(1, 35)
+            },
+            panics: 2,
+        },
+        Plan {
+            label: "stall_burst",
+            build: |seed| {
+                FaultPlan::new(seed)
+                    .dispatcher_stall(0, 10, 2_000_000)
+                    .dispatcher_stall(1, 10, 2_000_000)
+                    .admission_burst(100, 64, 1_000_000_000)
+            },
+            panics: 0,
+        },
+    ]
+}
+
+fn backends() -> Vec<(&'static str, PqConfig)> {
+    vec![
+        ("SingleLock", PqConfig::SingleLock),
+        (
+            "FunnelTree",
+            PqConfig::for_algorithm(funnelpq::Algorithm::FunnelTree).unwrap(),
+        ),
+        (
+            "MultiQueue_f4",
+            PqConfig::MultiQueue(MultiQueueConfig {
+                factor: 4,
+                ..MultiQueueConfig::default()
+            }),
+        ),
+    ]
+}
+
+fn run_one(backend: &PqConfig, plan: &Plan, seed: u64) -> ServerReport {
+    let cfg = ServerConfig {
+        shards: SHARDS,
+        tenants: TENANTS,
+        clients: CLIENTS,
+        bands: 512,
+        horizon_ns: 2_000_000_000,
+        backend: backend.clone(),
+        drain_batch: 8,
+        global_capacity: 2048,
+        tenant_quota: 512,
+        service_ns: 1, // unpaced: the sweep audits recovery, not timing
+        record_dispatches: true,
+        // Pin tenants round-robin so both shards see traffic and every
+        // per-shard fault trigger is guaranteed to fire.
+        affinity: (0..TENANTS as u32)
+            .map(|t| (TenantId(t), t as usize % SHARDS))
+            .collect(),
+        fault_plan: Some((plan.build)(seed)),
+        ..ServerConfig::default()
+    };
+    let s = Arc::new(Scheduler::new(cfg).unwrap());
+    s.start();
+    let base = s.now_ns();
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|client| {
+            let s = Arc::clone(&s);
+            std::thread::spawn(move || {
+                let mut rng = XorShift64Star::new(seed ^ (client as u64) << 32);
+                for k in 0..JOBS_PER_CLIENT {
+                    let tenant = TenantId(rng.below(TENANTS as u64) as u32);
+                    let deadline = Deadline::At(base + 1_000_000 + rng.below(1_000_000_000));
+                    match s.submit(client, JobSpec::once(tenant, deadline, k)) {
+                        Ok(_) | Err(ServerError::Admit(_)) => {}
+                        Err(other) => panic!("unexpected submit error: {other}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let mut spins = 0;
+    while s.in_flight() > 0 {
+        std::thread::sleep(Duration::from_millis(1));
+        spins += 1;
+        assert!(spins < 30_000, "scheduler failed to drain");
+    }
+    s.stop()
+}
+
+/// The conservation audit. Returns violation strings (empty = clean).
+fn audit(label: &str, plan: &Plan, report: &ServerReport) -> Vec<String> {
+    let mut v = Vec::new();
+    let mut check = |ok: bool, msg: String| {
+        if !ok {
+            v.push(format!("{label}: {msg}"));
+        }
+    };
+    check(
+        report.panics == plan.panics,
+        format!("expected {} panics, saw {}", plan.panics, report.panics),
+    );
+    check(report.lost == 0, format!("lost {} jobs", report.lost));
+    check(
+        report.in_flight_at_stop == 0,
+        format!("{} slots leaked", report.in_flight_at_stop),
+    );
+    check(
+        report.admitted == report.completed,
+        format!(
+            "admitted {} != completed {}",
+            report.admitted, report.completed
+        ),
+    );
+    // Exactly-once: one unique dispatch-log entry per admitted job.
+    let mut seen = HashSet::new();
+    let mut firings = 0u64;
+    let mut dup = 0u64;
+    for shard in &report.shards {
+        for rec in &shard.dispatch_log {
+            if !seen.insert(rec.job) {
+                dup += 1;
+            }
+            firings += 1;
+        }
+    }
+    check(dup == 0, format!("{dup} jobs dispatched more than once"));
+    check(
+        firings == report.dispatched && seen.len() as u64 == report.admitted,
+        format!(
+            "dispatch log ({firings} firings, {} unique) disagrees with report \
+             (dispatched {}, admitted {})",
+            seen.len(),
+            report.dispatched,
+            report.admitted
+        ),
+    );
+    for stop in &report.stops {
+        let ok = match (&stop.outcome, plan.panics) {
+            (StopOutcome::Clean, 0) => true,
+            (StopOutcome::Recovered { .. }, p) if p > 0 => true,
+            _ => false,
+        };
+        check(
+            ok,
+            format!("shard {} unexpected outcome {:?}", stop.shard, stop.outcome),
+        );
+    }
+    v
+}
+
+fn main() {
+    // Injected panics are the point of the sweep: keep their default-hook
+    // backtraces out of the log, but let any genuine panic print.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|m| m.starts_with("injected:"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+
+    let seeds = [0xC0FFEE_u64, 0xBEEF, 0x5EED];
+    let mut violations = Vec::new();
+    let mut rows = Vec::new();
+
+    for (bname, backend) in backends() {
+        for plan in plans() {
+            for seed in seeds {
+                let report = run_one(&backend, &plan, seed);
+                let label = format!("{bname}/{}/s{seed:x}", plan.label);
+                violations.extend(audit(&label, &plan, &report));
+                println!(
+                    "{label:<34} submitted {:>5}  completed {:>5}  panics {}  restarts {}  \
+                     requeued {:>3}  lost {}",
+                    report.submitted,
+                    report.completed,
+                    report.panics,
+                    report.restarts,
+                    report.requeued,
+                    report.lost
+                );
+                rows.push((bname, plan.label, seed, report));
+            }
+        }
+    }
+
+    let mut w = JsonWriter::spaced();
+    w.begin_obj(true);
+    w.field_u64("schema_version", u64::from(SCHEMA_VERSION));
+    w.field_str("suite", "server_chaos");
+    w.field_u64("shards", SHARDS as u64);
+    w.field_u64("clients", CLIENTS as u64);
+    w.field_u64("jobs_per_client", JOBS_PER_CLIENT);
+    w.key("runs");
+    w.begin_arr(true);
+    for (bname, plan, seed, r) in &rows {
+        w.begin_obj(false);
+        w.field_str("backend", bname);
+        w.field_str("plan", plan);
+        w.field_u64("seed", *seed);
+        w.field_u64("submitted", r.submitted);
+        w.field_u64("admitted", r.admitted);
+        w.field_u64("completed", r.completed);
+        w.field_u64("dispatched", r.dispatched);
+        w.field_u64("panics", r.panics);
+        w.field_u64("restarts", r.restarts);
+        w.field_u64("requeued", r.requeued);
+        w.field_u64("lost", r.lost);
+        w.field_u64("shed", r.shed);
+        w.key("clean_stop");
+        w.bool(r.stops.iter().all(|s| {
+            !matches!(
+                s.outcome,
+                StopOutcome::GaveUp { .. } | StopOutcome::SupervisorLost { .. }
+            )
+        }));
+        w.end();
+    }
+    w.end();
+    w.end();
+    let mut out = w.finish();
+    out.push('\n');
+
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let path = format!("{root}/CHAOS_server.json");
+    match std::fs::write(&path, out) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => {
+            violations.push(format!("could not write {path}: {e}"));
+        }
+    }
+
+    if !violations.is_empty() {
+        eprintln!("\nchaos sweep FAILED:");
+        for v in &violations {
+            eprintln!("  - {v}");
+        }
+        std::process::exit(1);
+    }
+    println!("\nchaos sweep clean: {} runs, zero lost jobs", rows.len());
+}

@@ -38,6 +38,19 @@ pub enum AdmitError {
         /// The rejected job.
         job: Job,
     },
+    /// Overload control shed the job: its deadline is unmeetable given the
+    /// target shard's backlog and measured dispatch rate, so admitting it
+    /// would only burn a slot on a guaranteed miss. The server's own
+    /// drain-time estimate rides along as a backpressure hint
+    /// ([`crate::RetryPolicy`] honours it).
+    Retry {
+        /// The server's estimate of when the backlog will have drained
+        /// enough for the job to be worth resubmitting, in nanoseconds
+        /// from now.
+        after_ns: u64,
+        /// The shed job.
+        job: Job,
+    },
 }
 
 impl AdmitError {
@@ -46,7 +59,8 @@ impl AdmitError {
         match self {
             AdmitError::TenantQuota { job, .. }
             | AdmitError::Capacity { job, .. }
-            | AdmitError::TenantOutOfRange { job, .. } => job,
+            | AdmitError::TenantOutOfRange { job, .. }
+            | AdmitError::Retry { job, .. } => job,
         }
     }
 }
@@ -63,6 +77,9 @@ impl std::fmt::Display for AdmitError {
             AdmitError::TenantOutOfRange {
                 tenant, tenants, ..
             } => write!(f, "{tenant} out of range (tenants {tenants})"),
+            AdmitError::Retry { after_ns, .. } => {
+                write!(f, "shed: deadline unmeetable, retry in {after_ns}ns")
+            }
         }
     }
 }
@@ -89,6 +106,20 @@ pub enum ServerError {
         /// What was wrong.
         reason: &'static str,
     },
+    /// A shard index was out of range — an affinity pin (or a
+    /// [`crate::Router::pin`] call) named a shard the router does not have.
+    InvalidShard {
+        /// The offending shard index.
+        shard: usize,
+        /// The configured shard count.
+        shards: usize,
+    },
+    /// Every shard that could serve the job has gone dark (its dispatcher
+    /// exhausted the restart budget); the job was not accepted.
+    NoHealthyShard {
+        /// The rejected job.
+        job: Job,
+    },
 }
 
 impl ServerError {
@@ -98,8 +129,8 @@ impl ServerError {
         match self {
             ServerError::Admit(e) => Some(e.into_job()),
             ServerError::Queue(e) => e.into_items().pop(),
-            ServerError::Stopped { job } => Some(job),
-            ServerError::Config { .. } => None,
+            ServerError::Stopped { job } | ServerError::NoHealthyShard { job } => Some(job),
+            ServerError::Config { .. } | ServerError::InvalidShard { .. } => None,
         }
     }
 }
@@ -135,6 +166,10 @@ impl std::fmt::Display for ServerError {
             ServerError::Queue(e) => write!(f, "queue: {e}"),
             ServerError::Stopped { .. } => write!(f, "scheduler is stopping"),
             ServerError::Config { reason } => write!(f, "config: {reason}"),
+            ServerError::InvalidShard { shard, shards } => {
+                write!(f, "shard {shard} out of range (shards {shards})")
+            }
+            ServerError::NoHealthyShard { .. } => write!(f, "no healthy shard available"),
         }
     }
 }
@@ -197,5 +232,26 @@ mod tests {
 
         let e = ServerError::Stopped { job: job(3) };
         assert_eq!(e.into_job().map(|j| j.id), Some(3));
+    }
+
+    #[test]
+    fn resilience_errors_are_typed() {
+        let e = AdmitError::Retry {
+            after_ns: 5_000,
+            job: job(4),
+        };
+        assert!(e.to_string().contains("retry in 5000ns"));
+        assert_eq!(e.into_job().id, 4);
+
+        let e = ServerError::InvalidShard {
+            shard: 9,
+            shards: 4,
+        };
+        assert_eq!(e.to_string(), "shard 9 out of range (shards 4)");
+        assert_eq!(e.into_job(), None);
+
+        let e = ServerError::NoHealthyShard { job: job(5) };
+        assert_eq!(e.to_string(), "no healthy shard available");
+        assert_eq!(e.into_job().map(|j| j.id), Some(5));
     }
 }

@@ -1,0 +1,278 @@
+//! Native fault injection for the running scheduler, mirroring the
+//! simulator's `funnelpq_sim::fault` API: a [`FaultPlan`] is a seeded,
+//! declarative description of adversity, attached before [`start`] and
+//! fired deterministically by position in the execution — the N-th
+//! dispatch of a shard, the N-th submitted job — so a failing chaos run
+//! replays exactly.
+//!
+//! Three fault shapes cover the server's failure modes:
+//!
+//! * [`ServerFault::DispatcherPanic`] — the shard's dispatcher panics
+//!   between draining a job and dispatching it, the worst spot: the job
+//!   is off the queue but unaccounted. Exercises the supervisor's
+//!   survivor-requeue + restart path (see [`crate::SuperviseConfig`]).
+//! * [`ServerFault::DispatcherStall`] — the dispatcher freezes for a
+//!   wall-clock interval (a GC pause, a preempted core). Backlog builds;
+//!   overload control must react via the depth signal while the
+//!   dispatch-rate estimate is stale.
+//! * [`ServerFault::AdmissionBurst`] — at the N-th submission, the
+//!   submitting client injects a burst of extra jobs across tenants
+//!   drawn from the plan's own seeded RNG stream (a thundering herd).
+//!
+//! # Cost model
+//!
+//! Like the simulator's fault layer, the hooks follow the cold-split
+//! pattern: with no plan attached (the default) the dispatch and submit
+//! paths each pay one `Option` presence test; the matching machinery
+//! lives behind `#[cold]` functions.
+//!
+//! [`start`]: crate::Scheduler::start
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use funnelpq_util::XorShift64Star;
+
+use crate::job::TenantId;
+
+/// One declarative fault in a [`FaultPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerFault {
+    /// Panic shard `shard`'s dispatcher immediately before it dispatches
+    /// its `at_dispatch`-th job (0-based on the shard's dispatch counter).
+    /// Fires once.
+    DispatcherPanic {
+        /// The shard whose dispatcher panics.
+        shard: usize,
+        /// The dispatch count at which it fires.
+        at_dispatch: u64,
+    },
+    /// Stall shard `shard`'s dispatcher for `stall_ns` of wall clock
+    /// immediately before its `at_dispatch`-th dispatch. Fires once.
+    DispatcherStall {
+        /// The shard whose dispatcher stalls.
+        shard: usize,
+        /// The dispatch count at which it fires.
+        at_dispatch: u64,
+        /// How long the dispatcher freezes, in nanoseconds.
+        stall_ns: u64,
+    },
+    /// When the `at_submit`-th job (0-based on the scheduler's id
+    /// counter) is submitted, the submitting client immediately submits
+    /// `jobs` extra one-shot jobs with deadline `Deadline::In
+    /// (deadline_in_ns)`, each for a tenant drawn from the plan's seeded
+    /// RNG. Refusals (quota, capacity, shed) are counted normally.
+    /// Fires once.
+    AdmissionBurst {
+        /// The submission count at which the burst fires.
+        at_submit: u64,
+        /// How many extra jobs the burst injects.
+        jobs: u32,
+        /// Relative deadline given to every burst job.
+        deadline_in_ns: u64,
+    },
+}
+
+/// A seeded, declarative set of server faults. Attach one via
+/// [`crate::ServerConfig::fault_plan`]; an empty plan perturbs nothing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+    faults: Vec<ServerFault>,
+}
+
+impl FaultPlan {
+    /// An empty plan whose RNG stream (burst tenant draws) is seeded with
+    /// `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Adds `fault` to the plan (builder style).
+    pub fn with(mut self, fault: ServerFault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Shorthand for [`ServerFault::DispatcherPanic`].
+    pub fn dispatcher_panic(self, shard: usize, at_dispatch: u64) -> Self {
+        self.with(ServerFault::DispatcherPanic { shard, at_dispatch })
+    }
+
+    /// Shorthand for [`ServerFault::DispatcherStall`].
+    pub fn dispatcher_stall(self, shard: usize, at_dispatch: u64, stall_ns: u64) -> Self {
+        self.with(ServerFault::DispatcherStall {
+            shard,
+            at_dispatch,
+            stall_ns,
+        })
+    }
+
+    /// Shorthand for [`ServerFault::AdmissionBurst`].
+    pub fn admission_burst(self, at_submit: u64, jobs: u32, deadline_in_ns: u64) -> Self {
+        self.with(ServerFault::AdmissionBurst {
+            at_submit,
+            jobs,
+            deadline_in_ns,
+        })
+    }
+
+    /// The declared faults.
+    pub fn faults(&self) -> &[ServerFault] {
+        &self.faults
+    }
+
+    /// `true` when the plan declares nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The largest shard index any dispatcher fault targets (config
+    /// validation refuses plans aimed at shards that do not exist).
+    pub(crate) fn max_shard(&self) -> Option<usize> {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                ServerFault::DispatcherPanic { shard, .. }
+                | ServerFault::DispatcherStall { shard, .. } => Some(*shard),
+                ServerFault::AdmissionBurst { .. } => None,
+            })
+            .max()
+    }
+}
+
+/// What a fired [`ServerFault::AdmissionBurst`] asks the submitting
+/// client to inject.
+pub(crate) struct Burst {
+    pub(crate) jobs: u32,
+    pub(crate) deadline_in_ns: u64,
+}
+
+/// The runtime form of a plan: each fault paired with a fire-once flag,
+/// plus the seeded RNG stream for burst tenant draws.
+pub(crate) struct ArmedFaults {
+    faults: Vec<(ServerFault, AtomicBool)>,
+    rng: Mutex<XorShift64Star>,
+}
+
+impl ArmedFaults {
+    pub(crate) fn new(plan: &FaultPlan) -> Self {
+        ArmedFaults {
+            faults: plan
+                .faults
+                .iter()
+                .map(|f| (*f, AtomicBool::new(false)))
+                .collect(),
+            rng: Mutex::new(XorShift64Star::new(plan.seed | 1)),
+        }
+    }
+
+    /// Dispatcher-side hook, called with the shard's current dispatch
+    /// count immediately before each dispatch. Returns a stall duration
+    /// to sleep, or panics for a [`ServerFault::DispatcherPanic`].
+    #[cold]
+    #[inline(never)]
+    pub(crate) fn at_dispatch(&self, shard: usize, n: u64) -> Option<u64> {
+        let mut stall = None;
+        for (fault, fired) in &self.faults {
+            match *fault {
+                ServerFault::DispatcherPanic {
+                    shard: s,
+                    at_dispatch,
+                } if s == shard && n >= at_dispatch && !fired.swap(true, Ordering::AcqRel) => {
+                    panic!("injected: dispatcher panic at dispatch {n} on shard {shard}");
+                }
+                ServerFault::DispatcherStall {
+                    shard: s,
+                    at_dispatch,
+                    stall_ns,
+                } if s == shard && n >= at_dispatch && !fired.swap(true, Ordering::AcqRel) => {
+                    stall = Some(stall_ns.max(stall.unwrap_or(0)));
+                }
+                _ => {}
+            }
+        }
+        stall
+    }
+
+    /// Submit-side hook, called with each job's assigned id. Returns the
+    /// burst the submitting client must inject, if one fires here.
+    #[cold]
+    #[inline(never)]
+    pub(crate) fn at_submit(&self, id: u64) -> Option<Burst> {
+        for (fault, fired) in &self.faults {
+            if let ServerFault::AdmissionBurst {
+                at_submit,
+                jobs,
+                deadline_in_ns,
+            } = *fault
+            {
+                if id >= at_submit && !fired.swap(true, Ordering::AcqRel) {
+                    return Some(Burst {
+                        jobs,
+                        deadline_in_ns,
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    /// Draws a burst tenant from the plan's own RNG stream.
+    pub(crate) fn draw_tenant(&self, tenants: usize) -> TenantId {
+        let mut rng = self.rng.lock().unwrap();
+        TenantId(rng.below(tenants as u64) as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_collects_faults_and_max_shard() {
+        let p = FaultPlan::new(7)
+            .dispatcher_panic(1, 40)
+            .dispatcher_stall(3, 10, 5_000_000)
+            .admission_burst(100, 64, 1_000_000);
+        assert_eq!(p.faults().len(), 3);
+        assert!(!p.is_empty());
+        assert_eq!(p.max_shard(), Some(3));
+        assert_eq!(FaultPlan::new(0).max_shard(), None);
+    }
+
+    #[test]
+    fn panic_fault_fires_once_at_its_dispatch() {
+        let armed = ArmedFaults::new(&FaultPlan::new(1).dispatcher_panic(0, 5));
+        assert_eq!(armed.at_dispatch(0, 4), None, "not yet");
+        assert_eq!(armed.at_dispatch(1, 5), None, "wrong shard");
+        let caught =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| armed.at_dispatch(0, 5)));
+        assert!(caught.is_err(), "panic fault must panic");
+        // Consumed: the restarted dispatcher sails past the trigger.
+        assert_eq!(armed.at_dispatch(0, 5), None);
+        assert_eq!(armed.at_dispatch(0, 6), None);
+    }
+
+    #[test]
+    fn stall_and_burst_fire_once() {
+        let armed = ArmedFaults::new(
+            &FaultPlan::new(2)
+                .dispatcher_stall(0, 3, 1_000)
+                .admission_burst(10, 4, 500),
+        );
+        assert_eq!(armed.at_dispatch(0, 2), None);
+        assert_eq!(armed.at_dispatch(0, 3), Some(1_000));
+        assert_eq!(armed.at_dispatch(0, 4), None, "consumed");
+        assert!(armed.at_submit(9).is_none());
+        let burst = armed.at_submit(11).expect(">= trigger still fires");
+        assert_eq!(burst.jobs, 4);
+        assert_eq!(burst.deadline_in_ns, 500);
+        assert!(armed.at_submit(12).is_none(), "consumed");
+        let t = armed.draw_tenant(4);
+        assert!(t.0 < 4);
+    }
+}

@@ -27,6 +27,18 @@
 //! rank-error estimate for relaxed backends — serializable as versioned
 //! JSON (see `docs/OBSERVABILITY.md` and the `pqstat` example).
 //!
+//! The serving layer is resilient by construction: every dispatcher runs
+//! under a supervisor that catches panics, requeues the jobs the dead
+//! incarnation had in hand, and restarts with bounded exponential backoff
+//! — a shard that exhausts its budget fails its queue over to healthy
+//! peers, and [`Scheduler::stop`] reports a typed [`StopOutcome`] per
+//! shard instead of re-raising. Overload control ([`OverloadConfig`])
+//! sheds jobs whose deadlines are unmeetable given backlog × measured
+//! dispatch rate, handing back [`AdmitError::Retry`] with a drain-time
+//! hint that [`RetryPolicy`] turns into jittered client backoff. A seeded
+//! [`FaultPlan`] injects dispatcher panics, stalls, and admission bursts
+//! natively for chaos testing (see `docs/FAULTS.md`).
+//!
 //! ## Example
 //!
 //! ```
@@ -52,15 +64,21 @@
 
 mod admission;
 mod error;
+mod fault;
 mod job;
+mod retry;
 mod router;
 mod scheduler;
 mod shard;
+mod supervise;
 pub mod telemetry;
 
 pub use error::{AdmitError, ServerError};
+pub use fault::{FaultPlan, ServerFault};
 pub use job::{Deadline, Job, JobId, JobSpec, TenantId};
+pub use retry::RetryPolicy;
 pub use router::Router;
-pub use scheduler::{Scheduler, ServerConfig, ServerReport};
+pub use scheduler::{OverloadConfig, Scheduler, ServerConfig, ServerReport};
 pub use shard::{DispatchRecord, ShardReport};
+pub use supervise::{StopOutcome, StopReport, SuperviseConfig};
 pub use telemetry::{ShardStats, TelemetrySnapshot, TenantStats, WindowStats};

@@ -1,6 +1,8 @@
 //! The sharded scheduler: N shards, each a priority queue plus one
-//! dispatcher thread, behind admission control and a tenant router.
+//! supervised dispatcher thread, behind admission control, overload
+//! shedding, and a tenant router.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -11,11 +13,32 @@ use funnelpq::{PqBuilder, PqConfig};
 use funnelpq_util::{Acc, CachePadded};
 
 use crate::admission::Admission;
-use crate::error::ServerError;
+use crate::error::{AdmitError, ServerError};
+use crate::fault::{ArmedFaults, FaultPlan};
 use crate::job::{Deadline, Job, JobId, JobSpec, TenantId};
 use crate::router::Router;
 use crate::shard::{DispatchRecord, Shard, ShardReport};
+use crate::supervise::{panic_message, StopOutcome, StopReport, SuperviseConfig};
 use crate::telemetry::{ShardTelemetry, TelemetrySnapshot, RANK_SAMPLE_PERIOD};
+
+/// How many dispatches a dispatcher folds into one published dispatch-rate
+/// estimate (the denominator of the shed check's drain-time projection).
+const RATE_WINDOW: u64 = 32;
+
+/// Deadline-aware load shedding knobs (see `docs/SERVER.md`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OverloadConfig {
+    /// When on, `submit` fast-fails jobs whose deadline is already
+    /// unmeetable: the target shard's queue depth times its measured
+    /// per-dispatch time exceeds the job's slack. The refusal is
+    /// [`AdmitError::Retry`] with the server's drain-time estimate as a
+    /// backpressure hint. Off by default.
+    pub shed: bool,
+    /// Extra slack (nanoseconds) a job must be short of before it is
+    /// shed — headroom against estimate noise, so marginal jobs are
+    /// admitted rather than bounced.
+    pub margin_ns: u64,
+}
 
 /// Everything that shapes a [`Scheduler`], with workable defaults.
 #[derive(Debug, Clone)]
@@ -25,8 +48,10 @@ pub struct ServerConfig {
     /// Number of tenants; tenant ids must lie in `0..tenants`.
     pub tenants: usize,
     /// Number of client (submitter) threads; each shard's queue is built
-    /// with `clients + 1` thread slots — clients use their own id, the
-    /// shard's dispatcher uses id `clients`.
+    /// with `clients + 2` thread slots — clients use their own id, the
+    /// shard's dispatcher uses id `clients`, and id `clients + 1` is the
+    /// recovery slot give-up failover inserts under (serialized by a
+    /// scheduler-wide mutex).
     pub clients: usize,
     /// Number of deadline bands (= queue priorities). Deadlines within
     /// `0..horizon_ns` map linearly onto bands; later deadlines clamp to
@@ -57,6 +82,13 @@ pub struct ServerConfig {
     pub telemetry_window_ns: u64,
     /// Tenants to pin to explicit shards, overriding the hash placement.
     pub affinity: Vec<(TenantId, usize)>,
+    /// Deadline-aware load shedding (off by default).
+    pub overload: OverloadConfig,
+    /// Dispatcher restart policy after panics.
+    pub supervise: SuperviseConfig,
+    /// Seeded fault plan for chaos testing (`None` in production: the
+    /// dispatch and submit paths then pay one presence test each).
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for ServerConfig {
@@ -75,6 +107,9 @@ impl Default for ServerConfig {
             record_dispatches: false,
             telemetry_window_ns: 100_000_000,
             affinity: Vec::new(),
+            overload: OverloadConfig::default(),
+            supervise: SuperviseConfig::default(),
+            fault_plan: None,
         }
     }
 }
@@ -107,6 +142,15 @@ impl ServerConfig {
             .any(|(t, s)| *s >= self.shards || t.0 as usize >= self.tenants)
         {
             "affinity pin out of range"
+        } else if self.supervise.backoff_max_ns < self.supervise.backoff_base_ns {
+            "supervise backoff_max_ns must be >= backoff_base_ns"
+        } else if self
+            .fault_plan
+            .as_ref()
+            .and_then(|p| p.max_shard())
+            .is_some_and(|s| s >= self.shards)
+        {
+            "fault plan targets a shard out of range"
         } else {
             return Ok(());
         };
@@ -120,6 +164,9 @@ impl ServerConfig {
 pub struct ServerReport {
     /// Per-shard reports, indexed by shard.
     pub shards: Vec<ShardReport>,
+    /// Per-shard stop outcomes — [`Scheduler::stop`] reports dispatcher
+    /// panics here instead of re-raising them.
+    pub stops: Vec<StopReport>,
     /// Jobs submitted (including rejected ones).
     pub submitted: u64,
     /// Jobs admitted past quota + capacity.
@@ -137,6 +184,18 @@ pub struct ServerReport {
     pub misses: u64,
     /// Periodic re-arms performed via the fused `replace_min`.
     pub rearmed: u64,
+    /// Dispatcher panics across shards (injected or genuine).
+    pub panics: u64,
+    /// Supervisor restarts across shards.
+    pub restarts: u64,
+    /// Jobs requeued after panics across shards.
+    pub requeued: u64,
+    /// Jobs lost across shards (give-up with no healthy shard left; their
+    /// admission slots were released). The conservation contract becomes
+    /// `admitted == completed + lost` at quiesce.
+    pub lost: u64,
+    /// Jobs shed at admission by overload control.
+    pub shed: u64,
     /// Merged wall-clock enqueue→dispatch latency (nanoseconds).
     pub latency_ns: Acc,
     /// Merged dispatch-slot delay histogram.
@@ -162,9 +221,11 @@ impl ServerReport {
 /// A sharded job scheduler over `funnelpq` priority queues.
 ///
 /// Construction is fully typed: the backend arrives as a [`PqConfig`] and
-/// every refusal — bad config, unbuildable queue, quota, capacity — is a
-/// [`ServerError`], never a panic. See `docs/SERVER.md` for the
-/// architecture and the deadline-miss metric.
+/// every refusal — bad config, unbuildable queue, quota, capacity, shed —
+/// is a [`ServerError`], never a panic. Each shard's dispatcher runs under
+/// a supervisor that restarts it after panics (see [`SuperviseConfig`] and
+/// `docs/SERVER.md`); [`Scheduler::stop`] reports per-shard outcomes
+/// instead of re-raising.
 ///
 /// Lifecycle: [`Scheduler::new`] → [`Scheduler::submit`] (any thread,
 /// before or after) → [`Scheduler::start`] → quiesce clients →
@@ -180,6 +241,11 @@ pub struct Scheduler<R: Recorder = NoopRecorder> {
     stopping: Arc<AtomicBool>,
     handles: Mutex<Vec<JoinHandle<ShardReport>>>,
     started_at: Mutex<Option<Instant>>,
+    /// Serializes every give-up failover insert: the recovery thread slot
+    /// (`clients + 1`) on each queue is shared by all supervisors, so only
+    /// one may use it at a time.
+    recovery: Arc<Mutex<()>>,
+    fault: Option<Arc<ArmedFaults>>,
     recorder: Arc<R>,
 }
 
@@ -191,14 +257,15 @@ impl Scheduler<NoopRecorder> {
 }
 
 impl<R: Recorder> Scheduler<R> {
-    /// Builds a scheduler whose shard queues and deadline-miss counter feed
-    /// `recorder`.
+    /// Builds a scheduler whose shard queues and server-level counters
+    /// (deadline misses, restarts, requeues, sheds) feed `recorder`.
     pub fn with_recorder(cfg: ServerConfig, recorder: Arc<R>) -> Result<Self, ServerError> {
         cfg.validate()?;
         let mut shards = Vec::with_capacity(cfg.shards);
         for _ in 0..cfg.shards {
-            // One thread slot per client plus one for the dispatcher.
-            let queue = PqBuilder::from_config(cfg.backend.clone(), cfg.bands, cfg.clients + 1)
+            // One thread slot per client, one for the dispatcher, one for
+            // give-up recovery inserts from other shards' supervisors.
+            let queue = PqBuilder::from_config(cfg.backend.clone(), cfg.bands, cfg.clients + 2)
                 .recorder(Arc::clone(&recorder))
                 .try_build::<Job>()?;
             shards.push(Arc::new(Shard {
@@ -206,17 +273,24 @@ impl<R: Recorder> Scheduler<R> {
                 dispatched: CachePadded::new(AtomicU64::new(0)),
                 enqueued: CachePadded::new(AtomicU64::new(0)),
                 telemetry: Mutex::new(ShardTelemetry::new(cfg.tenants, cfg.telemetry_window_ns)),
+                healthy: AtomicBool::new(true),
+                shed: CachePadded::new(AtomicU64::new(0)),
+                rate_ns: CachePadded::new(AtomicU64::new(0)),
             }));
         }
         let mut router = Router::new(cfg.shards, cfg.tenants);
         for (tenant, shard) in &cfg.affinity {
-            router.pin(*tenant, *shard);
+            router.pin(*tenant, *shard)?;
         }
         let admission = Arc::new(Admission::new(
             cfg.tenants,
             cfg.tenant_quota,
             cfg.global_capacity,
         ));
+        let fault = cfg
+            .fault_plan
+            .as_ref()
+            .map(|p| Arc::new(ArmedFaults::new(p)));
         Ok(Scheduler {
             cfg,
             shards,
@@ -227,6 +301,8 @@ impl<R: Recorder> Scheduler<R> {
             stopping: Arc::new(AtomicBool::new(false)),
             handles: Mutex::new(Vec::new()),
             started_at: Mutex::new(None),
+            recovery: Arc::new(Mutex::new(())),
+            fault,
             recorder,
         })
     }
@@ -252,22 +328,55 @@ impl<R: Recorder> Scheduler<R> {
         self.admission.in_flight()
     }
 
+    /// Whether shard `shard`'s dispatcher is still serving (a shard goes
+    /// dark only by exhausting its restart budget).
+    pub fn shard_healthy(&self, shard: usize) -> bool {
+        self.shards
+            .get(shard)
+            .is_some_and(|s| s.healthy.load(Ordering::Acquire))
+    }
+
     fn band_of(&self, deadline_ns: u64) -> usize {
         let b = (deadline_ns as u128 * self.cfg.bands as u128) / self.cfg.horizon_ns as u128;
         (b as usize).min(self.cfg.bands - 1)
     }
 
     /// Submits `spec` on behalf of client thread `client`
-    /// (`0..config().clients`). Routes to the tenant's shard, admits
+    /// (`0..config().clients`). Routes to the tenant's shard (failing over
+    /// past dark shards), optionally sheds unmeetable deadlines, admits
     /// against quota and capacity, and files the job under its deadline
     /// band. Every refusal carries the stamped job back.
     pub fn submit(&self, client: usize, spec: JobSpec) -> Result<JobId, ServerError> {
+        let res = self.submit_inner(client, spec);
+        if let Some(faults) = &self.fault {
+            // The burst trigger compares against this submit's id whether
+            // it was admitted or refused — refusals consumed an id too.
+            let id = match &res {
+                Ok(id) => Some(*id),
+                Err(e) => e.clone().into_job().map(|j| j.id),
+            };
+            if let Some(burst) = id.and_then(|id| faults.at_submit(id)) {
+                for _ in 0..burst.jobs {
+                    let tenant = faults.draw_tenant(self.cfg.tenants);
+                    let spec = JobSpec::once(tenant, Deadline::In(burst.deadline_in_ns), 0);
+                    // Burst refusals (quota, capacity, shed) are counted by
+                    // the normal admission/shed tallies.
+                    let _ = self.submit_inner(client, spec);
+                }
+            }
+        }
+        res
+    }
+
+    fn submit_inner(&self, client: usize, spec: JobSpec) -> Result<JobId, ServerError> {
         if client >= self.cfg.clients {
             return Err(ServerError::Config {
                 reason: "client id out of range",
             });
         }
-        let shard = &self.shards[self.router.route(spec.tenant)];
+        // Route, then fail over past dark shards: a tenant whose home
+        // shard gave up is served by the next healthy shard clockwise.
+        let routed = self.router.route(spec.tenant);
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let enqueued_ns = self.now_ns();
         // A relative deadline resolves against the enqueue stamp itself,
@@ -277,7 +386,7 @@ impl<R: Recorder> Scheduler<R> {
             Deadline::At(t) => t,
             Deadline::In(d) => enqueued_ns.saturating_add(d),
         };
-        let job = Job {
+        let stamp = |slot: u64| Job {
             id,
             tenant: spec.tenant,
             deadline_ns,
@@ -285,10 +394,26 @@ impl<R: Recorder> Scheduler<R> {
             period_ns: spec.period_ns,
             repeats_left: spec.repeats,
             enqueued_ns,
-            enqueued_slot: shard.dispatched.load(Ordering::Acquire),
+            enqueued_slot: slot,
         };
+        let shard = match self.healthy_from(routed) {
+            Some(si) => &self.shards[si],
+            None => {
+                return Err(ServerError::NoHealthyShard { job: stamp(0) });
+            }
+        };
+        let job = stamp(shard.dispatched.load(Ordering::Acquire));
         if self.stopping.load(Ordering::Acquire) {
             return Err(ServerError::Stopped { job });
+        }
+        if self.cfg.overload.shed {
+            if let Some(after_ns) = self.shed_check(shard, &job) {
+                shard.shed.fetch_add(1, Ordering::Relaxed);
+                if R::ENABLED {
+                    self.recorder.record_event(CounterEvent::JobShed);
+                }
+                return Err(AdmitError::Retry { after_ns, job }.into());
+            }
         }
         self.admission.try_admit(job)?;
         let band = self.band_of(job.deadline_ns);
@@ -304,12 +429,43 @@ impl<R: Recorder> Scheduler<R> {
         Ok(id)
     }
 
+    /// The first healthy shard at or clockwise after `start`, if any.
+    fn healthy_from(&self, start: usize) -> Option<usize> {
+        let n = self.shards.len();
+        (0..n)
+            .map(|k| (start + k) % n)
+            .find(|&si| self.shards[si].healthy.load(Ordering::Acquire))
+    }
+
+    /// Projects the shard's drain time against the job's slack; returns
+    /// the retry hint when the deadline is unmeetable. The projection is
+    /// `depth × per-dispatch time`: every queued job is ahead of this one
+    /// in the worst case (same band or earlier), and the per-dispatch time
+    /// is the dispatcher's own windowed measurement, never better than the
+    /// configured pacing floor.
+    fn shed_check(&self, shard: &Shard, job: &Job) -> Option<u64> {
+        let depth = shard.enqueued.load(Ordering::Relaxed);
+        let published = shard.rate_ns.load(Ordering::Relaxed);
+        let rate_ns = if published == 0 {
+            self.cfg.service_ns
+        } else {
+            published.max(self.cfg.service_ns)
+        };
+        let est_wait = depth.saturating_mul(rate_ns);
+        let slack = job.deadline_ns.saturating_sub(job.enqueued_ns);
+        if est_wait > slack.saturating_add(self.cfg.overload.margin_ns) {
+            Some(est_wait - slack)
+        } else {
+            None
+        }
+    }
+
     /// Takes a live telemetry snapshot: per-shard and per-tenant
-    /// histograms, the windowed time-series, queue depths, and the sampled
-    /// rank-error estimate. Safe to call at any point in the lifecycle,
-    /// including while dispatchers run (each shard's cell is read under a
-    /// briefly-held lock; cross-shard totals may be a few dispatches
-    /// apart).
+    /// histograms, the windowed time-series, queue depths, shed/restart
+    /// counts, and the sampled rank-error estimate. Safe to call at any
+    /// point in the lifecycle, including while dispatchers run (each
+    /// shard's cell is read under a briefly-held lock; cross-shard totals
+    /// may be a few dispatches apart).
     pub fn telemetry(&self) -> TelemetrySnapshot {
         let at_ns = self.now_ns();
         let per_shard = self
@@ -317,8 +473,9 @@ impl<R: Recorder> Scheduler<R> {
             .iter()
             .map(|s| {
                 (
-                    s.telemetry.lock().unwrap().clone(),
+                    s.telemetry_cell().clone(),
                     s.enqueued.load(Ordering::Relaxed),
+                    s.shed.load(Ordering::Relaxed),
                 )
             })
             .collect();
@@ -330,8 +487,8 @@ impl<R: Recorder> Scheduler<R> {
         )
     }
 
-    /// Spawns one dispatcher thread per shard. Idempotent: calling again
-    /// while running is a no-op.
+    /// Spawns one supervised dispatcher thread per shard. Idempotent:
+    /// calling again while running is a no-op.
     pub fn start(&self) {
         let mut handles = self.handles.lock().unwrap();
         if !handles.is_empty() {
@@ -342,11 +499,17 @@ impl<R: Recorder> Scheduler<R> {
             let ctx = DispatcherCtx {
                 epoch: self.epoch,
                 shard: Arc::clone(shard),
+                shards: self.shards.clone(),
+                router: self.router.clone(),
                 stopping: Arc::clone(&self.stopping),
                 admission: Arc::clone(&self.admission),
+                recovery: Arc::clone(&self.recovery),
+                fault: self.fault.clone(),
+                supervise: self.cfg.supervise,
                 recorder: Arc::clone(&self.recorder),
                 index: i,
                 tid: self.cfg.clients,
+                recovery_tid: self.cfg.clients + 1,
                 drain: self.cfg.drain_batch,
                 service_ns: self.cfg.service_ns,
                 bands: self.cfg.bands,
@@ -362,10 +525,13 @@ impl<R: Recorder> Scheduler<R> {
         }
     }
 
-    /// Stops the dispatchers and merges their reports. Callers should
-    /// quiesce client threads first (the conservation contract
-    /// `admitted == completed` holds only once no submits race the stop);
-    /// anything still queued is counted in
+    /// Stops the dispatchers and merges their reports. Never panics:
+    /// dispatcher panics were already absorbed by each shard's supervisor,
+    /// and each shard's ending is reported as a typed
+    /// [`StopReport`] in [`ServerReport::stops`]. Callers should quiesce
+    /// client threads first (the conservation contract
+    /// `admitted == completed + lost` holds only once no submits race the
+    /// stop); anything still queued is counted in
     /// [`ServerReport::in_flight_at_stop`].
     pub fn stop(&self) -> ServerReport {
         self.stopping.store(true, Ordering::Release);
@@ -384,19 +550,69 @@ impl<R: Recorder> Scheduler<R> {
             run_ns,
             ..ServerReport::default()
         };
-        for h in handles {
-            let s = h.join().expect("dispatcher thread panicked");
-            report.dispatched += s.dispatched;
-            report.completed += s.completed;
-            report.misses += s.misses;
-            report.rearmed += s.rearmed;
-            report.latency_ns.merge(&s.latency_ns);
-            report.delay_slots.merge(&s.delay_slots);
-            report.shards.push(s);
+        for (i, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok(s) => {
+                    report.dispatched += s.dispatched;
+                    report.completed += s.completed;
+                    report.misses += s.misses;
+                    report.rearmed += s.rearmed;
+                    report.panics += s.panics;
+                    report.restarts += u64::from(s.restarts);
+                    report.requeued += s.requeued;
+                    report.lost += s.lost;
+                    report.latency_ns.merge(&s.latency_ns);
+                    report.delay_slots.merge(&s.delay_slots);
+                    let outcome = if s.gave_up {
+                        StopOutcome::GaveUp {
+                            restarts: s.restarts,
+                            requeued: s.requeued,
+                            lost: s.lost,
+                            last_panic: s.last_panic.clone().unwrap_or_default(),
+                        }
+                    } else if s.panics > 0 {
+                        StopOutcome::Recovered {
+                            restarts: s.restarts,
+                            requeued: s.requeued,
+                            last_panic: s.last_panic.clone().unwrap_or_default(),
+                        }
+                    } else {
+                        StopOutcome::Clean
+                    };
+                    report.stops.push(StopReport {
+                        shard: s.shard,
+                        outcome,
+                    });
+                    report.shards.push(s);
+                }
+                // The supervisor itself died (its catch_unwind ring never
+                // lets a dispatcher panic out, so this is a supervisor
+                // bug): report it, do not re-raise.
+                Err(payload) => report.stops.push(StopReport {
+                    shard: i,
+                    outcome: StopOutcome::SupervisorLost {
+                        message: panic_message(payload.as_ref()),
+                    },
+                }),
+            }
         }
+        report.shed = self
+            .shards
+            .iter()
+            .map(|s| s.shed.load(Ordering::Relaxed))
+            .sum();
         report.in_flight_at_stop = self.admission.in_flight() as u64;
         report
     }
+}
+
+/// Dispatch-loop state kept *outside* the supervisor's `catch_unwind` so a
+/// panic cannot take drained-but-undispatched jobs down with the stack:
+/// `out[cursor..]` are exactly the survivors the supervisor must requeue.
+struct EpisodeState {
+    out: Vec<(usize, Job)>,
+    cursor: usize,
+    episode: u64,
 }
 
 /// Everything one dispatcher thread owns or shares.
@@ -405,11 +621,18 @@ struct DispatcherCtx<R: Recorder> {
     /// are stamped against.
     epoch: Instant,
     shard: Arc<Shard>,
+    /// All shards, for give-up failover.
+    shards: Vec<Arc<Shard>>,
+    router: Router,
     stopping: Arc<AtomicBool>,
     admission: Arc<Admission>,
+    recovery: Arc<Mutex<()>>,
+    fault: Option<Arc<ArmedFaults>>,
+    supervise: SuperviseConfig,
     recorder: Arc<R>,
     index: usize,
     tid: usize,
+    recovery_tid: usize,
     drain: usize,
     service_ns: u64,
     bands: usize,
@@ -423,58 +646,208 @@ impl<R: Recorder> DispatcherCtx<R> {
         (b as usize).min(self.bands - 1)
     }
 
-    /// The dispatcher loop: drain a batch, account each job, re-arm
-    /// periodic ones via the fused `replace_min`, pace at `service_ns` per
-    /// job. Exits once the stop flag is up *and* a drain came back empty.
+    /// The supervisor: runs the dispatch loop under `catch_unwind`,
+    /// requeues panic survivors, restarts with bounded exponential backoff
+    /// up to the budget, then fails the shard over to healthy peers.
     fn run(self) -> ShardReport {
         let mut report = ShardReport::new(self.index);
-        let mut out: Vec<(usize, Job)> = Vec::with_capacity(self.drain.max(1) * 2);
+        let mut state = EpisodeState {
+            out: Vec::with_capacity(self.drain.max(1) * 2),
+            cursor: 0,
+            episode: 0,
+        };
+        loop {
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                self.run_episodes(&mut report, &mut state)
+            }));
+            let payload = match caught {
+                Ok(()) => return report,
+                Err(p) => p,
+            };
+            report.panics += 1;
+            report.last_panic = Some(panic_message(payload.as_ref()));
+            drop(payload);
+            // Jobs the dead incarnation had drained but not yet dispatched.
+            let survivors = state.out.split_off(state.cursor.min(state.out.len()));
+            state.out.clear();
+            state.cursor = 0;
+            if report.restarts < self.supervise.max_restarts {
+                report.restarts += 1;
+                self.restart(&mut report, survivors);
+            } else {
+                self.give_up(&mut report, survivors);
+                return report;
+            }
+        }
+    }
+
+    /// Restart path: survivors go back into this shard's own queue (its
+    /// dispatcher slot is free — the dispatcher is us), then the loop
+    /// re-enters after backoff.
+    fn restart(&self, report: &mut ShardReport, survivors: Vec<(usize, Job)>) {
+        let mut requeued = 0u64;
+        for (band, job) in survivors {
+            self.shard.enqueued.fetch_add(1, Ordering::Relaxed);
+            if self.shard.queue.try_insert(self.tid, band, job).is_ok() {
+                requeued += 1;
+            } else {
+                self.shard.enqueued.fetch_sub(1, Ordering::Relaxed);
+                self.admission.release(job.tenant.0 as usize);
+                report.lost += 1;
+            }
+        }
+        report.requeued += requeued;
+        if R::ENABLED {
+            self.recorder.record_event(CounterEvent::ShardRestart);
+            if requeued > 0 {
+                self.recorder
+                    .record_event_n(CounterEvent::JobsRequeued, requeued);
+            }
+        }
+        {
+            let mut t = self.shard.telemetry_cell();
+            t.restarts += 1;
+            t.requeued += requeued;
+        }
+        std::thread::sleep(Duration::from_nanos(
+            self.supervise.backoff_ns(report.restarts),
+        ));
+    }
+
+    /// Give-up path: the restart budget is spent. Mark the shard dark so
+    /// submitters route around it, drain everything still queued, and hand
+    /// each job to the first healthy shard clockwise from its home
+    /// placement — through the shared recovery thread slot, serialized by
+    /// the recovery mutex. Jobs with nowhere to go are released and
+    /// reported lost.
+    fn give_up(&self, report: &mut ShardReport, survivors: Vec<(usize, Job)>) {
+        report.gave_up = true;
+        self.shard.healthy.store(false, Ordering::Release);
+        let mut pending = survivors;
+        let mut drained: Vec<(usize, Job)> = Vec::with_capacity(self.drain.max(1));
+        loop {
+            drained.clear();
+            let got = self
+                .shard
+                .queue
+                .delete_min_batch(self.tid, self.drain.max(1), &mut drained);
+            if got == 0 {
+                break;
+            }
+            self.shard.enqueued.fetch_sub(got as u64, Ordering::Relaxed);
+            pending.append(&mut drained);
+        }
+        let mut requeued = 0u64;
+        let _recovery = match self.recovery.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        for (band, job) in pending {
+            let start = self.router.route(job.tenant);
+            let n = self.shards.len();
+            let target = (0..n)
+                .map(|k| (start + k) % n)
+                .find(|&si| si != self.index && self.shards[si].healthy.load(Ordering::Acquire));
+            let placed = target.is_some_and(|si| {
+                let peer = &self.shards[si];
+                peer.enqueued.fetch_add(1, Ordering::Relaxed);
+                if peer.queue.try_insert(self.recovery_tid, band, job).is_ok() {
+                    true
+                } else {
+                    peer.enqueued.fetch_sub(1, Ordering::Relaxed);
+                    false
+                }
+            });
+            if placed {
+                requeued += 1;
+            } else {
+                self.admission.release(job.tenant.0 as usize);
+                report.lost += 1;
+            }
+        }
+        report.requeued += requeued;
+        if R::ENABLED && requeued > 0 {
+            self.recorder
+                .record_event_n(CounterEvent::JobsRequeued, requeued);
+        }
+        self.shard.telemetry_cell().requeued += requeued;
+    }
+
+    /// The dispatcher loop proper: drain a batch, account each job, re-arm
+    /// periodic ones via the fused `replace_min`, pace at `service_ns` per
+    /// job. Returns once the stop flag is up *and* a drain came back
+    /// empty. Runs inside the supervisor's `catch_unwind`; all loop state
+    /// that must survive a panic lives in `state`.
+    fn run_episodes(&self, report: &mut ShardReport, state: &mut EpisodeState) {
         // Rank-error sampling only makes sense when a drain batch is an
         // en-bloc snapshot of the queue (see `telemetry` module docs).
         let track_rank = self.shard.queue.ordered_batch_drain();
-        let mut episode: u64 = 0;
         // The pacing clock: each dispatch pushes it service_ns further out,
         // and we spin up to it, so sustained throughput is one job per
         // service_ns and the virtual clock tracks wall time.
         let mut next_ready = Instant::now();
+        // Dispatch-rate window for the shed check's drain-time projection.
+        let mut rate_start = Instant::now();
+        let mut rate_count: u64 = 0;
         loop {
-            out.clear();
+            state.out.clear();
+            state.cursor = 0;
             let got = self
                 .shard
                 .queue
-                .delete_min_batch(self.tid, self.drain, &mut out);
+                .delete_min_batch(self.tid, self.drain, &mut state.out);
             if got == 0 {
                 if self.stopping.load(Ordering::Acquire) {
-                    break;
+                    return;
                 }
                 next_ready = Instant::now();
+                // An idle gap would inflate the measured per-dispatch
+                // time; drop the estimate rather than publish stale data.
+                rate_start = Instant::now();
+                rate_count = 0;
+                self.shard.rate_ns.store(0, Ordering::Relaxed);
                 std::thread::sleep(Duration::from_micros(20));
                 continue;
             }
             self.shard.enqueued.fetch_sub(got as u64, Ordering::Relaxed);
-            episode += 1;
-            if track_rank && episode.is_multiple_of(RANK_SAMPLE_PERIOD) && got >= 2 {
+            state.episode += 1;
+            if track_rank && state.episode.is_multiple_of(RANK_SAMPLE_PERIOD) && got >= 2 {
                 // Score the batch before the index-walk below: replace_min
                 // re-arms append to `out`, and those entries are not part
                 // of the drained snapshot.
                 self.shard
-                    .telemetry
-                    .lock()
-                    .unwrap()
-                    .record_rank_sample(&out[..got]);
+                    .telemetry_cell()
+                    .record_rank_sample(&state.out[..got]);
             }
             // replace_min below may append the entry it popped; index-walk
-            // so those are dispatched in the same episode.
-            let mut i = 0;
-            while i < out.len() {
-                let (_band, job) = out[i];
-                i += 1;
-                self.dispatch(job, &mut report, &mut out);
+            // so those are dispatched in the same episode. The cursor only
+            // advances once a job is fully dispatched, so on a panic
+            // `out[cursor..]` — including the job in hand — survives.
+            while state.cursor < state.out.len() {
+                let (_band, job) = state.out[state.cursor];
+                if let Some(faults) = &self.fault {
+                    // Fires before any accounting: an injected panic loses
+                    // nothing, an injected stall freezes the whole loop.
+                    if let Some(stall_ns) = faults
+                        .at_dispatch(self.index, self.shard.dispatched.load(Ordering::Acquire))
+                    {
+                        std::thread::sleep(Duration::from_nanos(stall_ns));
+                    }
+                }
+                self.dispatch(job, report, &mut state.out);
+                state.cursor += 1;
+                rate_count += 1;
+                if rate_count == RATE_WINDOW {
+                    let per = (rate_start.elapsed().as_nanos() as u64 / RATE_WINDOW)
+                        .clamp(self.service_ns, self.service_ns.saturating_mul(1024));
+                    self.shard.rate_ns.store(per, Ordering::Relaxed);
+                    rate_start = Instant::now();
+                    rate_count = 0;
+                }
                 next_ready += Duration::from_nanos(self.service_ns);
                 Self::pace(next_ready);
             }
         }
-        report
     }
 
     fn dispatch(&self, job: Job, report: &mut ShardReport, out: &mut Vec<(usize, Job)>) {
@@ -511,7 +884,7 @@ impl<R: Recorder> DispatcherCtx<R> {
         // This thread is the telemetry cell's only writer, so the lock is
         // uncontended except against an occasional snapshot reader.
         {
-            let mut t = self.shard.telemetry.lock().unwrap();
+            let mut t = self.shard.telemetry_cell();
             t.record_dispatch(&job, now, latency, missed);
             t.windows
                 .record_depth(now, self.shard.enqueued.load(Ordering::Relaxed));
@@ -617,6 +990,28 @@ mod tests {
             ..ServerConfig::default()
         };
         assert!(matches!(Scheduler::new(bad), Err(ServerError::Queue(_))));
+        // A fault plan aimed at a shard that does not exist.
+        let bad = ServerConfig {
+            fault_plan: Some(FaultPlan::new(1).dispatcher_panic(4, 0)),
+            ..ServerConfig::default()
+        };
+        assert!(matches!(
+            Scheduler::new(bad),
+            Err(ServerError::Config { .. })
+        ));
+        // An inverted supervision backoff range.
+        let bad = ServerConfig {
+            supervise: SuperviseConfig {
+                backoff_base_ns: 1_000,
+                backoff_max_ns: 10,
+                ..SuperviseConfig::default()
+            },
+            ..ServerConfig::default()
+        };
+        assert!(matches!(
+            Scheduler::new(bad),
+            Err(ServerError::Config { .. })
+        ));
     }
 
     #[test]
@@ -643,6 +1038,9 @@ mod tests {
         assert_eq!(r.completed, 100);
         assert_eq!(r.in_flight_at_stop, 0);
         assert_eq!(r.latency_ns.count(), 100);
+        assert_eq!(r.panics, 0);
+        assert_eq!(r.lost, 0);
+        assert!(r.stops.iter().all(|s| s.outcome.is_clean()));
     }
 
     #[test]
@@ -690,5 +1088,97 @@ mod tests {
         let s = Scheduler::new(tiny_cfg()).unwrap();
         assert_eq!(s.band_of(0), 0);
         assert_eq!(s.band_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn stop_survives_an_injected_dispatcher_panic() {
+        // Regression for the old `h.join().expect(...)` in stop(): a
+        // dispatcher panic must surface as a typed StopOutcome, with the
+        // panicked shard's jobs recovered, never as a stop()-time panic.
+        let s = Scheduler::new(ServerConfig {
+            fault_plan: Some(
+                FaultPlan::new(3)
+                    .dispatcher_panic(0, 5)
+                    .dispatcher_panic(1, 5),
+            ),
+            // Pin tenants so both shards are guaranteed traffic (and so
+            // both faults are guaranteed to fire).
+            affinity: vec![
+                (TenantId(0), 0),
+                (TenantId(1), 1),
+                (TenantId(2), 0),
+                (TenantId(3), 1),
+            ],
+            ..tiny_cfg()
+        })
+        .unwrap();
+        let now = s.now_ns();
+        for t in 0..4 {
+            for k in 0..25 {
+                s.submit(
+                    0,
+                    JobSpec::once(TenantId(t), Deadline::At(now + 100_000_000 + k), k),
+                )
+                .unwrap();
+            }
+        }
+        s.start();
+        while s.in_flight() > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let r = s.stop();
+        assert_eq!(r.panics, 2, "both shards' faults fired");
+        assert_eq!(r.restarts, 2);
+        assert_eq!(r.completed, 100, "every admitted job still completed");
+        assert_eq!(r.lost, 0);
+        for stop in &r.stops {
+            match &stop.outcome {
+                StopOutcome::Recovered { last_panic, .. } => {
+                    assert!(last_panic.contains("injected"), "got {last_panic:?}");
+                }
+                other => panic!("expected Recovered, got {other:?}"),
+            }
+        }
+        // Telemetry agrees with the report.
+        let t = s.telemetry();
+        assert_eq!(t.restarts(), 2);
+    }
+
+    #[test]
+    fn shed_refuses_unmeetable_deadlines_with_a_hint() {
+        // No dispatcher running: a pre-start backlog makes depth (and so
+        // the drain-time projection) fully deterministic.
+        let s = Scheduler::new(ServerConfig {
+            shards: 1,
+            service_ns: 1_000,
+            overload: OverloadConfig {
+                shed: true,
+                margin_ns: 0,
+            },
+            ..tiny_cfg()
+        })
+        .unwrap();
+        for k in 0..100 {
+            // Ample slack: admitted despite the growing backlog.
+            s.submit(0, JobSpec::once(TenantId(0), Deadline::In(10_000_000), k))
+                .unwrap();
+        }
+        // 100 queued × 1_000 ns each = 100_000 ns of backlog; a 10_000 ns
+        // deadline is unmeetable.
+        let err = s
+            .submit(0, JobSpec::once(TenantId(1), Deadline::In(10_000), 7))
+            .unwrap_err();
+        match err {
+            ServerError::Admit(AdmitError::Retry { after_ns, job }) => {
+                assert_eq!(after_ns, 100 * 1_000 - 10_000);
+                assert_eq!(job.payload, 7);
+            }
+            other => panic!("expected Retry, got {other:?}"),
+        }
+        // Shed jobs consumed no admission slot.
+        assert_eq!(s.in_flight(), 100);
+        let r = s.stop();
+        assert_eq!(r.shed, 1);
+        assert_eq!(r.rejected_quota + r.rejected_capacity, 0);
     }
 }

@@ -1,7 +1,7 @@
 //! One shard: a priority queue of jobs plus its dispatch accounting.
 
-use std::sync::atomic::AtomicU64;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use funnelpq::BoundedPq;
 use funnelpq_util::{Acc, CachePadded};
@@ -27,6 +27,31 @@ pub(crate) struct Shard {
     /// (so the lock is uncontended on the hot path); read by
     /// [`Scheduler::telemetry`](crate::Scheduler::telemetry).
     pub(crate) telemetry: Mutex<ShardTelemetry>,
+    /// Cleared when the shard's dispatcher exhausts its restart budget and
+    /// gives up. Submitters route around dark shards; the give-up path
+    /// drains the queue into healthy ones.
+    pub(crate) healthy: AtomicBool,
+    /// Jobs shed at admission for this shard (deadline unmeetable given
+    /// backlog × dispatch rate). Written by submitters, so it lives here
+    /// as a lock-free counter rather than in the telemetry cell.
+    pub(crate) shed: CachePadded<AtomicU64>,
+    /// The dispatcher's windowed estimate of nanoseconds per dispatch,
+    /// published for the submit-side shed check. `0` means "no estimate
+    /// yet" (callers fall back to the configured `service_ns`).
+    pub(crate) rate_ns: CachePadded<AtomicU64>,
+}
+
+impl Shard {
+    /// The telemetry cell, recovering from poisoning: a dispatcher that
+    /// panicked while holding the lock leaves behind nothing worse than a
+    /// half-filed dispatch (all fields are plain counters/histograms), and
+    /// the supervisor must still be able to file restarts afterwards.
+    pub(crate) fn telemetry_cell(&self) -> MutexGuard<'_, ShardTelemetry> {
+        match self.telemetry.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
 }
 
 /// One dispatched job, as remembered by a shard running with
@@ -69,6 +94,20 @@ pub struct ShardReport {
     /// Per-dispatch log, populated only when the server runs with
     /// `record_dispatches` (conservation/ordering tests).
     pub dispatch_log: Vec<DispatchRecord>,
+    /// Times the dispatcher panicked (injected or genuine).
+    pub panics: u64,
+    /// Times the supervisor restarted the dispatcher after a panic.
+    pub restarts: u32,
+    /// Jobs requeued after panics: survivors put back into this shard on a
+    /// restart, plus the queue handed to healthy shards on a give-up.
+    pub requeued: u64,
+    /// Jobs that could not be placed anywhere after a give-up (no healthy
+    /// shard left); their admission slots were released.
+    pub lost: u64,
+    /// Whether the dispatcher exhausted its restart budget and went dark.
+    pub gave_up: bool,
+    /// The most recent panic's message, if any panic occurred.
+    pub last_panic: Option<String>,
 }
 
 impl ShardReport {

@@ -85,6 +85,12 @@ pub struct ShardStats {
     pub rank_error: Acc,
     /// How many drain batches were scored into `rank_error`.
     pub rank_samples: u64,
+    /// Supervisor restarts of this shard's dispatcher after panics.
+    pub restarts: u64,
+    /// Jobs requeued after panics (restart survivors + give-up failover).
+    pub requeued: u64,
+    /// Jobs shed at admission for this shard (overload control).
+    pub shed: u64,
 }
 
 /// One time-series window: counts over `window_ns` of wall clock.
@@ -166,6 +172,11 @@ pub(crate) struct ShardTelemetry {
     pub(crate) latency_ns: Acc,
     pub(crate) rank_error: Acc,
     pub(crate) rank_samples: u64,
+    /// Written by the shard's supervisor between dispatcher incarnations
+    /// (never concurrently with the dispatcher — the supervisor *is* the
+    /// dispatcher thread).
+    pub(crate) restarts: u64,
+    pub(crate) requeued: u64,
     pub(crate) windows: WindowRing,
     /// Indexed by tenant id.
     pub(crate) tenants: Vec<TenantStats>,
@@ -179,6 +190,8 @@ impl ShardTelemetry {
             latency_ns: Acc::new(),
             rank_error: Acc::new(),
             rank_samples: 0,
+            restarts: 0,
+            requeued: 0,
             windows: WindowRing::new(window_ns),
             tenants: (0..tenants)
                 .map(|t| TenantStats {
@@ -271,6 +284,21 @@ impl TelemetrySnapshot {
         self.shards.iter().map(|s| s.rank_samples).sum()
     }
 
+    /// Total dispatcher restarts across shards.
+    pub fn restarts(&self) -> u64 {
+        self.shards.iter().map(|s| s.restarts).sum()
+    }
+
+    /// Total jobs requeued after panics, across shards.
+    pub fn requeued(&self) -> u64 {
+        self.shards.iter().map(|s| s.requeued).sum()
+    }
+
+    /// Total jobs shed at admission, across shards.
+    pub fn shed(&self) -> u64 {
+        self.shards.iter().map(|s| s.shed).sum()
+    }
+
     /// Mean sampled rank error per dispatched element, across shards
     /// (`0.0` when nothing has been sampled — including for backends
     /// whose batches are not en-bloc drains).
@@ -313,6 +341,9 @@ impl TelemetrySnapshot {
         w.field_u64("depth", self.depth());
         w.field_u64("rank_samples", self.rank_samples());
         w.field_f64("rank_error_mean", self.rank_error_mean());
+        w.field_u64("restarts", self.restarts());
+        w.field_u64("requeued", self.requeued());
+        w.field_u64("shed", self.shed());
         w.end();
         w.key("shards");
         w.begin_arr(true);
@@ -325,6 +356,9 @@ impl TelemetrySnapshot {
             Self::acc_json(&mut w, "latency_ns", &s.latency_ns);
             Self::acc_json(&mut w, "rank_error", &s.rank_error);
             w.field_u64("rank_samples", s.rank_samples);
+            w.field_u64("restarts", s.restarts);
+            w.field_u64("requeued", s.requeued);
+            w.field_u64("shed", s.shed);
             w.end();
         }
         w.end();
@@ -360,7 +394,7 @@ impl TelemetrySnapshot {
         at_ns: u64,
         backend: &str,
         window_ns: u64,
-        per_shard: Vec<(ShardTelemetry, u64)>,
+        per_shard: Vec<(ShardTelemetry, u64, u64)>,
     ) -> Self {
         let mut snap = TelemetrySnapshot {
             schema_version: SCHEMA_VERSION,
@@ -371,7 +405,7 @@ impl TelemetrySnapshot {
         };
         let mut tenants: Vec<TenantStats> = Vec::new();
         let mut windows: Vec<WindowStats> = Vec::new();
-        for (shard, (cell, depth)) in per_shard.into_iter().enumerate() {
+        for (shard, (cell, depth, shed)) in per_shard.into_iter().enumerate() {
             snap.shards.push(ShardStats {
                 shard,
                 dispatched: cell.dispatched,
@@ -380,6 +414,9 @@ impl TelemetrySnapshot {
                 latency_ns: cell.latency_ns,
                 rank_error: cell.rank_error,
                 rank_samples: cell.rank_samples,
+                restarts: cell.restarts,
+                requeued: cell.requeued,
+                shed,
             });
             for t in &cell.tenants {
                 if t.dispatched == 0 {
@@ -495,11 +532,17 @@ mod tests {
         b.record_dispatch(&job(1, 0, 90), 150, 150, true);
         b.record_dispatch(&job(2, 0, 500), 160, 160, false);
         b.record_rank_sample(&[(3, job(2, 0, 0)), (1, job(2, 0, 0))]);
-        let snap = TelemetrySnapshot::assemble(1_000, "multiqueue", 100, vec![(a, 7), (b, 0)]);
+        a.restarts = 1;
+        a.requeued = 4;
+        let snap =
+            TelemetrySnapshot::assemble(1_000, "multiqueue", 100, vec![(a, 7, 2), (b, 0, 0)]);
         assert_eq!(snap.schema_version, SCHEMA_VERSION);
         assert_eq!(snap.dispatched(), 3);
         assert_eq!(snap.misses(), 1);
         assert_eq!(snap.depth(), 7);
+        assert_eq!(snap.restarts(), 1);
+        assert_eq!(snap.requeued(), 4);
+        assert_eq!(snap.shed(), 2);
         assert!(snap.rank_error_mean() > 0.0);
         // Tenant 1 merged across both shards; tenants 0 and 3 absent.
         assert_eq!(snap.tenants.len(), 2);
@@ -511,7 +554,7 @@ mod tests {
         assert_eq!(snap.windows[0].dispatched, 1);
         assert_eq!(snap.windows[1].dispatched, 2);
         let j = snap.to_json();
-        assert!(j.starts_with("{\n  \"schema_version\": 1,"));
+        assert!(j.starts_with("{\n  \"schema_version\": 2,"));
         assert!(j.contains("\"backend\": \"multiqueue\""));
         assert!(j.contains("\"tenant\": 1"));
         assert!(j.contains("\"rank_samples\": 1"));

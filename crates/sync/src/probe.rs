@@ -52,11 +52,21 @@ pub enum CounterEvent {
     /// the product-level signal the relaxation/rank-error tradeoff cashes
     /// out as.
     DeadlineMiss,
+    /// A shard dispatcher panicked and its supervisor restarted it
+    /// (`funnelpq-server` resilience layer; counted once per restart).
+    ShardRestart,
+    /// A job that survived a dispatcher panic was requeued — back into the
+    /// restarted shard or rerouted to a healthy one (counted per job).
+    JobsRequeued,
+    /// A job was shed at admission because its deadline was already
+    /// unmeetable given the target shard's backlog and dispatch rate
+    /// (`funnelpq-server` overload control; counted per shed job).
+    JobShed,
 }
 
 impl CounterEvent {
     /// Number of distinct event kinds.
-    pub const COUNT: usize = 10;
+    pub const COUNT: usize = 13;
 
     /// Every event kind, in a fixed order matching [`CounterEvent::index`].
     pub const ALL: [CounterEvent; CounterEvent::COUNT] = [
@@ -70,6 +80,9 @@ impl CounterEvent {
         CounterEvent::EmptyDeleteMin,
         CounterEvent::BatchOp,
         CounterEvent::DeadlineMiss,
+        CounterEvent::ShardRestart,
+        CounterEvent::JobsRequeued,
+        CounterEvent::JobShed,
     ];
 
     /// Dense index of this event in `0..COUNT` (array-keyed aggregation).
@@ -85,6 +98,9 @@ impl CounterEvent {
             CounterEvent::EmptyDeleteMin => 7,
             CounterEvent::BatchOp => 8,
             CounterEvent::DeadlineMiss => 9,
+            CounterEvent::ShardRestart => 10,
+            CounterEvent::JobsRequeued => 11,
+            CounterEvent::JobShed => 12,
         }
     }
 
@@ -101,6 +117,9 @@ impl CounterEvent {
             CounterEvent::EmptyDeleteMin => "empty_delete_min",
             CounterEvent::BatchOp => "batch_op",
             CounterEvent::DeadlineMiss => "deadline_miss",
+            CounterEvent::ShardRestart => "shard_restart",
+            CounterEvent::JobsRequeued => "jobs_requeued",
+            CounterEvent::JobShed => "job_shed",
         }
     }
 }

@@ -23,7 +23,11 @@
 /// (`MetricsSnapshot`, `BENCH_*.json`, `TelemetrySnapshot`). CI
 /// validators assert it so a parser and an emitter cannot silently
 /// drift apart. Bump on any breaking layout change.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// History: 2 added the server resilience fields (`restarts`, `requeued`,
+/// `shed` in `TelemetrySnapshot`; the overload-regime rows in
+/// `BENCH_server.json`) and the supervision counter events.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Minimal JSON string escaping for names (labels contain no exotic
 /// characters, but quoting must never break the document).

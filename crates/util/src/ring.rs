@@ -199,14 +199,17 @@ mod tests {
         }
         stop.store(true, Ordering::Release);
         let seen = reader.join().unwrap();
-        assert!(seen > 0, "reader observed nothing");
         assert_eq!(ring.pushed(), WRITERS * PER);
         // The final drain is quiescent: exactly the last `capacity`
         // positions, minus any claim-dropped slots.
         let recs = ring.drain();
         assert!(recs.len() as u64 >= ring.capacity() as u64 - ring.dropped());
-        for rec in recs {
+        for rec in &recs {
             assert_eq!(rec[0], rec[1]);
         }
+        // The racing reader may lose the scheduling lottery and observe
+        // nothing before the writers finish; the quiescent drain then
+        // holds the resident window, so something was always checked.
+        assert!(seen + recs.len() as u64 > 0, "no record was ever observed");
     }
 }

@@ -1,0 +1,413 @@
+//! Chaos tests for the `funnelpq-server` resilience layer: seeded fault
+//! plans (dispatcher panics, stalls, admission bursts) driven against
+//! live schedulers, with a conservation audit after every run — each
+//! admitted job must be dispatched exactly once per firing, shed with the
+//! job returned, or explicitly reported lost, and lost must be zero
+//! whenever a healthy shard exists.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Duration;
+
+use funnelpq::{MultiQueueConfig, PqConfig};
+use funnelpq_server::{
+    AdmitError, Deadline, FaultPlan, JobId, JobSpec, OverloadConfig, Scheduler, ServerConfig,
+    ServerError, ServerReport, StopOutcome, SuperviseConfig, TenantId,
+};
+use funnelpq_util::XorShift64Star;
+
+const SHARDS: usize = 2;
+const TENANTS: usize = 8;
+const CLIENTS: usize = 4;
+
+fn backends() -> Vec<PqConfig> {
+    vec![
+        PqConfig::SingleLock,
+        PqConfig::for_algorithm(funnelpq::Algorithm::FunnelTree).unwrap(),
+        PqConfig::MultiQueue(MultiQueueConfig {
+            factor: 4,
+            ..MultiQueueConfig::default()
+        }),
+    ]
+}
+
+fn chaos_cfg(backend: PqConfig, plan: FaultPlan) -> ServerConfig {
+    ServerConfig {
+        shards: SHARDS,
+        tenants: TENANTS,
+        clients: CLIENTS,
+        bands: 512,
+        horizon_ns: 2_000_000_000,
+        backend,
+        drain_batch: 8,
+        global_capacity: 2048,
+        tenant_quota: 512,
+        service_ns: 1, // unpaced: these tests assert recovery, not timing
+        record_dispatches: true,
+        // Pin tenants round-robin so both shards are guaranteed traffic
+        // (and so per-shard fault triggers are guaranteed to fire).
+        affinity: (0..TENANTS as u32)
+            .map(|t| (TenantId(t), t as usize % SHARDS))
+            .collect(),
+        fault_plan: Some(plan),
+        ..ServerConfig::default()
+    }
+}
+
+fn drain(s: &Scheduler) {
+    let mut spins = 0;
+    while s.in_flight() > 0 {
+        std::thread::sleep(Duration::from_millis(1));
+        spins += 1;
+        assert!(spins < 30_000, "scheduler failed to drain");
+    }
+}
+
+/// Four client threads submit a seeded one-shot/periodic mix while the
+/// dispatchers run (and crash, and recover). Returns admitted ids and the
+/// stop report.
+fn run_clients(s: &Arc<Scheduler>, seed: u64) -> HashSet<JobId> {
+    let base = s.now_ns();
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|client| {
+            let s = Arc::clone(s);
+            std::thread::spawn(move || {
+                let mut rng = XorShift64Star::new(seed ^ (client as u64) << 32);
+                let mut admitted = Vec::new();
+                for k in 0..250 {
+                    let tenant = TenantId(rng.below(TENANTS as u64) as u32);
+                    let deadline = Deadline::At(base + 1_000_000 + rng.below(1_000_000_000));
+                    let spec = if k % 10 == 0 {
+                        JobSpec::periodic(tenant, deadline, k, 1_000, 3)
+                    } else {
+                        JobSpec::once(tenant, deadline, k)
+                    };
+                    match s.submit(client, spec) {
+                        Ok(id) => admitted.push(id),
+                        Err(ServerError::Admit(_)) => {}
+                        Err(other) => panic!("unexpected submit error: {other}"),
+                    }
+                }
+                admitted
+            })
+        })
+        .collect();
+    let mut admitted_ids = HashSet::new();
+    for h in handles {
+        for id in h.join().unwrap() {
+            assert!(admitted_ids.insert(id), "job ids must be unique");
+        }
+    }
+    admitted_ids
+}
+
+/// The conservation audit: every admitted job dispatched at least once and
+/// exactly once per firing, nothing invented, nothing silently dropped.
+fn assert_conserved(admitted: &HashSet<JobId>, report: &ServerReport) {
+    assert_eq!(report.in_flight_at_stop, 0);
+    assert_eq!(
+        report.lost, 0,
+        "no job may be lost while a shard is healthy"
+    );
+    assert_eq!(report.admitted, report.completed);
+    let mut seen: HashSet<JobId> = HashSet::new();
+    let mut firings = 0u64;
+    for shard in &report.shards {
+        for rec in &shard.dispatch_log {
+            assert!(
+                admitted.contains(&rec.job),
+                "dispatched job {} was never admitted",
+                rec.job
+            );
+            seen.insert(rec.job);
+            firings += 1;
+        }
+    }
+    assert_eq!(
+        &seen, admitted,
+        "every admitted job must be dispatched at least once"
+    );
+    assert_eq!(firings, report.dispatched);
+    assert_eq!(
+        report.dispatched,
+        report.completed + report.rearmed,
+        "each dispatch either completes a job or re-arms it"
+    );
+}
+
+/// Crash sweep: both dispatchers panic mid-run on every backend × seed
+/// combination; the supervisors must recover every job and `stop()` must
+/// report the panics instead of re-raising them.
+#[test]
+fn dispatcher_panics_lose_no_jobs_across_backends_and_seeds() {
+    for backend in backends() {
+        for seed in [0xC0FFEE_u64, 0xBEEF, 0x5EED] {
+            let plan = FaultPlan::new(seed)
+                .dispatcher_panic(0, 20)
+                .dispatcher_panic(1, 35);
+            let s = Arc::new(Scheduler::new(chaos_cfg(backend.clone(), plan)).unwrap());
+            s.start();
+            let admitted = run_clients(&s, seed);
+            drain(&s);
+            let t = s.telemetry();
+            let report = s.stop();
+
+            assert_eq!(report.panics, 2, "both injected panics fired");
+            assert_eq!(report.restarts, 2);
+            assert_conserved(&admitted, &report);
+            for stop in &report.stops {
+                match &stop.outcome {
+                    StopOutcome::Recovered {
+                        restarts,
+                        last_panic,
+                        ..
+                    } => {
+                        assert_eq!(*restarts, 1);
+                        assert!(last_panic.contains("injected"), "got {last_panic:?}");
+                    }
+                    other => panic!("shard {}: expected Recovered, got {other:?}", stop.shard),
+                }
+            }
+            // Live telemetry reconciles with the authoritative report.
+            assert_eq!(t.restarts(), report.restarts);
+            assert_eq!(t.requeued(), report.requeued);
+            assert_eq!(t.dispatched(), report.dispatched);
+        }
+    }
+}
+
+/// Stall + admission-burst sweep: dispatchers freeze mid-run while a
+/// thundering herd lands at admission. Nothing panics, nothing is lost,
+/// and the burst jobs are conserved like any others.
+#[test]
+fn dispatcher_stalls_and_bursts_conserve_jobs() {
+    for backend in backends() {
+        for seed in [1_u64, 2, 3] {
+            let plan = FaultPlan::new(seed)
+                .dispatcher_stall(0, 10, 5_000_000)
+                .dispatcher_stall(1, 10, 5_000_000)
+                .admission_burst(100, 64, 1_000_000_000);
+            let s = Arc::new(Scheduler::new(chaos_cfg(backend.clone(), plan)).unwrap());
+            s.start();
+            // One-shot only: burst job ids are unknown to the clients, so
+            // this sweep audits conservation by exact counts instead.
+            let base = s.now_ns();
+            let handles: Vec<_> = (0..CLIENTS)
+                .map(|client| {
+                    let s = Arc::clone(&s);
+                    std::thread::spawn(move || {
+                        let mut rng = XorShift64Star::new(seed ^ (client as u64) << 32);
+                        for k in 0..250u64 {
+                            let tenant = TenantId(rng.below(TENANTS as u64) as u32);
+                            let deadline =
+                                Deadline::At(base + 1_000_000 + rng.below(1_000_000_000));
+                            match s.submit(client, JobSpec::once(tenant, deadline, k)) {
+                                Ok(_) | Err(ServerError::Admit(_)) => {}
+                                Err(other) => panic!("unexpected submit error: {other}"),
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            drain(&s);
+            let report = s.stop();
+
+            assert_eq!(report.panics, 0, "stalls are not crashes");
+            assert_eq!(report.lost, 0);
+            assert!(report.stops.iter().all(|s| s.outcome.is_clean()));
+            assert!(
+                report.submitted > 1_000,
+                "the burst consumed ids beyond the clients' 1000"
+            );
+            assert_eq!(report.admitted, report.completed);
+            assert_eq!(report.dispatched, report.completed, "one-shot only");
+            // Exactly-once: the dispatch log holds one unique id per
+            // admitted job.
+            let mut seen = HashSet::new();
+            let mut firings = 0u64;
+            for shard in &report.shards {
+                for rec in &shard.dispatch_log {
+                    assert!(seen.insert(rec.job), "job {} dispatched twice", rec.job);
+                    firings += 1;
+                }
+            }
+            assert_eq!(firings, report.dispatched);
+            assert_eq!(seen.len() as u64, report.admitted);
+        }
+    }
+}
+
+/// A shard with no restart budget fails over: its queue drains into the
+/// healthy shard, later submits route around it, and nothing is lost.
+#[test]
+fn exhausted_restart_budget_fails_over_to_healthy_shards() {
+    let plan = FaultPlan::new(7).dispatcher_panic(0, 5);
+    let mut cfg = chaos_cfg(PqConfig::SingleLock, plan);
+    cfg.supervise = SuperviseConfig {
+        max_restarts: 0,
+        ..SuperviseConfig::default()
+    };
+    let s = Arc::new(Scheduler::new(cfg).unwrap());
+    let base = s.now_ns() + 1_000_000_000;
+    // Tenant 0 is pinned to shard 0 (the doomed one), tenant 1 to shard 1.
+    for k in 0..100u64 {
+        s.submit(0, JobSpec::once(TenantId(0), Deadline::At(base + k), k))
+            .unwrap();
+    }
+    for k in 0..10u64 {
+        s.submit(0, JobSpec::once(TenantId(1), Deadline::At(base + k), k))
+            .unwrap();
+    }
+    s.start();
+    // Wait for shard 0 to give up...
+    let mut spins = 0;
+    while s.shard_healthy(0) {
+        std::thread::sleep(Duration::from_millis(1));
+        spins += 1;
+        assert!(spins < 30_000, "shard 0 never gave up");
+    }
+    // ...then keep submitting for its pinned tenant: submits must reroute,
+    // not bounce, not blackhole.
+    for k in 0..20u64 {
+        s.submit(
+            0,
+            JobSpec::once(TenantId(0), Deadline::At(base + k), 1_000 + k),
+        )
+        .unwrap();
+    }
+    drain(&s);
+    let report = s.stop();
+
+    assert_eq!(report.lost, 0, "the healthy shard absorbed everything");
+    assert_eq!(report.admitted, 130);
+    assert_eq!(report.completed, 130);
+    assert!(report.requeued >= 90, "most of shard 0's queue failed over");
+    match &report.stops[0].outcome {
+        StopOutcome::GaveUp { restarts, lost, .. } => {
+            assert_eq!(*restarts, 0);
+            assert_eq!(*lost, 0);
+        }
+        other => panic!("expected GaveUp on shard 0, got {other:?}"),
+    }
+    assert!(report.stops[1].outcome.is_clean());
+    // Shard 0 got at most its 5 pre-panic dispatches; shard 1 served the
+    // rest, including every post-give-up submission.
+    assert!(report.shards[0].dispatch_log.len() <= 5);
+    assert!(report.shards[1].dispatch_log.len() >= 125);
+    let late: Vec<_> = report.shards[1]
+        .dispatch_log
+        .iter()
+        .filter(|r| r.tenant == TenantId(0))
+        .collect();
+    assert!(late.len() >= 115, "rerouted tenant-0 work ran on shard 1");
+}
+
+/// With a single shard there is nowhere to fail over: the give-up path
+/// must release every stranded admission slot and report the jobs lost —
+/// visible accounting, not a hang and not a leak.
+#[test]
+fn single_shard_give_up_reports_lost_jobs_and_releases_slots() {
+    let plan = FaultPlan::new(11).dispatcher_panic(0, 5);
+    let cfg = ServerConfig {
+        shards: 1,
+        tenants: 2,
+        clients: 1,
+        bands: 64,
+        horizon_ns: 1_000_000_000,
+        service_ns: 1,
+        record_dispatches: true,
+        supervise: SuperviseConfig {
+            max_restarts: 0,
+            ..SuperviseConfig::default()
+        },
+        fault_plan: Some(plan),
+        ..ServerConfig::default()
+    };
+    let s = Scheduler::new(cfg).unwrap();
+    let base = s.now_ns() + 1_000_000_000;
+    for k in 0..50u64 {
+        s.submit(0, JobSpec::once(TenantId(0), Deadline::At(base + k), k))
+            .unwrap();
+    }
+    s.start();
+    drain(&s); // give-up releases the stranded slots, so this terminates
+    let report = s.stop();
+
+    assert_eq!(report.admitted, 50);
+    assert_eq!(
+        report.completed + report.lost,
+        report.admitted,
+        "every admitted job is either completed or explicitly lost"
+    );
+    assert!(report.lost > 0, "the stranded queue had nowhere to go");
+    assert_eq!(report.in_flight_at_stop, 0, "lost slots were released");
+    match &report.stops[0].outcome {
+        StopOutcome::GaveUp { lost, .. } => assert_eq!(*lost, report.lost),
+        other => panic!("expected GaveUp, got {other:?}"),
+    }
+    // With every shard dark, further submits are refused with the typed
+    // no-healthy-shard error (and the job comes back).
+    let err = s
+        .submit(0, JobSpec::once(TenantId(1), Deadline::In(1_000), 9))
+        .unwrap_err();
+    match err {
+        ServerError::NoHealthyShard { job } => assert_eq!(job.payload, 9),
+        other => panic!("expected NoHealthyShard, got {other:?}"),
+    }
+}
+
+/// Overload shedding reacts to a stalled dispatcher: backlog piles up
+/// behind the freeze, and a tight-deadline job is bounced with the
+/// server's drain-time estimate instead of being admitted into a
+/// guaranteed miss.
+#[test]
+fn shedding_reacts_to_a_stalled_dispatcher() {
+    let plan = FaultPlan::new(13).dispatcher_stall(0, 0, 400_000_000);
+    let cfg = ServerConfig {
+        shards: 1,
+        tenants: 2,
+        clients: 1,
+        bands: 512,
+        horizon_ns: 60_000_000_000,
+        service_ns: 50_000, // 50 µs per job
+        overload: OverloadConfig {
+            shed: true,
+            margin_ns: 0,
+        },
+        fault_plan: Some(plan),
+        ..ServerConfig::default()
+    };
+    let s = Scheduler::new(cfg).unwrap();
+    // 60 long-deadline jobs: 3 ms of backlog at the pacing rate, far
+    // within their 10 s slack — all admitted.
+    for k in 0..60u64 {
+        s.submit(
+            0,
+            JobSpec::once(TenantId(0), Deadline::In(10_000_000_000), k),
+        )
+        .unwrap();
+    }
+    s.start();
+    // Give the dispatcher time to hit the stall (fires before dispatch 0).
+    std::thread::sleep(Duration::from_millis(50));
+    // A 1 ms deadline cannot clear the stalled backlog: shed with a hint.
+    let err = s
+        .submit(0, JobSpec::once(TenantId(1), Deadline::In(1_000_000), 7))
+        .unwrap_err();
+    match err {
+        ServerError::Admit(AdmitError::Retry { after_ns, job }) => {
+            assert!(after_ns > 0);
+            assert_eq!(job.payload, 7);
+        }
+        other => panic!("expected Retry, got {other:?}"),
+    }
+    drain(&s);
+    let report = s.stop();
+    assert_eq!(report.shed, 1);
+    assert_eq!(report.admitted, 60);
+    assert_eq!(report.completed, 60);
+    assert!(report.stops.iter().all(|x| x.outcome.is_clean()));
+}

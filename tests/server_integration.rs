@@ -345,7 +345,7 @@ fn telemetry_reconciles_with_the_stop_report() {
     assert_eq!(t.rank_error_mean(), 0.0);
 
     let json = t.to_json();
-    assert!(json.starts_with("{\n  \"schema_version\": 1,"));
+    assert!(json.starts_with("{\n  \"schema_version\": 2,"));
     assert!(json.contains("\"backend\": \"SingleLock\""));
 }
 
@@ -433,4 +433,105 @@ fn rank_error_sampler_separates_relaxed_from_strict() {
         displacement, 0,
         "strict SingleLock drains must score exactly zero"
     );
+}
+
+/// Property test for the admission race at capacity: four clients hammer
+/// submits into a tiny global cap while paced dispatchers hold the
+/// backlog pinned against it. The optimistic fetch-add/check/undo scheme
+/// may transiently overshoot the cap by at most one slot per concurrently
+/// racing client (the window between the add and the undo), never more —
+/// and the books must balance exactly once the dust settles.
+#[test]
+fn concurrent_submits_at_capacity_never_overshoot_the_race_bound() {
+    const CLIENTS: usize = 4;
+    const CAPACITY: usize = 32;
+    for backend in [
+        PqConfig::SingleLock,
+        PqConfig::for_algorithm(funnelpq::Algorithm::FunnelTree).unwrap(),
+        PqConfig::MultiQueue(MultiQueueConfig {
+            factor: 4,
+            ..MultiQueueConfig::default()
+        }),
+    ] {
+        let mut c = cfg(backend);
+        c.global_capacity = CAPACITY;
+        c.tenant_quota = CAPACITY;
+        c.service_ns = 5_000; // paced: keeps the backlog pressed at the cap
+        c.record_dispatches = false;
+        let s = Arc::new(Scheduler::new(c).unwrap());
+        s.start();
+
+        let stop_monitor = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let monitor = {
+            let s = Arc::clone(&s);
+            let stop = Arc::clone(&stop_monitor);
+            std::thread::spawn(move || {
+                let mut peak = 0usize;
+                let mut samples = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                    peak = peak.max(s.in_flight());
+                    samples += 1;
+                    std::thread::yield_now();
+                }
+                (peak, samples)
+            })
+        };
+
+        let base = s.now_ns();
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|client| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    let mut admitted = 0u64;
+                    let mut rejected = 0u64;
+                    for k in 0..300u64 {
+                        let tenant = TenantId(((client as u64 * 300 + k) % 8) as u32);
+                        let spec = JobSpec::once(tenant, Deadline::At(base + 1_000_000_000 + k), k);
+                        match s.submit(client, spec) {
+                            Ok(_) => admitted += 1,
+                            Err(ServerError::Admit(e)) => {
+                                assert_eq!(e.into_job().payload, k, "refusal returns the job");
+                                rejected += 1;
+                            }
+                            Err(other) => panic!("unexpected submit error: {other}"),
+                        }
+                    }
+                    (admitted, rejected)
+                })
+            })
+            .collect();
+        let mut admitted = 0u64;
+        let mut rejected = 0u64;
+        for h in handles {
+            let (a, r) = h.join().unwrap();
+            admitted += a;
+            rejected += r;
+        }
+        stop_monitor.store(true, std::sync::atomic::Ordering::Release);
+        let (peak, samples) = monitor.join().unwrap();
+        drain(&s);
+        let report = s.stop();
+
+        // The race bound: the raw counter may overshoot by one per racing
+        // client mid-undo, but no further — and every admitted job really
+        // held a slot.
+        assert!(samples > 0);
+        assert!(
+            peak <= CAPACITY + CLIENTS,
+            "in-flight peak {peak} exceeds capacity {CAPACITY} + {CLIENTS} racing clients"
+        );
+        assert!(
+            report.rejected_capacity > 0,
+            "the cap must actually have been contended"
+        );
+        assert_eq!(report.admitted, admitted);
+        assert_eq!(
+            report.rejected_quota + report.rejected_capacity,
+            rejected,
+            "every refusal is tallied"
+        );
+        assert_eq!(report.admitted, report.completed, "no admitted job leaked");
+        assert_eq!(report.in_flight_at_stop, 0);
+        assert_eq!(report.lost, 0);
+    }
 }
