@@ -21,6 +21,8 @@ fn main() {
                 net_latency: 4,
                 service: 2,
                 line_words: 2,
+                nodes: 1,
+                remote_ratio: 1,
             },
         ),
         (
@@ -29,6 +31,8 @@ fn main() {
                 net_latency: 10,
                 service: 12,
                 line_words: 2,
+                nodes: 1,
+                remote_ratio: 1,
             },
         ),
     ];

@@ -264,7 +264,7 @@ mod tests {
         )
         .unwrap();
         let text = std::fs::read_to_string(path).unwrap();
-        assert!(text.starts_with("{\n  \"schema_version\": 2,"));
+        assert!(text.starts_with("{\n  \"schema_version\": 3,"));
         assert!(text.contains("\"benchmark\": \"t\""));
         assert!(text.contains("\"x\": 1.5"));
         assert!(text.contains("\"bad\": null"));

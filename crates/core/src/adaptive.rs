@@ -1,0 +1,331 @@
+//! The NUMA mode controller: flips [`crate::NumaPq`] between its
+//! NUMA-oblivious and delegation modes from live contention signals.
+//!
+//! SmartPQ's observation (arXiv 2406.06900) is that neither mode wins
+//! everywhere: under low contention a delegation layer only adds a
+//! request/response round trip to operations a thread could have done
+//! itself, while under high contention — or a high remote-access cost —
+//! serving delete-min from threads co-located with the hot lines beats
+//! every thread pulling those lines across the interconnect. So the mode
+//! must follow the workload at run time.
+//!
+//! The controller is epoch-based: every [`NumaConfig::epoch_ops`]-th
+//! completed operation closes an epoch, and the closing thread scores the
+//! window with a *mode-independent* pressure signal measured in
+//! nanoseconds-per-operation:
+//!
+//! ```text
+//! pressure = remote_win_rate · 3·remote_ns  +  cas_retry_rate · 150ns
+//! ```
+//!
+//! `remote_win_rate` is the fraction of delete-side two-choice draws whose
+//! winner was homed on a remote node — both modes draw globally, so the
+//! signal reads the same in either mode and the loop cannot self-oscillate
+//! (a mode-dependent signal like *charged* remote time would collapse the
+//! moment delegation engages, and the controller would thrash). The CAS
+//! term folds in try-lock contention at an assumed retry cost.
+//!
+//! Hysteresis is double: an enter/exit threshold gap (600 vs 150 ns/op)
+//! plus a two-epoch streak requirement, so one noisy epoch never flips the
+//! mode. While delegation is in effect the score additionally carries a
+//! structural floor of `3·remote_ns·(nodes-1)/nodes` — see
+//! [`AdaptiveCtl::close_epoch`]'s comment — so remote traffic *avoided* by
+//! delegation is not mistaken for remote traffic being cheap.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
+
+use crate::topology::Topology;
+
+/// Which serving discipline [`crate::NumaPq`] is currently using.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NumaMode {
+    /// NUMA-oblivious: every thread operates on any slot directly, exactly
+    /// like the plain MultiQueue. Best when remote accesses are cheap.
+    Oblivious,
+    /// Delegation: inserts stay node-local, and a delete-min whose
+    /// two-choice winner is remote is served by a thread co-located with
+    /// that slot (the requester publishes a request and spins locally).
+    Delegation,
+}
+
+impl NumaMode {
+    /// Stable snake_case name, used in JSON telemetry.
+    pub fn name(self) -> &'static str {
+        match self {
+            NumaMode::Oblivious => "oblivious",
+            NumaMode::Delegation => "delegation",
+        }
+    }
+}
+
+impl std::fmt::Display for NumaMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How [`crate::NumaPq`] picks its mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum NumaPolicy {
+    /// Let the controller flip modes per epoch (the default).
+    #[default]
+    Adaptive,
+    /// Pin one mode forever — the static baselines a sweep compares the
+    /// adaptive controller against.
+    Pinned(NumaMode),
+}
+
+/// A snapshot of the controller, exposed through
+/// [`crate::BoundedPq::adaptive_stats`] so the serving layer can observe
+/// hot-swaps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveStats {
+    /// Mode in effect when the snapshot was taken.
+    pub mode: NumaMode,
+    /// Mode switches since construction.
+    pub switches: u64,
+    /// Closed epochs since construction.
+    pub epochs: u64,
+    /// Delete-mins served remotely through the delegation protocol.
+    pub delegated: u64,
+    /// Delegation requests that timed out and were self-served.
+    pub self_served: u64,
+    /// Emulated remote cache-line transfers charged so far.
+    pub remote_transfers: u64,
+}
+
+/// Pressure (ns/op) above which an epoch votes for delegation.
+const ENTER_NS: u64 = 600;
+/// Pressure (ns/op) below which an epoch votes for oblivious. The gap to
+/// [`ENTER_NS`] is the hysteresis dead band: epochs landing between the
+/// two vote for whatever mode is already in effect.
+const EXIT_NS: u64 = 150;
+/// Assumed cost of one failed try-lock CAS, folding lock contention into
+/// the pressure score.
+const CAS_RETRY_NS: u64 = 150;
+/// Consecutive epochs that must vote against the current mode to flip it.
+const STREAK: u32 = 2;
+
+/// The controller state shared by all threads of one queue. All counters
+/// are plain relaxed atomics: epoch boundaries are claimed by a single CAS
+/// and a slightly torn window only perturbs one vote, which the streak
+/// requirement absorbs.
+#[derive(Debug)]
+pub(crate) struct AdaptiveCtl {
+    mode: AtomicU8,
+    pinned: bool,
+    epoch_ops: u64,
+    /// Operations completed in the current epoch.
+    ops: AtomicU64,
+    /// Delete-side two-choice draws whose winner was remote, this epoch.
+    remote_wins: AtomicU64,
+    /// Failed try-lock acquisitions, this epoch.
+    cas_retries: AtomicU64,
+    /// Consecutive closed epochs voting against the current mode.
+    streak: AtomicU32,
+    switches: AtomicU64,
+    epochs: AtomicU64,
+    pub(crate) delegated: AtomicU64,
+    pub(crate) self_served: AtomicU64,
+    pub(crate) remote_transfers: AtomicU64,
+}
+
+impl AdaptiveCtl {
+    pub(crate) fn new(policy: NumaPolicy, epoch_ops: u32) -> Self {
+        let (mode, pinned) = match policy {
+            NumaPolicy::Adaptive => (NumaMode::Oblivious, false),
+            NumaPolicy::Pinned(m) => (m, true),
+        };
+        AdaptiveCtl {
+            mode: AtomicU8::new(mode as u8),
+            pinned,
+            epoch_ops: u64::from(epoch_ops.max(1)),
+            ops: AtomicU64::new(0),
+            remote_wins: AtomicU64::new(0),
+            cas_retries: AtomicU64::new(0),
+            streak: AtomicU32::new(0),
+            switches: AtomicU64::new(0),
+            epochs: AtomicU64::new(0),
+            delegated: AtomicU64::new(0),
+            self_served: AtomicU64::new(0),
+            remote_transfers: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn mode(&self) -> NumaMode {
+        if self.mode.load(Ordering::Relaxed) == NumaMode::Delegation as u8 {
+            NumaMode::Delegation
+        } else {
+            NumaMode::Oblivious
+        }
+    }
+
+    #[inline]
+    pub(crate) fn note_cas_retry(&self) {
+        self.cas_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Closes the bookkeeping for one completed operation; `remote_win` is
+    /// `Some(true)` when a delete-side two-choice draw picked a remote
+    /// winner. Returns `true` when this call closed an epoch *and* flipped
+    /// the mode, so the caller can record the switch event.
+    #[inline]
+    pub(crate) fn note_op(&self, remote_win: Option<bool>, topo: &Topology) -> bool {
+        if remote_win == Some(true) {
+            self.remote_wins.fetch_add(1, Ordering::Relaxed);
+        }
+        let n = self.ops.fetch_add(1, Ordering::Relaxed) + 1;
+        if n < self.epoch_ops {
+            return false;
+        }
+        // One thread claims the epoch boundary; the losers just keep
+        // counting into the next window.
+        if self
+            .ops
+            .compare_exchange(n, 0, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+        {
+            return false;
+        }
+        self.close_epoch(topo)
+    }
+
+    #[cold]
+    fn close_epoch(&self, topo: &Topology) -> bool {
+        let wins = self.remote_wins.swap(0, Ordering::Relaxed);
+        let retries = self.cas_retries.swap(0, Ordering::Relaxed);
+        self.epochs.fetch_add(1, Ordering::Relaxed);
+        if self.pinned {
+            return false;
+        }
+        // An oblivious remote lock episode moves ~3 lines; that is what
+        // delegation avoids, so it is what remote wins are worth.
+        let mut pressure = (wins * 3 * topo.remote_ns() + retries * CAS_RETRY_NS) / self.epoch_ops;
+        let current = self.mode();
+        if current == NumaMode::Delegation {
+            // While delegating, inserts are node-local, remote partitions
+            // drain, and the measured remote-win rate collapses — it
+            // undercounts what *oblivious* mode would pay, because an
+            // oblivious insert files into a uniformly random slot and hits
+            // a remote one at the structural rate (nodes-1)/nodes no
+            // matter the occupancy. Folding that floor into the exit
+            // decision keeps the loop from oscillating: delegation is only
+            // left when remote transfers are genuinely cheap, not merely
+            // avoided.
+            let nodes = topo.nodes() as u64;
+            pressure += 3 * topo.remote_ns() * (nodes - 1) / nodes;
+        }
+        let want = if pressure >= ENTER_NS {
+            NumaMode::Delegation
+        } else if pressure <= EXIT_NS {
+            NumaMode::Oblivious
+        } else {
+            current
+        };
+        if want == current {
+            self.streak.store(0, Ordering::Relaxed);
+            return false;
+        }
+        let streak = self.streak.fetch_add(1, Ordering::Relaxed) + 1;
+        if streak < STREAK {
+            return false;
+        }
+        self.streak.store(0, Ordering::Relaxed);
+        self.mode.store(want as u8, Ordering::Relaxed);
+        self.switches.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    pub(crate) fn stats(&self) -> AdaptiveStats {
+        AdaptiveStats {
+            mode: self.mode(),
+            switches: self.switches.load(Ordering::Relaxed),
+            epochs: self.epochs.load(Ordering::Relaxed),
+            delegated: self.delegated.load(Ordering::Relaxed),
+            self_served: self.self_served.load(Ordering::Relaxed),
+            remote_transfers: self.remote_transfers.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_epochs(ctl: &AdaptiveCtl, topo: &Topology, epochs: usize, remote_wins: bool) -> u64 {
+        let mut switched = 0;
+        for _ in 0..epochs {
+            for _ in 0..ctl.epoch_ops {
+                if ctl.note_op(Some(remote_wins), topo) {
+                    switched += 1;
+                }
+            }
+        }
+        switched
+    }
+
+    #[test]
+    fn switches_under_remote_pressure_with_streak_hysteresis() {
+        let topo = Topology::new(2, 4, 2000);
+        let ctl = AdaptiveCtl::new(NumaPolicy::Adaptive, 64);
+        assert_eq!(ctl.mode(), NumaMode::Oblivious);
+        // Every delete wins remote at 2µs/transfer: pressure 6000 ns/op.
+        // One epoch is not enough (streak), two are.
+        assert_eq!(run_epochs(&ctl, &topo, 1, true), 0);
+        assert_eq!(ctl.mode(), NumaMode::Oblivious);
+        assert_eq!(run_epochs(&ctl, &topo, 1, true), 1);
+        assert_eq!(ctl.mode(), NumaMode::Delegation);
+        // Pressure collapses: two quiet epochs swing it back.
+        topo.set_remote_ns(0);
+        assert_eq!(run_epochs(&ctl, &topo, 2, true), 1);
+        assert_eq!(ctl.mode(), NumaMode::Oblivious);
+        let s = ctl.stats();
+        assert_eq!(s.switches, 2);
+        assert_eq!(s.epochs, 4);
+    }
+
+    #[test]
+    fn dead_band_keeps_the_current_mode() {
+        // remote_ns such that pressure lands between EXIT and ENTER:
+        // wins = epoch/2, pressure = 3 * remote_ns / 2 = 300 ns/op.
+        let topo = Topology::new(2, 4, 200);
+        let ctl = AdaptiveCtl::new(NumaPolicy::Adaptive, 64);
+        // Alternate remote wins: half the ops win remote.
+        for i in 0..(64 * 8u64) {
+            assert!(!ctl.note_op(Some(i % 2 == 0), &topo), "dead band flipped");
+        }
+        assert_eq!(ctl.mode(), NumaMode::Oblivious);
+        assert_eq!(ctl.stats().switches, 0);
+    }
+
+    #[test]
+    fn pinned_policies_never_move() {
+        let topo = Topology::new(2, 4, 50_000);
+        let ctl = AdaptiveCtl::new(NumaPolicy::Pinned(NumaMode::Oblivious), 32);
+        assert_eq!(run_epochs(&ctl, &topo, 8, true), 0);
+        assert_eq!(ctl.mode(), NumaMode::Oblivious);
+        let ctl = AdaptiveCtl::new(NumaPolicy::Pinned(NumaMode::Delegation), 32);
+        topo.set_remote_ns(0);
+        assert_eq!(run_epochs(&ctl, &topo, 8, false), 0);
+        assert_eq!(ctl.mode(), NumaMode::Delegation);
+        assert_eq!(ctl.stats().switches, 0);
+        assert_eq!(ctl.stats().epochs, 8);
+    }
+
+    #[test]
+    fn cas_retries_alone_can_push_into_delegation() {
+        let topo = Topology::new(2, 4, 0);
+        let ctl = AdaptiveCtl::new(NumaPolicy::Adaptive, 16);
+        for _ in 0..2 {
+            for _ in 0..16 {
+                // >4 retries per op at 150ns each clears ENTER_NS.
+                for _ in 0..5 {
+                    ctl.note_cas_retry();
+                }
+                ctl.note_op(Some(false), &topo);
+            }
+        }
+        assert_eq!(ctl.mode(), NumaMode::Delegation);
+    }
+}

@@ -30,6 +30,12 @@ pub enum Algorithm {
     /// delete-min for [`Consistency::Relaxed`] ordering — so it stays out
     /// of [`Algorithm::ALL`] and the paper-replication sweeps.
     MultiQueue,
+    /// NUMA-adaptive MultiQueue (SmartPQ, arXiv 2406.06900): node-local
+    /// heap partitions fronted by a delegation layer, with a live
+    /// controller flipping between NUMA-oblivious and delegated serving
+    /// from contention signals. Relaxed like the MultiQueue it partitions,
+    /// so likewise outside [`Algorithm::ALL`].
+    NumaPq,
 }
 
 impl Algorithm {
@@ -61,7 +67,7 @@ impl Algorithm {
     /// variant, and the `every_is_complete_and_in_roster_order` test pins
     /// this array to it, so adding a variant without extending `EVERY`
     /// fails the build.
-    pub const EVERY: [Algorithm; 9] = [
+    pub const EVERY: [Algorithm; 10] = [
         Algorithm::SingleLock,
         Algorithm::HuntEtAl,
         Algorithm::SkipList,
@@ -71,6 +77,7 @@ impl Algorithm {
         Algorithm::FunnelTree,
         Algorithm::HardwareTree,
         Algorithm::MultiQueue,
+        Algorithm::NumaPq,
     ];
 
     /// The slot each variant occupies in [`Algorithm::EVERY`]. Exists to
@@ -89,6 +96,7 @@ impl Algorithm {
             Algorithm::FunnelTree => 6,
             Algorithm::HardwareTree => 7,
             Algorithm::MultiQueue => 8,
+            Algorithm::NumaPq => 9,
         }
     }
 
@@ -111,6 +119,7 @@ impl Algorithm {
             Algorithm::FunnelTree => "FunnelTree",
             Algorithm::HardwareTree => "HardwareTree",
             Algorithm::MultiQueue => "MultiQueue",
+            Algorithm::NumaPq => "NumaPq",
         }
     }
 
@@ -134,7 +143,7 @@ impl Algorithm {
             | Algorithm::LinearFunnels
             | Algorithm::FunnelTree
             | Algorithm::HardwareTree => Consistency::QuiescentlyConsistent,
-            Algorithm::MultiQueue => Consistency::Relaxed,
+            Algorithm::MultiQueue | Algorithm::NumaPq => Consistency::Relaxed,
         }
     }
 }
@@ -189,10 +198,15 @@ mod tests {
 
     #[test]
     fn every_is_complete_and_in_roster_order() {
-        // ALL is EVERY minus the two non-paper variants, same order.
+        // ALL is EVERY minus the three non-paper variants, same order.
         let paper: Vec<_> = Algorithm::EVERY
             .into_iter()
-            .filter(|a| !matches!(a, Algorithm::HardwareTree | Algorithm::MultiQueue))
+            .filter(|a| {
+                !matches!(
+                    a,
+                    Algorithm::HardwareTree | Algorithm::MultiQueue | Algorithm::NumaPq
+                )
+            })
             .collect();
         assert_eq!(paper, Algorithm::ALL);
     }
@@ -201,9 +215,12 @@ mod tests {
     fn multiqueue_is_relaxed_and_not_in_the_paper_sweeps() {
         assert_eq!(Algorithm::MultiQueue.consistency(), Consistency::Relaxed);
         assert!(Algorithm::MultiQueue.is_relaxed());
+        assert!(Algorithm::NumaPq.is_relaxed());
         assert!(!Algorithm::FunnelTree.is_relaxed());
-        assert!(!Algorithm::ALL.contains(&Algorithm::MultiQueue));
-        assert!(!Algorithm::SCALABLE.contains(&Algorithm::MultiQueue));
+        for relaxed in [Algorithm::MultiQueue, Algorithm::NumaPq] {
+            assert!(!Algorithm::ALL.contains(&relaxed));
+            assert!(!Algorithm::SCALABLE.contains(&relaxed));
+        }
     }
 
     #[test]

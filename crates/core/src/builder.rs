@@ -1,8 +1,8 @@
-//! One construction front door for all eight native queues.
+//! One construction front door for all nine native queues.
 
 use std::sync::Arc;
 
-use funnelpq_sync::{BinOrder, FunnelConfig};
+use funnelpq_sync::FunnelConfig;
 
 use crate::algorithm::Algorithm;
 use crate::config::PqConfig;
@@ -10,6 +10,7 @@ use crate::funnel_tree::FunnelTreePq;
 use crate::hunt::HuntPq;
 use crate::linear_funnels::LinearFunnelsPq;
 use crate::multiqueue::MultiQueuePq;
+use crate::numa::NumaPq;
 use crate::obs::{NoopRecorder, Recorder};
 use crate::simple_linear::SimpleLinearPq;
 use crate::simple_tree::SimpleTreePq;
@@ -57,7 +58,7 @@ impl std::fmt::Display for BuildError {
 
 impl std::error::Error for BuildError {}
 
-/// Builder constructing any of the eight native queues behind
+/// Builder constructing any of the nine native queues behind
 /// `Box<dyn BoundedPq<T>>`, from a typed per-algorithm [`PqConfig`] plus
 /// the two knobs every queue shares (`num_priorities`, `max_threads`) and
 /// an optional metrics recorder.
@@ -65,10 +66,9 @@ impl std::error::Error for BuildError {}
 /// Start from an algorithm with per-algorithm defaults
 /// ([`PqBuilder::new`]) or from an explicit config
 /// ([`PqBuilder::from_config`]). The old flat knob methods
-/// (`hunt_capacity`, `skiplist_seed`, …) survive as deprecated shims that
-/// rewrite into the config — still ignored when the algorithm does not
-/// have that knob, so legacy sweep code keeps compiling and behaving
-/// identically.
+/// (`hunt_capacity`, `skiplist_seed`, …) were deprecated shims over the
+/// config and have been removed; every per-algorithm knob now lives on its
+/// [`PqConfig`] variant.
 ///
 /// # Examples
 ///
@@ -153,99 +153,6 @@ impl<R: Recorder> PqBuilder<R> {
         }
     }
 
-    /// Removal order among equal-priority items in lock-based bins
-    /// (`SimpleLinear`, `SimpleTree`). Default LIFO, the paper's choice.
-    #[deprecated(
-        since = "0.1.0",
-        note = "set `BinPqConfig::order` via `PqConfig` instead"
-    )]
-    pub fn bin_order(mut self, order: BinOrder) -> Self {
-        match &mut self.config {
-            Some(PqConfig::SimpleLinear(c)) | Some(PqConfig::SimpleTree(c)) => c.order = order,
-            _ => {}
-        }
-        self
-    }
-
-    /// Explicit combining-funnel parameters (`LinearFunnels`,
-    /// `FunnelTree`). Default: [`FunnelConfig::for_threads`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "set `LinearFunnelsConfig::funnel` / `FunnelTreeConfig::funnel` via `PqConfig` instead"
-    )]
-    pub fn funnel_config(mut self, cfg: FunnelConfig) -> Self {
-        match &mut self.config {
-            Some(PqConfig::LinearFunnels(c)) => c.funnel = Some(cfg),
-            Some(PqConfig::FunnelTree(c)) => c.funnel = Some(cfg),
-            _ => {}
-        }
-        self
-    }
-
-    /// Fixed capacity for `HuntEtAl` (its heap is pre-allocated). Default
-    /// 2¹⁶ items.
-    #[deprecated(
-        since = "0.1.0",
-        note = "set `HuntConfig::capacity` via `PqConfig` instead"
-    )]
-    pub fn hunt_capacity(mut self, capacity: usize) -> Self {
-        if let Some(PqConfig::HuntEtAl(c)) = &mut self.config {
-            c.capacity = capacity;
-        }
-        self
-    }
-
-    /// Tower-height RNG seed for `SkipList`. Default: a fixed seed.
-    #[deprecated(
-        since = "0.1.0",
-        note = "set `SkipListConfig::seed` via `PqConfig` instead"
-    )]
-    pub fn skiplist_seed(mut self, seed: u64) -> Self {
-        if let Some(PqConfig::SkipList(c)) = &mut self.config {
-            c.seed = seed;
-        }
-        self
-    }
-
-    /// Internal-heap ratio `c` for `MultiQueue` (the queue holds
-    /// `c · max_threads` heaps, minimum two). Default 2, the MultiQueues
-    /// paper's baseline.
-    #[deprecated(
-        since = "0.1.0",
-        note = "set `MultiQueueConfig::factor` via `PqConfig` instead"
-    )]
-    pub fn multiqueue_factor(mut self, factor: usize) -> Self {
-        if let Some(PqConfig::MultiQueue(c)) = &mut self.config {
-            c.factor = factor;
-        }
-        self
-    }
-
-    /// Queue-choice stickiness for `MultiQueue`: consecutive operations
-    /// re-using the last choice before re-drawing (1 disables). Default 8.
-    #[deprecated(
-        since = "0.1.0",
-        note = "set `MultiQueueConfig::stickiness` via `PqConfig` instead"
-    )]
-    pub fn multiqueue_stickiness(mut self, stickiness: u32) -> Self {
-        if let Some(PqConfig::MultiQueue(c)) = &mut self.config {
-            c.stickiness = stickiness;
-        }
-        self
-    }
-
-    /// Per-thread choice-RNG seed for `MultiQueue`. Default: a fixed seed.
-    #[deprecated(
-        since = "0.1.0",
-        note = "set `MultiQueueConfig::seed` via `PqConfig` instead"
-    )]
-    pub fn multiqueue_seed(mut self, seed: u64) -> Self {
-        if let Some(PqConfig::MultiQueue(c)) = &mut self.config {
-            c.seed = seed;
-        }
-        self
-    }
-
     /// The algorithm this builder will construct.
     pub fn algorithm(&self) -> Algorithm {
         self.algorithm
@@ -309,6 +216,7 @@ impl<R: Recorder> PqBuilder<R> {
                 c.seed,
                 rec,
             )),
+            PqConfig::NumaPq(c) => Box::new(NumaPq::with_config(n, t, c.clone(), rec)),
         })
     }
 
@@ -412,56 +320,16 @@ mod tests {
         );
     }
 
-    // The deprecated flat knobs must keep compiling and behaving exactly as
-    // before: applied where the algorithm supports them, ignored otherwise.
-    #[allow(deprecated)]
     #[test]
-    fn deprecated_knob_shims_apply_where_supported() {
-        let q = PqBuilder::new(Algorithm::HuntEtAl, 4, 1)
-            .hunt_capacity(2)
-            .build::<u8>();
-        q.insert(0, 0, 0);
-        q.insert(0, 1, 1);
-        assert!(q.try_insert(0, 2, 2).is_err(), "capacity 2 respected");
-
-        let q = PqBuilder::new(Algorithm::SimpleLinear, 4, 1)
-            .bin_order(BinOrder::Fifo)
-            .build::<u8>();
-        q.insert(0, 1, 10);
-        q.insert(0, 1, 11);
-        assert_eq!(q.delete_min(0), Some((1, 10)), "FIFO within a priority");
-    }
-
-    #[allow(deprecated)]
-    #[test]
-    fn deprecated_knob_shims_are_ignored_elsewhere() {
-        // A sweep-style builder chain applies knobs for other algorithms;
-        // they must not disturb the target algorithm's config.
-        let b = PqBuilder::new(Algorithm::SkipList, 8, 2)
-            .hunt_capacity(1)
-            .multiqueue_factor(0)
-            .skiplist_seed(7);
-        assert_eq!(
-            b.config(),
-            Some(&PqConfig::SkipList(crate::config::SkipListConfig {
-                seed: 7
-            }))
-        );
-        // Even the degenerate multiqueue_factor(0) was ignored: this is a
-        // SkipList builder, so it still builds fine.
-        assert!(b.try_build::<u8>().is_ok());
-    }
-
-    #[allow(deprecated)]
-    #[test]
-    fn builds_multiqueue_with_knobs() {
+    fn builds_multiqueue_with_typed_knobs() {
         // Factor 1 on one thread still gets the two-heap minimum; with both
         // heaps sampled every delete, the sequential drain is strict.
-        let q = PqBuilder::new(Algorithm::MultiQueue, 8, 1)
-            .multiqueue_factor(1)
-            .multiqueue_stickiness(1)
-            .multiqueue_seed(42)
-            .build::<usize>();
+        let cfg = PqConfig::MultiQueue(MultiQueueConfig {
+            factor: 1,
+            stickiness: 1,
+            seed: 42,
+        });
+        let q = PqBuilder::from_config(cfg, 8, 1).build::<usize>();
         assert_eq!(q.algorithm(), Algorithm::MultiQueue);
         assert_eq!(q.consistency(), crate::traits::Consistency::Relaxed);
         q.insert(0, 5, 50);
@@ -469,6 +337,42 @@ mod tests {
         assert_eq!(q.delete_min(0), Some((2, 20)));
         assert_eq!(q.delete_min(0), Some((5, 50)));
         assert_eq!(q.delete_min(0), None);
+    }
+
+    #[test]
+    fn builds_numapq_from_config_and_rejects_degenerates() {
+        use crate::config::NumaConfig;
+        let q = PqBuilder::new(Algorithm::NumaPq, 8, 2).build::<usize>();
+        assert_eq!(q.algorithm(), Algorithm::NumaPq);
+        assert!(q.adaptive_stats().is_some(), "controller must be exposed");
+        q.insert(0, 5, 50);
+        q.insert(1, 2, 20);
+        // Relaxed queue: drain order may deviate, conservation may not.
+        let mut got = vec![q.delete_min(0).unwrap(), q.delete_min(1).unwrap()];
+        got.sort_unstable();
+        assert_eq!(got, vec![(2, 20), (5, 50)]);
+        assert_eq!(q.delete_min(0), None);
+        for bad in [
+            NumaConfig {
+                nodes: 0,
+                ..Default::default()
+            },
+            NumaConfig {
+                factor: 0,
+                ..Default::default()
+            },
+            NumaConfig {
+                epoch_ops: 0,
+                ..Default::default()
+            },
+        ] {
+            assert!(
+                PqBuilder::from_config(PqConfig::NumaPq(bad), 8, 2)
+                    .try_build::<u64>()
+                    .is_err(),
+                "degenerate NumaConfig must be a typed error"
+            );
+        }
     }
 
     #[test]

@@ -28,6 +28,7 @@
 
 use funnelpq_sync::{BinOrder, FunnelConfig};
 
+use crate::adaptive::NumaPolicy;
 use crate::algorithm::Algorithm;
 use crate::builder::BuildError;
 use crate::funnel_tree::DEFAULT_FUNNEL_LEVELS;
@@ -122,6 +123,44 @@ impl Default for MultiQueueConfig {
     }
 }
 
+/// Config for the NUMA-adaptive [`Algorithm::NumaPq`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NumaConfig {
+    /// NUMA nodes to partition threads and heaps over. Must be at least 1;
+    /// clamped to `max_threads` at build time (an unthreaded node could
+    /// never serve a delegated request). Default 2, the smallest topology
+    /// with a local/remote distinction.
+    pub nodes: usize,
+    /// Internal-heap ratio `c` as in the MultiQueue: the queue holds
+    /// `max(c · max_threads, 2 · nodes)` heaps. Must be at least 1.
+    pub factor: usize,
+    /// Per-thread choice-RNG seed.
+    pub seed: u64,
+    /// Emulated cost of one remote cache-line transfer in nanoseconds,
+    /// charged as a calibrated busy-wait (see [`crate::Topology`]). Zero —
+    /// the default — disables the emulation; benches raise it to make the
+    /// NUMA crossover measurable on UMA hosts, and it stays live through
+    /// [`crate::Topology::set_remote_ns`].
+    pub remote_ns: u64,
+    /// Operations per adaptive-controller epoch. Must be at least 1.
+    pub epoch_ops: u32,
+    /// Mode policy: adaptive (default) or pinned to one static mode.
+    pub policy: NumaPolicy,
+}
+
+impl Default for NumaConfig {
+    fn default() -> Self {
+        NumaConfig {
+            nodes: 2,
+            factor: DEFAULT_MQ_FACTOR,
+            seed: DEFAULT_MQ_SEED,
+            remote_ns: 0,
+            epoch_ops: 256,
+            policy: NumaPolicy::Adaptive,
+        }
+    }
+}
+
 /// Typed construction parameters for every natively-buildable algorithm:
 /// one variant per algorithm, carrying exactly the knobs that algorithm
 /// has. [`Algorithm::HardwareTree`] has no variant — it exists only on the
@@ -145,6 +184,8 @@ pub enum PqConfig {
     FunnelTree(FunnelTreeConfig),
     /// Relaxed MultiQueue.
     MultiQueue(MultiQueueConfig),
+    /// NUMA-adaptive partitioned MultiQueue with a delegation layer.
+    NumaPq(NumaConfig),
 }
 
 impl PqConfig {
@@ -161,6 +202,7 @@ impl PqConfig {
             Algorithm::LinearFunnels => PqConfig::LinearFunnels(LinearFunnelsConfig::default()),
             Algorithm::FunnelTree => PqConfig::FunnelTree(FunnelTreeConfig::default()),
             Algorithm::MultiQueue => PqConfig::MultiQueue(MultiQueueConfig::default()),
+            Algorithm::NumaPq => PqConfig::NumaPq(NumaConfig::default()),
             Algorithm::HardwareTree => return None,
         })
     }
@@ -176,6 +218,7 @@ impl PqConfig {
             PqConfig::LinearFunnels(_) => Algorithm::LinearFunnels,
             PqConfig::FunnelTree(_) => Algorithm::FunnelTree,
             PqConfig::MultiQueue(_) => Algorithm::MultiQueue,
+            PqConfig::NumaPq(_) => Algorithm::NumaPq,
         }
     }
 
@@ -198,6 +241,9 @@ impl PqConfig {
             PqConfig::MultiQueue(c) if c.stickiness == 0 => {
                 invalid("stickiness must be at least 1")
             }
+            PqConfig::NumaPq(c) if c.nodes == 0 => invalid("nodes must be at least 1"),
+            PqConfig::NumaPq(c) if c.factor == 0 => invalid("factor must be at least 1"),
+            PqConfig::NumaPq(c) if c.epoch_ops == 0 => invalid("epoch_ops must be at least 1"),
             _ => Ok(()),
         }
     }

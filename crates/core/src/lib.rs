@@ -23,7 +23,11 @@
 //! Beyond the paper, [`MultiQueuePq`] implements the modern *relaxed*
 //! answer to the same contention problem — `c·T` heaps behind try-locks
 //! with two-choice delete-min — trading strict ordering
-//! ([`Consistency::Relaxed`]) for near-linear scalability.
+//! ([`Consistency::Relaxed`]) for near-linear scalability, and [`NumaPq`]
+//! makes that structure NUMA-adaptive: heap partitions homed per node, a
+//! delegation layer serving remote delete-mins from co-located threads,
+//! and a live controller ([`AdaptiveStats`]) flipping between the
+//! oblivious and delegated disciplines from contention signals.
 //!
 //! Every queue is also generic over a metrics [`obs::Recorder`]: attach an
 //! [`obs::AtomicRecorder`] to count contention events (CAS retries,
@@ -59,6 +63,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod adaptive;
 mod algorithm;
 mod builder;
 mod config;
@@ -69,29 +74,34 @@ pub mod heap;
 mod hunt;
 mod linear_funnels;
 mod multiqueue;
+mod numa;
 pub mod obs;
 mod simple_linear;
 mod simple_tree;
 mod single_lock;
 mod skiplist;
+mod topology;
 pub mod trace;
 mod traits;
 
+pub use adaptive::{AdaptiveStats, NumaMode, NumaPolicy};
 pub use algorithm::Algorithm;
 pub use builder::{BuildError, PqBuilder};
 pub use config::{
-    BinPqConfig, FunnelTreeConfig, HuntConfig, LinearFunnelsConfig, MultiQueueConfig, PqConfig,
-    SkipListConfig,
+    BinPqConfig, FunnelTreeConfig, HuntConfig, LinearFunnelsConfig, MultiQueueConfig, NumaConfig,
+    PqConfig, SkipListConfig,
 };
 pub use error::Error;
 pub use funnel_tree::{FunnelTreePq, DEFAULT_FUNNEL_LEVELS};
 pub use hunt::HuntPq;
 pub use linear_funnels::LinearFunnelsPq;
 pub use multiqueue::{MultiQueuePq, DEFAULT_MQ_FACTOR, DEFAULT_MQ_SEED, DEFAULT_MQ_STICKINESS};
+pub use numa::NumaPq;
 pub use simple_linear::SimpleLinearPq;
 pub use simple_tree::SimpleTreePq;
 pub use single_lock::SingleLockPq;
 pub use skiplist::SkipListPq;
+pub use topology::Topology;
 pub use traits::{BoundedPq, Consistency, PqBatchError, PqError};
 
 // Re-export the substrate types a queue constructor may need.

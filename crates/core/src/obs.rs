@@ -606,7 +606,7 @@ mod tests {
         rec.record_event_n(CounterEvent::ElimHit, 7);
         rec.record_op(OpKind::Insert, 42);
         let json = rec.snapshot().to_json("FunnelTree");
-        assert!(json.starts_with("{\n  \"schema_version\": 2,"));
+        assert!(json.starts_with("{\n  \"schema_version\": 3,"));
         assert!(json.contains("\"algorithm\": \"FunnelTree\""));
         assert!(json.contains("\"elim_hit\": 7"));
         for e in CounterEvent::ALL {

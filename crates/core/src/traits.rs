@@ -329,6 +329,14 @@ pub trait BoundedPq<T: Send>: Send + Sync {
     fn consistency(&self) -> Consistency {
         self.algorithm().consistency()
     }
+
+    /// Snapshot of the NUMA-adaptive mode controller, for queues that have
+    /// one ([`crate::NumaPq`]); `None` — the default — for everything else.
+    /// The serving layer surfaces this through its telemetry so mode
+    /// hot-swaps are observable from outside the queue.
+    fn adaptive_stats(&self) -> Option<crate::AdaptiveStats> {
+        None
+    }
 }
 
 /// Consistency condition offered by a queue (paper Appendix B, plus the

@@ -206,8 +206,12 @@ fn main() -> ExitCode {
         std::thread::sleep(tick);
         if args.watch {
             let t = s.telemetry();
+            let numa = match t.numa_mode() {
+                Some(mode) => format!(" numa={mode} switches={}", t.mode_switches()),
+                None => String::new(),
+            };
             eprintln!(
-                "[{:>6.0}ms] dispatched={} misses={} depth={} rank_err={:.3} windows={}",
+                "[{:>6.0}ms] dispatched={} misses={} depth={} rank_err={:.3} windows={}{numa}",
                 t.at_ns as f64 / 1e6,
                 t.dispatched(),
                 t.misses(),

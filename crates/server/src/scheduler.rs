@@ -476,6 +476,7 @@ impl<R: Recorder> Scheduler<R> {
                     s.telemetry_cell().clone(),
                     s.enqueued.load(Ordering::Relaxed),
                     s.shed.load(Ordering::Relaxed),
+                    s.queue.adaptive_stats(),
                 )
             })
             .collect();

@@ -26,6 +26,7 @@
 //!
 //! [`Scheduler::telemetry`]: crate::Scheduler::telemetry
 
+use funnelpq::AdaptiveStats;
 use funnelpq_util::json::{JsonWriter, SCHEMA_VERSION};
 use funnelpq_util::Acc;
 
@@ -91,6 +92,10 @@ pub struct ShardStats {
     pub requeued: u64,
     /// Jobs shed at admission for this shard (overload control).
     pub shed: u64,
+    /// NUMA-adaptive controller snapshot, when the backend is `NumaPq`:
+    /// current mode, switch-overs, epochs, delegation traffic. `None`
+    /// for every other backend.
+    pub adaptive: Option<AdaptiveStats>,
 }
 
 /// One time-series window: counts over `window_ns` of wall clock.
@@ -299,6 +304,24 @@ impl TelemetrySnapshot {
         self.shards.iter().map(|s| s.shed).sum()
     }
 
+    /// The NUMA-adaptive controller's current mode name, when the
+    /// backend is `NumaPq` (the first shard's controller speaks for the
+    /// fleet: every shard runs the same policy over the same machine).
+    pub fn numa_mode(&self) -> Option<&'static str> {
+        self.shards
+            .iter()
+            .find_map(|s| s.adaptive.map(|a| a.mode.name()))
+    }
+
+    /// Total NUMA mode switch-overs across shards (zero for backends
+    /// without an adaptive controller).
+    pub fn mode_switches(&self) -> u64 {
+        self.shards
+            .iter()
+            .filter_map(|s| s.adaptive.map(|a| a.switches))
+            .sum()
+    }
+
     /// Mean sampled rank error per dispatched element, across shards
     /// (`0.0` when nothing has been sampled — including for backends
     /// whose batches are not en-bloc drains).
@@ -344,6 +367,10 @@ impl TelemetrySnapshot {
         w.field_u64("restarts", self.restarts());
         w.field_u64("requeued", self.requeued());
         w.field_u64("shed", self.shed());
+        if let Some(mode) = self.numa_mode() {
+            w.field_str("numa_mode", mode);
+            w.field_u64("mode_switches", self.mode_switches());
+        }
         w.end();
         w.key("shards");
         w.begin_arr(true);
@@ -359,6 +386,17 @@ impl TelemetrySnapshot {
             w.field_u64("restarts", s.restarts);
             w.field_u64("requeued", s.requeued);
             w.field_u64("shed", s.shed);
+            if let Some(a) = s.adaptive {
+                w.key("numa");
+                w.begin_obj(false);
+                w.field_str("mode", a.mode.name());
+                w.field_u64("switches", a.switches);
+                w.field_u64("epochs", a.epochs);
+                w.field_u64("delegated", a.delegated);
+                w.field_u64("self_served", a.self_served);
+                w.field_u64("remote_transfers", a.remote_transfers);
+                w.end();
+            }
             w.end();
         }
         w.end();
@@ -394,7 +432,7 @@ impl TelemetrySnapshot {
         at_ns: u64,
         backend: &str,
         window_ns: u64,
-        per_shard: Vec<(ShardTelemetry, u64, u64)>,
+        per_shard: Vec<(ShardTelemetry, u64, u64, Option<AdaptiveStats>)>,
     ) -> Self {
         let mut snap = TelemetrySnapshot {
             schema_version: SCHEMA_VERSION,
@@ -405,7 +443,7 @@ impl TelemetrySnapshot {
         };
         let mut tenants: Vec<TenantStats> = Vec::new();
         let mut windows: Vec<WindowStats> = Vec::new();
-        for (shard, (cell, depth, shed)) in per_shard.into_iter().enumerate() {
+        for (shard, (cell, depth, shed, adaptive)) in per_shard.into_iter().enumerate() {
             snap.shards.push(ShardStats {
                 shard,
                 dispatched: cell.dispatched,
@@ -417,6 +455,7 @@ impl TelemetrySnapshot {
                 restarts: cell.restarts,
                 requeued: cell.requeued,
                 shed,
+                adaptive,
             });
             for t in &cell.tenants {
                 if t.dispatched == 0 {
@@ -534,8 +573,12 @@ mod tests {
         b.record_rank_sample(&[(3, job(2, 0, 0)), (1, job(2, 0, 0))]);
         a.restarts = 1;
         a.requeued = 4;
-        let snap =
-            TelemetrySnapshot::assemble(1_000, "multiqueue", 100, vec![(a, 7, 2), (b, 0, 0)]);
+        let snap = TelemetrySnapshot::assemble(
+            1_000,
+            "multiqueue",
+            100,
+            vec![(a, 7, 2, None), (b, 0, 0, None)],
+        );
         assert_eq!(snap.schema_version, SCHEMA_VERSION);
         assert_eq!(snap.dispatched(), 3);
         assert_eq!(snap.misses(), 1);
@@ -554,7 +597,7 @@ mod tests {
         assert_eq!(snap.windows[0].dispatched, 1);
         assert_eq!(snap.windows[1].dispatched, 2);
         let j = snap.to_json();
-        assert!(j.starts_with("{\n  \"schema_version\": 2,"));
+        assert!(j.starts_with("{\n  \"schema_version\": 3,"));
         assert!(j.contains("\"backend\": \"multiqueue\""));
         assert!(j.contains("\"tenant\": 1"));
         assert!(j.contains("\"rank_samples\": 1"));

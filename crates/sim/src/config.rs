@@ -8,17 +8,31 @@
 /// queue in FIFO order, which is what turns a heavily shared location into a
 /// *hot spot* — the phenomenon the paper's evaluation revolves around.
 ///
+/// # Topology
+///
+/// `nodes` and `remote_ratio` extend the flat machine into an explicit
+/// NUMA topology: every cache line has a *home node* (assigned at
+/// allocation, see [`crate::Machine::alloc_on_node`]) and every processor
+/// belongs to the node `pid % nodes`. A transaction whose issuing processor
+/// and target line live on different nodes pays `remote_ratio ×` the
+/// interconnect latency on each leg. The defaults (`nodes = 1`,
+/// `remote_ratio = 1`) collapse back to the flat machine — the schedule is
+/// bit-identical to one built before the topology existed, which is what
+/// the differential tests pin down.
+///
 /// # Examples
 ///
 /// ```
 /// use funnelpq_sim::MachineConfig;
 /// let cfg = MachineConfig::alewife_like();
 /// assert!(cfg.uncontended_access() > 0);
+/// let numa = cfg.with_topology(4, 3);
+/// assert_eq!(numa.remote_access(), 2 * 3 * numa.net_latency + numa.service);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MachineConfig {
     /// One-way interconnect latency, in cycles, between a processor and a
-    /// memory module.
+    /// memory module on the *same* node.
     pub net_latency: u64,
     /// Cycles a cache line stays occupied by one transaction. Back-to-back
     /// transactions to the same line are separated by at least this much.
@@ -26,6 +40,13 @@ pub struct MachineConfig {
     /// Contention granularity: number of 64-bit words per cache line.
     /// Must be a power of two.
     pub line_words: usize,
+    /// Number of NUMA nodes. 1 (the default) models a flat machine with no
+    /// locality distinction.
+    pub nodes: usize,
+    /// Local-to-remote latency ratio: a transaction on a line homed on
+    /// another node pays `remote_ratio * net_latency` per interconnect leg.
+    /// 1 (the default) makes remote accesses no dearer than local ones.
+    pub remote_ratio: u64,
 }
 
 impl MachineConfig {
@@ -36,6 +57,8 @@ impl MachineConfig {
             net_latency: 10,
             service: 4,
             line_words: 2,
+            nodes: 1,
+            remote_ratio: 1,
         }
     }
 
@@ -46,12 +69,34 @@ impl MachineConfig {
             net_latency: 1,
             service: 1,
             line_words: 1,
+            nodes: 1,
+            remote_ratio: 1,
         }
     }
 
-    /// Latency, in cycles, of a memory access that meets no contention.
+    /// Returns this configuration with the given NUMA topology knobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` or `remote_ratio` is zero.
+    pub fn with_topology(mut self, nodes: usize, remote_ratio: u64) -> Self {
+        assert!(nodes >= 1, "nodes must be at least 1");
+        assert!(remote_ratio >= 1, "remote_ratio must be at least 1");
+        self.nodes = nodes;
+        self.remote_ratio = remote_ratio;
+        self
+    }
+
+    /// Latency, in cycles, of a node-local memory access that meets no
+    /// contention.
     pub fn uncontended_access(&self) -> u64 {
         2 * self.net_latency + self.service
+    }
+
+    /// Latency, in cycles, of an uncontended access to a line homed on a
+    /// *different* node.
+    pub fn remote_access(&self) -> u64 {
+        2 * self.net_latency * self.remote_ratio + self.service
     }
 
     pub(crate) fn line_shift(&self) -> u32 {

@@ -147,6 +147,13 @@ pub(crate) struct SimState {
     pub(crate) mem: Vec<Word>,
     /// Per-line time at which the line becomes free.
     line_free: Vec<u64>,
+    /// Per-line home node, grown alongside `line_free`. On a 1-node
+    /// machine every entry is 0 and the remote branch in `transact` is
+    /// never taken.
+    line_home: Vec<u32>,
+    /// Home node to assign to lines allocated next (see
+    /// [`Machine::alloc_on_node`]); `None` stripes lines across nodes.
+    alloc_node: Option<u32>,
     /// Tasks suspended until the given address is mutated.
     waiters: WaiterTable,
     pub(crate) stats: Stats,
@@ -268,13 +275,24 @@ impl SimState {
         };
         let shift = self.cfg.line_shift();
         let line = addr >> shift;
-        let arrival = self.now + self.cfg.net_latency + extra_net;
+        // A transaction crossing node boundaries pays the remote ratio on
+        // each interconnect leg. With `nodes == 1` every line is homed on
+        // node 0 and every processor lives there, so the flat machine's
+        // schedule is untouched.
+        let remote = self.cfg.nodes > 1 && self.line_home[line] as usize != task % self.cfg.nodes;
+        let net = if remote {
+            self.cfg.net_latency * self.cfg.remote_ratio
+        } else {
+            self.cfg.net_latency
+        };
+        let arrival = self.now + net + extra_net;
         let free = self.line_free[line].max(arrival);
         let effect = free + self.cfg.service + extra_service;
         self.line_free[line] = effect;
-        let completion = effect + self.cfg.net_latency + extra_net;
+        let completion = effect + net + extra_net;
 
         self.stats.mem_accesses += 1;
+        self.stats.remote_accesses += u64::from(remote);
         self.stats.queue_delay_cycles += free - arrival;
         let line_entry = &mut self.stats.per_line[line];
         line_entry.0 += 1;
@@ -592,6 +610,8 @@ impl Machine {
         );
         assert!(cfg.net_latency > 0, "net_latency must be positive");
         assert!(cfg.service > 0, "service must be positive");
+        assert!(cfg.nodes >= 1, "nodes must be at least 1");
+        assert!(cfg.remote_ratio >= 1, "remote_ratio must be at least 1");
         let st = SimState {
             cfg,
             now: 0,
@@ -599,6 +619,8 @@ impl Machine {
             events,
             mem: Vec::new(),
             line_free: Vec::new(),
+            line_home: Vec::new(),
+            alloc_node: None,
             waiters: WaiterTable::new(),
             stats: Stats::new(),
             live_tasks: 0,
@@ -635,6 +657,11 @@ impl Machine {
     /// Allocates `words` words of zeroed shared memory, rounded up so the
     /// allocation starts on a fresh cache line (avoids accidental false
     /// sharing between independently allocated objects).
+    ///
+    /// On a multi-node machine the new lines are striped across nodes
+    /// (`line % nodes`), so structures built without node awareness spread
+    /// their traffic evenly; use [`Machine::alloc_on_node`] to home an
+    /// allocation on one node.
     pub fn alloc(&mut self, words: usize) -> Addr {
         let mut st = self.st.borrow_mut();
         let line_words = st.cfg.line_words;
@@ -644,8 +671,80 @@ impl Machine {
         let lines = end.div_ceil(line_words);
         st.line_free.resize(lines, 0);
         st.stats.per_line.resize(lines, (0, 0));
+        let nodes = st.cfg.nodes as u32;
+        let forced = st.alloc_node;
+        while st.line_home.len() < lines {
+            let home = forced.unwrap_or(st.line_home.len() as u32 % nodes);
+            st.line_home.push(home);
+        }
         st.waiters.grow(end);
         start
+    }
+
+    /// Allocates `words` words of zeroed shared memory whose cache lines
+    /// are all homed on `node` — accesses from processors of other nodes
+    /// pay the configured `remote_ratio`. This is how node-local structures
+    /// (per-node heap partitions, delegation mailboxes) are placed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range for the configured topology.
+    pub fn alloc_on_node(&mut self, words: usize, node: usize) -> Addr {
+        {
+            let mut st = self.st.borrow_mut();
+            assert!(
+                node < st.cfg.nodes,
+                "node {node} out of range for a {}-node machine",
+                st.cfg.nodes
+            );
+            st.alloc_node = Some(node as u32);
+        }
+        let addr = self.alloc(words);
+        self.st.borrow_mut().alloc_node = None;
+        addr
+    }
+
+    /// Number of NUMA nodes in this machine's configuration.
+    pub fn nodes(&self) -> usize {
+        self.st.borrow().cfg.nodes
+    }
+
+    /// The node a processor belongs to (`pid % nodes`).
+    pub fn node_of_proc(&self, pid: ProcId) -> usize {
+        pid % self.st.borrow().cfg.nodes
+    }
+
+    /// Home node of the cache line containing `addr`.
+    pub fn node_of_addr(&self, addr: Addr) -> usize {
+        let st = self.st.borrow();
+        st.line_home[addr >> st.cfg.line_shift()] as usize
+    }
+
+    /// Maximal contiguous word ranges `(start, words)` whose cache lines
+    /// are homed on `node`, in address order. This is the glue between the
+    /// topology and the fault layer: feed a range to
+    /// [`crate::fault::FaultPlan::region_delay`] to spike the latency of
+    /// exactly one node's memory.
+    pub fn node_regions(&self, node: usize) -> Vec<(Addr, usize)> {
+        let st = self.st.borrow();
+        let line_words = st.cfg.line_words;
+        let mem_words = st.mem.len();
+        let mut out: Vec<(Addr, usize)> = Vec::new();
+        for (line, &home) in st.line_home.iter().enumerate() {
+            if home as usize != node {
+                continue;
+            }
+            let start = line * line_words;
+            let end = ((line + 1) * line_words).min(mem_words);
+            if end <= start {
+                continue;
+            }
+            match out.last_mut() {
+                Some(last) if last.0 + last.1 == start => last.1 += end - start,
+                _ => out.push((start, end - start)),
+            }
+        }
+        out
     }
 
     /// Allocates `words` words, each on its own cache line; returns the
@@ -658,6 +757,11 @@ impl Machine {
     /// Number of words per cache line in this machine's configuration.
     pub fn line_words(&self) -> usize {
         self.st.borrow().cfg.line_words
+    }
+
+    /// This machine's configuration.
+    pub fn config(&self) -> MachineConfig {
+        self.st.borrow().cfg
     }
 
     /// Creates the context for the *next* processor to be spawned.
@@ -962,7 +1066,7 @@ impl Machine {
                 *r = unlabelled;
             }
         }
-        RegionMap::new(names, line_region, shift)
+        RegionMap::new(names, line_region, st.line_home.clone(), shift)
     }
 
     /// Attaches a human-readable label to the address range

@@ -19,6 +19,9 @@ pub struct Stats {
     series: BTreeMap<&'static str, Acc>,
     /// Total shared-memory transactions performed.
     pub mem_accesses: u64,
+    /// Transactions whose issuing processor and target cache line lived on
+    /// different NUMA nodes (always 0 on a 1-node machine).
+    pub remote_accesses: u64,
     /// Total cycles transactions spent queued behind busy lines.
     pub queue_delay_cycles: u64,
     /// Per-line `(accesses, queue-delay cycles)`, indexed by line number

@@ -214,7 +214,12 @@ mod tests {
 
     #[test]
     fn renders_processor_and_line_rows() {
-        let regions = RegionMap::new(vec!["lock".into(), "<unlabelled>".into()], vec![0], 0);
+        let regions = RegionMap::new(
+            vec!["lock".into(), "<unlabelled>".into()],
+            vec![0],
+            vec![0],
+            0,
+        );
         let events = [
             TraceEvent::SpanBegin {
                 proc: 0,
@@ -253,7 +258,7 @@ mod tests {
 
     #[test]
     fn hot_line_cap_respected() {
-        let regions = RegionMap::new(vec!["<unlabelled>".into()], vec![], 0);
+        let regions = RegionMap::new(vec!["<unlabelled>".into()], vec![], vec![], 0);
         let mk = |line: usize, queued: u64| TraceEvent::Txn {
             proc: 0,
             addr: line,

@@ -273,16 +273,24 @@ pub struct RegionMap {
     names: Vec<String>,
     /// Region index per cache line.
     line_region: Vec<u32>,
+    /// NUMA home node per cache line (all zeros on a 1-node machine).
+    line_home: Vec<u32>,
     /// `addr >> line_shift` is the cache line of a word address.
     line_shift: u32,
 }
 
 impl RegionMap {
-    pub(crate) fn new(names: Vec<String>, line_region: Vec<u32>, line_shift: u32) -> Self {
+    pub(crate) fn new(
+        names: Vec<String>,
+        line_region: Vec<u32>,
+        line_home: Vec<u32>,
+        line_shift: u32,
+    ) -> Self {
         debug_assert_eq!(names.last().map(String::as_str), Some("<unlabelled>"));
         RegionMap {
             names,
             line_region,
+            line_home,
             line_shift,
         }
     }
@@ -325,6 +333,17 @@ impl RegionMap {
     /// [`TraceEvent::TaskBlock`]).
     pub fn region_of_addr(&self, addr: Addr) -> usize {
         self.region_of_line(addr >> self.line_shift)
+    }
+
+    /// NUMA home node of a cache line (0 for lines past the mapped range
+    /// and on 1-node machines).
+    pub fn node_of_line(&self, line: usize) -> usize {
+        self.line_home.get(line).map(|&n| n as usize).unwrap_or(0)
+    }
+
+    /// NUMA home node of a word address.
+    pub fn node_of_addr(&self, addr: Addr) -> usize {
+        self.node_of_line(addr >> self.line_shift)
     }
 
     /// First region whose name contains `pat` (for tests and reports).

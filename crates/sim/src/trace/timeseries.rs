@@ -291,7 +291,12 @@ mod tests {
 
     fn map2() -> RegionMap {
         // Lines 0..2 -> region 0 ("hot"), everything else unlabelled.
-        RegionMap::new(vec!["hot".into(), "<unlabelled>".into()], vec![0, 0], 0)
+        RegionMap::new(
+            vec!["hot".into(), "<unlabelled>".into()],
+            vec![0, 0],
+            vec![0, 0],
+            0,
+        )
     }
 
     fn txn(line: usize, arrival: u64, start: u64, complete: u64) -> TraceEvent {

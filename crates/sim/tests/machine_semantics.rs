@@ -16,6 +16,8 @@ fn single_access_latency_is_round_trip_plus_service() {
         net_latency: 10,
         service: 4,
         line_words: 2,
+        nodes: 1,
+        remote_ratio: 1,
     };
     let mut m = Machine::new(cfg, 0);
     let a = m.alloc(1);
@@ -38,6 +40,8 @@ fn contended_accesses_queue_in_fifo_order() {
         net_latency: 5,
         service: 3,
         line_words: 1,
+        nodes: 1,
+        remote_ratio: 1,
     };
     const P: usize = 8;
     let mut m = Machine::new(cfg, 0);
@@ -67,6 +71,8 @@ fn different_lines_do_not_contend() {
         net_latency: 5,
         service: 3,
         line_words: 1,
+        nodes: 1,
+        remote_ratio: 1,
     };
     let mut m = Machine::new(cfg, 0);
     let a = m.alloc(1);
@@ -91,6 +97,8 @@ fn same_line_words_share_a_service_queue() {
         net_latency: 5,
         service: 3,
         line_words: 4,
+        nodes: 1,
+        remote_ratio: 1,
     };
     let mut m = Machine::new(cfg, 0);
     let base = m.alloc(4);
@@ -276,6 +284,8 @@ fn alloc_is_line_aligned_and_zeroed() {
         net_latency: 1,
         service: 1,
         line_words: 8,
+        nodes: 1,
+        remote_ratio: 1,
     };
     let mut m = Machine::new(cfg, 0);
     let a = m.alloc(3);
@@ -324,6 +334,8 @@ fn labels_and_hotspots() {
         net_latency: 5,
         service: 3,
         line_words: 1,
+        nodes: 1,
+        remote_ratio: 1,
     };
     let mut m = Machine::new(cfg, 0);
     let hot = m.alloc(1);

@@ -5,6 +5,7 @@ mod counter_tree;
 mod hunt;
 mod linear_funnels;
 mod multiqueue;
+mod numa;
 mod simple_linear;
 mod single_lock;
 mod skiplist;
@@ -13,6 +14,7 @@ pub use counter_tree::{SimCounterTree, SimTreeBin, TreeFlavor};
 pub use hunt::SimHunt;
 pub use linear_funnels::SimLinearFunnels;
 pub use multiqueue::SimMultiQueue;
+pub use numa::SimNumaPq;
 pub use simple_linear::SimSimpleLinear;
 pub use single_lock::SimSingleLock;
 pub use skiplist::SimSkipList;
@@ -46,6 +48,13 @@ pub struct BuildParams {
     /// Operations a `MultiQueue` processor reuses its queue choice for
     /// before redrawing (1 = a fresh draw every operation).
     pub mq_stickiness: u64,
+    /// NUMA nodes `NumaPq` partitions its queues across (clamped to the
+    /// machine's configured node count at build time).
+    pub numa_nodes: usize,
+    /// Operations per adaptive-controller epoch for `NumaPq`.
+    pub numa_epoch_ops: u64,
+    /// Mode policy for `NumaPq`: adapt live, or pin one discipline.
+    pub numa_policy: funnelpq::NumaPolicy,
 }
 
 impl BuildParams {
@@ -60,6 +69,9 @@ impl BuildParams {
             funnel_levels: 4,
             mq_factor: 2,
             mq_stickiness: 8,
+            numa_nodes: 2,
+            numa_epoch_ops: 64,
+            numa_policy: funnelpq::NumaPolicy::Adaptive,
         }
     }
 
@@ -96,6 +108,18 @@ impl BuildParams {
                 detail: "mq_stickiness must be at least 1".into(),
             });
         }
+        if self.numa_nodes == 0 {
+            return Err(SimPqError::BadConfig {
+                what: "BuildParams",
+                detail: "numa_nodes must be at least 1".into(),
+            });
+        }
+        if self.numa_epoch_ops == 0 {
+            return Err(SimPqError::BadConfig {
+                what: "BuildParams",
+                detail: "numa_epoch_ops must be at least 1".into(),
+            });
+        }
         self.funnel.check()
     }
 }
@@ -121,6 +145,9 @@ pub enum SimPq {
     HardwareTree(SimCounterTree),
     /// See [`SimMultiQueue`]. Relaxed — not one of the paper's seven.
     MultiQueue(SimMultiQueue),
+    /// See [`SimNumaPq`]. Relaxed and NUMA-adaptive — not one of the
+    /// paper's seven.
+    NumaPq(SimNumaPq),
 }
 
 impl SimPq {
@@ -189,6 +216,15 @@ impl SimPq {
                 p.mq_factor,
                 p.mq_stickiness,
             )),
+            Algorithm::NumaPq => SimPq::NumaPq(SimNumaPq::build(
+                m,
+                p.procs,
+                p.capacity,
+                p.mq_factor,
+                p.numa_nodes,
+                p.numa_epoch_ops,
+                p.numa_policy,
+            )),
         }
     }
 
@@ -209,6 +245,7 @@ impl SimPq {
             SimPq::FunnelTree(q) => q.insert(ctx, pri, item).await,
             SimPq::HardwareTree(q) => q.insert(ctx, pri, item).await,
             SimPq::MultiQueue(q) => q.insert(ctx, pri, item).await,
+            SimPq::NumaPq(q) => q.insert(ctx, pri, item).await,
         }
     }
 
@@ -225,6 +262,7 @@ impl SimPq {
             SimPq::FunnelTree(q) => q.try_insert(ctx, pri, item).await,
             SimPq::HardwareTree(q) => q.try_insert(ctx, pri, item).await,
             SimPq::MultiQueue(q) => q.try_insert(ctx, pri, item).await,
+            SimPq::NumaPq(q) => q.try_insert(ctx, pri, item).await,
         }
     }
 
@@ -240,6 +278,7 @@ impl SimPq {
             SimPq::FunnelTree(q) => q.delete_min(ctx).await,
             SimPq::HardwareTree(q) => q.delete_min(ctx).await,
             SimPq::MultiQueue(q) => q.delete_min(ctx).await,
+            SimPq::NumaPq(q) => q.delete_min(ctx).await,
         }
     }
 
@@ -311,6 +350,7 @@ impl SimPq {
             SimPq::FunnelTree(q) => q.peek_len(m),
             SimPq::HardwareTree(q) => q.peek_len(m),
             SimPq::MultiQueue(q) => Ok(q.peek_len(m)),
+            SimPq::NumaPq(q) => Ok(q.peek_len(m)),
         }
     }
 
@@ -329,6 +369,7 @@ impl SimPq {
             SimPq::FunnelTree(q) => q.validate(m),
             SimPq::HardwareTree(q) => q.validate(m),
             SimPq::MultiQueue(q) => q.validate(m),
+            SimPq::NumaPq(q) => q.validate(m),
         }
     }
 }

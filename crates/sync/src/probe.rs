@@ -62,11 +62,15 @@ pub enum CounterEvent {
     /// unmeetable given the target shard's backlog and dispatch rate
     /// (`funnelpq-server` overload control; counted per shed job).
     JobShed,
+    /// The NUMA-adaptive controller flipped a queue between its oblivious
+    /// and delegation serving modes (`funnelpq` `NumaPq`; counted once per
+    /// switch-over, by the thread that closed the deciding epoch).
+    ModeSwitch,
 }
 
 impl CounterEvent {
     /// Number of distinct event kinds.
-    pub const COUNT: usize = 13;
+    pub const COUNT: usize = 14;
 
     /// Every event kind, in a fixed order matching [`CounterEvent::index`].
     pub const ALL: [CounterEvent; CounterEvent::COUNT] = [
@@ -83,6 +87,7 @@ impl CounterEvent {
         CounterEvent::ShardRestart,
         CounterEvent::JobsRequeued,
         CounterEvent::JobShed,
+        CounterEvent::ModeSwitch,
     ];
 
     /// Dense index of this event in `0..COUNT` (array-keyed aggregation).
@@ -101,6 +106,7 @@ impl CounterEvent {
             CounterEvent::ShardRestart => 10,
             CounterEvent::JobsRequeued => 11,
             CounterEvent::JobShed => 12,
+            CounterEvent::ModeSwitch => 13,
         }
     }
 
@@ -120,6 +126,7 @@ impl CounterEvent {
             CounterEvent::ShardRestart => "shard_restart",
             CounterEvent::JobsRequeued => "jobs_requeued",
             CounterEvent::JobShed => "job_shed",
+            CounterEvent::ModeSwitch => "mode_switch",
         }
     }
 }

@@ -26,8 +26,11 @@
 ///
 /// History: 2 added the server resilience fields (`restarts`, `requeued`,
 /// `shed` in `TelemetrySnapshot`; the overload-regime rows in
-/// `BENCH_server.json`) and the supervision counter events.
-pub const SCHEMA_VERSION: u32 = 2;
+/// `BENCH_server.json`) and the supervision counter events. 3 added the
+/// NUMA controller surface (`numa_mode` / `mode_switches` totals and the
+/// per-shard `numa` block in `TelemetrySnapshot`) and the
+/// `BENCH_numa.json` crossover artifact.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Minimal JSON string escaping for names (labels contain no exotic
 /// characters, but quoting must never break the document).

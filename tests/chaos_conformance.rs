@@ -302,3 +302,57 @@ fn multiqueue_chaos_sweep_with_rank_bound() {
         }
     }
 }
+
+/// Satellite: the fault layer's regional-latency spikes are wired to the
+/// topology model. On a *flat* two-node machine (`remote_ratio` 1) the
+/// adaptive `SimNumaPq` controller never leaves oblivious mode — but
+/// injecting a `region_delay` over exactly node 1's memory (the ranges
+/// come from [`Machine::node_regions`]) makes every remote top expensive
+/// enough that the measured-pressure controller must switch to
+/// delegation, and the switch must land in the simulated switch counter.
+///
+/// The workload runs on a single node-0 processor so the spiked node
+/// stays *remote* for the whole run: a node-1 processor measures a
+/// healthy remote path (node 0 is not spiked) and would correctly vote
+/// to stay oblivious once it is the only one left running.
+#[test]
+fn numa_controller_switches_modes_under_injected_remote_latency_spike() {
+    use funnelpq::{NumaMode, NumaPolicy};
+    use funnelpq_sim::{Machine, MachineConfig};
+    use funnelpq_simqueues::queues::SimNumaPq;
+
+    fn run(spike: bool) -> (u64, NumaMode) {
+        let cfg = MachineConfig::test_tiny().with_topology(2, 1);
+        let mut m = Machine::new(cfg, 0x5311);
+        let q = SimNumaPq::build(&mut m, 1, 4096, 4, 2, 16, NumaPolicy::Adaptive);
+        if spike {
+            // Spike only node 1's memory, for the whole run: +64 cycles
+            // per network leg dwarfs the flat 3-cycle access.
+            let mut plan = FaultPlan::new(0x51C);
+            for (addr, words) in m.node_regions(1) {
+                plan = plan.region_delay(addr, words, 0, u64::MAX, 64, 0);
+            }
+            assert!(!plan.is_empty(), "topology must yield node-1 regions");
+            m.attach_faults(&plan).expect("regions lie inside memory");
+        }
+        let ctx = m.ctx();
+        let q2 = q.clone();
+        m.spawn(async move {
+            for i in 0..800u64 {
+                q2.insert(&ctx, i % 64, i).await;
+                q2.delete_min(&ctx).await;
+            }
+        });
+        assert!(m.run().is_quiescent());
+        q.validate(&m).expect("structure intact under the spike");
+        (q.peek_switches(&m), q.peek_mode(&m))
+    }
+
+    let (healthy_switches, healthy_mode) = run(false);
+    assert_eq!(healthy_mode, NumaMode::Oblivious);
+    assert_eq!(healthy_switches, 0, "flat interconnect must never switch");
+
+    let (switches, mode) = run(true);
+    assert_eq!(mode, NumaMode::Delegation, "spike must flip the mode");
+    assert!(switches >= 1, "the switch-over must be counted");
+}

@@ -7,7 +7,7 @@ use std::sync::{Arc, Barrier};
 use std::thread;
 
 use funnelpq::obs::{record_batch_op, AtomicRecorder, CounterEvent, Recorder};
-use funnelpq::{Algorithm, BoundedPq, PqBuilder};
+use funnelpq::{Algorithm, BoundedPq, NumaConfig, PqBuilder, PqConfig};
 
 const THREADS: usize = 4;
 const INSERTS_PER_THREAD: usize = 250;
@@ -226,7 +226,11 @@ fn concurrent_writers_aggregate_exactly_across_shards() {
 fn batch_ops_through_queues_count_once_per_call_under_contention() {
     const CALLS: usize = 40;
     const K: usize = 8;
-    for a in [Algorithm::SingleLock, Algorithm::MultiQueue] {
+    for a in [
+        Algorithm::SingleLock,
+        Algorithm::MultiQueue,
+        Algorithm::NumaPq,
+    ] {
         let rec = Arc::new(AtomicRecorder::new());
         let q: Arc<dyn BoundedPq<u64>> = Arc::from(
             PqBuilder::new(a, 64, THREADS)
@@ -276,4 +280,40 @@ fn batch_ops_through_queues_count_once_per_call_under_contention() {
             snap.batch.total_items
         );
     }
+}
+
+/// The NUMA-adaptive queue reports every controller switch-over both as a
+/// [`CounterEvent::ModeSwitch`] on the attached recorder and in its
+/// [`funnelpq::AdaptiveStats`] — and the two counts agree exactly.
+#[test]
+fn numa_mode_switches_are_counted_once_per_switch() {
+    let rec = Arc::new(AtomicRecorder::new());
+    let cfg = PqConfig::NumaPq(NumaConfig {
+        nodes: 2,
+        epoch_ops: 16,
+        // Expensive emulated remote transfers: the controller must leave
+        // oblivious mode within a few epochs.
+        remote_ns: 2_000,
+        ..NumaConfig::default()
+    });
+    // Two declared threads so the two-node topology survives clamping;
+    // all operations still come from thread 0.
+    let q = PqBuilder::from_config(cfg, 64, 2)
+        .recorder(Arc::clone(&rec))
+        .build::<u64>();
+    for i in 0..400u64 {
+        q.insert(0, (i % 64) as usize, i);
+        q.delete_min(0);
+    }
+    let stats = q.adaptive_stats().expect("NumaPq exposes adaptive stats");
+    let snap = rec.snapshot();
+    assert!(
+        stats.switches >= 1,
+        "remote pressure must force at least one switch-over, got {stats:?}"
+    );
+    assert_eq!(
+        snap.event(CounterEvent::ModeSwitch),
+        stats.switches,
+        "recorder and controller must agree on switch count"
+    );
 }

@@ -15,7 +15,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
 
-use funnelpq::{BoundedPq, FunnelTreePq, LinearFunnelsPq, SimpleTreePq, SkipListPq};
+use funnelpq::{
+    BoundedPq, FunnelTreePq, LinearFunnelsPq, NumaConfig, PqBuilder, PqConfig, SimpleTreePq,
+    SkipListPq,
+};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum OpKind {
@@ -69,7 +72,14 @@ fn record_history(q: &dyn BoundedPq<u64>, threads: usize, ops: usize) -> Vec<Eve
 }
 
 /// Splits the history at quiescent stamps and checks each window.
-fn check_history(name: &str, history: &[Event]) {
+///
+/// `slack` is the permitted rank error in priority units: a strict
+/// (quiescently consistent) queue passes with `slack = 0`, while a relaxed
+/// queue's returned priorities may exceed the Appendix-B bound by at most
+/// `slack` priority levels — the windowed form of the structural "minima
+/// can hide in unexamined heaps" allowance, generous in the same way as
+/// the chaos harness's drain bound.
+fn check_history(name: &str, history: &[Event], slack: usize) {
     // A stamp t is quiescent if no event has begin < t < end... we check
     // boundaries between events: gather all (begin, +1), (end, -1) deltas.
     let mut deltas: Vec<(u64, i64)> = Vec::with_capacity(history.len() * 2);
@@ -113,12 +123,12 @@ fn check_history(name: &str, history: &[Event]) {
         if k > 0 && k <= held.len() {
             let mut e_sorted = held.clone();
             e_sorted.sort_unstable();
-            let bound = e_sorted[k - 1];
+            let bound = e_sorted[k - 1] + slack;
             for &p in &hits {
                 assert!(
                     p <= bound,
                     "{name}: window [{lo},{hi}) returned priority {p} > \
-                     Appendix-B bound {bound} (k={k}, |E|={})",
+                     Appendix-B bound {bound} (k={k}, slack={slack}, |E|={})",
                     e_sorted.len()
                 );
             }
@@ -150,6 +160,10 @@ fn check_history(name: &str, history: &[Event]) {
 }
 
 fn run_check(name: &str, q: &dyn BoundedPq<u64>) {
+    run_check_with_slack(name, q, 0)
+}
+
+fn run_check_with_slack(name: &str, q: &dyn BoundedPq<u64>, slack: usize) {
     // Seed the queue (sequential = quiescent at the end) so windows with
     // k ≤ |E| are plentiful.
     let mut seed_events = Vec::new();
@@ -171,7 +185,7 @@ fn run_check(name: &str, q: &dyn BoundedPq<u64>) {
     let mut full = seed_events;
     full.extend(history);
     let history = full;
-    check_history(name, &history);
+    check_history(name, &history, slack);
     // Drain and verify conservation end-to-end.
     let inserted = history
         .iter()
@@ -206,4 +220,22 @@ fn simple_tree_satisfies_appendix_b() {
 #[test]
 fn skip_list_satisfies_appendix_b() {
     run_check("SkipList", &SkipListPq::new(24, 7));
+}
+
+/// The relaxed NUMA-adaptive queue is audited against the same windowed
+/// history, with a rank-error allowance: its two-choice delete-min draws
+/// two of `2 * threads` partition heaps, so minima can transiently hide in
+/// the unexamined ones. The allowance is half the priority range —
+/// generous in the same spirit as the chaos drain bound — so gross
+/// ordering violations still fail while two-choice relaxation passes.
+/// Conservation stays exact with no slack at all.
+#[test]
+fn numa_pq_satisfies_appendix_b_with_bounded_rank_error() {
+    let cfg = PqConfig::NumaPq(NumaConfig {
+        nodes: 2,
+        epoch_ops: 64,
+        ..NumaConfig::default()
+    });
+    let q = PqBuilder::from_config(cfg, 24, 7).build::<u64>();
+    run_check_with_slack("NumaPq", q.as_ref(), 12);
 }

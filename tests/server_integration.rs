@@ -159,6 +159,42 @@ fn multiqueue_backend_conserves_jobs_under_concurrent_load() {
 }
 
 #[test]
+fn numa_backend_conserves_jobs_and_surfaces_its_controller() {
+    let (admitted, report) = run_seeded(
+        PqConfig::NumaPq(funnelpq::NumaConfig {
+            nodes: 2,
+            ..funnelpq::NumaConfig::default()
+        }),
+        0xA10C,
+    );
+    assert_conserved(&admitted, &report);
+
+    // Telemetry surfaces the adaptive controller: mode name in the
+    // totals, a per-shard `numa` block in the JSON. A non-NUMA backend
+    // has neither.
+    let s = Scheduler::new(cfg(PqConfig::NumaPq(funnelpq::NumaConfig {
+        nodes: 2,
+        ..funnelpq::NumaConfig::default()
+    })))
+    .unwrap();
+    let t = s.telemetry();
+    assert_eq!(t.numa_mode(), Some("oblivious"), "fresh controller");
+    assert!(t.shards.iter().all(|sh| sh.adaptive.is_some()));
+    let json = t.to_json();
+    assert!(json.contains("\"numa_mode\": \"oblivious\""));
+    assert!(json.contains("\"mode_switches\": 0"));
+    assert!(json.contains("\"remote_transfers\""));
+    s.stop();
+
+    let plain = Scheduler::new(cfg(PqConfig::SingleLock)).unwrap();
+    let t = plain.telemetry();
+    assert_eq!(t.numa_mode(), None);
+    assert_eq!(t.mode_switches(), 0);
+    assert!(!t.to_json().contains("numa_mode"));
+    plain.stop();
+}
+
+#[test]
 fn quota_is_enforced_to_the_job() {
     let mut c = cfg(PqConfig::SingleLock);
     c.tenant_quota = 16;
@@ -345,7 +381,7 @@ fn telemetry_reconciles_with_the_stop_report() {
     assert_eq!(t.rank_error_mean(), 0.0);
 
     let json = t.to_json();
-    assert!(json.starts_with("{\n  \"schema_version\": 2,"));
+    assert!(json.starts_with("{\n  \"schema_version\": 3,"));
     assert!(json.contains("\"backend\": \"SingleLock\""));
 }
 
